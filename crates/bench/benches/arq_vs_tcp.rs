@@ -1,0 +1,69 @@
+//! C3: reliable delivery machinery — middleware ARQ vs simulated TCP,
+//! plus raw ARQ window micro-benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytes::Bytes;
+use marea_bench::{bench_arq_under_loss, bench_tcp_under_loss};
+use marea_protocol::arq::{ArqConfig, ArqReceiver, ArqSender};
+use marea_protocol::Micros;
+
+fn bench_c3_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_arq_vs_tcp");
+    for loss_pm in [0u32, 50] {
+        let loss = f64::from(loss_pm) / 1000.0;
+        group.throughput(Throughput::Elements(30));
+        group.bench_function(BenchmarkId::new("arq", format!("loss{loss_pm}pm")), |b| {
+            b.iter(|| {
+                let r = bench_arq_under_loss(loss, 30, 64, 5_000, 4);
+                assert_eq!(r.latency.count, 30);
+                r
+            })
+        });
+        group.bench_function(BenchmarkId::new("tcpish", format!("loss{loss_pm}pm")), |b| {
+            b.iter(|| {
+                let r = bench_tcp_under_loss(loss, 30, 64, 5_000, 4);
+                assert_eq!(r.latency.count, 30);
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_arq_micro(c: &mut Criterion) {
+    // Pure window machinery: send/deliver/ack 64 messages, no network.
+    c.bench_function("c3_arq_window_cycle_64", |b| {
+        b.iter(|| {
+            let mut tx = ArqSender::new(0, ArqConfig::default());
+            let mut rx = ArqReceiver::new(0, 256);
+            let payload = Bytes::from_static(&[7u8; 64]);
+            let mut delivered = 0;
+            for _ in 0..64 {
+                let msg = tx.send(payload.clone(), Micros::ZERO).unwrap();
+                if let marea_protocol::Message::RelData { seq, payload, .. } = msg {
+                    delivered += rx.on_data(seq, payload).len();
+                }
+            }
+            if let marea_protocol::Message::RelAck { cumulative, sack, .. } = rx.make_ack() {
+                tx.on_ack(cumulative, sack);
+            }
+            assert_eq!(delivered, 64);
+            tx.inflight_len()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_c3_scenarios, bench_arq_micro
+}
+criterion_main!(benches);

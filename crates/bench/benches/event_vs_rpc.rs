@@ -1,0 +1,51 @@
+//! C1 + F2: wall-clock cost of running the event-vs-RPC latency scenarios
+//! (the virtual-time *results* are printed by the `experiments` binary;
+//! these benches measure how much host CPU the middleware burns to
+//! simulate them — i.e. the implementation's processing cost per
+//! delivered message).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use marea_bench::{bench_event_latency, bench_local_vs_remote_event, bench_rpc_rtt};
+
+fn bench_c1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c1_event_vs_rpc");
+    for payload in [8usize, 512] {
+        group.throughput(Throughput::Elements(20));
+        group.bench_function(BenchmarkId::new("event_scenario", payload), |b| {
+            b.iter(|| {
+                let r = bench_event_latency(payload, 20, 0.0, 1);
+                assert_eq!(r.count, 20);
+                r
+            })
+        });
+        group.bench_function(BenchmarkId::new("rpc_scenario", payload), |b| {
+            b.iter(|| {
+                let r = bench_rpc_rtt(payload, 20, 0.0, 1);
+                assert_eq!(r.count, 20);
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_f2(c: &mut Criterion) {
+    c.bench_function("f2_local_vs_remote_scenario", |b| {
+        b.iter(|| bench_local_vs_remote_event(20, 2))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_c1, bench_f2
+}
+criterion_main!(benches);

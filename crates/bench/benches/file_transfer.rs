@@ -1,0 +1,95 @@
+//! C4 + C7: file distribution scenarios and the protocol-level MFTP state
+//! machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytes::Bytes;
+use marea_bench::{bench_file_bypass, bench_file_multicast};
+use marea_presentation::Name;
+use marea_protocol::mftp::{FileReceiver, FileSender, RevisionPolicy};
+use marea_protocol::{GroupId, Message, NodeId, TransferId};
+
+fn bench_c4_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c4_file_multicast");
+    for (size, subs) in [(64 * 1024usize, 4u32), (256 * 1024, 8)] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(BenchmarkId::new("distribute", format!("{}KiB_x{subs}", size / 1024)), |b| {
+            b.iter(|| {
+                let r = bench_file_multicast(size, subs, 0.0, 5);
+                assert_eq!(r.completed, subs);
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_c7_bypass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c7_bypass");
+    {
+        let size = 1024 * 1024usize;
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(BenchmarkId::new("same_node", size / 1024), |b| {
+            b.iter(|| {
+                let (deliveries, _) = bench_file_bypass(size, 6);
+                assert_eq!(deliveries, 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mftp_micro(c: &mut Criterion) {
+    // Protocol-level chunk pump: sender → receiver, lossless, no containers.
+    let mut group = c.benchmark_group("c4_mftp_machine");
+    {
+        let size = 256 * 1024usize;
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(BenchmarkId::new("pump", size / 1024), |b| {
+            let data: Vec<u8> = (0..size).map(|i| (i % 249) as u8).collect();
+            b.iter(|| {
+                let mut tx = FileSender::new(
+                    TransferId(1),
+                    Name::new("bench").unwrap(),
+                    1,
+                    Bytes::from(data.clone()),
+                    1024,
+                    GroupId(1),
+                )
+                .unwrap();
+                tx.on_subscribe(NodeId(2));
+                let (mut rx, _) =
+                    FileReceiver::from_announce(&tx.announce(), NodeId(2), RevisionPolicy::Restart)
+                        .unwrap();
+                loop {
+                    let chunks = tx.next_chunks(64);
+                    if chunks.is_empty() {
+                        break;
+                    }
+                    for m in chunks {
+                        if let Message::FileChunk { revision, index, payload, .. } = m {
+                            rx.on_chunk(revision, index, &payload);
+                        }
+                    }
+                }
+                assert!(rx.is_complete());
+                rx.into_data().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_c4_scenarios, bench_c7_bypass, bench_mftp_micro
+}
+criterion_main!(benches);

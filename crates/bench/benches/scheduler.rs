@@ -1,0 +1,102 @@
+//! C5 + F1: scheduler policies under load, raw queue operations, and
+//! fleet discovery scenarios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use marea_bench::{bench_discovery, bench_scheduler_latency};
+use marea_core::{
+    FifoScheduler, Priority, PriorityScheduler, Scheduler, SchedulerKind, Task, TaskPayload,
+    TimerId,
+};
+
+fn bench_c5_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_scheduler_policy");
+    for bg in [50u32, 150] {
+        group.bench_function(BenchmarkId::new("priority", bg), |b| {
+            b.iter(|| {
+                let r = bench_scheduler_latency(SchedulerKind::Priority, bg, 10, 7);
+                assert!(r.count > 0);
+                r
+            })
+        });
+        group.bench_function(BenchmarkId::new("fifo", bg), |b| {
+            b.iter(|| {
+                let r = bench_scheduler_latency(SchedulerKind::Fifo, bg, 10, 7);
+                assert!(r.count > 0);
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_micro(c: &mut Criterion) {
+    let mk_task = |i: u64| Task {
+        priority: match i % 4 {
+            0 => Priority::EVENT,
+            1 => Priority::CALL,
+            2 => Priority::VARIABLE,
+            _ => Priority::FILE,
+        },
+        enqueued_seq: i,
+        service_seq: 1,
+        payload: TaskPayload::Timer { id: TimerId(i) },
+    };
+    let mut group = c.benchmark_group("c5_queue_ops");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("priority_push_pop_1000", |b| {
+        b.iter(|| {
+            let mut s = PriorityScheduler::new();
+            for i in 0..1000 {
+                s.push(mk_task(i));
+            }
+            let mut n = 0;
+            while s.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 1000);
+        })
+    });
+    group.bench_function("fifo_push_pop_1000", |b| {
+        b.iter(|| {
+            let mut s = FifoScheduler::new();
+            for i in 0..1000 {
+                s.push(mk_task(i));
+            }
+            let mut n = 0;
+            while s.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 1000);
+        })
+    });
+    group.finish();
+}
+
+fn bench_f1_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_discovery");
+    for nodes in [4u32, 8] {
+        group.bench_function(BenchmarkId::new("full_mesh", nodes), |b| {
+            b.iter(|| {
+                let ms = bench_discovery(nodes, 8);
+                assert!(ms < 1_000);
+                ms
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_c5_scenarios, bench_queue_micro, bench_f1_discovery
+}
+criterion_main!(benches);

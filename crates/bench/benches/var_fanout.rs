@@ -1,0 +1,41 @@
+//! C2: variable fan-out scenarios — multicast vs unicast distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use marea_bench::bench_var_fanout;
+
+fn bench_c2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c2_var_fanout");
+    for subs in [2u32, 8] {
+        group.throughput(Throughput::Elements(50));
+        group.bench_function(BenchmarkId::new("multicast", subs), |b| {
+            b.iter(|| {
+                let r = bench_var_fanout(subs, 50, true, 3);
+                assert!(r.delivered_samples > 0);
+                r
+            })
+        });
+        group.bench_function(BenchmarkId::new("unicast", subs), |b| {
+            b.iter(|| {
+                let r = bench_var_fanout(subs, 50, false, 3);
+                assert!(r.delivered_samples > 0);
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_c2
+}
+criterion_main!(benches);

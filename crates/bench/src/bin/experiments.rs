@@ -1,0 +1,236 @@
+//! Regenerates every figure/claim table recorded in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p marea-bench --release --bin experiments [-- <id>...]`
+//! where `<id>` is one of `f1 f2 f3 f4 c1 c2 c3 c4 c5 c6 c7 c9` or `all`
+//! (default). All numbers are virtual-time/deterministic: identical on
+//! every machine.
+
+use marea_bench::*;
+use marea_core::SchedulerKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |id: &str| all || args.iter().any(|a| a == id);
+
+    if want("f1") {
+        f1_discovery();
+    }
+    if want("f2") {
+        f2_local_vs_remote();
+    }
+    if want("c1") {
+        c1_event_vs_rpc();
+    }
+    if want("c2") {
+        c2_fanout();
+    }
+    if want("c3") {
+        c3_arq_vs_tcp();
+    }
+    if want("c4") {
+        c4_file_distribution();
+    }
+    if want("c5") {
+        c5_scheduler();
+    }
+    if want("c6") {
+        c6_failover();
+    }
+    if want("c7") {
+        c7_bypass();
+    }
+}
+
+fn banner(id: &str, title: &str, anchor: &str) {
+    println!("\n== {id}: {title}");
+    println!("   paper anchor: {anchor}");
+}
+
+fn f1_discovery() {
+    banner("F1", "fleet discovery time", "Fig. 1 — services distributed over nodes");
+    println!("   {:<8} {:>18}", "nodes", "full-mesh (ms)");
+    for n in [2u32, 4, 8, 16] {
+        let ms = bench_discovery(n, 100 + u64::from(n));
+        println!("   {n:<8} {ms:>18}");
+    }
+}
+
+fn f2_local_vs_remote() {
+    banner(
+        "F2",
+        "in-container vs networked delivery",
+        "Fig. 2 — the container communicates services locally or across the LAN",
+    );
+    let (local, remote) = bench_local_vs_remote_event(100, 200);
+    println!("   {:<22} {:>12} {:>12}", "path", "mean (µs)", "max (µs)");
+    println!("   {:<22} {:>12.0} {:>12}", "same container", local.mean_us, local.max_us);
+    println!("   {:<22} {:>12.0} {:>12}", "across the LAN", remote.mean_us, remote.max_us);
+    if local.mean_us < 1.0 {
+        println!("   → local delivery completes within the same tick (no frames, no links)");
+    } else {
+        println!(
+            "   → local bypass is {:.1}x faster (no frames, no links)",
+            remote.mean_us / local.mean_us
+        );
+    }
+}
+
+fn c1_event_vs_rpc() {
+    banner(
+        "C1",
+        "event one-way latency vs remote-invocation round trip",
+        "§4.3 — \"events seem faster than their function equivalent\"",
+    );
+    println!(
+        "   {:<10} {:>16} {:>16} {:>10}",
+        "payload", "event mean (µs)", "rpc mean (µs)", "rpc/event"
+    );
+    for payload in [8usize, 64, 512] {
+        let ev = bench_event_latency(payload, 100, 0.0, 300);
+        let rpc = bench_rpc_rtt(payload, 100, 0.0, 300);
+        println!(
+            "   {:<10} {:>16.0} {:>16.0} {:>9.1}x",
+            payload,
+            ev.mean_us,
+            rpc.mean_us,
+            rpc.mean_us / ev.mean_us.max(1.0)
+        );
+    }
+}
+
+fn c2_fanout() {
+    banner(
+        "C2",
+        "variable distribution wire cost vs subscriber count",
+        "§4.1 — multicast \"allows optimizing the bandwidth use\"",
+    );
+    println!(
+        "   {:<6} {:>18} {:>18} {:>18} {:>10}",
+        "subs", "multicast dgrams", "unicast dgrams", "unicast bytes", "ratio"
+    );
+    for subs in [1u32, 2, 4, 8, 16, 32] {
+        let m = bench_var_fanout(subs, 100, true, 400);
+        let u = bench_var_fanout(subs, 100, false, 400);
+        println!(
+            "   {:<6} {:>18} {:>18} {:>18} {:>9.1}x",
+            subs,
+            m.publisher_datagrams,
+            u.publisher_datagrams,
+            u.publisher_bytes,
+            u.publisher_datagrams as f64 / m.publisher_datagrams.max(1) as f64
+        );
+    }
+}
+
+fn c3_arq_vs_tcp() {
+    banner(
+        "C3",
+        "sporadic event delivery: middleware ARQ vs generic TCP",
+        "§4.2 — app-layer retransmission \"more efficient ... than the generic case provided by the TCP stack\"",
+    );
+    println!(
+        "   {:<8} {:>14} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "loss", "arq mean µs", "tcp mean µs", "arq max µs", "tcp max µs", "arq bytes", "tcp bytes"
+    );
+    for loss in [0.0, 0.001, 0.01, 0.05, 0.10] {
+        let arq = bench_arq_under_loss(loss, 100, 64, 20_000, 500);
+        let tcp = bench_tcp_under_loss(loss, 100, 64, 20_000, 500);
+        println!(
+            "   {:<8} {:>14.0} {:>14.0} {:>14} {:>14} {:>12} {:>12}",
+            format!("{:.1}%", loss * 100.0),
+            arq.latency.mean_us,
+            tcp.latency.mean_us,
+            arq.latency.max_us,
+            tcp.latency.max_us,
+            arq.wire_bytes,
+            tcp.wire_bytes,
+        );
+    }
+}
+
+fn c4_file_distribution() {
+    banner(
+        "C4",
+        "file distribution: multicast MFTP vs unicast-equivalent",
+        "§4.4 — \"huge performance benefits\" of the dedicated primitive",
+    );
+    println!(
+        "   {:<10} {:<6} {:<6} {:>16} {:>16} {:>10} {:>14}",
+        "size", "subs", "loss", "mcast bytes", "ucast bytes", "saving", "mcast ms"
+    );
+    for (size, subs, loss) in [
+        (64 * 1024, 4u32, 0.0),
+        (64 * 1024, 16, 0.0),
+        (1024 * 1024, 4, 0.0),
+        (1024 * 1024, 16, 0.0),
+        (1024 * 1024, 8, 0.02),
+        (4 * 1024 * 1024, 8, 0.0),
+    ] {
+        let m = bench_file_multicast(size, subs, loss, 600);
+        let u = bench_file_unicast_equivalent(size, subs, loss, 600);
+        println!(
+            "   {:<10} {:<6} {:<6} {:>16} {:>16} {:>9.1}x {:>14}",
+            format!("{}KiB", size / 1024),
+            subs,
+            format!("{:.0}%", loss * 100.0),
+            m.publisher_bytes,
+            u.publisher_bytes,
+            u.publisher_bytes as f64 / m.publisher_bytes.max(1) as f64,
+            m.completion_ms,
+        );
+    }
+}
+
+fn c5_scheduler() {
+    banner(
+        "C5",
+        "event handler latency under load: priority vs FIFO scheduler",
+        "§6 — \"a simple thread pool with fixed priorities for each named primitive\"",
+    );
+    println!(
+        "   {:<22} {:>14} {:>14} {:>14} {:>14}",
+        "background load", "prio mean µs", "fifo mean µs", "prio max µs", "fifo max µs"
+    );
+    for bg in [0u32, 50, 150, 400] {
+        let p = bench_scheduler_latency(SchedulerKind::Priority, bg, 50, 700);
+        let f = bench_scheduler_latency(SchedulerKind::Fifo, bg, 50, 700);
+        println!(
+            "   {:<22} {:>14.0} {:>14.0} {:>14} {:>14}",
+            format!("{bg} samples/tick"),
+            p.mean_us,
+            f.mean_us,
+            p.max_us,
+            f.max_us
+        );
+    }
+}
+
+fn c6_failover() {
+    banner(
+        "C6",
+        "provider failover",
+        "§4.3 — \"redirect requests to the redundant service ... continue its mission\"",
+    );
+    println!(
+        "   {:<8} {:>16} {:>14} {:>12}",
+        "seed", "blackout (ms)", "app errors", "failovers"
+    );
+    for seed in [800u64, 801, 802] {
+        let r = bench_failover(seed);
+        println!("   {:<8} {:>16} {:>14} {:>12}", seed, r.blackout_ms, r.errors, r.failovers);
+    }
+}
+
+fn c7_bypass() {
+    banner(
+        "C7",
+        "same-node file bypass",
+        "§4.4 — \"the transfer is bypassed by the container as direct access to the resource\"",
+    );
+    println!("   {:<10} {:>20} {:>22}", "size", "bypass deliveries", "wire bytes (control)");
+    for size in [64 * 1024usize, 1024 * 1024, 8 * 1024 * 1024] {
+        let (deliveries, wire) = bench_file_bypass(size, 900);
+        println!("   {:<10} {:>20} {:>22}", format!("{}KiB", size / 1024), deliveries, wire);
+    }
+}

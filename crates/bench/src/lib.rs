@@ -1,0 +1,872 @@
+//! # marea-bench — scenario library for every experiment
+//!
+//! Each function here reproduces one figure or measurable claim of the
+//! paper (see DESIGN.md §4 for the full index) on the deterministic
+//! simulated LAN and returns the quantities the paper argues about:
+//! virtual-time latencies, wire bytes, datagram counts, repair rounds.
+//!
+//! Two consumers use this library:
+//!
+//! * the `experiments` binary prints paper-style tables (deterministic,
+//!   seed-driven — these are the numbers EXPERIMENTS.md records);
+//! * the Criterion benches in `benches/` measure the *wall-clock* cost of
+//!   the same scenarios (how expensive the middleware implementation is on
+//!   the host CPU).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+
+use marea_core::{
+    CallError, CallHandle, ContainerConfig, FileEvent, Micros, NodeId, ProtoDuration,
+    SchedulerKind, Service, ServiceContext, ServiceDescriptor, SimHarness, TimerId,
+    VarDistribution,
+};
+use marea_netsim::{Destination, LinkConfig, NetConfig, SimNet};
+use marea_netsim::tcpish::{TcpishConfig, TcpishEndpoint};
+use marea_presentation::{DataType, Name, Value};
+use marea_protocol::arq::{ArqConfig, ArqReceiver, ArqSender};
+use marea_protocol::Message;
+
+/// Latency distribution summary (virtual time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyResult {
+    /// Samples measured.
+    pub count: u64,
+    /// Mean latency in µs.
+    pub mean_us: f64,
+    /// Maximum latency in µs.
+    pub max_us: u64,
+}
+
+impl LatencyResult {
+    fn from_samples(samples: &[u64]) -> LatencyResult {
+        let count = samples.len() as u64;
+        let mean_us = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<u64>() as f64 / samples.len() as f64
+        };
+        LatencyResult { count, mean_us, max_us: samples.iter().copied().max().unwrap_or(0) }
+    }
+}
+
+fn lossy_net(seed: u64, loss: f64) -> NetConfig {
+    NetConfig::default().with_seed(seed).with_default_link(LinkConfig::default().with_loss(loss))
+}
+
+fn payload_of(bytes: usize) -> Value {
+    Value::Bytes(vec![0xA5; bytes])
+}
+
+// ---------------------------------------------------------------------------
+// C1: event latency vs remote-invocation round trip
+// ---------------------------------------------------------------------------
+
+struct EventBlaster {
+    payload: usize,
+    remaining: u32,
+}
+
+impl Service for EventBlaster {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("blaster").event("bench/ev", Some(DataType::Bytes)).build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(ProtoDuration::from_millis(2), Some(ProtoDuration::from_millis(2)));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.emit("bench/ev", Some(payload_of(self.payload)));
+        }
+    }
+}
+
+struct EventSink;
+
+impl Service for EventSink {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("sink").subscribe_event("bench/ev").build()
+    }
+}
+
+/// C1a: one-way event latency, publisher on node 1 → subscriber on node 2.
+pub fn bench_event_latency(payload_bytes: usize, n: u32, loss: f64, seed: u64) -> LatencyResult {
+    let mut h = SimHarness::new(lossy_net(seed, loss));
+    h.set_tick_us(100);
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+    h.add_service(NodeId(1), Box::new(EventBlaster { payload: payload_bytes, remaining: n }));
+    h.add_service(NodeId(2), Box::new(EventSink));
+    h.start_all();
+    let budget_ms = 200 + n as u64 * 4;
+    let mut waited = 0;
+    while waited < budget_ms {
+        h.run_for_millis(10);
+        waited += 10;
+        if h.container(NodeId(2)).unwrap().stats().events_delivered >= u64::from(n) {
+            break;
+        }
+    }
+    let s = h.container(NodeId(2)).unwrap().stats();
+    LatencyResult {
+        count: s.events_delivered,
+        mean_us: s.event_latency_mean_us().unwrap_or(0.0),
+        max_us: s.event_latency_max_us,
+    }
+}
+
+struct RpcCaller {
+    payload: usize,
+    remaining: u32,
+    inflight: Option<(CallHandle, Micros)>,
+    rtts: Arc<Mutex<Vec<u64>>>,
+}
+
+impl Service for RpcCaller {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("caller").requires_function("bench/echo").build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(ProtoDuration::from_millis(2), Some(ProtoDuration::from_millis(2)));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        if self.inflight.is_none() && self.remaining > 0 {
+            self.remaining -= 1;
+            let h = ctx.call("bench/echo", vec![payload_of(self.payload)]);
+            self.inflight = Some((h, ctx.now()));
+        }
+    }
+    fn on_reply(&mut self, ctx: &mut ServiceContext<'_>, handle: CallHandle, result: Result<Value, CallError>) {
+        if let Some((h, sent)) = self.inflight.take() {
+            if h == handle && result.is_ok() {
+                self.rtts.lock().unwrap().push(ctx.now().saturating_since(sent).as_micros());
+            }
+        }
+    }
+}
+
+struct Echo;
+
+impl Service for Echo {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("echo")
+            .function("bench/echo", vec![DataType::Bytes], Some(DataType::Bytes))
+            .build()
+    }
+    fn on_call(&mut self, _ctx: &mut ServiceContext<'_>, _f: &Name, args: &[Value]) -> Result<Value, String> {
+        Ok(args[0].clone())
+    }
+}
+
+/// C1b: remote-invocation round trip for the equivalent payload.
+pub fn bench_rpc_rtt(payload_bytes: usize, n: u32, loss: f64, seed: u64) -> LatencyResult {
+    let mut h = SimHarness::new(lossy_net(seed, loss));
+    h.set_tick_us(100);
+    h.add_container(ContainerConfig::new("caller", NodeId(1)));
+    h.add_container(ContainerConfig::new("server", NodeId(2)));
+    let rtts = Arc::new(Mutex::new(Vec::new()));
+    h.add_service(
+        NodeId(1),
+        Box::new(RpcCaller { payload: payload_bytes, remaining: n, inflight: None, rtts: rtts.clone() }),
+    );
+    h.add_service(NodeId(2), Box::new(Echo));
+    h.start_all();
+    let budget_ms = 500 + n as u64 * 8;
+    let mut waited = 0;
+    while waited < budget_ms {
+        h.run_for_millis(10);
+        waited += 10;
+        if rtts.lock().unwrap().len() >= n as usize {
+            break;
+        }
+    }
+    let samples = rtts.lock().unwrap().clone();
+    LatencyResult::from_samples(&samples)
+}
+
+// ---------------------------------------------------------------------------
+// C2: multicast vs unicast variable fan-out
+// ---------------------------------------------------------------------------
+
+/// Wire cost of distributing one variable stream to `n` subscribers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FanoutResult {
+    /// Datagrams the publisher's node emitted.
+    pub publisher_datagrams: u64,
+    /// Bytes the publisher's node emitted.
+    pub publisher_bytes: u64,
+    /// Samples delivered summed over all subscribers.
+    pub delivered_samples: u64,
+}
+
+struct VarBlaster {
+    remaining: u32,
+}
+
+impl Service for VarBlaster {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("varpub")
+            .variable(
+                "bench/var",
+                DataType::Bytes,
+                ProtoDuration::from_millis(5),
+                ProtoDuration::from_millis(50),
+            )
+            .build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(ProtoDuration::from_millis(5), Some(ProtoDuration::from_millis(5)));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.publish("bench/var", payload_of(32));
+        }
+    }
+}
+
+struct VarSink;
+
+impl Service for VarSink {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("varsink").subscribe_variable("bench/var", false).build()
+    }
+}
+
+/// C2: publishes `samples` samples to `subscribers` nodes in either
+/// distribution mode and reports the publisher's wire cost.
+pub fn bench_var_fanout(
+    subscribers: u32,
+    samples: u32,
+    multicast: bool,
+    seed: u64,
+) -> FanoutResult {
+    let mut h = SimHarness::new(NetConfig::default().with_seed(seed));
+    let mut cfg = ContainerConfig::new("pub", NodeId(1));
+    cfg.var_distribution =
+        if multicast { VarDistribution::Multicast } else { VarDistribution::UnicastFanout };
+    // Keep control-plane chatter fixed and small relative to data.
+    cfg.heartbeat_period = ProtoDuration::from_secs(10);
+    cfg.announce_period = ProtoDuration::from_secs(10);
+    h.add_container(cfg);
+    h.add_service(NodeId(1), Box::new(VarBlaster { remaining: samples }));
+    for i in 0..subscribers {
+        let node = NodeId(10 + i);
+        let mut cfg = ContainerConfig::new("sub", node);
+        cfg.heartbeat_period = ProtoDuration::from_secs(10);
+        cfg.announce_period = ProtoDuration::from_secs(10);
+        cfg.node_timeout = ProtoDuration::from_secs(60);
+        h.add_container(cfg);
+        h.add_service(node, Box::new(VarSink));
+    }
+    // Publishers must not expire subscribers during the long quiet phases.
+    h.container_mut(NodeId(1)).unwrap();
+    h.start_all();
+    // Settle discovery, then reset counters so only steady-state data
+    // traffic is measured.
+    h.run_for_millis(200);
+    h.network().reset_stats();
+    h.run_for_millis(u64::from(samples) * 5 + 200);
+    let net = h.network().stats();
+    let delivered: u64 = (0..subscribers)
+        .map(|i| h.container(NodeId(10 + i)).unwrap().stats().var_samples_delivered)
+        .sum();
+    FanoutResult {
+        publisher_datagrams: net.node(1).sent,
+        publisher_bytes: net.node(1).sent_bytes,
+        delivered_samples: delivered,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C3: middleware ARQ vs simulated TCP under loss (protocol level)
+// ---------------------------------------------------------------------------
+
+/// One side of the C3 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliableRunCost {
+    /// Per-message delivery latency (virtual time, production → in-order
+    /// delivery at the receiver).
+    pub latency: LatencyResult,
+    /// Virtual µs from first send to last in-order delivery.
+    pub completion_us: u64,
+    /// Wire bytes sent (both directions, including acks/handshake).
+    pub wire_bytes: u64,
+    /// Datagrams sent.
+    pub datagrams: u64,
+    /// Retransmissions performed.
+    pub retransmissions: u64,
+}
+
+/// C3a: `n` event-sized messages, one every `interval_us`, over the
+/// middleware's ARQ channel. Events are *sporadic* (the paper's use case:
+/// "punctual and important facts"), so per-message latency is the metric.
+pub fn bench_arq_under_loss(loss: f64, n: u32, msg_len: usize, interval_us: u64, seed: u64) -> ReliableRunCost {
+    let net = SimNet::new(lossy_net(seed, loss));
+    let a = net.socket(1);
+    let b = net.socket(2);
+    let mut tx = ArqSender::new(0, ArqConfig::default());
+    let mut rx = ArqReceiver::new(0, 256);
+    let mut send_times: Vec<u64> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut sent = 0u32;
+    let mut delivered = 0u32;
+    let mut retx = 0u64;
+    let mut now_us = 0u64;
+    while delivered < n && now_us < 600_000_000 {
+        // Produce the next sporadic event when due.
+        if sent < n && now_us >= u64::from(sent) * interval_us && tx.can_send() {
+            let mut v = vec![0u8; msg_len];
+            v[0] = sent as u8;
+            send_times.push(now_us);
+            sent += 1;
+            let msg = tx.send(Bytes::from(v), Micros(now_us)).unwrap();
+            let _ = a.send(Destination::Unicast(2), msg.encode_tagged());
+        }
+        let (retransmits, _failed) = tx.poll(Micros(now_us));
+        retx += retransmits.len() as u64;
+        for m in retransmits {
+            let _ = a.send(Destination::Unicast(2), m.encode_tagged());
+        }
+        net.advance_to(now_us);
+        let mut got_any = false;
+        while let Some((_, frame)) = b.recv() {
+            if let Ok(Message::RelData { seq, payload, .. }) = Message::decode_tagged(&frame) {
+                for _ in rx.on_data(seq, payload) {
+                    latencies.push(now_us - send_times[delivered as usize]);
+                    delivered += 1;
+                }
+                got_any = true;
+            }
+        }
+        if got_any {
+            let _ = b.send(Destination::Unicast(1), rx.make_ack().encode_tagged());
+        }
+        while let Some((_, frame)) = a.recv() {
+            if let Ok(Message::RelAck { cumulative, sack, .. }) = Message::decode_tagged(&frame) {
+                tx.on_ack(cumulative, sack);
+            }
+        }
+        now_us += 1_000;
+    }
+    let s = net.stats();
+    ReliableRunCost {
+        latency: LatencyResult::from_samples(&latencies),
+        completion_us: now_us,
+        wire_bytes: s.bytes_sent,
+        datagrams: s.datagrams_sent,
+        retransmissions: retx,
+    }
+}
+
+/// C3b: the same sporadic workload over the simulated generic TCP stack.
+pub fn bench_tcp_under_loss(loss: f64, n: u32, msg_len: usize, interval_us: u64, seed: u64) -> ReliableRunCost {
+    let net = SimNet::new(lossy_net(seed, loss));
+    let a = net.socket(1);
+    let b = net.socket(2);
+    let mut client = TcpishEndpoint::client(TcpishConfig::default());
+    let mut server = TcpishEndpoint::server(TcpishConfig::default());
+    let syn = client.connect(0);
+    let _ = a.send(Destination::Unicast(2), Bytes::from(syn));
+    let mut send_times: Vec<u64> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut sent = 0u32;
+    let mut delivered = 0u32;
+    let mut now_us = 0u64;
+    while delivered < n && now_us < 600_000_000 {
+        if sent < n && now_us >= u64::from(sent) * interval_us {
+            let mut v = vec![0u8; msg_len];
+            v[0] = sent as u8;
+            send_times.push(now_us);
+            sent += 1;
+            client.send_message(&v);
+        }
+        for seg in client.poll(now_us) {
+            let _ = a.send(Destination::Unicast(2), Bytes::from(seg));
+        }
+        for seg in server.poll(now_us) {
+            let _ = b.send(Destination::Unicast(1), Bytes::from(seg));
+        }
+        net.advance_to(now_us);
+        while let Some((_, seg)) = b.recv() {
+            let (outs, msgs) = server.on_segment(&seg, now_us);
+            for _ in msgs {
+                latencies.push(now_us - send_times[delivered as usize]);
+                delivered += 1;
+            }
+            for o in outs {
+                let _ = b.send(Destination::Unicast(1), Bytes::from(o));
+            }
+        }
+        while let Some((_, seg)) = a.recv() {
+            let (outs, _msgs) = client.on_segment(&seg, now_us);
+            for o in outs {
+                let _ = a.send(Destination::Unicast(2), Bytes::from(o));
+            }
+        }
+        now_us += 1_000;
+    }
+    let s = net.stats();
+    ReliableRunCost {
+        latency: LatencyResult::from_samples(&latencies),
+        completion_us: now_us,
+        wire_bytes: s.bytes_sent,
+        datagrams: s.datagrams_sent,
+        retransmissions: client.stats().retransmissions,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C4: file distribution — multicast MFTP vs per-subscriber unicast
+// ---------------------------------------------------------------------------
+
+/// Outcome of one file-distribution run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileRunResult {
+    /// Virtual milliseconds until every subscriber completed.
+    pub completion_ms: u64,
+    /// Bytes sent by the publisher node.
+    pub publisher_bytes: u64,
+    /// Datagrams sent by the publisher node.
+    pub publisher_datagrams: u64,
+    /// Subscribers that completed.
+    pub completed: u32,
+}
+
+struct FilePublisher {
+    data: Bytes,
+}
+
+impl Service for FilePublisher {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("fp").file_resource("bench/file").build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.publish_file("bench/file", self.data.clone());
+    }
+}
+
+struct FileSink {
+    done: Arc<Mutex<Vec<(u32, Micros)>>>,
+}
+
+impl Service for FileSink {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("fsink").subscribe_file("bench/file").build()
+    }
+    fn on_file_event(&mut self, ctx: &mut ServiceContext<'_>, ev: &FileEvent) {
+        if let FileEvent::Received { .. } = ev {
+            self.done.lock().unwrap().push((ctx.local_node().0, ctx.now()));
+        }
+    }
+}
+
+/// C4: distributes `size` bytes to `subscribers` nodes via the MFTP-style
+/// multicast transfer.
+pub fn bench_file_multicast(size: usize, subscribers: u32, loss: f64, seed: u64) -> FileRunResult {
+    let mut h = SimHarness::new(lossy_net(seed, loss));
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    let data: Vec<u8> = (0..size).map(|i| (i % 250) as u8).collect();
+    h.add_service(NodeId(1), Box::new(FilePublisher { data: Bytes::from(data) }));
+    let done = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..subscribers {
+        let node = NodeId(10 + i);
+        h.add_container(ContainerConfig::new("sub", node));
+        h.add_service(node, Box::new(FileSink { done: done.clone() }));
+    }
+    h.start_all();
+    let budget = 60_000u64;
+    let mut waited = 0;
+    while waited < budget {
+        h.run_for_millis(20);
+        waited += 20;
+        if done.lock().unwrap().len() as u32 >= subscribers {
+            break;
+        }
+    }
+    let completions = done.lock().unwrap();
+    let net = h.network().stats();
+    FileRunResult {
+        completion_ms: completions.iter().map(|(_, t)| t.as_millis()).max().unwrap_or(budget),
+        publisher_bytes: net.node(1).sent_bytes,
+        publisher_datagrams: net.node(1).sent,
+        completed: completions.len() as u32,
+    }
+}
+
+/// C4 baseline: the same payload moved to each subscriber by a dedicated
+/// transfer (what unicast fan-out costs). Implemented as `subscribers`
+/// sequential single-subscriber runs; costs add.
+pub fn bench_file_unicast_equivalent(
+    size: usize,
+    subscribers: u32,
+    loss: f64,
+    seed: u64,
+) -> FileRunResult {
+    let mut total = FileRunResult {
+        completion_ms: 0,
+        publisher_bytes: 0,
+        publisher_datagrams: 0,
+        completed: 0,
+    };
+    for i in 0..subscribers {
+        let r = bench_file_multicast(size, 1, loss, seed.wrapping_add(u64::from(i)));
+        total.completion_ms = total.completion_ms.max(r.completion_ms);
+        total.publisher_bytes += r.publisher_bytes;
+        total.publisher_datagrams += r.publisher_datagrams;
+        total.completed += r.completed;
+    }
+    total
+}
+
+/// C4c: the same-node bypass versus a loopback network transfer.
+///
+/// Returns `(bypass_deliveries, wire_bytes)` — the bypass moves zero wire
+/// bytes for the file itself.
+pub fn bench_file_bypass(size: usize, seed: u64) -> (u64, u64) {
+    let mut h = SimHarness::new(NetConfig::default().with_seed(seed));
+    h.add_container(ContainerConfig::new("solo", NodeId(1)));
+    let data: Vec<u8> = vec![7u8; size];
+    h.add_service(NodeId(1), Box::new(FilePublisher { data: Bytes::from(data) }));
+    let done = Arc::new(Mutex::new(Vec::new()));
+    h.add_service(NodeId(1), Box::new(FileSink { done }));
+    h.start_all();
+    h.run_for_millis(500);
+    let stats = h.container(NodeId(1)).unwrap().stats();
+    (stats.file_bypass_deliveries, h.network().stats().bytes_sent)
+}
+
+// ---------------------------------------------------------------------------
+// C5: scheduler priority vs FIFO under handler load
+// ---------------------------------------------------------------------------
+
+struct LoadedPublisher {
+    bg_per_tick: u32,
+    remaining_events: u32,
+}
+
+impl Service for LoadedPublisher {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("loaded")
+            .variable("bench/bg", DataType::U32, ProtoDuration::ZERO, ProtoDuration::from_secs(1))
+            .event("bench/prio", Some(DataType::U64))
+            .build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(ProtoDuration::from_millis(5), Some(ProtoDuration::from_millis(5)));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        // A storm of low-priority variable work …
+        for i in 0..self.bg_per_tick {
+            ctx.publish("bench/bg", i);
+        }
+        // … and one latency-critical event.
+        if self.remaining_events > 0 {
+            self.remaining_events -= 1;
+            ctx.emit("bench/prio", Some(Value::U64(ctx.now().as_micros())));
+        }
+    }
+}
+
+struct LoadedSink;
+
+impl Service for LoadedSink {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("loadsink")
+            .subscribe_variable("bench/bg", false)
+            .subscribe_event("bench/prio")
+            .build()
+    }
+}
+
+/// C5: event delivery latency under background handler load, for a given
+/// scheduler policy. The consumer container's budget is deliberately small
+/// so queued work spans ticks and ordering matters.
+pub fn bench_scheduler_latency(
+    kind: SchedulerKind,
+    bg_per_tick: u32,
+    n_events: u32,
+    seed: u64,
+) -> LatencyResult {
+    let mut h = SimHarness::new(NetConfig::default().with_seed(seed));
+    h.set_tick_us(500);
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    let mut cfg = ContainerConfig::new("sub", NodeId(2));
+    cfg.scheduler = kind;
+    cfg.tick_budget = 64;
+    h.add_container(cfg);
+    h.add_service(
+        NodeId(1),
+        Box::new(LoadedPublisher { bg_per_tick, remaining_events: n_events }),
+    );
+    h.add_service(NodeId(2), Box::new(LoadedSink));
+    h.start_all();
+    h.run_for_millis(u64::from(n_events) * 5 + 500);
+    let s = h.container(NodeId(2)).unwrap().stats();
+    LatencyResult {
+        count: s.events_delivered,
+        mean_us: s.event_latency_mean_us().unwrap_or(0.0),
+        max_us: s.event_latency_max_us,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C6: failover timing
+// ---------------------------------------------------------------------------
+
+/// Outcome of the failover scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverResult {
+    /// Virtual ms between the crash and the first reply served by the
+    /// backup provider.
+    pub blackout_ms: u64,
+    /// Calls that surfaced an error to the application.
+    pub errors: u32,
+    /// Transparent failovers the middleware performed.
+    pub failovers: u64,
+}
+
+type FailoverOutcomes = Arc<Mutex<Vec<(u64, Result<u32, String>)>>>;
+
+struct FailoverCaller {
+    outcomes: FailoverOutcomes,
+}
+
+impl Service for FailoverCaller {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("focaller").requires_function("bench/who").build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(ProtoDuration::from_millis(50), Some(ProtoDuration::from_millis(50)));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        ctx.call_with_policy(
+            "bench/who",
+            vec![],
+            marea_core::CallPolicy::PreferNode(NodeId(2)),
+        );
+    }
+    fn on_reply(&mut self, ctx: &mut ServiceContext<'_>, _h: CallHandle, result: Result<Value, CallError>) {
+        self.outcomes.lock().unwrap().push((
+            ctx.now().as_millis(),
+            result.map(|v| v.as_u64().unwrap_or(0) as u32).map_err(|e| e.to_string()),
+        ));
+    }
+}
+
+struct WhoAmI {
+    node: u32,
+}
+
+impl Service for WhoAmI {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("who")
+            .function("bench/who", vec![], Some(DataType::U32))
+            .build()
+    }
+    fn on_call(&mut self, _ctx: &mut ServiceContext<'_>, _f: &Name, _a: &[Value]) -> Result<Value, String> {
+        Ok(Value::U32(self.node))
+    }
+}
+
+/// C6: crashes the pinned provider mid-run and measures recovery.
+pub fn bench_failover(seed: u64) -> FailoverResult {
+    let mut h = SimHarness::new(NetConfig::default().with_seed(seed));
+    h.add_container(ContainerConfig::new("client", NodeId(1)));
+    h.add_container(ContainerConfig::new("primary", NodeId(2)));
+    h.add_container(ContainerConfig::new("backup", NodeId(3)));
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
+    h.add_service(NodeId(1), Box::new(FailoverCaller { outcomes: outcomes.clone() }));
+    h.add_service(NodeId(2), Box::new(WhoAmI { node: 2 }));
+    h.add_service(NodeId(3), Box::new(WhoAmI { node: 3 }));
+    h.start_all();
+    h.run_for_millis(2_000);
+    let crash_at = h.now().as_millis();
+    h.crash_node(NodeId(2));
+    h.run_for_millis(8_000);
+    let outcomes = outcomes.lock().unwrap();
+    let first_backup = outcomes
+        .iter()
+        .find(|(t, r)| *t > crash_at && *r == Ok(3))
+        .map(|(t, _)| *t)
+        .unwrap_or(u64::MAX);
+    FailoverResult {
+        blackout_ms: first_backup.saturating_sub(crash_at),
+        errors: outcomes.iter().filter(|(_, r)| r.is_err()).count() as u32,
+        failovers: h.container(NodeId(1)).unwrap().stats().call_failovers,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// F2: local vs remote delivery through the container
+// ---------------------------------------------------------------------------
+
+/// Mean one-way event latency when publisher and subscriber share a
+/// container (local path) vs sit on different nodes (network path).
+pub fn bench_local_vs_remote_event(n: u32, seed: u64) -> (LatencyResult, LatencyResult) {
+    // Local: both services in one container.
+    let mut h = SimHarness::new(NetConfig::default().with_seed(seed));
+    h.set_tick_us(100);
+    h.add_container(ContainerConfig::new("solo", NodeId(1)));
+    h.add_service(NodeId(1), Box::new(EventBlaster { payload: 32, remaining: n }));
+    h.add_service(NodeId(1), Box::new(EventSink));
+    h.start_all();
+    h.run_for_millis(u64::from(n) * 4 + 100);
+    let s = h.container(NodeId(1)).unwrap().stats();
+    let local = LatencyResult {
+        count: s.events_delivered,
+        mean_us: s.event_latency_mean_us().unwrap_or(0.0),
+        max_us: s.event_latency_max_us,
+    };
+    let remote = bench_event_latency(32, n, 0.0, seed.wrapping_add(1));
+    (local, remote)
+}
+
+// ---------------------------------------------------------------------------
+// F1: discovery time
+// ---------------------------------------------------------------------------
+
+/// Virtual ms until every container of an `n`-node fleet sees every other
+/// node alive.
+pub fn bench_discovery(n: u32, seed: u64) -> u64 {
+    let mut h = SimHarness::new(NetConfig::default().with_seed(seed));
+    for i in 0..n {
+        h.add_container(ContainerConfig::new("node", NodeId(1 + i)));
+    }
+    h.start_all();
+    for waited in 1..=2_000u64 {
+        h.run_for_millis(1);
+        let full_mesh = (0..n).all(|i| {
+            let c = h.container(NodeId(1 + i)).unwrap();
+            (0..n).all(|j| c.directory().node_alive(NodeId(1 + j)))
+        });
+        if full_mesh {
+            return waited;
+        }
+    }
+    u64::MAX
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_latency_beats_rpc_rtt() {
+        let ev = bench_event_latency(64, 20, 0.0, 1);
+        let rpc = bench_rpc_rtt(64, 20, 0.0, 1);
+        assert_eq!(ev.count, 20);
+        assert_eq!(rpc.count, 20);
+        assert!(
+            ev.mean_us < rpc.mean_us,
+            "C1 shape: event {:.0}µs < rpc {:.0}µs",
+            ev.mean_us,
+            rpc.mean_us
+        );
+    }
+
+    #[test]
+    fn multicast_fanout_is_flat_unicast_grows() {
+        let m1 = bench_var_fanout(1, 50, true, 2);
+        let m8 = bench_var_fanout(8, 50, true, 2);
+        let u8_ = bench_var_fanout(8, 50, false, 2);
+        assert!(m8.delivered_samples >= 8 * 40, "{m8:?}");
+        // Multicast publisher cost stays ~flat with subscriber count …
+        assert!(
+            m8.publisher_datagrams < m1.publisher_datagrams * 2,
+            "multicast flat: {m1:?} vs {m8:?}"
+        );
+        // … while unicast fan-out pays per subscriber.
+        assert!(
+            u8_.publisher_datagrams > m8.publisher_datagrams * 4,
+            "unicast grows: {m8:?} vs {u8_:?}"
+        );
+    }
+
+    #[test]
+    fn arq_beats_tcp_under_loss() {
+        // Sporadic events, one every 20 ms, 5% loss.
+        let arq = bench_arq_under_loss(0.05, 50, 64, 20_000, 3);
+        let tcp = bench_tcp_under_loss(0.05, 50, 64, 20_000, 3);
+        assert_eq!(arq.latency.count, 50);
+        assert_eq!(tcp.latency.count, 50);
+        assert!(
+            arq.latency.mean_us < tcp.latency.mean_us,
+            "C3 shape under 5% loss: arq mean {:.0}µs < tcp mean {:.0}µs",
+            arq.latency.mean_us,
+            tcp.latency.mean_us
+        );
+        assert!(
+            arq.latency.max_us < tcp.latency.max_us,
+            "C3 shape: arq max {}µs < tcp max {}µs (rto + hol)",
+            arq.latency.max_us,
+            tcp.latency.max_us
+        );
+    }
+
+    #[test]
+    fn multicast_file_beats_unicast_equivalent() {
+        let m = bench_file_multicast(64 * 1024, 4, 0.0, 4);
+        let u = bench_file_unicast_equivalent(64 * 1024, 4, 0.0, 4);
+        assert_eq!(m.completed, 4);
+        assert_eq!(u.completed, 4);
+        assert!(
+            m.publisher_bytes * 2 < u.publisher_bytes,
+            "C4 shape: multicast {} B ≪ unicast {} B",
+            m.publisher_bytes,
+            u.publisher_bytes
+        );
+    }
+
+    #[test]
+    fn priority_scheduler_caps_event_latency_under_load() {
+        let prio = bench_scheduler_latency(SchedulerKind::Priority, 150, 20, 5);
+        let fifo = bench_scheduler_latency(SchedulerKind::Fifo, 150, 20, 5);
+        assert!(prio.count > 0 && fifo.count > 0);
+        assert!(
+            prio.max_us * 2 < fifo.max_us,
+            "C5 shape: priority max {}µs ≪ fifo max {}µs",
+            prio.max_us,
+            fifo.max_us
+        );
+    }
+
+    #[test]
+    fn failover_recovers_quickly_without_errors() {
+        let r = bench_failover(6);
+        assert!(r.blackout_ms < 2_000, "{r:?}");
+        assert!(r.failovers >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn local_delivery_is_faster_than_remote() {
+        let (local, remote) = bench_local_vs_remote_event(20, 7);
+        assert!(local.count > 0 && remote.count > 0);
+        assert!(
+            local.mean_us <= remote.mean_us,
+            "F2 shape: local {:.0}µs <= remote {:.0}µs",
+            local.mean_us,
+            remote.mean_us
+        );
+    }
+
+    #[test]
+    fn discovery_converges_fast() {
+        let ms = bench_discovery(6, 8);
+        assert!(ms < 200, "6-node mesh discovered in {ms} ms");
+    }
+
+    #[test]
+    fn bypass_moves_no_wire_bytes() {
+        let (bypass, wire) = bench_file_bypass(1024 * 1024, 9);
+        assert_eq!(bypass, 1);
+        assert!(wire < 20_000, "only control plane: {wire}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Time sources for driving containers.
+//!
+//! The container itself is clock-free (`tick(now)`), so "what time is it"
+//! lives behind [`Clock`] only in the drivers: the simulation harness uses
+//! the network's virtual clock, the real-time driver uses the OS monotonic
+//! clock, and tests can use a manually advanced one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use marea_protocol::Micros;
+
+/// A monotonic microsecond clock.
+pub trait Clock: Send + std::fmt::Debug {
+    /// Current time.
+    fn now(&self) -> Micros;
+}
+
+/// OS monotonic clock, microseconds since construction.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock whose zero is now.
+    pub fn new() -> Self {
+        SystemClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Micros {
+        Micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+/// Manually advanced clock for unit tests.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Moves the clock to `t` (never backwards).
+    pub fn set(&self, t: Micros) {
+        self.now.fetch_max(t.0, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance_us(&self, us: u64) {
+        self.now.fetch_add(us, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Micros {
+        Micros(self.now.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_forward_only() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Micros(0));
+        c.set(Micros(100));
+        c.set(Micros(50));
+        assert_eq!(c.now(), Micros(100));
+        c.advance_us(5);
+        assert_eq!(c.now(), Micros(105));
+    }
+
+    #[test]
+    fn system_clock_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

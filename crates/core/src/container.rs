@@ -1,0 +1,2013 @@
+//! The service container: one per node, the paper's core artifact (§3).
+//!
+//! The container is a deterministic state machine driven by
+//! [`ServiceContainer::tick`]. Within a tick it:
+//!
+//! 1. pumps the transport and interprets every frame (discovery, samples,
+//!    reliable-channel envelopes, file transfer traffic);
+//! 2. runs failure detection (heartbeat timeouts ⇒ purge the name cache,
+//!    re-resolve subscriptions, fail over pending calls);
+//! 3. maintains subscriptions against the directory (name management);
+//! 4. fires timers and variable-loss deadlines;
+//! 5. polls the reliable links (retransmissions) and pumps file transfers;
+//! 6. emits heartbeats/announcements;
+//! 7. executes queued handler invocations through the pluggable scheduler,
+//!    bounded by a per-tick budget, applying the effects services queue.
+//!
+//! Services never see any of this machinery — only their
+//! [`ServiceContext`](crate::ServiceContext).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use bytes::Bytes;
+
+use marea_encoding::{CodecId, CodecRegistry, SelfDescribingCodec};
+use marea_presentation::{Name, Value};
+use marea_protocol::arq::ArqConfig;
+use marea_protocol::fragment::{fragment_payload, Reassembler};
+use marea_protocol::messages::{AnnounceEntry, CallStatus, Provision, ServiceState};
+use marea_protocol::mftp::{AnnounceOutcome, FileReceiver, FileSender, RevisionPolicy};
+use marea_protocol::{
+    Frame, GroupId, Message, Micros, NodeId, ProtoDuration, RequestId, ServiceId, TransferId,
+};
+use marea_transport::{Transport, TransportDestination};
+
+use crate::directory::Directory;
+use crate::engines::events::{EventEngine, PublishedEvent, SubscribedEvent};
+use crate::engines::files::{FileEngine, OutgoingFile};
+use crate::engines::rpc::{
+    decode_args, decode_result, encode_args, encode_result, LocalFunction, PendingCall, RpcEngine,
+};
+use crate::engines::vars::{PublishedVar, SubscribedVar, VarEngine};
+use crate::error::{CallError, ContainerError};
+use crate::link::ReliableLink;
+use crate::scheduler::{Priority, Scheduler, SchedulerKind, Task, TaskPayload};
+use crate::service::{
+    CallHandle, CallPolicy, Effect, FileEvent, ProviderNotice, Service, ServiceContext,
+    ServiceDescriptor, TimerId,
+};
+use crate::stats::ContainerStats;
+
+/// Upper bound for one marshalled call argument.
+pub(crate) const MAX_ARG_BYTES: usize = 4 * 1024 * 1024;
+
+/// How variable samples reach remote subscribers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VarDistribution {
+    /// One multicast datagram per sample (the paper's §4.1 mapping:
+    /// "allows optimizing the bandwidth use because one packet sent can
+    /// arrive to multiple nodes").
+    #[default]
+    Multicast,
+    /// One unicast datagram per remote subscriber — the baseline the C2
+    /// experiment compares against.
+    UnicastFanout,
+}
+
+/// Static configuration of a container.
+#[derive(Debug, Clone)]
+pub struct ContainerConfig {
+    /// Container name (appears in `Hello`).
+    pub name: Name,
+    /// This node's id.
+    pub node: NodeId,
+    /// Heartbeat emission period.
+    pub heartbeat_period: ProtoDuration,
+    /// Full catalogue re-announcement period.
+    pub announce_period: ProtoDuration,
+    /// Silence after which a peer node is declared dead.
+    pub node_timeout: ProtoDuration,
+    /// Scheduler policy.
+    pub scheduler: SchedulerKind,
+    /// Maximum handler invocations per tick (soft real-time budget).
+    pub tick_budget: usize,
+    /// Reliable-channel tuning.
+    pub arq: ArqConfig,
+    /// Remote invocation reply deadline per attempt.
+    pub call_timeout: ProtoDuration,
+    /// Providers tried before a call fails.
+    pub max_call_attempts: u32,
+    /// File transfer chunk size in bytes.
+    pub chunk_size: u32,
+    /// File chunks pumped per tick per transfer.
+    pub file_burst: usize,
+    /// Gap between completion queries of an idle transfer.
+    pub file_query_interval: ProtoDuration,
+    /// Variable sample distribution mode.
+    pub var_distribution: VarDistribution,
+    /// Payload codec for application data.
+    pub codec: CodecId,
+    /// Container log ring capacity.
+    pub log_capacity: usize,
+}
+
+impl ContainerConfig {
+    /// Sensible defaults for a LAN avionics node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid [`Name`] literal.
+    pub fn new(name: &str, node: NodeId) -> Self {
+        ContainerConfig {
+            name: Name::new(name).expect("container name must be a valid name literal"),
+            node,
+            heartbeat_period: ProtoDuration::from_millis(500),
+            announce_period: ProtoDuration::from_secs(2),
+            node_timeout: ProtoDuration::from_secs(2),
+            scheduler: SchedulerKind::Priority,
+            tick_budget: 256,
+            arq: ArqConfig::default(),
+            call_timeout: ProtoDuration::from_millis(800),
+            max_call_attempts: 3,
+            chunk_size: 1024,
+            file_burst: 32,
+            file_query_interval: ProtoDuration::from_millis(100),
+            var_distribution: VarDistribution::Multicast,
+            codec: CodecId::COMPACT,
+            log_capacity: 1024,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ServiceSlot {
+    seq: u32,
+    service: Option<Box<dyn Service>>,
+    descriptor: ServiceDescriptor,
+    state: ServiceState,
+}
+
+#[derive(Debug)]
+struct TimerInfo {
+    service_seq: u32,
+    period: Option<ProtoDuration>,
+    cancelled: bool,
+}
+
+/// The per-node service container (paper §3).
+///
+/// See the crate-level docs for a complete walk-through; the
+/// [`SimHarness`](crate::SimHarness) shows the intended driving pattern.
+#[derive(Debug)]
+pub struct ServiceContainer {
+    config: ContainerConfig,
+    transport: Box<dyn Transport>,
+    codecs: CodecRegistry,
+    slots: Vec<ServiceSlot>,
+    directory: Directory,
+    scheduler: Box<dyn Scheduler>,
+    links: HashMap<NodeId, ReliableLink>,
+    vars: VarEngine,
+    events: EventEngine,
+    rpc: RpcEngine,
+    files: FileEngine,
+    reassembler: Reassembler,
+    timers: BinaryHeap<Reverse<(Micros, u64)>>,
+    timer_info: HashMap<u64, TimerInfo>,
+    next_timer_id: u64,
+    next_request_id: u64,
+    next_msg_id: u64,
+    next_task_seq: u64,
+    incarnation: u64,
+    running: bool,
+    started_at: Micros,
+    last_heartbeat: Option<Micros>,
+    last_announce: Option<Micros>,
+    stats: ContainerStats,
+    log: VecDeque<(Micros, String)>,
+}
+
+impl ServiceContainer {
+    /// Creates a container over a transport. Call
+    /// [`ServiceContainer::start`] once services are registered.
+    pub fn new(config: ContainerConfig, transport: Box<dyn Transport>) -> Self {
+        let mut codecs = CodecRegistry::new();
+        codecs.set_default(config.codec);
+        ServiceContainer {
+            scheduler: config.scheduler.build(),
+            codecs,
+            transport,
+            slots: Vec::new(),
+            directory: Directory::new(),
+            links: HashMap::new(),
+            vars: VarEngine::default(),
+            events: EventEngine::default(),
+            rpc: RpcEngine::default(),
+            files: FileEngine::default(),
+            reassembler: Reassembler::new(ProtoDuration::from_secs(5)),
+            timers: BinaryHeap::new(),
+            timer_info: HashMap::new(),
+            next_timer_id: 0,
+            next_request_id: 0,
+            next_msg_id: 0,
+            next_task_seq: 0,
+            incarnation: 1,
+            running: false,
+            started_at: Micros::ZERO,
+            last_heartbeat: None,
+            last_announce: None,
+            stats: ContainerStats::default(),
+            log: VecDeque::new(),
+            config,
+        }
+    }
+
+    /// This container's node id.
+    pub fn node(&self) -> NodeId {
+        self.config.node
+    }
+
+    /// This container's name.
+    pub fn name(&self) -> &Name {
+        &self.config.name
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ContainerStats {
+        self.stats
+    }
+
+    /// The name directory (read access for tests/tools).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Queued handler invocations.
+    pub fn scheduler_len(&self) -> usize {
+        self.scheduler.len()
+    }
+
+    /// `true` between `start` and `stop`.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Aggregated ARQ statistics over all reliable links.
+    pub fn arq_stats(&self) -> marea_protocol::arq::ArqStats {
+        let mut total = marea_protocol::arq::ArqStats::default();
+        for link in self.links.values() {
+            let s = link.stats();
+            total.sent += s.sent;
+            total.retransmitted += s.retransmitted;
+            total.acked += s.acked;
+            total.failed += s.failed;
+            total.payload_bytes += s.payload_bytes;
+        }
+        total
+    }
+
+    /// Recent container log lines (oldest first).
+    pub fn log_lines(&self) -> impl Iterator<Item = &(Micros, String)> {
+        self.log.iter()
+    }
+
+    /// Lifecycle state of a hosted service.
+    pub fn service_state(&self, name: &str) -> Option<ServiceState> {
+        self.slots.iter().find(|s| s.descriptor.name() == name).map(|s| s.state)
+    }
+
+    /// Registers a service; returns its instance id.
+    ///
+    /// # Errors
+    ///
+    /// [`ContainerError::DuplicateService`] /
+    /// [`ContainerError::DuplicateProvision`] when names collide locally.
+    pub fn add_service(&mut self, service: Box<dyn Service>) -> Result<ServiceId, ContainerError> {
+        let descriptor = service.descriptor();
+        if self.slots.iter().any(|s| s.descriptor.name() == descriptor.name().as_str()) {
+            return Err(ContainerError::DuplicateService(descriptor.name().clone()));
+        }
+        for p in descriptor.provides() {
+            let name = p.name();
+            let taken =
+                self.slots.iter().any(|s| s.descriptor.find_provision(name.as_str()).is_some());
+            if taken {
+                return Err(ContainerError::DuplicateProvision(name.clone()));
+            }
+        }
+        let seq = self.slots.len() as u32 + 1;
+
+        for p in descriptor.provides() {
+            match p {
+                Provision::Variable { name, ty, validity_us, .. } => {
+                    self.vars.published.insert(
+                        name.clone(),
+                        PublishedVar {
+                            owner_seq: seq,
+                            ty: ty.clone(),
+                            validity_us: *validity_us,
+                            seq: 0,
+                            last: None,
+                            remote_subscribers: Default::default(),
+                        },
+                    );
+                }
+                Provision::Event { name, ty } => {
+                    self.events.published.insert(
+                        name.clone(),
+                        PublishedEvent {
+                            owner_seq: seq,
+                            ty: ty.clone(),
+                            seq: 0,
+                            remote_subscribers: Default::default(),
+                        },
+                    );
+                }
+                Provision::Function { name, sig } => {
+                    self.rpc
+                        .functions
+                        .insert(name.clone(), LocalFunction { owner_seq: seq, sig: sig.clone() });
+                }
+                Provision::FileResource { .. } => {}
+            }
+        }
+        for sub in descriptor.var_subscriptions() {
+            let entry = self
+                .vars
+                .subscribed
+                .entry(sub.name.clone())
+                .or_insert_with(|| SubscribedVar::new(sub.need_initial));
+            entry.services.push(seq);
+            entry.need_initial |= sub.need_initial;
+        }
+        for name in descriptor.event_subscriptions() {
+            self.events
+                .subscribed
+                .entry(name.clone())
+                .or_insert_with(SubscribedEvent::new)
+                .services
+                .push(seq);
+        }
+        for name in descriptor.file_interests() {
+            self.files.interests.entry(name.clone()).or_default().services.push(seq);
+        }
+        for name in descriptor.required_functions() {
+            self.rpc
+                .required
+                .entry(name.clone())
+                .or_default()
+                .services
+                .push(seq);
+        }
+
+        self.slots.push(ServiceSlot {
+            seq,
+            service: Some(service),
+            descriptor,
+            state: ServiceState::Starting,
+        });
+        let id = ServiceId::new(self.config.node, seq);
+        if self.running {
+            self.push_task(Priority::LIFECYCLE, seq, TaskPayload::Start);
+            self.last_announce = None; // force re-announce
+        }
+        Ok(id)
+    }
+
+    /// Starts the container: joins the control group, announces itself and
+    /// schedules every service's `on_start`.
+    pub fn start(&mut self, now: Micros) {
+        if self.running {
+            return;
+        }
+        self.running = true;
+        self.started_at = now;
+        self.transport.join(GroupId::CONTROL.0);
+        self.directory.apply_hello(self.config.node, self.config.name.clone(), self.incarnation, now);
+        let entries = self.announce_entries();
+        self.directory.apply_announce(self.config.node, &entries, now);
+        self.send_message(
+            TransportDestination::Group(GroupId::CONTROL.0),
+            &Message::Hello { container: self.config.name.clone(), incarnation: self.incarnation },
+        );
+        self.broadcast_announce(now);
+        let seqs: Vec<u32> = self.slots.iter().map(|s| s.seq).collect();
+        for seq in seqs {
+            self.push_task(Priority::LIFECYCLE, seq, TaskPayload::Start);
+        }
+    }
+
+    /// Stops the container: runs every `on_stop`, says `Bye`.
+    pub fn stop(&mut self, now: Micros) {
+        if !self.running {
+            return;
+        }
+        let seqs: Vec<u32> = self
+            .slots
+            .iter()
+            .filter(|s| s.state.is_available() || s.state == ServiceState::Starting)
+            .map(|s| s.seq)
+            .collect();
+        for seq in seqs {
+            self.push_task(Priority::LIFECYCLE, seq, TaskPayload::Stop);
+        }
+        while let Some(task) = self.scheduler.pop() {
+            self.execute_task(task, now);
+        }
+        self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &Message::Bye);
+        self.running = false;
+    }
+
+    /// One cooperative step at time `now`. See the module docs for phases.
+    pub fn tick(&mut self, now: Micros) {
+        if !self.running {
+            return;
+        }
+        self.stats.ticks += 1;
+        self.directory.apply_heartbeat(self.config.node, self.incarnation, self.load_permille(), now);
+
+        self.pump_transport(now);
+        self.detect_failures(now);
+        self.maintain_subscriptions(now);
+        self.fire_timers(now);
+        self.sweep_variable_deadlines(now);
+        self.sweep_call_timeouts(now);
+        self.poll_links(now);
+        self.pump_files(now);
+        self.emit_periodics(now);
+        self.run_tasks(now);
+        let len = self.scheduler.len();
+        if len > self.stats.queue_peak {
+            self.stats.queue_peak = len;
+        }
+        self.reassembler.expire(now);
+    }
+
+    // ---- frame input -----------------------------------------------------
+
+    fn pump_transport(&mut self, now: Micros) {
+        while let Some((_, frame_bytes)) = self.transport.recv() {
+            self.stats.frames_in += 1;
+            let Ok(frame) = Frame::decode(&frame_bytes) else {
+                continue; // corrupt frames are dropped (CRC)
+            };
+            let src = frame.header().src;
+            if src == self.config.node {
+                continue;
+            }
+            let Ok(msg) = Message::from_frame(&frame) else {
+                continue;
+            };
+            self.handle_message(src, msg, now);
+        }
+    }
+
+    fn handle_message(&mut self, src: NodeId, msg: Message, now: Micros) {
+        match msg {
+            Message::Hello { container, incarnation } => {
+                self.directory.apply_hello(src, container, incarnation, now);
+                self.last_announce = None;
+            }
+            Message::Heartbeat { incarnation, load_permille, .. } => {
+                let known = self.directory.node(src).is_some();
+                self.directory.apply_heartbeat(src, incarnation, load_permille, now);
+                if !known {
+                    // A node we have no catalogue for (its Hello/Announce was
+                    // lost): introduce ourselves unicast, which makes it
+                    // re-broadcast its catalogue, and re-announce ours.
+                    let hello = Message::Hello {
+                        container: self.config.name.clone(),
+                        incarnation: self.incarnation,
+                    };
+                    self.send_message(TransportDestination::Node(src.0), &hello);
+                    self.last_announce = None;
+                }
+            }
+            Message::Bye => {
+                self.directory.apply_bye(src);
+                self.handle_node_death(src, now);
+            }
+            Message::Announce { entries, .. } => {
+                self.directory.apply_announce(src, &entries, now);
+            }
+            Message::ServiceStatus { service_seq, state, .. } => {
+                self.directory.apply_status(src, service_seq, state);
+                if !state.is_available() {
+                    let failed = ServiceId::new(src, service_seq);
+                    let affected: Vec<RequestId> = {
+                        let mut v: Vec<RequestId> = self
+                            .rpc
+                            .pending
+                            .iter()
+                            .filter(|(_, c)| c.target == failed)
+                            .map(|(id, _)| *id)
+                            .collect();
+                        v.sort();
+                        v
+                    };
+                    for id in affected {
+                        self.failover_call(id, now);
+                    }
+                }
+            }
+            Message::SubscribeVar { name, subscriber, need_initial } => {
+                self.handle_subscribe_var(name, subscriber, need_initial, now);
+            }
+            Message::UnsubscribeVar { name, subscriber } => {
+                if let Some(pv) = self.vars.published.get_mut(&name) {
+                    pv.remote_subscribers.remove(&subscriber);
+                }
+            }
+            Message::SubscribeEvent { name, subscriber } => {
+                if let Some(pe) = self.events.published.get_mut(&name) {
+                    pe.remote_subscribers.insert(subscriber);
+                }
+            }
+            Message::UnsubscribeEvent { name, subscriber } => {
+                if let Some(pe) = self.events.published.get_mut(&name) {
+                    pe.remote_subscribers.remove(&subscriber);
+                }
+            }
+            Message::VarSample { name, seq, stamp_us, validity_us, codec, payload } => {
+                self.handle_var_sample(name, seq, stamp_us, validity_us, codec, payload, now);
+            }
+            Message::RelData { seq, payload, .. } => {
+                let deliverables = {
+                    let link = self
+                        .links
+                        .entry(src)
+                        .or_insert_with(|| ReliableLink::new(src, self.config.arq));
+                    link.on_data(seq, payload)
+                };
+                for inner in deliverables {
+                    if let Ok(inner_msg) = Message::decode_tagged(&inner) {
+                        self.handle_message(src, inner_msg, now);
+                    }
+                }
+            }
+            Message::RelAck { cumulative, sack, .. } => {
+                let out = match self.links.get_mut(&src) {
+                    Some(link) => link.on_ack(cumulative, sack, now),
+                    None => Vec::new(),
+                };
+                for m in out {
+                    self.send_message(TransportDestination::Node(src.0), &m);
+                }
+            }
+            Message::EventData { name, seq, stamp_us, codec, payload } => {
+                self.handle_event_data(name, seq, stamp_us, codec, payload);
+            }
+            Message::CallRequest { request, function, target_seq, codec, payload } => {
+                self.handle_call_request(src, request, function, target_seq, codec, payload, now);
+            }
+            Message::CallReply { request, status, codec, payload } => {
+                self.handle_call_reply(request, status, codec, payload, now);
+            }
+            Message::FileAnnounce { .. } => {
+                self.handle_file_announce(src, msg, now);
+            }
+            Message::FileSubscribe { transfer, subscriber } => {
+                if let Some(name) = self.files.resource_of(transfer).cloned() {
+                    if let Some(out) = self.files.outgoing.get_mut(&name) {
+                        out.sender.on_subscribe(subscriber);
+                        out.complete_notified = false;
+                    }
+                }
+            }
+            Message::FileChunk { transfer, revision, index, payload } => {
+                self.handle_file_chunk(transfer, revision, index, payload, now);
+            }
+            Message::FileQuery { transfer, revision } => {
+                let response = self
+                    .files
+                    .resource_of(transfer)
+                    .and_then(|name| self.files.interests.get(name))
+                    .and_then(|interest| interest.receiver.as_ref())
+                    .and_then(|rx| rx.on_query(revision));
+                if let Some(response) = response {
+                    self.send_reliable(src, &response, now);
+                }
+            }
+            Message::FileAck { transfer, revision, subscriber } => {
+                if let Some(name) = self.files.resource_of(transfer).cloned() {
+                    if let Some(out) = self.files.outgoing.get_mut(&name) {
+                        out.sender.on_ack(subscriber, revision);
+                    }
+                    self.notify_distribution_complete(&name);
+                }
+            }
+            Message::FileNack { transfer, revision, subscriber, runs } => {
+                if let Some(name) = self.files.resource_of(transfer).cloned() {
+                    if let Some(out) = self.files.outgoing.get_mut(&name) {
+                        let _ = out.sender.on_nack(subscriber, revision, &runs);
+                        out.complete_notified = false;
+                    }
+                }
+            }
+            Message::FileCancel { transfer } => {
+                if let Some(name) = self.files.resource_of(transfer).cloned() {
+                    if let Some(interest) = self.files.interests.get_mut(&name) {
+                        interest.receiver = None;
+                        interest.publisher = None;
+                    }
+                }
+            }
+            Message::Fragment { msg_id, index, count, payload } => {
+                if let Ok(Some(full)) =
+                    self.reassembler.offer(src, msg_id, index, count, payload, now)
+                {
+                    if let Ok(inner) = Message::decode_tagged(&full) {
+                        self.handle_message(src, inner, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_subscribe_var(&mut self, name: Name, subscriber: NodeId, need_initial: bool, now: Micros) {
+        let initial = {
+            let Some(pv) = self.vars.published.get_mut(&name) else { return };
+            pv.remote_subscribers.insert(subscriber);
+            if need_initial && pv.last_is_valid(now) {
+                let (payload, stamp) = pv.last.clone().expect("valid implies present");
+                Some((payload, stamp, pv.seq, pv.validity_us))
+            } else {
+                None
+            }
+        };
+        if let Some((payload, stamp, seq, validity_us)) = initial {
+            let msg = Message::VarSample {
+                name,
+                seq,
+                stamp_us: stamp.as_micros(),
+                validity_us,
+                codec: self.codecs.default_id().0,
+                payload,
+            };
+            // The initial exact value is *guaranteed* (§4.1), so unlike the
+            // periodic samples it travels on the reliable channel.
+            self.send_reliable(subscriber, &msg, now);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_var_sample(
+        &mut self,
+        name: Name,
+        seq: u64,
+        stamp_us: u64,
+        validity_us: u64,
+        codec: u8,
+        payload: Bytes,
+        now: Micros,
+    ) {
+        let decoded = {
+            let Some(sub) = self.vars.subscribed.get_mut(&name) else { return };
+            // Validity QoS: drop samples past their window (paper §4.1).
+            if validity_us > 0 && now.saturating_since(Micros(stamp_us)).as_micros() > validity_us
+            {
+                self.stats.stale_samples_dropped += 1;
+                return;
+            }
+            if !sub.accept(seq, now) {
+                self.stats.old_samples_dropped += 1;
+                return;
+            }
+            let value = match (&sub.ty, CodecId(codec)) {
+                (Some(ty), id) => match self.codecs.get(id) {
+                    Some(c) => c.decode(&payload, ty).ok(),
+                    None => None,
+                },
+                (None, CodecId(1)) => {
+                    SelfDescribingCodec::decode_any(&payload).ok().map(|(_, v)| v)
+                }
+                _ => None,
+            };
+            value.map(|v| (v, sub.services.clone()))
+        };
+        let Some((value, services)) = decoded else { return };
+        for svc in services {
+            self.push_task(
+                Priority::VARIABLE,
+                svc,
+                TaskPayload::DeliverVariable {
+                    name: name.clone(),
+                    value: value.clone(),
+                    stamp: Micros(stamp_us),
+                    seq,
+                },
+            );
+        }
+    }
+
+    fn handle_event_data(&mut self, name: Name, seq: u64, stamp_us: u64, codec: u8, payload: Bytes) {
+        let decoded = {
+            let Some(sub) = self.events.subscribed.get(&name) else { return };
+            let value = if payload.is_empty() {
+                None
+            } else {
+                match (&sub.ty, CodecId(codec)) {
+                    (Some(ty), id) => self.codecs.get(id).and_then(|c| c.decode(&payload, ty).ok()),
+                    (None, CodecId(1)) => {
+                        SelfDescribingCodec::decode_any(&payload).ok().map(|(_, v)| v)
+                    }
+                    _ => None,
+                }
+            };
+            (value, sub.services.clone())
+        };
+        let (value, services) = decoded;
+        for svc in services {
+            self.push_task(
+                Priority::EVENT,
+                svc,
+                TaskPayload::DeliverEvent {
+                    name: name.clone(),
+                    value: value.clone(),
+                    seq,
+                    stamp: Micros(stamp_us),
+                },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_call_request(
+        &mut self,
+        caller: NodeId,
+        request: RequestId,
+        function: Name,
+        target_seq: u32,
+        codec: u8,
+        payload: Bytes,
+        now: Micros,
+    ) {
+        enum Outcome {
+            Execute(Vec<Value>),
+            Refuse(CallStatus),
+        }
+        let outcome = {
+            match self.rpc.functions.get(&function) {
+                None => Outcome::Refuse(CallStatus::NoSuchFunction),
+                Some(func) => {
+                    let available = self
+                        .slots
+                        .get((target_seq as usize).wrapping_sub(1))
+                        .map(|s| s.state.is_available() || s.state == ServiceState::Starting)
+                        .unwrap_or(false);
+                    if func.owner_seq != target_seq || !available {
+                        Outcome::Refuse(CallStatus::ServiceUnavailable)
+                    } else {
+                        match self.codecs.get(CodecId(codec)) {
+                            Some(c) => match decode_args(&payload, &func.sig, c.as_ref()) {
+                                Ok(args) => Outcome::Execute(args),
+                                Err(_) => Outcome::Refuse(CallStatus::AppError),
+                            },
+                            None => Outcome::Refuse(CallStatus::AppError),
+                        }
+                    }
+                }
+            }
+        };
+        match outcome {
+            Outcome::Execute(args) => {
+                self.push_task(
+                    Priority::CALL,
+                    target_seq,
+                    TaskPayload::ExecuteCall { request, caller, function, args },
+                );
+            }
+            Outcome::Refuse(status) => {
+                let m = Message::CallReply { request, status, codec, payload: Bytes::new() };
+                self.send_reliable(caller, &m, now);
+            }
+        }
+    }
+
+    fn handle_call_reply(&mut self, request: RequestId, status: CallStatus, codec: u8, payload: Bytes, now: Micros) {
+        let Some(call) = self.rpc.pending.remove(&request) else { return };
+        let result = match status {
+            CallStatus::Ok => match self.codecs.get(CodecId(codec)) {
+                Some(c) => decode_result(&payload, &call.returns, c.as_ref()),
+                None => Err(CallError::BadArguments("unknown codec".into())),
+            },
+            CallStatus::AppError => {
+                Err(CallError::App(String::from_utf8_lossy(&payload).into_owned()))
+            }
+            CallStatus::NoSuchFunction => Err(CallError::NoSuchFunction),
+            CallStatus::ServiceUnavailable | CallStatus::Timeout => {
+                // Provider-side refusal: try another provider before giving
+                // up (degraded-mode continuation, §4.3).
+                self.rpc.pending.insert(request, call);
+                self.failover_call(request, now);
+                return;
+            }
+        };
+        if result.is_err() {
+            self.stats.call_errors += 1;
+        }
+        self.push_task(Priority::CALL, call.caller_seq, TaskPayload::DeliverReply { request, result });
+    }
+
+    fn handle_file_announce(&mut self, src: NodeId, msg: Message, now: Micros) {
+        let Message::FileAnnounce { transfer, ref resource, revision, size, .. } = msg else {
+            return;
+        };
+        self.files.transfer_index.insert(transfer, resource.clone());
+        self.files.seen_announces.insert(resource.clone(), (src, msg.clone()));
+
+        enum Wire {
+            Fresh,
+            Resubscribe,
+            Nothing,
+        }
+        let (wire, services) = {
+            let Some(interest) = self.files.interests.get_mut(resource) else { return };
+            if interest.services.is_empty() || interest.completed_revision == Some(revision) {
+                return;
+            }
+            match &mut interest.receiver {
+                Some(rx) => match rx.on_announce(&msg) {
+                    Ok(AnnounceOutcome::Restarted) => {
+                        interest.publisher = Some(src);
+                        (Wire::Resubscribe, interest.services.clone())
+                    }
+                    _ => (Wire::Nothing, Vec::new()),
+                },
+                None => {
+                    match FileReceiver::from_announce(&msg, self.config.node, RevisionPolicy::Restart)
+                    {
+                        Ok((rx, _sub)) => {
+                            interest.receiver = Some(rx);
+                            interest.publisher = Some(src);
+                            (Wire::Fresh, interest.services.clone())
+                        }
+                        Err(_) => (Wire::Nothing, Vec::new()),
+                    }
+                }
+            }
+        };
+        match wire {
+            Wire::Fresh => {
+                self.transport.join(file_group(resource).0);
+                let sub = Message::FileSubscribe { transfer, subscriber: self.config.node };
+                self.send_reliable(src, &sub, now);
+            }
+            Wire::Resubscribe => {
+                let sub = Message::FileSubscribe { transfer, subscriber: self.config.node };
+                self.send_reliable(src, &sub, now);
+            }
+            Wire::Nothing => {}
+        }
+        let resource = resource.clone();
+        for svc in services {
+            self.push_task(
+                Priority::FILE,
+                svc,
+                TaskPayload::File(FileEvent::Announced {
+                    resource: resource.clone(),
+                    revision,
+                    size,
+                }),
+            );
+        }
+    }
+
+    fn handle_file_chunk(&mut self, transfer: TransferId, revision: u32, index: u32, payload: Bytes, now: Micros) {
+        let completion = {
+            let Some(name) = self.files.resource_of(transfer).cloned() else { return };
+            let Some(interest) = self.files.interests.get_mut(&name) else { return };
+            let Some(rx) = &mut interest.receiver else { return };
+            if rx.on_chunk(revision, index, &payload) {
+                let rx = interest.receiver.take().expect("present");
+                let data = rx.into_data();
+                interest.completed_revision = Some(revision);
+                Some((name, data, interest.services.clone(), interest.publisher))
+            } else {
+                None
+            }
+        };
+        let Some((name, data, services, publisher)) = completion else { return };
+        self.stats.files_received += 1;
+        for svc in services {
+            self.push_task(
+                Priority::FILE,
+                svc,
+                TaskPayload::File(FileEvent::Received {
+                    resource: name.clone(),
+                    revision,
+                    data: data.clone(),
+                }),
+            );
+        }
+        if let Some(publisher) = publisher {
+            let ack = Message::FileAck { transfer, revision, subscriber: self.config.node };
+            self.send_reliable(publisher, &ack, now);
+        }
+    }
+
+    // ---- failure detection & maintenance ----------------------------------
+
+    fn detect_failures(&mut self, now: Micros) {
+        let dead = self.directory.expire(now, self.config.node_timeout);
+        for node in dead {
+            if node == self.config.node {
+                self.directory.apply_heartbeat(
+                    self.config.node,
+                    self.incarnation,
+                    self.load_permille(),
+                    now,
+                );
+                continue;
+            }
+            self.handle_node_death(node, now);
+        }
+    }
+
+    fn handle_node_death(&mut self, node: NodeId, now: Micros) {
+        self.log_line(now, format!("node {node} declared dead; purging name cache"));
+        self.links.remove(&node);
+        // Variable/event subscriptions bound to the dead node are *not*
+        // unbound here: the directory purge makes their resolution fail,
+        // and maintain_subscriptions turns that into the unbind + the
+        // "provider lost" notice (one transition, one notification).
+        for id in self.rpc.targeting_node(node) {
+            self.failover_call(id, now);
+        }
+        for interest in self.files.interests.values_mut() {
+            if interest.publisher == Some(node) {
+                interest.receiver = None;
+                interest.publisher = None;
+            }
+        }
+        self.files.seen_announces.retain(|_, (src, _)| *src != node);
+    }
+
+    fn maintain_subscriptions(&mut self, now: Micros) {
+        // Variables.
+        let names: Vec<Name> = self.vars.subscribed.keys().cloned().collect();
+        for name in names {
+            let resolution = self.directory.resolve_variable(name.as_str()).map(|p| {
+                let (period, validity, ty) = match &p.provision {
+                    Provision::Variable { period_us, validity_us, ty, .. } => {
+                        (*period_us, *validity_us, ty.clone())
+                    }
+                    _ => unreachable!("resolve_variable filters kind"),
+                };
+                (p.service, period, validity, ty)
+            });
+            enum Act {
+                Bind { provider: ServiceId, need_initial: bool, services: Vec<u32>, fresh: bool },
+                Lost { services: Vec<u32> },
+                None,
+            }
+            let act = {
+                let sub = self.vars.subscribed.get_mut(&name).expect("present");
+                match resolution {
+                    Some((provider, period, validity, ty)) => {
+                        if sub.provider != Some(provider) || !sub.subscribe_sent {
+                            let fresh = sub.provider.is_none();
+                            sub.bind(provider, period, validity, ty, now);
+                            sub.subscribe_sent = true;
+                            Act::Bind {
+                                provider,
+                                need_initial: sub.need_initial,
+                                services: sub.services.clone(),
+                                fresh,
+                            }
+                        } else {
+                            Act::None
+                        }
+                    }
+                    None => {
+                        if sub.subscribe_sent || sub.provider.is_some() {
+                            sub.unbind();
+                            sub.subscribe_sent = false;
+                            // Only notify on the transition away from bound.
+                            Act::Lost { services: sub.services.clone() }
+                        } else {
+                            Act::None
+                        }
+                    }
+                }
+            };
+            match act {
+                Act::Bind { provider, need_initial, services, fresh } => {
+                    if provider.node != self.config.node {
+                        if self.config.var_distribution == VarDistribution::Multicast {
+                            self.transport.join(var_group(&name).0);
+                        }
+                        // Subscription wiring is control-plane critical:
+                        // it rides the reliable channel so a lost datagram
+                        // cannot silently orphan the subscription.
+                        let msg = Message::SubscribeVar {
+                            name: name.clone(),
+                            subscriber: self.config.node,
+                            need_initial,
+                        };
+                        self.send_reliable(provider.node, &msg, now);
+                    }
+                    if fresh {
+                        for svc in services {
+                            self.push_task(
+                                Priority::CALL,
+                                svc,
+                                TaskPayload::Provider(ProviderNotice::VariableAvailable(
+                                    name.clone(),
+                                )),
+                            );
+                        }
+                    }
+                }
+                Act::Lost { services } => {
+                    for svc in services {
+                        self.push_task(
+                            Priority::CALL,
+                            svc,
+                            TaskPayload::Provider(ProviderNotice::VariableUnavailable(name.clone())),
+                        );
+                    }
+                }
+                Act::None => {}
+            }
+        }
+        // Events.
+        let names: Vec<Name> = self.events.subscribed.keys().cloned().collect();
+        for name in names {
+            let resolution = self.directory.resolve_event(name.as_str()).map(|p| {
+                let ty = match &p.provision {
+                    Provision::Event { ty, .. } => ty.clone(),
+                    _ => unreachable!("resolve_event filters kind"),
+                };
+                (p.service, ty)
+            });
+            enum Act {
+                Bind { provider: ServiceId, services: Vec<u32>, fresh: bool },
+                Lost { services: Vec<u32> },
+                None,
+            }
+            let act = {
+                let sub = self.events.subscribed.get_mut(&name).expect("present");
+                match resolution {
+                    Some((provider, ty)) => {
+                        if sub.provider != Some(provider) || !sub.subscribe_sent {
+                            let fresh = sub.provider.is_none();
+                            sub.provider = Some(provider);
+                            sub.ty = ty;
+                            sub.subscribe_sent = true;
+                            Act::Bind { provider, services: sub.services.clone(), fresh }
+                        } else {
+                            Act::None
+                        }
+                    }
+                    None => {
+                        if sub.subscribe_sent || sub.provider.is_some() {
+                            sub.unbind();
+                            Act::Lost { services: sub.services.clone() }
+                        } else {
+                            Act::None
+                        }
+                    }
+                }
+            };
+            match act {
+                Act::Bind { provider, services, fresh } => {
+                    if provider.node != self.config.node {
+                        let msg = Message::SubscribeEvent {
+                            name: name.clone(),
+                            subscriber: self.config.node,
+                        };
+                        self.send_reliable(provider.node, &msg, now);
+                    }
+                    if fresh {
+                        for svc in services {
+                            self.push_task(
+                                Priority::CALL,
+                                svc,
+                                TaskPayload::Provider(ProviderNotice::EventAvailable(name.clone())),
+                            );
+                        }
+                    }
+                }
+                Act::Lost { services } => {
+                    for svc in services {
+                        self.push_task(
+                            Priority::CALL,
+                            svc,
+                            TaskPayload::Provider(ProviderNotice::EventUnavailable(name.clone())),
+                        );
+                    }
+                }
+                Act::None => {}
+            }
+        }
+        // Required functions ("during middleware initialization, the
+        // services check that all the functions they need ... are
+        // provided", §4.3).
+        let names: Vec<Name> = self.rpc.required.keys().cloned().collect();
+        for name in names {
+            let available =
+                self.directory.resolve_function(name.as_str(), CallPolicy::Dynamic, None).is_some();
+            let action = {
+                let req = self.rpc.required.get_mut(&name).expect("present");
+                let first_check = !req.checked;
+                req.checked = true;
+                if available != req.available || (first_check && !available) {
+                    req.available = available;
+                    Some(req.services.clone())
+                } else {
+                    None
+                }
+            };
+            if let Some(services) = action {
+                let notice = if available {
+                    ProviderNotice::FunctionAvailable(name.clone())
+                } else {
+                    ProviderNotice::FunctionUnavailable(name.clone())
+                };
+                if !available {
+                    self.log_line(now, format!("required function `{name}` has no provider"));
+                }
+                for svc in services {
+                    self.push_task(Priority::CALL, svc, TaskPayload::Provider(notice.clone()));
+                }
+            }
+        }
+        // File interests that heard an announce before subscribing.
+        let resources: Vec<Name> = self
+            .files
+            .interests
+            .iter()
+            .filter(|(_, i)| i.receiver.is_none() && !i.services.is_empty())
+            .map(|(n, _)| n.clone())
+            .collect();
+        for resource in resources {
+            if self.files.outgoing.contains_key(&resource) {
+                continue; // local publisher: bypass path handles delivery
+            }
+            if let Some((src, announce)) = self.files.seen_announces.get(&resource).cloned() {
+                if self.directory.node_alive(src) {
+                    self.handle_file_announce(src, announce, now);
+                }
+            }
+        }
+    }
+
+    fn sweep_variable_deadlines(&mut self, now: Micros) {
+        for name in self.vars.sweep_deadlines(now) {
+            self.stats.var_timeouts += 1;
+            let services = self.vars.subscribed[&name].services.clone();
+            for svc in services {
+                self.push_task(
+                    Priority::VARIABLE,
+                    svc,
+                    TaskPayload::VariableTimeout { name: name.clone() },
+                );
+            }
+        }
+    }
+
+    fn sweep_call_timeouts(&mut self, now: Micros) {
+        for id in self.rpc.expired(now) {
+            self.failover_call(id, now);
+        }
+    }
+
+    /// Re-resolves a pending call to a redundant provider, or fails it.
+    ///
+    /// Paper §4.3: "Upon service failure, if another service is
+    /// implementing the same functionality, the middleware will detect the
+    /// situation and redirect requests to the redundant service."
+    fn failover_call(&mut self, id: RequestId, now: Micros) {
+        let Some(mut call) = self.rpc.pending.remove(&id) else { return };
+        if call.attempts >= self.config.max_call_attempts {
+            self.stats.call_errors += 1;
+            self.push_task(
+                Priority::CALL,
+                call.caller_seq,
+                TaskPayload::DeliverReply { request: id, result: Err(CallError::Timeout) },
+            );
+            return;
+        }
+        let next = self
+            .directory
+            .resolve_function(call.function.as_str(), call.policy, Some(call.target))
+            .map(|p| (p.service, p.provision.clone()));
+        match next {
+            Some((target, Provision::Function { sig, .. })) => {
+                call.attempts += 1;
+                call.target = target;
+                call.returns = sig.returns.clone();
+                call.deadline = now + self.config.call_timeout;
+                self.stats.call_failovers += 1;
+                let codec = self.codecs.default_codec().clone();
+                match encode_args(&call.args, &sig, codec.as_ref()) {
+                    Ok(payload) => {
+                        self.log_line(
+                            now,
+                            format!("call {id} redirected to redundant provider {target}"),
+                        );
+                        self.dispatch_call(id, &call, payload, now);
+                        self.rpc.pending.insert(id, call);
+                    }
+                    Err(e) => {
+                        self.stats.call_errors += 1;
+                        self.push_task(
+                            Priority::CALL,
+                            call.caller_seq,
+                            TaskPayload::DeliverReply { request: id, result: Err(e) },
+                        );
+                    }
+                }
+            }
+            _ => {
+                // "If no service provides the requested function the
+                // middleware will warn the system."
+                self.stats.call_errors += 1;
+                self.log_line(now, format!("call {id} failed: no remaining provider"));
+                self.push_task(
+                    Priority::CALL,
+                    call.caller_seq,
+                    TaskPayload::DeliverReply {
+                        request: id,
+                        result: Err(CallError::ServiceUnavailable),
+                    },
+                );
+            }
+        }
+    }
+
+    fn dispatch_call(&mut self, id: RequestId, call: &PendingCall, payload: Bytes, now: Micros) {
+        if call.target.node == self.config.node {
+            // In-container invocation: no network, straight to the
+            // scheduler (Fig. 2 local path).
+            self.push_task(
+                Priority::CALL,
+                call.target.seq,
+                TaskPayload::ExecuteCall {
+                    request: id,
+                    caller: self.config.node,
+                    function: call.function.clone(),
+                    args: call.args.clone(),
+                },
+            );
+        } else {
+            let msg = Message::CallRequest {
+                request: id,
+                function: call.function.clone(),
+                target_seq: call.target.seq,
+                codec: self.codecs.default_id().0,
+                payload,
+            };
+            self.send_reliable(call.target.node, &msg, now);
+        }
+    }
+
+    // ---- periodic output ---------------------------------------------------
+
+    fn poll_links(&mut self, now: Micros) {
+        let peers: Vec<NodeId> = self.links.keys().copied().collect();
+        for peer in peers {
+            let (out, failed) = self.links.get_mut(&peer).expect("present").poll(now);
+            for m in out {
+                self.send_message(TransportDestination::Node(peer.0), &m);
+            }
+            if !failed.is_empty() {
+                self.log_line(
+                    now,
+                    format!("reliable delivery to {peer} abandoned for {} messages", failed.len()),
+                );
+            }
+        }
+    }
+
+    fn pump_files(&mut self, now: Micros) {
+        let resources: Vec<Name> = self.files.outgoing.keys().cloned().collect();
+        for resource in resources {
+            let group = file_group(&resource);
+            let mut to_control: Vec<Message> = Vec::new();
+            let mut to_group: Vec<Message> = Vec::new();
+            {
+                let out = self.files.outgoing.get_mut(&resource).expect("present");
+                if out.sender.is_complete() {
+                    continue;
+                }
+                if out.sender.has_pending_chunks() {
+                    to_group = out.sender.next_chunks(self.config.file_burst);
+                } else {
+                    let due = out
+                        .last_query_at
+                        .map(|t| now.saturating_since(t) >= self.config.file_query_interval)
+                        .unwrap_or(true);
+                    if due {
+                        out.last_query_at = Some(now);
+                        // Re-announce with each query round so late joiners
+                        // can subscribe mid-transfer (§4.4 phase overlap).
+                        to_control.push(out.sender.announce());
+                        to_group.push(out.sender.query());
+                    }
+                }
+            }
+            for m in to_control {
+                self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &m);
+            }
+            for m in to_group {
+                self.send_message(TransportDestination::Group(group.0), &m);
+            }
+            self.notify_distribution_complete(&resource);
+        }
+    }
+
+    fn notify_distribution_complete(&mut self, resource: &Name) {
+        let pending = {
+            let Some(out) = self.files.outgoing.get_mut(resource) else { return };
+            if out.sender.is_complete() && !out.complete_notified {
+                out.complete_notified = true;
+                Some((out.owner_seq, out.sender.revision(), out.sender.stats().completed))
+            } else {
+                None
+            }
+        };
+        if let Some((owner, revision, subscribers)) = pending {
+            self.push_task(
+                Priority::FILE,
+                owner,
+                TaskPayload::File(FileEvent::DistributionComplete {
+                    resource: resource.clone(),
+                    revision,
+                    subscribers,
+                }),
+            );
+        }
+    }
+
+    fn emit_periodics(&mut self, now: Micros) {
+        let hb_due = self
+            .last_heartbeat
+            .map(|t| now.saturating_since(t) >= self.config.heartbeat_period)
+            .unwrap_or(true);
+        if hb_due {
+            self.last_heartbeat = Some(now);
+            let msg = Message::Heartbeat {
+                incarnation: self.incarnation,
+                uptime_us: now.saturating_since(self.started_at).as_micros(),
+                load_permille: self.load_permille(),
+            };
+            self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &msg);
+        }
+        let ann_due = self
+            .last_announce
+            .map(|t| now.saturating_since(t) >= self.config.announce_period)
+            .unwrap_or(true);
+        if ann_due {
+            self.broadcast_announce(now);
+        }
+    }
+
+    fn broadcast_announce(&mut self, now: Micros) {
+        self.last_announce = Some(now);
+        let entries = self.announce_entries();
+        self.directory.apply_announce(self.config.node, &entries, now);
+        let msg = Message::Announce { incarnation: self.incarnation, entries };
+        self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &msg);
+    }
+
+    fn announce_entries(&self) -> Vec<AnnounceEntry> {
+        self.slots
+            .iter()
+            .map(|s| AnnounceEntry {
+                service_seq: s.seq,
+                name: s.descriptor.name().clone(),
+                state: s.state,
+                provides: s.descriptor.provides().to_vec(),
+            })
+            .collect()
+    }
+
+    fn load_permille(&self) -> u16 {
+        let budget = self.config.tick_budget.max(1);
+        ((self.scheduler.len().min(budget) * 1000) / budget) as u16
+    }
+
+    // ---- timers -------------------------------------------------------------
+
+    fn fire_timers(&mut self, now: Micros) {
+        while let Some(&Reverse((due, tid))) = self.timers.peek() {
+            if due > now {
+                break;
+            }
+            self.timers.pop();
+            let Some(info) = self.timer_info.get(&tid) else { continue };
+            if info.cancelled {
+                self.timer_info.remove(&tid);
+                continue;
+            }
+            let seq = info.service_seq;
+            let period = info.period;
+            self.push_task(Priority::TIMER, seq, TaskPayload::Timer { id: TimerId(tid) });
+            match period {
+                Some(p) => self.timers.push(Reverse((due + p, tid))),
+                None => {
+                    self.timer_info.remove(&tid);
+                }
+            }
+        }
+    }
+
+    // ---- task execution -------------------------------------------------------
+
+    fn push_task(&mut self, priority: Priority, service_seq: u32, payload: TaskPayload) {
+        self.next_task_seq += 1;
+        self.scheduler.push(Task { priority, enqueued_seq: self.next_task_seq, service_seq, payload });
+    }
+
+    fn run_tasks(&mut self, now: Micros) {
+        for _ in 0..self.config.tick_budget {
+            let Some(task) = self.scheduler.pop() else { break };
+            self.execute_task(task, now);
+        }
+    }
+
+    fn execute_task(&mut self, task: Task, now: Micros) {
+        self.stats.tasks_executed += 1;
+        let idx = (task.service_seq as usize).wrapping_sub(1);
+        let payload = task.payload;
+        let lifecycle = matches!(payload, TaskPayload::Start | TaskPayload::Stop);
+
+        // Phase 1: extract the service from its slot.
+        let (mut service, service_name, seq) = {
+            let Some(slot) = self.slots.get_mut(idx) else { return };
+            if !lifecycle && !slot.state.is_available() && slot.state != ServiceState::Starting {
+                return;
+            }
+            let Some(service) = slot.service.take() else { return };
+            (service, slot.descriptor.name().clone(), slot.seq)
+        };
+
+        // Phase 2: run the handler with a fresh context.
+        let mut effects: Vec<Effect> = Vec::new();
+        let mut next_request_id = self.next_request_id;
+        let mut next_timer_id = self.next_timer_id;
+        let node = self.config.node;
+        let mut call_outcome: Option<(RequestId, NodeId, Name, Result<Value, String>)> = None;
+
+        let panicked = {
+            let mut ctx = ServiceContext {
+                now,
+                node,
+                service_name: &service_name,
+                service_seq: seq,
+                effects: &mut effects,
+                next_request_id: &mut next_request_id,
+                next_timer_id: &mut next_timer_id,
+            };
+            let unwind = catch_unwind(AssertUnwindSafe(|| match &payload {
+                TaskPayload::Start => {
+                    service.on_start(&mut ctx);
+                    None
+                }
+                TaskPayload::Stop => {
+                    service.on_stop(&mut ctx);
+                    None
+                }
+                TaskPayload::DeliverVariable { name, value, stamp, .. } => {
+                    service.on_variable(&mut ctx, name, value, *stamp);
+                    None
+                }
+                TaskPayload::VariableTimeout { name } => {
+                    service.on_variable_timeout(&mut ctx, name);
+                    None
+                }
+                TaskPayload::DeliverEvent { name, value, stamp, .. } => {
+                    service.on_event(&mut ctx, name, value.as_ref(), *stamp);
+                    None
+                }
+                TaskPayload::ExecuteCall { request, caller, function, args } => {
+                    let result = service.on_call(&mut ctx, function, args);
+                    Some((*request, *caller, function.clone(), result))
+                }
+                TaskPayload::DeliverReply { request, result } => {
+                    service.on_reply(&mut ctx, CallHandle(*request), result.clone());
+                    None
+                }
+                TaskPayload::File(ev) => {
+                    service.on_file_event(&mut ctx, ev);
+                    None
+                }
+                TaskPayload::FileBypass { resource, revision, data } => {
+                    service.on_file_event(
+                        &mut ctx,
+                        &FileEvent::Received {
+                            resource: resource.clone(),
+                            revision: *revision,
+                            data: data.clone(),
+                        },
+                    );
+                    None
+                }
+                TaskPayload::Provider(notice) => {
+                    service.on_provider_change(&mut ctx, notice);
+                    None
+                }
+                TaskPayload::Timer { id } => {
+                    service.on_timer(&mut ctx, *id);
+                    None
+                }
+            }));
+            match unwind {
+                Ok(outcome) => {
+                    call_outcome = outcome;
+                    false
+                }
+                Err(_) => true,
+            }
+        };
+
+        self.next_request_id = next_request_id;
+        self.next_timer_id = next_timer_id;
+
+        // Phase 3: restore the service.
+        if let Some(slot) = self.slots.get_mut(idx) {
+            slot.service = Some(service);
+        }
+
+        // Phase 4: accounting and follow-up.
+        if panicked {
+            // Watchdog: a panicking service is marked failed and the fleet
+            // is told (§3: the container watches "for their correct
+            // operation and notif[ies] the rest of containers").
+            self.stats.services_failed += 1;
+            self.log_line(now, format!("service `{service_name}` panicked; marked failed"));
+            self.set_service_state(seq, ServiceState::Failed, now);
+            return;
+        }
+        match &payload {
+            TaskPayload::Start => {
+                let starting = self
+                    .slots
+                    .get(idx)
+                    .map(|s| s.state == ServiceState::Starting)
+                    .unwrap_or(false);
+                if starting {
+                    self.set_service_state(seq, ServiceState::Running, now);
+                }
+            }
+            TaskPayload::Stop => self.set_service_state(seq, ServiceState::Stopped, now),
+            TaskPayload::DeliverVariable { .. } => self.stats.var_samples_delivered += 1,
+            TaskPayload::DeliverEvent { stamp, .. } => {
+                self.stats.events_delivered += 1;
+                let latency = now.saturating_since(*stamp).as_micros();
+                self.stats.event_latency_sum_us += latency;
+                if latency > self.stats.event_latency_max_us {
+                    self.stats.event_latency_max_us = latency;
+                }
+            }
+            TaskPayload::ExecuteCall { .. } => self.stats.calls_served += 1,
+            TaskPayload::FileBypass { .. } => self.stats.file_bypass_deliveries += 1,
+            _ => {}
+        }
+        if let Some((request, caller, function, result)) = call_outcome {
+            self.finish_call(request, caller, &function, result, now);
+        }
+        self.apply_effects(seq, effects, now);
+    }
+
+    fn finish_call(
+        &mut self,
+        request: RequestId,
+        caller: NodeId,
+        function: &Name,
+        result: Result<Value, String>,
+        now: Micros,
+    ) {
+        if caller == self.config.node {
+            // Local caller: translate directly into a reply task.
+            let Some(call) = self.rpc.pending.remove(&request) else { return };
+            let result = result.map_err(CallError::App);
+            if result.is_err() {
+                self.stats.call_errors += 1;
+            }
+            self.push_task(
+                Priority::CALL,
+                call.caller_seq,
+                TaskPayload::DeliverReply { request, result },
+            );
+        } else {
+            let codec = self.codecs.default_codec().clone();
+            let returns = self.rpc.functions.get(function).and_then(|f| f.sig.returns.clone());
+            let msg = match result {
+                Ok(value) => match encode_result(&value, &returns, codec.as_ref()) {
+                    Ok(payload) => Message::CallReply {
+                        request,
+                        status: CallStatus::Ok,
+                        codec: codec.id().0,
+                        payload,
+                    },
+                    Err(e) => Message::CallReply {
+                        request,
+                        status: CallStatus::AppError,
+                        codec: codec.id().0,
+                        payload: Bytes::from(e.to_string().into_bytes()),
+                    },
+                },
+                Err(e) => Message::CallReply {
+                    request,
+                    status: CallStatus::AppError,
+                    codec: codec.id().0,
+                    payload: Bytes::from(e.into_bytes()),
+                },
+            };
+            self.send_reliable(caller, &msg, now);
+        }
+    }
+
+    fn set_service_state(&mut self, seq: u32, state: ServiceState, now: Micros) {
+        let name = {
+            let Some(slot) = self.slots.iter_mut().find(|s| s.seq == seq) else { return };
+            if slot.state == state {
+                return;
+            }
+            slot.state = state;
+            slot.descriptor.name().clone()
+        };
+        self.directory.apply_status(self.config.node, seq, state);
+        let msg = Message::ServiceStatus { service_seq: seq, name, state };
+        self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &msg);
+        let _ = now;
+    }
+
+    // ---- effects ---------------------------------------------------------------
+
+    fn apply_effects(&mut self, seq: u32, effects: Vec<Effect>, now: Micros) {
+        for effect in effects {
+            match effect {
+                Effect::Publish { name, value } => self.effect_publish(seq, name, value, now),
+                Effect::Emit { name, value } => self.effect_emit(seq, name, value, now),
+                Effect::Call { handle, function, args, policy } => {
+                    self.effect_call(seq, handle, function, args, policy, now)
+                }
+                Effect::PublishFile { resource, data } => {
+                    self.effect_publish_file(seq, resource, data, now)
+                }
+                Effect::SubscribeFile { resource } => {
+                    let interest = self.files.interests.entry(resource.clone()).or_default();
+                    if !interest.services.contains(&seq) {
+                        interest.services.push(seq);
+                    }
+                    self.try_local_file_bypass(&resource);
+                }
+                Effect::SetTimer { id, after, period } => {
+                    self.timer_info
+                        .insert(id.0, TimerInfo { service_seq: seq, period, cancelled: false });
+                    self.timers.push(Reverse((now + after, id.0)));
+                }
+                Effect::CancelTimer { id } => {
+                    if let Some(info) = self.timer_info.get_mut(&id.0) {
+                        info.cancelled = true;
+                    }
+                }
+                Effect::Log { line } => self.log_line(now, line),
+                Effect::SetDegraded { degraded } => {
+                    let state =
+                        if degraded { ServiceState::Degraded } else { ServiceState::Running };
+                    self.set_service_state(seq, state, now);
+                }
+                Effect::StopSelf => {
+                    self.push_task(Priority::LIFECYCLE, seq, TaskPayload::Stop);
+                }
+            }
+        }
+    }
+
+    fn effect_publish(&mut self, seq: u32, name: Name, value: Value, now: Micros) {
+        let codec = self.codecs.default_codec().clone();
+        let prepared = {
+            let Some(pv) = self.vars.published.get_mut(&name) else {
+                self.log_line(now, format!("publish to undeclared variable `{name}` dropped"));
+                return;
+            };
+            if pv.owner_seq != seq {
+                self.log_line(now, format!("publish to foreign variable `{name}` dropped"));
+                return;
+            }
+            if let Err(e) = value.conforms_to(&pv.ty) {
+                self.log_line(now, format!("publish to `{name}` violates schema: {e}"));
+                return;
+            }
+            let Ok(payload) = codec.encode_to_vec(&value, &pv.ty) else { return };
+            let payload = Bytes::from(payload);
+            pv.seq += 1;
+            pv.last = Some((payload.clone(), now));
+            (
+                payload,
+                pv.seq,
+                pv.validity_us,
+                pv.remote_subscribers.iter().copied().collect::<Vec<NodeId>>(),
+            )
+        };
+        let (payload, sample_seq, validity_us, remote_subscribers) = prepared;
+        self.stats.vars_published += 1;
+
+        // Local delivery (Fig. 2 in-container path).
+        let local = {
+            match self.vars.subscribed.get_mut(&name) {
+                Some(sub) => {
+                    if sub.accept(sample_seq, now) {
+                        Some(sub.services.clone())
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            }
+        };
+        if let Some(services) = local {
+            for svc in services {
+                self.push_task(
+                    Priority::VARIABLE,
+                    svc,
+                    TaskPayload::DeliverVariable {
+                        name: name.clone(),
+                        value: value.clone(),
+                        stamp: now,
+                        seq: sample_seq,
+                    },
+                );
+            }
+        }
+
+        let msg = Message::VarSample {
+            name: name.clone(),
+            seq: sample_seq,
+            stamp_us: now.as_micros(),
+            validity_us,
+            codec: codec.id().0,
+            payload,
+        };
+        match self.config.var_distribution {
+            VarDistribution::Multicast => {
+                self.send_message(TransportDestination::Group(var_group(&name).0), &msg);
+            }
+            VarDistribution::UnicastFanout => {
+                for node in remote_subscribers {
+                    self.send_message(TransportDestination::Node(node.0), &msg);
+                }
+            }
+        }
+    }
+
+    fn effect_emit(&mut self, seq: u32, name: Name, value: Option<Value>, now: Micros) {
+        let codec = self.codecs.default_codec().clone();
+        let info = {
+            let Some(pe) = self.events.published.get(&name) else {
+                self.log_line(now, format!("emit on undeclared event `{name}` dropped"));
+                return;
+            };
+            if pe.owner_seq != seq {
+                self.log_line(now, format!("emit on foreign event `{name}` dropped"));
+                return;
+            }
+            pe.ty.clone()
+        };
+        let payload = match (&info, &value) {
+            (Some(ty), Some(v)) => match codec.encode_to_vec(v, ty) {
+                Ok(b) => Bytes::from(b),
+                Err(e) => {
+                    self.log_line(now, format!("event `{name}` payload violates schema: {e}"));
+                    return;
+                }
+            },
+            (None, Some(_)) => {
+                self.log_line(now, format!("event `{name}` declared bare; payload dropped"));
+                Bytes::new()
+            }
+            _ => Bytes::new(),
+        };
+        let (event_seq, remote) = {
+            let pe = self.events.published.get_mut(&name).expect("checked above");
+            pe.seq += 1;
+            (pe.seq, pe.remote_subscribers.iter().copied().collect::<Vec<NodeId>>())
+        };
+        self.stats.events_published += 1;
+
+        // Local delivery.
+        let local = self.events.subscribed.get(&name).map(|s| s.services.clone());
+        if let Some(services) = local {
+            for svc in services {
+                self.push_task(
+                    Priority::EVENT,
+                    svc,
+                    TaskPayload::DeliverEvent {
+                        name: name.clone(),
+                        value: value.clone(),
+                        seq: event_seq,
+                        stamp: now,
+                    },
+                );
+            }
+        }
+        // Remote delivery over the reliable links.
+        let msg = Message::EventData {
+            name,
+            seq: event_seq,
+            stamp_us: now.as_micros(),
+            codec: codec.id().0,
+            payload,
+        };
+        for node in remote {
+            self.send_reliable(node, &msg, now);
+        }
+    }
+
+    fn effect_call(
+        &mut self,
+        seq: u32,
+        handle: CallHandle,
+        function: Name,
+        args: Vec<Value>,
+        policy: CallPolicy,
+        now: Micros,
+    ) {
+        self.stats.calls_made += 1;
+        let resolution = self
+            .directory
+            .resolve_function(function.as_str(), policy, None)
+            .map(|p| (p.service, p.provision.clone()));
+        let Some((target, Provision::Function { sig, .. })) = resolution else {
+            self.stats.call_errors += 1;
+            self.push_task(
+                Priority::CALL,
+                seq,
+                TaskPayload::DeliverReply { request: handle.0, result: Err(CallError::NoProvider) },
+            );
+            return;
+        };
+        let codec = self.codecs.default_codec().clone();
+        let payload = match encode_args(&args, &sig, codec.as_ref()) {
+            Ok(p) => p,
+            Err(e) => {
+                self.stats.call_errors += 1;
+                self.push_task(
+                    Priority::CALL,
+                    seq,
+                    TaskPayload::DeliverReply { request: handle.0, result: Err(e) },
+                );
+                return;
+            }
+        };
+        let call = PendingCall {
+            caller_seq: seq,
+            function,
+            args,
+            target,
+            returns: sig.returns.clone(),
+            deadline: now + self.config.call_timeout,
+            attempts: 1,
+            policy,
+        };
+        self.dispatch_call(handle.0, &call, payload, now);
+        self.rpc.pending.insert(handle.0, call);
+    }
+
+    fn effect_publish_file(&mut self, seq: u32, resource: Name, data: Bytes, now: Micros) {
+        let declared = self
+            .slots
+            .iter()
+            .find(|s| s.seq == seq)
+            .map(|s| {
+                s.descriptor
+                    .provides()
+                    .iter()
+                    .any(|p| matches!(p, Provision::FileResource { name } if name == &resource))
+            })
+            .unwrap_or(false);
+        if !declared {
+            self.log_line(now, format!("publish of undeclared file resource `{resource}` dropped"));
+            return;
+        }
+        self.stats.files_published += 1;
+        let announce = {
+            match self.files.outgoing.get_mut(&resource) {
+                Some(existing) => {
+                    let Ok(announce) = existing.sender.bump_revision(data.clone()) else {
+                        return;
+                    };
+                    existing.complete_notified = false;
+                    existing.last_query_at = None;
+                    announce
+                }
+                None => {
+                    let transfer = self.files.alloc_transfer();
+                    let Ok(sender) = FileSender::new(
+                        transfer,
+                        resource.clone(),
+                        1,
+                        data.clone(),
+                        self.config.chunk_size,
+                        file_group(&resource),
+                    ) else {
+                        return;
+                    };
+                    let announce = sender.announce();
+                    self.files.transfer_index.insert(transfer, resource.clone());
+                    self.files.outgoing.insert(
+                        resource.clone(),
+                        OutgoingFile {
+                            sender,
+                            owner_seq: seq,
+                            last_query_at: None,
+                            complete_notified: false,
+                        },
+                    );
+                    announce
+                }
+            }
+        };
+        self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &announce);
+        self.try_local_file_bypass(&resource);
+    }
+
+    /// Same-node bypass (§4.4): interested local services get the data
+    /// directly, no transfer ("the transfer is bypassed by the container as
+    /// direct access to the resource").
+    fn try_local_file_bypass(&mut self, resource: &Name) {
+        let prepared = {
+            let Some(out) = self.files.outgoing.get(resource) else { return };
+            let revision = out.sender.revision();
+            let data = out.sender.data();
+            let Some(interest) = self.files.interests.get_mut(resource) else { return };
+            if interest.completed_revision == Some(revision) || interest.services.is_empty() {
+                return;
+            }
+            interest.completed_revision = Some(revision);
+            (revision, data, interest.services.clone())
+        };
+        let (revision, data, services) = prepared;
+        for svc in services {
+            self.push_task(
+                Priority::FILE,
+                svc,
+                TaskPayload::FileBypass { resource: resource.clone(), revision, data: data.clone() },
+            );
+        }
+    }
+
+    // ---- output helpers -----------------------------------------------------
+
+    fn send_reliable(&mut self, peer: NodeId, msg: &Message, now: Micros) {
+        let tagged = msg.encode_tagged();
+        let out = {
+            let link =
+                self.links.entry(peer).or_insert_with(|| ReliableLink::new(peer, self.config.arq));
+            link.send(tagged, now)
+        };
+        for m in out {
+            self.send_message(TransportDestination::Node(peer.0), &m);
+        }
+    }
+
+    fn send_message(&mut self, dest: TransportDestination, msg: &Message) {
+        let payload = msg.encode_payload();
+        let mtu = self.transport.mtu();
+        if payload.len() + marea_protocol::FRAME_HEADER_LEN <= mtu {
+            let frame = Frame::new(self.config.node, msg.kind(), payload);
+            let wire = frame.encode();
+            self.stats.frames_out += 1;
+            self.stats.bytes_out += wire.len() as u64;
+            let _ = self.transport.send(dest, wire);
+        } else {
+            // Fragment the tagged encoding.
+            self.next_msg_id += 1;
+            let tagged = msg.encode_tagged();
+            let budget = mtu.saturating_sub(96).max(128);
+            let Ok(frags) = fragment_payload(self.next_msg_id, &tagged, budget) else {
+                return;
+            };
+            for frag in frags {
+                let frame = Frame::new(self.config.node, frag.kind(), frag.encode_payload());
+                let wire = frame.encode();
+                self.stats.frames_out += 1;
+                self.stats.bytes_out += wire.len() as u64;
+                let _ = self.transport.send(dest, wire);
+            }
+        }
+    }
+
+    fn log_line(&mut self, now: Micros, line: String) {
+        if self.log.len() >= self.config.log_capacity {
+            self.log.pop_front();
+        }
+        self.log.push_back((now, line));
+    }
+}
+
+/// Stable group id for a variable's multicast group.
+pub(crate) fn var_group(name: &Name) -> GroupId {
+    GroupId(1 + (fnv1a(name.as_str().as_bytes()) & 0x3FFF_FFFE))
+}
+
+/// Stable group id for a file resource's multicast group.
+pub(crate) fn file_group(name: &Name) -> GroupId {
+    GroupId(0x4000_0000 | (fnv1a(name.as_str().as_bytes()) & 0x3FFF_FFFF))
+}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}

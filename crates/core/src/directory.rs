@@ -1,0 +1,428 @@
+//! Name management: the distributed directory and proxy cache.
+//!
+//! Paper §3: *"The services are addressed by name, and the Service Container
+//! discovers the real location in the network of the named service ... In
+//! case of service malfunctioning, it is also the container responsibility
+//! to notify the other containers in the domain and to choose another
+//! provider service if it is available. In this way, the containers are able
+//! to clear and update their caches. From the name management point of view,
+//! the Service Container acts as a proxy cache for the services it
+//! contains."*
+//!
+//! Every container owns a [`Directory`] fed by `Hello`/`Announce`/
+//! `ServiceStatus`/`Heartbeat`/`Bye` traffic. Lookups resolve provision
+//! names to live providers; node death (heartbeat timeout or `Bye`) purges
+//! everything learned from that node — the cache invalidation the paper
+//! describes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use marea_presentation::Name;
+use marea_protocol::messages::{AnnounceEntry, Provision, ServiceState};
+use marea_protocol::{Micros, NodeId, ProtoDuration, ServiceId};
+
+use crate::service::CallPolicy;
+
+/// One provider of a named provision.
+#[derive(Debug, Clone)]
+pub struct ProviderInfo {
+    /// The providing service instance.
+    pub service: ServiceId,
+    /// The providing service's name.
+    pub service_name: Name,
+    /// Lifecycle state last advertised.
+    pub state: ServiceState,
+    /// The provision as announced (schema, QoS, signature).
+    pub provision: Provision,
+}
+
+/// Liveness record of a remote (or the local) node.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// Container name advertised in `Hello`.
+    pub container: Name,
+    /// Restart counter.
+    pub incarnation: u64,
+    /// Last heartbeat (or any control message) receive time.
+    pub last_seen: Micros,
+    /// Advertised scheduler load (permille).
+    pub load_permille: u16,
+}
+
+/// The per-container name directory / proxy cache.
+#[derive(Debug, Default)]
+pub struct Directory {
+    providers: BTreeMap<Name, Vec<ProviderInfo>>,
+    nodes: HashMap<NodeId, NodeInfo>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Records a node `Hello` (new or rebooted container).
+    ///
+    /// A higher incarnation than previously known wipes the node's cached
+    /// provisions: they belong to the previous life.
+    pub fn apply_hello(&mut self, node: NodeId, container: Name, incarnation: u64, now: Micros) {
+        let stale = self
+            .nodes
+            .get(&node)
+            .map(|n| n.incarnation < incarnation)
+            .unwrap_or(false);
+        if stale {
+            self.purge_node(node);
+        }
+        self.nodes.insert(node, NodeInfo { container, incarnation, last_seen: now, load_permille: 0 });
+    }
+
+    /// Records a heartbeat.
+    pub fn apply_heartbeat(&mut self, node: NodeId, incarnation: u64, load_permille: u16, now: Micros) {
+        match self.nodes.get_mut(&node) {
+            Some(info) if info.incarnation == incarnation => {
+                info.last_seen = now;
+                info.load_permille = load_permille;
+            }
+            Some(info) if info.incarnation < incarnation => {
+                // Missed the Hello of a reboot: resync.
+                let container = info.container.clone();
+                self.purge_node(node);
+                self.nodes.insert(
+                    node,
+                    NodeInfo { container, incarnation, last_seen: now, load_permille },
+                );
+            }
+            Some(_) => {} // stale heartbeat from an old incarnation
+            None => {
+                // Heartbeat before Hello (lost datagram): create a minimal
+                // record so liveness tracking works; Announce will fill it.
+                self.nodes.insert(
+                    node,
+                    NodeInfo {
+                        container: Name::new("unknown").expect("literal"),
+                        incarnation,
+                        last_seen: now,
+                        load_permille,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Replaces everything known about `node`'s services with an announce.
+    pub fn apply_announce(&mut self, node: NodeId, entries: &[AnnounceEntry], now: Micros) {
+        self.purge_node_providers(node);
+        if let Some(info) = self.nodes.get_mut(&node) {
+            info.last_seen = now;
+        }
+        for entry in entries {
+            for provision in &entry.provides {
+                self.providers.entry(provision.name().clone()).or_default().push(ProviderInfo {
+                    service: ServiceId::new(node, entry.service_seq),
+                    service_name: entry.name.clone(),
+                    state: entry.state,
+                    provision: provision.clone(),
+                });
+            }
+        }
+        // Deterministic resolution order.
+        for list in self.providers.values_mut() {
+            list.sort_by_key(|p| (p.service.node, p.service.seq));
+        }
+    }
+
+    /// Applies a single service state change.
+    pub fn apply_status(&mut self, node: NodeId, service_seq: u32, state: ServiceState) {
+        let id = ServiceId::new(node, service_seq);
+        for list in self.providers.values_mut() {
+            for p in list.iter_mut() {
+                if p.service == id {
+                    p.state = state;
+                }
+            }
+        }
+    }
+
+    /// Handles a graceful `Bye`: immediate purge.
+    pub fn apply_bye(&mut self, node: NodeId) {
+        self.purge_node(node);
+    }
+
+    /// Drops nodes silent for longer than `timeout`; returns who died.
+    ///
+    /// This is the failure-detection sweep: every returned node's cached
+    /// provisions were purged ("the containers are able to clear and update
+    /// their caches").
+    pub fn expire(&mut self, now: Micros, timeout: ProtoDuration) -> Vec<NodeId> {
+        let dead: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, info)| now.saturating_since(info.last_seen) >= timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        for node in &dead {
+            self.purge_node(*node);
+        }
+        dead
+    }
+
+    fn purge_node(&mut self, node: NodeId) {
+        self.nodes.remove(&node);
+        self.purge_node_providers(node);
+    }
+
+    fn purge_node_providers(&mut self, node: NodeId) {
+        for list in self.providers.values_mut() {
+            list.retain(|p| p.service.node != node);
+        }
+        self.providers.retain(|_, list| !list.is_empty());
+    }
+
+    /// `true` while the node is considered alive.
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.nodes.contains_key(&node)
+    }
+
+    /// Liveness record for a node.
+    pub fn node(&self, node: NodeId) -> Option<&NodeInfo> {
+        self.nodes.get(&node)
+    }
+
+    /// All known nodes in id order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Every *available* provider of `name` (any provision kind), in
+    /// deterministic order.
+    pub fn providers(&self, name: &str) -> Vec<&ProviderInfo> {
+        self.providers
+            .get(name)
+            .map(|list| {
+                list.iter()
+                    .filter(|p| p.state.is_available() && self.node_alive(p.service.node))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Resolves a *function* provider under a call policy.
+    ///
+    /// Dynamic policy picks the lowest-load node ("runtime information can
+    /// be used to redirect calls ... load balancing techniques are used",
+    /// §4.3), tie-broken by node id. `exclude` skips a provider that just
+    /// failed (failover re-resolution).
+    pub fn resolve_function(
+        &self,
+        name: &str,
+        policy: CallPolicy,
+        exclude: Option<ServiceId>,
+    ) -> Option<&ProviderInfo> {
+        let candidates: Vec<&ProviderInfo> = self
+            .providers(name)
+            .into_iter()
+            .filter(|p| matches!(p.provision, Provision::Function { .. }))
+            .filter(|p| Some(p.service) != exclude)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        if let CallPolicy::PreferNode(node) = policy {
+            if let Some(p) = candidates.iter().find(|p| p.service.node == node) {
+                return Some(p);
+            }
+        }
+        candidates
+            .into_iter()
+            .min_by_key(|p| {
+                let load = self.nodes.get(&p.service.node).map(|n| n.load_permille).unwrap_or(0);
+                (load, p.service.node, p.service.seq)
+            })
+    }
+
+    /// Resolves the provider of a *variable*, returning its announced QoS.
+    pub fn resolve_variable(&self, name: &str) -> Option<&ProviderInfo> {
+        self.providers(name)
+            .into_iter()
+            .find(|p| matches!(p.provision, Provision::Variable { .. }))
+    }
+
+    /// Resolves the provider of an *event channel*.
+    pub fn resolve_event(&self, name: &str) -> Option<&ProviderInfo> {
+        self.providers(name)
+            .into_iter()
+            .find(|p| matches!(p.provision, Provision::Event { .. }))
+    }
+
+    /// Resolves the provider of a *file resource*.
+    pub fn resolve_file(&self, name: &str) -> Option<&ProviderInfo> {
+        self.providers(name)
+            .into_iter()
+            .find(|p| matches!(p.provision, Provision::FileResource { .. }))
+    }
+
+    /// Number of distinct provision names known.
+    pub fn provision_count(&self) -> usize {
+        self.providers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marea_presentation::DataType;
+    use marea_protocol::messages::FunctionSig;
+
+    fn name(s: &str) -> Name {
+        Name::new(s).unwrap()
+    }
+
+    fn announce_storage(seq: u32) -> AnnounceEntry {
+        AnnounceEntry {
+            service_seq: seq,
+            name: name("storage"),
+            state: ServiceState::Running,
+            provides: vec![Provision::Function {
+                name: name("storage/store"),
+                sig: FunctionSig { params: vec![DataType::Str], returns: Some(DataType::Bool) },
+            }],
+        }
+    }
+
+    fn dir_with_two_storages() -> Directory {
+        let mut d = Directory::new();
+        d.apply_hello(NodeId(2), name("n2"), 1, Micros(0));
+        d.apply_hello(NodeId(3), name("n3"), 1, Micros(0));
+        d.apply_announce(NodeId(2), &[announce_storage(1)], Micros(0));
+        d.apply_announce(NodeId(3), &[announce_storage(1)], Micros(0));
+        d
+    }
+
+    #[test]
+    fn resolve_prefers_low_load() {
+        let mut d = dir_with_two_storages();
+        d.apply_heartbeat(NodeId(2), 1, 800, Micros(1));
+        d.apply_heartbeat(NodeId(3), 1, 100, Micros(1));
+        let p = d.resolve_function("storage/store", CallPolicy::Dynamic, None).unwrap();
+        assert_eq!(p.service.node, NodeId(3), "lower load wins");
+    }
+
+    #[test]
+    fn resolve_static_pin_and_fallback() {
+        let mut d = dir_with_two_storages();
+        let p = d
+            .resolve_function("storage/store", CallPolicy::PreferNode(NodeId(3)), None)
+            .unwrap();
+        assert_eq!(p.service.node, NodeId(3));
+        // Pinned node dies: falls back to the survivor.
+        d.apply_bye(NodeId(3));
+        let p = d
+            .resolve_function("storage/store", CallPolicy::PreferNode(NodeId(3)), None)
+            .unwrap();
+        assert_eq!(p.service.node, NodeId(2));
+    }
+
+    #[test]
+    fn exclude_skips_failed_provider() {
+        let d = dir_with_two_storages();
+        let first = d.resolve_function("storage/store", CallPolicy::Dynamic, None).unwrap();
+        let second = d
+            .resolve_function("storage/store", CallPolicy::Dynamic, Some(first.service))
+            .unwrap();
+        assert_ne!(first.service, second.service);
+    }
+
+    #[test]
+    fn heartbeat_timeout_purges_cache() {
+        let mut d = dir_with_two_storages();
+        d.apply_heartbeat(NodeId(2), 1, 0, Micros::from_millis(900));
+        // Node 3 silent since t=0; node 2 heartbeated at 900ms.
+        let dead = d.expire(Micros::from_millis(2100), ProtoDuration::from_secs(2));
+        assert_eq!(dead, vec![NodeId(3)]);
+        assert!(!d.node_alive(NodeId(3)));
+        let remaining = d.providers("storage/store");
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].service.node, NodeId(2));
+    }
+
+    #[test]
+    fn bye_is_immediate_purge() {
+        let mut d = dir_with_two_storages();
+        d.apply_bye(NodeId(2));
+        assert!(!d.node_alive(NodeId(2)));
+        assert_eq!(d.providers("storage/store").len(), 1);
+    }
+
+    #[test]
+    fn status_change_hides_provider() {
+        let mut d = dir_with_two_storages();
+        d.apply_status(NodeId(2), 1, ServiceState::Failed);
+        let ps = d.providers("storage/store");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].service.node, NodeId(3));
+        // Degraded still counts as available (degraded mode, §4.3).
+        d.apply_status(NodeId(3), 1, ServiceState::Degraded);
+        assert_eq!(d.providers("storage/store").len(), 1);
+    }
+
+    #[test]
+    fn reboot_wipes_previous_incarnation() {
+        let mut d = dir_with_two_storages();
+        assert_eq!(d.providers("storage/store").len(), 2);
+        // Node 2 reboots with incarnation 2 and announces nothing yet.
+        d.apply_hello(NodeId(2), name("n2"), 2, Micros(100));
+        assert_eq!(d.providers("storage/store").len(), 1);
+        assert!(d.node_alive(NodeId(2)));
+    }
+
+    #[test]
+    fn heartbeat_before_hello_creates_record() {
+        let mut d = Directory::new();
+        d.apply_heartbeat(NodeId(9), 1, 250, Micros(5));
+        assert!(d.node_alive(NodeId(9)));
+        assert_eq!(d.node(NodeId(9)).unwrap().load_permille, 250);
+    }
+
+    #[test]
+    fn re_announce_replaces_not_duplicates() {
+        let mut d = Directory::new();
+        d.apply_hello(NodeId(2), name("n2"), 1, Micros(0));
+        d.apply_announce(NodeId(2), &[announce_storage(1)], Micros(0));
+        d.apply_announce(NodeId(2), &[announce_storage(1)], Micros(1));
+        assert_eq!(d.providers("storage/store").len(), 1);
+    }
+
+    #[test]
+    fn kind_filters_apply() {
+        let mut d = Directory::new();
+        d.apply_hello(NodeId(2), name("n2"), 1, Micros(0));
+        d.apply_announce(
+            NodeId(2),
+            &[AnnounceEntry {
+                service_seq: 1,
+                name: name("gps"),
+                state: ServiceState::Running,
+                provides: vec![
+                    Provision::Variable {
+                        name: name("gps/position"),
+                        ty: DataType::F64,
+                        period_us: 50_000,
+                        validity_us: 100_000,
+                    },
+                    Provision::Event { name: name("gps/fix-lost"), ty: None },
+                    Provision::FileResource { name: name("gps/almanac") },
+                ],
+            }],
+            Micros(0),
+        );
+        assert!(d.resolve_variable("gps/position").is_some());
+        assert!(d.resolve_event("gps/fix-lost").is_some());
+        assert!(d.resolve_file("gps/almanac").is_some());
+        assert!(d.resolve_function("gps/position", CallPolicy::Dynamic, None).is_none());
+        assert_eq!(d.provision_count(), 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! Event primitive bookkeeping (paper §4.2).
+
+use std::collections::{BTreeSet, HashMap};
+
+use marea_presentation::{DataType, Name};
+use marea_protocol::{NodeId, ServiceId};
+
+/// Publisher-side state of one declared event channel.
+#[derive(Debug)]
+pub(crate) struct PublishedEvent {
+    /// Declaring local service.
+    pub owner_seq: u32,
+    /// Payload schema (`None` = bare events).
+    pub ty: Option<DataType>,
+    /// Next event sequence number on this channel.
+    pub seq: u64,
+    /// Remote nodes with at least one subscriber; each gets a reliable
+    /// copy of every event.
+    pub remote_subscribers: BTreeSet<NodeId>,
+}
+
+/// Subscriber-side state of one event channel.
+#[derive(Debug)]
+pub(crate) struct SubscribedEvent {
+    /// Local services subscribed.
+    pub services: Vec<u32>,
+    /// Resolved provider.
+    pub provider: Option<ServiceId>,
+    /// Payload schema learned from the announcement.
+    pub ty: Option<DataType>,
+    /// SubscribeEvent was sent to the current provider.
+    pub subscribe_sent: bool,
+}
+
+impl SubscribedEvent {
+    pub fn new() -> Self {
+        SubscribedEvent { services: Vec::new(), provider: None, ty: None, subscribe_sent: false }
+    }
+
+    /// Drops the provider binding for re-resolution.
+    pub fn unbind(&mut self) {
+        self.provider = None;
+        self.subscribe_sent = false;
+        self.ty = None;
+    }
+}
+
+/// All event state of one container.
+#[derive(Debug, Default)]
+pub(crate) struct EventEngine {
+    pub published: HashMap<Name, PublishedEvent>,
+    pub subscribed: HashMap<Name, SubscribedEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribe_lifecycle() {
+        let mut s = SubscribedEvent::new();
+        assert!(s.provider.is_none());
+        s.provider = Some(ServiceId::new(NodeId(1), 1));
+        s.subscribe_sent = true;
+        s.ty = Some(DataType::U8);
+        s.unbind();
+        assert!(s.provider.is_none());
+        assert!(!s.subscribe_sent);
+        assert!(s.ty.is_none());
+    }
+}

@@ -1,0 +1,11 @@
+//! State engines for the four communication primitives.
+//!
+//! Each engine owns the bookkeeping of one primitive; the
+//! [`ServiceContainer`](crate::ServiceContainer) orchestrates them —
+//! engines never touch the transport or the scheduler directly, which
+//! keeps them unit-testable in isolation.
+
+pub(crate) mod events;
+pub(crate) mod files;
+pub(crate) mod rpc;
+pub(crate) mod vars;

@@ -1,0 +1,256 @@
+//! Variable primitive bookkeeping (paper §4.1).
+
+use std::collections::{BTreeSet, HashMap};
+
+use bytes::Bytes;
+
+use marea_presentation::{DataType, Name};
+use marea_protocol::{Micros, NodeId, ServiceId};
+
+/// Publisher-side state of one declared variable.
+#[derive(Debug)]
+pub(crate) struct PublishedVar {
+    /// Declaring local service (per-node sequence).
+    pub owner_seq: u32,
+    /// Declared schema.
+    pub ty: DataType,
+    /// Validity window in µs.
+    pub validity_us: u64,
+    /// Next sample sequence number.
+    pub seq: u64,
+    /// Last published sample (encoded payload, production stamp) — served
+    /// to new subscribers as the guaranteed initial value while still
+    /// valid.
+    pub last: Option<(Bytes, Micros)>,
+    /// Remote nodes that subscribed (bookkeeping/diagnostics only; samples
+    /// go to the multicast group regardless).
+    pub remote_subscribers: BTreeSet<NodeId>,
+}
+
+impl PublishedVar {
+    /// `true` while the last sample is within its validity window.
+    pub fn last_is_valid(&self, now: Micros) -> bool {
+        match &self.last {
+            Some((_, stamp)) => now.saturating_since(*stamp).as_micros() <= self.validity_us,
+            None => false,
+        }
+    }
+}
+
+/// Subscriber-side state of one variable.
+#[derive(Debug)]
+pub(crate) struct SubscribedVar {
+    /// Local services subscribed (service sequences).
+    pub services: Vec<u32>,
+    /// Whether an initial value was requested.
+    pub need_initial: bool,
+    /// Resolved provider, if discovery succeeded.
+    pub provider: Option<ServiceId>,
+    /// Expected period learned from the provider's announcement (µs).
+    pub period_us: u64,
+    /// Validity window learned from the announcement (µs).
+    pub validity_us: u64,
+    /// Sample schema learned from the announcement.
+    pub ty: Option<DataType>,
+    /// Last sample receive time.
+    pub last_rx: Option<Micros>,
+    /// Time the subscription was wired (deadline baseline before the first
+    /// sample).
+    pub since: Option<Micros>,
+    /// Highest sample sequence seen.
+    pub last_seq: Option<u64>,
+    /// A timeout warning has been raised and no sample seen since.
+    pub timed_out: bool,
+    /// SubscribeVar was sent to the current provider.
+    pub subscribe_sent: bool,
+}
+
+impl SubscribedVar {
+    pub fn new(need_initial: bool) -> Self {
+        SubscribedVar {
+            services: Vec::new(),
+            need_initial,
+            provider: None,
+            period_us: 0,
+            validity_us: 0,
+            ty: None,
+            last_rx: None,
+            since: None,
+            last_seq: None,
+            timed_out: false,
+            subscribe_sent: false,
+        }
+    }
+
+    /// Deadline used for the loss warning: three nominal periods without a
+    /// sample ("the service container will warn of this timeout
+    /// circumstance to the affected services", §4.1).
+    pub fn deadline_us(&self) -> Option<u64> {
+        if self.period_us == 0 {
+            None // aperiodic variables have no deadline
+        } else {
+            Some(self.period_us.saturating_mul(3))
+        }
+    }
+
+    /// Checks whether the deadline has been missed at `now`.
+    pub fn deadline_missed(&self, now: Micros) -> bool {
+        if self.timed_out || self.provider.is_none() {
+            return false;
+        }
+        let Some(deadline) = self.deadline_us() else { return false };
+        let anchor = match (self.last_rx, self.since) {
+            (Some(rx), _) => rx,
+            (None, Some(s)) => s,
+            (None, None) => return false,
+        };
+        now.saturating_since(anchor).as_micros() > deadline
+    }
+
+    /// Records a sample arrival; returns `false` when the sample must be
+    /// dropped as old (sequence regression / duplicate).
+    pub fn accept(&mut self, seq: u64, now: Micros) -> bool {
+        if let Some(last) = self.last_seq {
+            if seq <= last {
+                return false;
+            }
+        }
+        self.last_seq = Some(seq);
+        self.last_rx = Some(now);
+        self.timed_out = false;
+        true
+    }
+
+    /// Resets provider binding (provider lost); subscription will be
+    /// re-resolved against the directory.
+    pub fn unbind(&mut self) {
+        self.provider = None;
+        self.subscribe_sent = false;
+        self.ty = None;
+        // Do not clear last_seq: a *new* provider instance restarts
+        // numbering, so clear it after rebinding instead.
+    }
+
+    /// Binds to a (new) provider.
+    pub fn bind(&mut self, provider: ServiceId, period_us: u64, validity_us: u64, ty: DataType, now: Micros) {
+        let changed = self.provider != Some(provider);
+        self.provider = Some(provider);
+        self.period_us = period_us;
+        self.validity_us = validity_us;
+        self.ty = Some(ty);
+        self.since = Some(now);
+        self.timed_out = false;
+        if changed {
+            self.last_seq = None; // new publisher numbers from scratch
+        }
+    }
+}
+
+/// All variable state of one container.
+#[derive(Debug, Default)]
+pub(crate) struct VarEngine {
+    pub published: HashMap<Name, PublishedVar>,
+    pub subscribed: HashMap<Name, SubscribedVar>,
+}
+
+impl VarEngine {
+    /// Variables whose deadline has been missed at `now` (marks them
+    /// warned).
+    pub fn sweep_deadlines(&mut self, now: Micros) -> Vec<Name> {
+        let mut out = Vec::new();
+        for (name, sub) in self.subscribed.iter_mut() {
+            if sub.deadline_missed(now) {
+                sub.timed_out = true;
+                out.push(name.clone());
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub() -> SubscribedVar {
+        let mut s = SubscribedVar::new(true);
+        s.bind(
+            ServiceId::new(NodeId(2), 1),
+            50_000,
+            200_000,
+            DataType::F64,
+            Micros::ZERO,
+        );
+        s
+    }
+
+    #[test]
+    fn sequence_regression_dropped() {
+        let mut s = sub();
+        assert!(s.accept(5, Micros(1)));
+        assert!(!s.accept(5, Micros(2)), "duplicate");
+        assert!(!s.accept(3, Micros(3)), "regression");
+        assert!(s.accept(6, Micros(4)));
+    }
+
+    #[test]
+    fn deadline_uses_three_periods() {
+        let mut s = sub();
+        assert!(!s.deadline_missed(Micros(100_000)), "2 periods: fine");
+        assert!(s.deadline_missed(Micros(200_000)), "4 periods: missed");
+        s.timed_out = true;
+        assert!(!s.deadline_missed(Micros(300_000)), "warn once");
+        // A new sample resets the warning.
+        assert!(s.accept(1, Micros(300_000)));
+        assert!(!s.timed_out);
+    }
+
+    #[test]
+    fn aperiodic_has_no_deadline() {
+        let mut s = SubscribedVar::new(false);
+        s.bind(ServiceId::new(NodeId(2), 1), 0, 0, DataType::Bool, Micros::ZERO);
+        assert_eq!(s.deadline_us(), None);
+        assert!(!s.deadline_missed(Micros::from_secs(100)));
+    }
+
+    #[test]
+    fn rebind_resets_sequence_tracking() {
+        let mut s = sub();
+        s.accept(100, Micros(1));
+        s.unbind();
+        s.bind(ServiceId::new(NodeId(3), 1), 50_000, 200_000, DataType::F64, Micros(2));
+        assert!(s.accept(1, Micros(3)), "new provider numbers from scratch");
+    }
+
+    #[test]
+    fn published_validity() {
+        let mut p = PublishedVar {
+            owner_seq: 1,
+            ty: DataType::F64,
+            validity_us: 100_000,
+            seq: 0,
+            last: None,
+            remote_subscribers: BTreeSet::new(),
+        };
+        assert!(!p.last_is_valid(Micros::ZERO));
+        p.last = Some((Bytes::from_static(b"x"), Micros(50_000)));
+        assert!(p.last_is_valid(Micros(100_000)));
+        assert!(!p.last_is_valid(Micros(200_000)));
+    }
+
+    #[test]
+    fn sweep_marks_and_sorts() {
+        let mut e = VarEngine::default();
+        let mut a = sub();
+        a.since = Some(Micros::ZERO);
+        let mut b = sub();
+        b.since = Some(Micros::ZERO);
+        e.subscribed.insert(Name::new("zvar").unwrap(), a);
+        e.subscribed.insert(Name::new("avar").unwrap(), b);
+        let warned = e.sweep_deadlines(Micros::from_secs(1));
+        assert_eq!(warned.len(), 2);
+        assert!(warned[0] < warned[1]);
+        assert!(e.sweep_deadlines(Micros::from_secs(2)).is_empty(), "warn once");
+    }
+}

@@ -1,0 +1,204 @@
+//! Drivers: the deterministic simulation harness and the wall-clock driver.
+
+use std::collections::HashMap;
+
+use marea_netsim::{NetConfig, SimNet};
+use marea_protocol::{Micros, NodeId, ProtoDuration};
+use marea_transport::SimLanTransport;
+
+use crate::clock::{Clock, SystemClock};
+use crate::container::{ContainerConfig, ServiceContainer};
+use crate::service::Service;
+
+/// Drives a fleet of containers over a simulated LAN on virtual time.
+///
+/// Every container is ticked at a fixed cadence while the network delivers
+/// datagrams in between — the same seed always reproduces the same run,
+/// which is what makes the integration tests and benches exact.
+///
+/// # Examples
+///
+/// ```
+/// use marea_core::{ContainerConfig, SimHarness};
+/// use marea_netsim::NetConfig;
+/// use marea_protocol::NodeId;
+///
+/// let mut h = SimHarness::new(NetConfig::default());
+/// h.add_container(ContainerConfig::new("fcs", NodeId(1)));
+/// h.add_container(ContainerConfig::new("payload", NodeId(2)));
+/// h.start_all();
+/// h.run_for_millis(50);
+/// assert!(h.container(NodeId(1)).unwrap().directory().node_alive(NodeId(2)));
+/// ```
+#[derive(Debug)]
+pub struct SimHarness {
+    net: SimNet,
+    containers: HashMap<NodeId, ServiceContainer>,
+    order: Vec<NodeId>,
+    tick_us: u64,
+    now_us: u64,
+}
+
+impl SimHarness {
+    /// Creates a harness over a fresh simulated network.
+    pub fn new(net_config: NetConfig) -> Self {
+        SimHarness {
+            net: SimNet::new(net_config),
+            containers: HashMap::new(),
+            order: Vec::new(),
+            tick_us: 1_000,
+            now_us: 0,
+        }
+    }
+
+    /// Changes the container tick cadence (default 1 ms).
+    pub fn set_tick_us(&mut self, tick_us: u64) {
+        self.tick_us = tick_us.max(1);
+    }
+
+    /// The underlying simulated network (for fault injection and stats).
+    pub fn network(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Micros {
+        Micros(self.now_us)
+    }
+
+    /// Adds a container attached to the simulated LAN.
+    pub fn add_container(&mut self, config: ContainerConfig) -> NodeId {
+        let node = config.node;
+        let transport = SimLanTransport::attach(&self.net, node.0);
+        let container = ServiceContainer::new(config, Box::new(transport));
+        self.containers.insert(node, container);
+        self.order.push(node);
+        node
+    }
+
+    /// Adds a service to the container on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is unknown or the service collides with an
+    /// existing one — harness wiring errors are programming errors.
+    pub fn add_service(&mut self, node: NodeId, service: Box<dyn Service>) {
+        self.containers
+            .get_mut(&node)
+            .expect("node registered with add_container")
+            .add_service(service)
+            .expect("service registration");
+    }
+
+    /// Starts every container at the current virtual time.
+    pub fn start_all(&mut self) {
+        let now = Micros(self.now_us);
+        for node in &self.order {
+            self.containers.get_mut(node).expect("present").start(now);
+        }
+    }
+
+    /// Immutable access to a container.
+    pub fn container(&self, node: NodeId) -> Option<&ServiceContainer> {
+        self.containers.get(&node)
+    }
+
+    /// Mutable access to a container.
+    pub fn container_mut(&mut self, node: NodeId) -> Option<&mut ServiceContainer> {
+        self.containers.get_mut(&node)
+    }
+
+    /// Crashes a node: the container disappears without a `Bye` and its
+    /// network endpoint is removed (failover experiments, C6).
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.containers.remove(&node);
+        self.order.retain(|n| *n != node);
+        self.net.remove_node(node.0);
+    }
+
+    /// Gracefully stops one node (emits `Bye`).
+    pub fn stop_node(&mut self, node: NodeId) {
+        if let Some(c) = self.containers.get_mut(&node) {
+            c.stop(Micros(self.now_us));
+        }
+    }
+
+    /// Advances virtual time by one tick: delivers due datagrams, then
+    /// ticks every container in registration order.
+    pub fn step(&mut self) {
+        self.now_us += self.tick_us;
+        self.net.advance_to(self.now_us);
+        let now = Micros(self.now_us);
+        for node in &self.order {
+            if let Some(c) = self.containers.get_mut(node) {
+                c.tick(now);
+            }
+        }
+    }
+
+    /// Runs until virtual time `t_us`.
+    pub fn run_until_us(&mut self, t_us: u64) {
+        while self.now_us < t_us {
+            self.step();
+        }
+    }
+
+    /// Runs for an additional `ms` milliseconds of virtual time.
+    pub fn run_for_millis(&mut self, ms: u64) {
+        let target = self.now_us + ms * 1_000;
+        self.run_until_us(target);
+    }
+
+    /// Runs for an additional duration of virtual time.
+    pub fn run_for(&mut self, d: ProtoDuration) {
+        let target = self.now_us + d.as_micros();
+        self.run_until_us(target);
+    }
+}
+
+/// Drives one container against the wall clock (for the UDP transport and
+/// interactive examples).
+#[derive(Debug)]
+pub struct RealtimeDriver {
+    container: ServiceContainer,
+    clock: SystemClock,
+    tick: std::time::Duration,
+}
+
+impl RealtimeDriver {
+    /// Wraps a container; `tick` is the polling cadence (1 ms is typical).
+    pub fn new(container: ServiceContainer, tick: std::time::Duration) -> Self {
+        RealtimeDriver { container, clock: SystemClock::new(), tick }
+    }
+
+    /// Starts the container at the current wall time.
+    pub fn start(&mut self) {
+        let now = self.clock.now();
+        self.container.start(now);
+    }
+
+    /// Runs the tick loop for `duration`, sleeping between ticks.
+    pub fn run_for(&mut self, duration: std::time::Duration) {
+        let deadline = std::time::Instant::now() + duration;
+        while std::time::Instant::now() < deadline {
+            self.container.tick(self.clock.now());
+            std::thread::sleep(self.tick);
+        }
+    }
+
+    /// Stops the container.
+    pub fn stop(&mut self) {
+        let now = self.clock.now();
+        self.container.stop(now);
+    }
+
+    /// Access to the wrapped container.
+    pub fn container(&self) -> &ServiceContainer {
+        &self.container
+    }
+
+    /// Mutable access to the wrapped container.
+    pub fn container_mut(&mut self) -> &mut ServiceContainer {
+        &mut self.container
+    }
+}

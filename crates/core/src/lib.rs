@@ -1,0 +1,91 @@
+//! # marea-core — the MAREA service container and communication primitives
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (López et al., *A Middleware Architecture for Unmanned Aircraft
+//! Avionics*, Middleware 2007): a per-node **service container** that hosts
+//! *services* and gives them exactly four communication primitives —
+//!
+//! * **variables** — best-effort periodic pub/sub with validity and
+//!   guaranteed-initial-value QoS (§4.1);
+//! * **events** — reliable pub/sub over an application-layer ARQ (§4.2);
+//! * **remote invocation** — point-to-point calls with static/dynamic
+//!   provider binding, load balancing and transparent failover (§4.3);
+//! * **file transmission** — MFTP-style reliable multicast bulk transfer
+//!   with revisions, late join and a same-node bypass (§4.4);
+//!
+//! plus the container duties of §3: *service management* (lifecycle, panic
+//! watchdog, status broadcasting), *name management* (the
+//! [`Directory`] proxy cache with failure invalidation), *network
+//! management* (services never touch the transport) and *resource
+//! management* (bounded per-tick execution budgets, bounded queues).
+//!
+//! Services implement the [`Service`] trait and interact only through
+//! [`ServiceContext`]; the container is driven by
+//! [`ServiceContainer::tick`] from either the deterministic
+//! [`SimHarness`] or the wall-clock [`RealtimeDriver`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use marea_core::{ContainerConfig, Service, ServiceContext, ServiceDescriptor, SimHarness};
+//! use marea_netsim::NetConfig;
+//! use marea_presentation::{DataType, Name, Value};
+//! use marea_protocol::{Micros, NodeId, ProtoDuration};
+//!
+//! struct Beacon;
+//! impl Service for Beacon {
+//!     fn descriptor(&self) -> ServiceDescriptor {
+//!         ServiceDescriptor::builder("beacon")
+//!             .variable("beacon/count", DataType::U64,
+//!                 ProtoDuration::from_millis(10), ProtoDuration::from_millis(100))
+//!             .build()
+//!     }
+//!     fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+//!         ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
+//!     }
+//!     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: marea_core::TimerId) {
+//!         ctx.publish("beacon/count", ctx.now().as_micros());
+//!     }
+//! }
+//!
+//! let mut h = SimHarness::new(NetConfig::default());
+//! h.add_container(ContainerConfig::new("node-a", NodeId(1)));
+//! h.add_service(NodeId(1), Box::new(Beacon));
+//! h.start_all();
+//! h.run_for_millis(100);
+//! assert!(h.container(NodeId(1)).unwrap().stats().vars_published >= 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod container;
+mod directory;
+mod engines;
+mod error;
+mod harness;
+mod link;
+mod scheduler;
+mod service;
+mod stats;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use container::{ContainerConfig, ServiceContainer, VarDistribution};
+pub use directory::{Directory, NodeInfo, ProviderInfo};
+pub use error::{CallError, ContainerError};
+pub use harness::{RealtimeDriver, SimHarness};
+pub use link::ReliableLink;
+pub use scheduler::{
+    FifoScheduler, Priority, PriorityScheduler, Scheduler, SchedulerKind, Task, TaskPayload,
+};
+pub use service::{
+    CallHandle, CallPolicy, FileEvent, ProviderNotice, Service, ServiceContext, ServiceDescriptor,
+    ServiceDescriptorBuilder, TimerId, VarSubscription,
+};
+pub use stats::ContainerStats;
+
+// Re-exports that appear in this crate's public API, for downstream
+// convenience.
+pub use marea_protocol::messages::{FunctionSig, Provision, ServiceState};
+pub use marea_protocol::{Micros, NodeId, ProtoDuration, RequestId, ServiceId};

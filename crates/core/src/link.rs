@@ -1,0 +1,161 @@
+//! Per-peer reliable channels: the container-to-container substrate for
+//! events and remote invocations.
+//!
+//! One [`ReliableLink`] exists per remote node a container exchanges
+//! reliable traffic with. It owns an ARQ sender/receiver pair, queues
+//! messages while the window is full, and batches acknowledgements (one ack
+//! per tick with new data, mirroring how the paper's "specific
+//! retransmission mechanism in the application layer" avoids per-packet ack
+//! overhead).
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use marea_protocol::arq::{ArqConfig, ArqReceiver, ArqSender, ArqStats};
+use marea_protocol::{Message, Micros, NodeId};
+
+/// Reliable, ordered, exactly-once message channel to one peer node.
+#[derive(Debug)]
+pub struct ReliableLink {
+    peer: NodeId,
+    tx: ArqSender,
+    rx: ArqReceiver,
+    backlog: VecDeque<Bytes>,
+    ack_due: bool,
+}
+
+impl ReliableLink {
+    /// Creates the link to `peer`.
+    pub fn new(peer: NodeId, config: ArqConfig) -> Self {
+        ReliableLink {
+            peer,
+            tx: ArqSender::new(0, config),
+            rx: ArqReceiver::new(0, 256),
+            backlog: VecDeque::new(),
+            ack_due: false,
+        }
+    }
+
+    /// The remote node.
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// Queues a tagged message payload for reliable delivery; returns wire
+    /// messages ready to send now (possibly none if the window is full).
+    pub fn send(&mut self, payload: Bytes, now: Micros) -> Vec<Message> {
+        self.backlog.push_back(payload);
+        self.drain_backlog(now)
+    }
+
+    fn drain_backlog(&mut self, now: Micros) -> Vec<Message> {
+        let mut out = Vec::new();
+        while self.tx.can_send() {
+            let Some(p) = self.backlog.pop_front() else { break };
+            out.push(self.tx.send(p, now).expect("can_send checked"));
+        }
+        out
+    }
+
+    /// Processes an incoming `RelData`; returns payloads now deliverable in
+    /// order.
+    pub fn on_data(&mut self, seq: u64, payload: Bytes) -> Vec<Bytes> {
+        self.ack_due = true;
+        self.rx.on_data(seq, payload)
+    }
+
+    /// Processes an incoming `RelAck`.
+    pub fn on_ack(&mut self, cumulative: u64, sack: u64, now: Micros) -> Vec<Message> {
+        self.tx.on_ack(cumulative, sack);
+        // Window may have opened.
+        self.drain_backlog(now)
+    }
+
+    /// Tick: retransmissions due, failures, and at most one pending ack.
+    ///
+    /// Returns `(wire_messages, failed_payload_count)`.
+    pub fn poll(&mut self, now: Micros) -> (Vec<Message>, Vec<u64>) {
+        let (mut out, failed) = self.tx.poll(now);
+        out.extend(self.drain_backlog(now));
+        if self.ack_due {
+            self.ack_due = false;
+            out.push(self.rx.make_ack());
+        }
+        (out, failed)
+    }
+
+    /// Sender counters (for the C1/C3 benches).
+    pub fn stats(&self) -> ArqStats {
+        self.tx.stats()
+    }
+
+    /// Messages waiting for a window slot.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Messages in flight awaiting acknowledgement.
+    pub fn inflight_len(&self) -> usize {
+        self.tx.inflight_len()
+    }
+
+    /// `true` when nothing is queued, in flight, or awaiting ack emission.
+    pub fn is_quiescent(&self) -> bool {
+        self.backlog.is_empty() && self.tx.inflight_len() == 0 && !self.ack_due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marea_protocol::ProtoDuration;
+
+    fn link(peer: u32) -> ReliableLink {
+        ReliableLink::new(
+            NodeId(peer),
+            ArqConfig {
+                window: 4,
+                initial_rto: ProtoDuration::from_millis(10),
+                max_rto: ProtoDuration::from_millis(100),
+                max_attempts: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn backlog_drains_as_window_opens() {
+        let mut l = link(2);
+        let mut sent = Vec::new();
+        for i in 0..6u8 {
+            sent.extend(l.send(Bytes::from(vec![i]), Micros::ZERO));
+        }
+        assert_eq!(sent.len(), 4, "window of 4");
+        assert_eq!(l.backlog_len(), 2);
+        // Ack the first two: backlog drains.
+        let more = l.on_ack(2, 0, Micros(1));
+        assert_eq!(more.len(), 2);
+        assert_eq!(l.backlog_len(), 0);
+    }
+
+    #[test]
+    fn ack_emitted_once_per_poll_after_data() {
+        let mut l = link(2);
+        let delivered = l.on_data(0, Bytes::from_static(b"x"));
+        assert_eq!(delivered.len(), 1);
+        let (out, _) = l.poll(Micros(1));
+        assert!(out.iter().any(|m| matches!(m, Message::RelAck { .. })));
+        let (out2, _) = l.poll(Micros(2));
+        assert!(!out2.iter().any(|m| matches!(m, Message::RelAck { .. })), "no duplicate ack");
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut l = link(2);
+        assert!(l.is_quiescent());
+        l.send(Bytes::from_static(b"x"), Micros::ZERO);
+        assert!(!l.is_quiescent());
+        l.on_ack(1, 0, Micros(1));
+        assert!(l.is_quiescent());
+    }
+}

@@ -1,0 +1,570 @@
+//! The service programming model: what a MAREA service implements and the
+//! API surface it sees.
+//!
+//! Paper §3: *"the services are semantic units that behave as producers of
+//! data and as consumers of data coming from other services ... The services
+//! do not access the network directly. All their communication is carried by
+//! the service container."*
+//!
+//! Accordingly a service is a [`Service`] trait object with handler hooks;
+//! its *only* channel to the world is the [`ServiceContext`] the container
+//! passes into each hook. Context methods queue **effects** that the
+//! container applies after the handler returns — a service can never
+//! re-enter the middleware or touch a socket.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use marea_presentation::{DataType, Name, Value};
+use marea_protocol::messages::{FunctionSig, Provision};
+use marea_protocol::{Micros, NodeId, ProtoDuration, RequestId};
+
+use crate::error::CallError;
+
+/// Handle correlating a [`ServiceContext::call`] with its later
+/// [`Service::on_reply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallHandle(pub RequestId);
+
+/// Identifier of a timer created with [`ServiceContext::set_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+/// Provider-selection policy for remote invocations (paper §4.3: static
+/// allocation for critical services, dynamic load balancing otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CallPolicy {
+    /// Pick the available provider with the lowest advertised load
+    /// (falling back to lowest node id for determinism).
+    #[default]
+    Dynamic,
+    /// Pin to a provider on the given node while it is alive; fail over
+    /// dynamically if it dies.
+    PreferNode(NodeId),
+}
+
+/// File-transfer notifications delivered to services.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FileEvent {
+    /// A publisher announced (a new revision of) a resource this service
+    /// subscribed to.
+    Announced {
+        /// Resource name.
+        resource: Name,
+        /// Announced revision.
+        revision: u32,
+        /// Total size in bytes.
+        size: u64,
+    },
+    /// A subscribed resource finished downloading.
+    Received {
+        /// Resource name.
+        resource: Name,
+        /// Completed revision.
+        revision: u32,
+        /// File content.
+        data: Bytes,
+    },
+    /// Every subscriber acknowledged a resource this service published.
+    DistributionComplete {
+        /// Resource name.
+        resource: Name,
+        /// Completed revision.
+        revision: u32,
+        /// How many subscribers were served.
+        subscribers: u32,
+    },
+}
+
+/// Provider-availability notifications (name-cache maintenance made
+/// visible; paper §3 *name management*).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProviderNotice {
+    /// A required function became callable.
+    FunctionAvailable(Name),
+    /// A required function lost its last provider.
+    FunctionUnavailable(Name),
+    /// A subscribed variable gained a provider.
+    VariableAvailable(Name),
+    /// A subscribed variable lost its provider.
+    VariableUnavailable(Name),
+    /// A subscribed event channel gained a provider.
+    EventAvailable(Name),
+    /// A subscribed event channel lost its provider.
+    EventUnavailable(Name),
+}
+
+/// A variable subscription request in a [`ServiceDescriptor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarSubscription {
+    /// Variable name.
+    pub name: Name,
+    /// Ask the provider for the current value immediately (paper §4.1:
+    /// "a mechanism that guarantees an initial exact value for the services
+    /// that need it").
+    pub need_initial: bool,
+}
+
+/// Static declaration of everything a service provides and consumes.
+///
+/// Built with [`ServiceDescriptor::builder`]; the container uses it to
+/// announce provisions, wire subscriptions and verify at initialization
+/// that "all the functions they need ... are provided by one or more
+/// services available in the network" (paper §4.3).
+#[derive(Debug, Clone)]
+pub struct ServiceDescriptor {
+    pub(crate) name: Name,
+    pub(crate) provides: Vec<Provision>,
+    pub(crate) var_subscriptions: Vec<VarSubscription>,
+    pub(crate) event_subscriptions: Vec<Name>,
+    pub(crate) file_interests: Vec<Name>,
+    pub(crate) required_functions: Vec<Name>,
+}
+
+impl ServiceDescriptor {
+    /// Starts building a descriptor for a service called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid [`Name`] literal.
+    pub fn builder(name: &str) -> ServiceDescriptorBuilder {
+        ServiceDescriptorBuilder {
+            inner: ServiceDescriptor {
+                name: Name::new(name).expect("service name must be a valid name literal"),
+                provides: Vec::new(),
+                var_subscriptions: Vec::new(),
+                event_subscriptions: Vec::new(),
+                file_interests: Vec::new(),
+                required_functions: Vec::new(),
+            },
+        }
+    }
+
+    /// Service name.
+    pub fn name(&self) -> &Name {
+        &self.name
+    }
+
+    /// Declared provisions.
+    pub fn provides(&self) -> &[Provision] {
+        &self.provides
+    }
+
+    /// Declared variable subscriptions.
+    pub fn var_subscriptions(&self) -> &[VarSubscription] {
+        &self.var_subscriptions
+    }
+
+    /// Declared event subscriptions.
+    pub fn event_subscriptions(&self) -> &[Name] {
+        &self.event_subscriptions
+    }
+
+    /// Declared file interests.
+    pub fn file_interests(&self) -> &[Name] {
+        &self.file_interests
+    }
+
+    /// Functions this service needs available before it can do its job.
+    pub fn required_functions(&self) -> &[Name] {
+        &self.required_functions
+    }
+
+    pub(crate) fn find_provision(&self, name: &str) -> Option<&Provision> {
+        self.provides.iter().find(|p| p.name() == name)
+    }
+}
+
+/// Builder for [`ServiceDescriptor`].
+///
+/// # Panics
+///
+/// All builder methods panic on invalid name literals — descriptors are
+/// static declarations and a bad name is a programming error caught at
+/// service registration, not a runtime condition.
+#[derive(Debug, Clone)]
+pub struct ServiceDescriptorBuilder {
+    inner: ServiceDescriptor,
+}
+
+impl ServiceDescriptorBuilder {
+    fn name(s: &str) -> Name {
+        Name::new(s).expect("name must be a valid name literal")
+    }
+
+    /// Declares a published variable with its schema and QoS.
+    #[must_use]
+    pub fn variable(
+        mut self,
+        name: &str,
+        ty: DataType,
+        period: ProtoDuration,
+        validity: ProtoDuration,
+    ) -> Self {
+        self.inner.provides.push(Provision::Variable {
+            name: Self::name(name),
+            ty,
+            period_us: period.as_micros(),
+            validity_us: validity.as_micros(),
+        });
+        self
+    }
+
+    /// Declares a published event channel (payload type optional).
+    #[must_use]
+    pub fn event(mut self, name: &str, ty: Option<DataType>) -> Self {
+        self.inner.provides.push(Provision::Event { name: Self::name(name), ty });
+        self
+    }
+
+    /// Declares a callable function.
+    #[must_use]
+    pub fn function(mut self, name: &str, params: Vec<DataType>, returns: Option<DataType>) -> Self {
+        self.inner.provides.push(Provision::Function {
+            name: Self::name(name),
+            sig: FunctionSig { params, returns },
+        });
+        self
+    }
+
+    /// Declares a distributable file resource.
+    #[must_use]
+    pub fn file_resource(mut self, name: &str) -> Self {
+        self.inner.provides.push(Provision::FileResource { name: Self::name(name) });
+        self
+    }
+
+    /// Subscribes to a variable.
+    #[must_use]
+    pub fn subscribe_variable(mut self, name: &str, need_initial: bool) -> Self {
+        self.inner
+            .var_subscriptions
+            .push(VarSubscription { name: Self::name(name), need_initial });
+        self
+    }
+
+    /// Subscribes to an event channel.
+    #[must_use]
+    pub fn subscribe_event(mut self, name: &str) -> Self {
+        self.inner.event_subscriptions.push(Self::name(name));
+        self
+    }
+
+    /// Registers interest in a file resource.
+    #[must_use]
+    pub fn subscribe_file(mut self, name: &str) -> Self {
+        self.inner.file_interests.push(Self::name(name));
+        self
+    }
+
+    /// Declares that the service needs `name` callable somewhere in the
+    /// network.
+    #[must_use]
+    pub fn requires_function(mut self, name: &str) -> Self {
+        self.inner.required_functions.push(Self::name(name));
+        self
+    }
+
+    /// Finishes the descriptor.
+    pub fn build(self) -> ServiceDescriptor {
+        self.inner
+    }
+}
+
+/// Effects queued by a [`ServiceContext`]; applied by the container after
+/// the handler returns.
+#[derive(Debug)]
+pub(crate) enum Effect {
+    Publish { name: Name, value: Value },
+    Emit { name: Name, value: Option<Value> },
+    Call { handle: CallHandle, function: Name, args: Vec<Value>, policy: CallPolicy },
+    PublishFile { resource: Name, data: Bytes },
+    SubscribeFile { resource: Name },
+    SetTimer { id: TimerId, after: ProtoDuration, period: Option<ProtoDuration> },
+    CancelTimer { id: TimerId },
+    Log { line: String },
+    SetDegraded { degraded: bool },
+    StopSelf,
+}
+
+/// The API a service uses from inside its handlers.
+///
+/// All methods queue work; nothing crosses the network until the handler
+/// returns. Methods referencing provisions the service did not declare are
+/// reported via the container log and dropped (defensive: a service cannot
+/// impersonate another's publications).
+#[derive(Debug)]
+pub struct ServiceContext<'a> {
+    pub(crate) now: Micros,
+    pub(crate) node: NodeId,
+    pub(crate) service_name: &'a Name,
+    pub(crate) service_seq: u32,
+    pub(crate) effects: &'a mut Vec<Effect>,
+    pub(crate) next_request_id: &'a mut u64,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<'a> ServiceContext<'a> {
+    /// Current time.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// The node hosting this service.
+    pub fn local_node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This service's name.
+    pub fn service_name(&self) -> &Name {
+        self.service_name
+    }
+
+    /// This service's instance sequence on the node.
+    pub fn service_seq(&self) -> u32 {
+        self.service_seq
+    }
+
+    /// Publishes a sample of a declared variable (best-effort, §4.1).
+    pub fn publish(&mut self, name: &str, value: impl Into<Value>) {
+        if let Ok(name) = Name::new(name) {
+            self.effects.push(Effect::Publish { name, value: value.into() });
+        }
+    }
+
+    /// Emits an event on a declared channel (reliable, §4.2).
+    pub fn emit(&mut self, name: &str, value: Option<Value>) {
+        if let Ok(name) = Name::new(name) {
+            self.effects.push(Effect::Emit { name, value });
+        }
+    }
+
+    /// Starts a remote invocation; the outcome arrives via
+    /// [`Service::on_reply`] with the returned handle.
+    pub fn call(&mut self, function: &str, args: Vec<Value>) -> CallHandle {
+        self.call_with_policy(function, args, CallPolicy::Dynamic)
+    }
+
+    /// [`ServiceContext::call`] with an explicit provider policy.
+    pub fn call_with_policy(
+        &mut self,
+        function: &str,
+        args: Vec<Value>,
+        policy: CallPolicy,
+    ) -> CallHandle {
+        *self.next_request_id += 1;
+        let handle = CallHandle(RequestId(*self.next_request_id));
+        match Name::new(function) {
+            Ok(function) => {
+                self.effects.push(Effect::Call { handle, function, args, policy });
+            }
+            Err(_) => {
+                // Invalid name: surface as an immediate NoProvider reply.
+                self.effects.push(Effect::Log {
+                    line: format!("call to invalid function name {function:?}"),
+                });
+                self.effects.push(Effect::Call {
+                    handle,
+                    function: Name::new("invalid").expect("literal"),
+                    args,
+                    policy,
+                });
+            }
+        }
+        handle
+    }
+
+    /// Publishes (or revises) a declared file resource to all interested
+    /// nodes (§4.4). Repeated publication bumps the revision.
+    pub fn publish_file(&mut self, resource: &str, data: Bytes) {
+        if let Ok(resource) = Name::new(resource) {
+            self.effects.push(Effect::PublishFile { resource, data });
+        }
+    }
+
+    /// Registers interest in a file resource at runtime (in addition to any
+    /// descriptor-declared interests).
+    pub fn subscribe_file(&mut self, resource: &str) {
+        if let Ok(resource) = Name::new(resource) {
+            self.effects.push(Effect::SubscribeFile { resource });
+        }
+    }
+
+    /// Arms a timer; fires [`Service::on_timer`] once after `after`, then
+    /// every `period` if given.
+    pub fn set_timer(&mut self, after: ProtoDuration, period: Option<ProtoDuration>) -> TimerId {
+        *self.next_timer_id += 1;
+        let id = TimerId(*self.next_timer_id);
+        self.effects.push(Effect::SetTimer { id, after, period });
+        id
+    }
+
+    /// Cancels a timer.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer { id });
+    }
+
+    /// Appends a line to the container log (bounded ring; ground-station
+    /// style services read it).
+    pub fn log(&mut self, line: impl Into<String>) {
+        self.effects.push(Effect::Log { line: line.into() });
+    }
+
+    /// Marks this service degraded (broadcast to the fleet) or healthy.
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.effects.push(Effect::SetDegraded { degraded });
+    }
+
+    /// Asks the container to stop this service after the current handler.
+    pub fn stop_self(&mut self) {
+        self.effects.push(Effect::StopSelf);
+    }
+}
+
+/// A MAREA service: the unit of composition of the whole architecture.
+///
+/// All handlers default to no-ops so implementations override only what
+/// they use. Handlers run on the container's scheduler — keep them short;
+/// long work should be split across timers.
+#[allow(unused_variables)]
+pub trait Service: Send {
+    /// Static declaration of provisions and subscriptions.
+    fn descriptor(&self) -> ServiceDescriptor;
+
+    /// Called once when the container starts the service.
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {}
+
+    /// Called once when the service stops.
+    fn on_stop(&mut self, ctx: &mut ServiceContext<'_>) {}
+
+    /// A subscribed variable sample arrived (already validity-filtered).
+    fn on_variable(&mut self, ctx: &mut ServiceContext<'_>, name: &Name, value: &Value, stamp: Micros) {}
+
+    /// A subscribed variable stopped arriving within its expected deadline.
+    fn on_variable_timeout(&mut self, ctx: &mut ServiceContext<'_>, name: &Name) {}
+
+    /// A subscribed event arrived (guaranteed delivery, in order per
+    /// publisher).
+    fn on_event(&mut self, ctx: &mut ServiceContext<'_>, name: &Name, value: Option<&Value>, stamp: Micros) {}
+
+    /// A declared function is being invoked.
+    ///
+    /// # Errors
+    ///
+    /// Returning `Err` delivers [`CallError::App`] to the caller.
+    fn on_call(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        function: &Name,
+        args: &[Value],
+    ) -> Result<Value, String> {
+        Err(format!("function `{function}` not implemented"))
+    }
+
+    /// The outcome of an earlier [`ServiceContext::call`] arrived.
+    fn on_reply(&mut self, ctx: &mut ServiceContext<'_>, handle: CallHandle, result: Result<Value, CallError>) {}
+
+    /// A file-transfer notification arrived.
+    fn on_file_event(&mut self, ctx: &mut ServiceContext<'_>, event: &FileEvent) {}
+
+    /// A provider-availability notification arrived.
+    fn on_provider_change(&mut self, ctx: &mut ServiceContext<'_>, notice: &ProviderNotice) {}
+
+    /// A timer armed with [`ServiceContext::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, id: TimerId) {}
+}
+
+impl fmt::Debug for dyn Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Service({})", self.descriptor().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_builder_collects_declarations() {
+        let d = ServiceDescriptor::builder("camera")
+            .variable("camera/status", DataType::U8, ProtoDuration::from_millis(100), ProtoDuration::from_millis(500))
+            .event("camera/photo-taken", Some(DataType::U32))
+            .function("camera/prepare", vec![DataType::Str], Some(DataType::Bool))
+            .file_resource("camera/image")
+            .subscribe_variable("gps/position", true)
+            .subscribe_event("mc/photo-now")
+            .subscribe_file("mc/flight-plan")
+            .requires_function("storage/store")
+            .build();
+        assert_eq!(d.name(), "camera");
+        assert_eq!(d.provides().len(), 4);
+        assert_eq!(d.var_subscriptions().len(), 1);
+        assert!(d.var_subscriptions()[0].need_initial);
+        assert_eq!(d.event_subscriptions().len(), 1);
+        assert_eq!(d.file_interests().len(), 1);
+        assert_eq!(d.required_functions().len(), 1);
+        assert!(d.find_provision("camera/prepare").is_some());
+        assert!(d.find_provision("nope").is_none());
+    }
+
+    #[test]
+    fn context_queues_effects() {
+        let name = Name::new("svc").unwrap();
+        let mut effects = Vec::new();
+        let mut req = 0u64;
+        let mut tim = 0u64;
+        let mut ctx = ServiceContext {
+            now: Micros(5),
+            node: NodeId(1),
+            service_name: &name,
+            service_seq: 3,
+            effects: &mut effects,
+            next_request_id: &mut req,
+            next_timer_id: &mut tim,
+        };
+        assert_eq!(ctx.now(), Micros(5));
+        assert_eq!(ctx.local_node(), NodeId(1));
+        assert_eq!(ctx.service_seq(), 3);
+        assert_eq!(ctx.service_name(), "svc");
+        ctx.publish("v", 1u8);
+        ctx.emit("e", None);
+        let h = ctx.call("f", vec![Value::Bool(true)]);
+        assert_eq!(h.0, RequestId(1));
+        let h2 = ctx.call("f", vec![]);
+        assert_eq!(h2.0, RequestId(2));
+        ctx.publish_file("r", Bytes::from_static(b"x"));
+        ctx.subscribe_file("r");
+        let t = ctx.set_timer(ProtoDuration::from_millis(10), None);
+        ctx.cancel_timer(t);
+        ctx.log("hello");
+        ctx.set_degraded(true);
+        ctx.stop_self();
+        assert_eq!(effects.len(), 11);
+    }
+
+    #[test]
+    fn default_on_call_errors() {
+        struct Nop;
+        impl Service for Nop {
+            fn descriptor(&self) -> ServiceDescriptor {
+                ServiceDescriptor::builder("nop").build()
+            }
+        }
+        let mut n = Nop;
+        let name = Name::new("nop").unwrap();
+        let f = Name::new("f").unwrap();
+        let mut effects = Vec::new();
+        let (mut a, mut b) = (0u64, 0u64);
+        let mut ctx = ServiceContext {
+            now: Micros(0),
+            node: NodeId(0),
+            service_name: &name,
+            service_seq: 0,
+            effects: &mut effects,
+            next_request_id: &mut a,
+            next_timer_id: &mut b,
+        };
+        assert!(n.on_call(&mut ctx, &f, &[]).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Container counters, read by tests, the ground station and the benches.
+
+/// Cumulative counters of one service container.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContainerStats {
+    /// `tick` invocations.
+    pub ticks: u64,
+    /// Frames received from the transport.
+    pub frames_in: u64,
+    /// Frames handed to the transport.
+    pub frames_out: u64,
+    /// Frame bytes handed to the transport.
+    pub bytes_out: u64,
+    /// Handler invocations executed.
+    pub tasks_executed: u64,
+    /// Peak scheduler queue length observed.
+    pub queue_peak: usize,
+    /// Variable samples published by local services.
+    pub vars_published: u64,
+    /// Variable samples delivered to local handlers.
+    pub var_samples_delivered: u64,
+    /// Samples dropped because their validity window had expired.
+    pub stale_samples_dropped: u64,
+    /// Samples dropped as duplicates / out-of-date sequence numbers.
+    pub old_samples_dropped: u64,
+    /// Variable deadline warnings raised.
+    pub var_timeouts: u64,
+    /// Events published by local services.
+    pub events_published: u64,
+    /// Events delivered to local handlers.
+    pub events_delivered: u64,
+    /// Sum of event delivery latencies in µs (production stamp → handler).
+    pub event_latency_sum_us: u64,
+    /// Maximum event delivery latency in µs.
+    pub event_latency_max_us: u64,
+    /// Remote invocations started by local services.
+    pub calls_made: u64,
+    /// Invocations executed on behalf of callers.
+    pub calls_served: u64,
+    /// Calls transparently redirected to a redundant provider.
+    pub call_failovers: u64,
+    /// Calls that ended in an error delivered to the caller.
+    pub call_errors: u64,
+    /// File publications (including revisions).
+    pub files_published: u64,
+    /// File receptions completed over the network.
+    pub files_received: u64,
+    /// File deliveries satisfied by the same-node bypass (paper §4.4: "the
+    /// transfer is bypassed by the container as direct access to the
+    /// resource").
+    pub file_bypass_deliveries: u64,
+    /// Services that panicked and were marked failed by the watchdog.
+    pub services_failed: u64,
+}
+
+impl ContainerStats {
+    /// Mean event delivery latency in µs, if any events were delivered.
+    pub fn event_latency_mean_us(&self) -> Option<f64> {
+        if self.events_delivered == 0 {
+            None
+        } else {
+            Some(self.event_latency_sum_us as f64 / self.events_delivered as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_mean() {
+        let mut s = ContainerStats::default();
+        assert_eq!(s.event_latency_mean_us(), None);
+        s.events_delivered = 4;
+        s.event_latency_sum_us = 100;
+        assert_eq!(s.event_latency_mean_us(), Some(25.0));
+    }
+}

@@ -1,0 +1,889 @@
+//! Multi-node integration tests for the service container: every paper
+//! feature exercised over the simulated LAN.
+
+mod common;
+
+use bytes::Bytes;
+use common::{obs_log, observations, Obs, Recorder, Scripted};
+use marea_core::{
+    CallPolicy, ContainerConfig, Micros, NodeId, ProtoDuration, SchedulerKind, ServiceDescriptor,
+    SimHarness, VarDistribution,
+};
+use marea_netsim::{LinkConfig, NetConfig};
+use marea_presentation::{DataType, Value};
+
+fn lan(seed: u64) -> NetConfig {
+    NetConfig::default().with_seed(seed)
+}
+
+fn lossy(seed: u64, loss: f64) -> NetConfig {
+    NetConfig::default().with_seed(seed).with_default_link(LinkConfig::default().with_loss(loss))
+}
+
+#[test]
+fn containers_discover_each_other() {
+    let mut h = SimHarness::new(lan(1));
+    h.add_container(ContainerConfig::new("alpha", NodeId(1)));
+    h.add_container(ContainerConfig::new("beta", NodeId(2)));
+    h.start_all();
+    h.run_for_millis(20);
+    let a = h.container(NodeId(1)).unwrap();
+    let b = h.container(NodeId(2)).unwrap();
+    assert!(a.directory().node_alive(NodeId(2)));
+    assert!(b.directory().node_alive(NodeId(1)));
+    assert_eq!(a.directory().node(NodeId(2)).unwrap().container.as_str(), "beta");
+}
+
+#[test]
+fn variables_flow_across_nodes_with_schema() {
+    let mut h = SimHarness::new(lan(2));
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+
+    // Publisher: counter at 10 ms period.
+    let mut publisher = Scripted::new(
+        ServiceDescriptor::builder("counter")
+            .variable(
+                "counter/value",
+                DataType::U64,
+                ProtoDuration::from_millis(10),
+                ProtoDuration::from_millis(100),
+            )
+            .build(),
+    );
+    publisher.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
+    }));
+    let mut n = 0u64;
+    publisher.on_timer = Some(Box::new(move |ctx, _| {
+        n += 1;
+        ctx.publish("counter/value", n);
+    }));
+    h.add_service(NodeId(1), Box::new(publisher));
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("display").subscribe_variable("counter/value", false).build(),
+            log.clone(),
+        )),
+    );
+
+    h.start_all();
+    h.run_for_millis(300);
+
+    let vars: Vec<u64> = observations(&log)
+        .into_iter()
+        .filter_map(|(_, o)| match o {
+            Obs::Var(name, v) if name == "counter/value" => v.as_u64(),
+            _ => None,
+        })
+        .collect();
+    assert!(vars.len() >= 20, "expected a steady sample stream, got {}", vars.len());
+    // Strictly increasing (duplicates and regressions filtered).
+    assert!(vars.windows(2).all(|w| w[0] < w[1]), "{vars:?}");
+    // Availability notice fired.
+    assert!(observations(&log)
+        .iter()
+        .any(|(_, o)| matches!(o, Obs::Provider(p) if p.contains("VariableAvailable"))));
+}
+
+#[test]
+fn initial_value_is_guaranteed_to_late_subscribers() {
+    let mut h = SimHarness::new(lan(3));
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+
+    // Publishes exactly once at start, then stays silent. Long validity.
+    let mut publisher = Scripted::new(
+        ServiceDescriptor::builder("oneshot")
+            .variable(
+                "oneshot/value",
+                DataType::U32,
+                ProtoDuration::ZERO, // aperiodic
+                ProtoDuration::from_secs(60),
+            )
+            .build(),
+    );
+    publisher.on_start = Some(Box::new(|ctx| ctx.publish("oneshot/value", 42u32)));
+    h.add_service(NodeId(1), Box::new(publisher));
+    h.start_all();
+    h.run_for_millis(100);
+
+    // Subscriber appears late: the only way it can learn the value is the
+    // initial-value unicast (paper §4.1).
+    let log = obs_log();
+    h.container_mut(NodeId(2))
+        .unwrap()
+        .add_service(Box::new(Recorder::new(
+            ServiceDescriptor::builder("late").subscribe_variable("oneshot/value", true).build(),
+            log.clone(),
+        )))
+        .unwrap();
+    h.run_for_millis(100);
+
+    let got: Vec<Value> = observations(&log)
+        .into_iter()
+        .filter_map(|(_, o)| match o {
+            Obs::Var(_, v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(got, vec![Value::U32(42)], "initial exact value delivered once");
+}
+
+#[test]
+fn variable_timeout_warns_subscribers() {
+    let mut h = SimHarness::new(lan(4));
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+
+    // Publishes at 10 ms for 100 ms, then goes silent (sensor failure).
+    let mut publisher = Scripted::new(
+        ServiceDescriptor::builder("sensor")
+            .variable(
+                "sensor/reading",
+                DataType::F32,
+                ProtoDuration::from_millis(10),
+                ProtoDuration::from_millis(50),
+            )
+            .build(),
+    );
+    publisher.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
+    }));
+    let mut count = 0;
+    publisher.on_timer = Some(Box::new(move |ctx, _| {
+        count += 1;
+        if count <= 10 {
+            ctx.publish("sensor/reading", 1.5f32);
+        }
+    }));
+    h.add_service(NodeId(1), Box::new(publisher));
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("monitor").subscribe_variable("sensor/reading", false).build(),
+            log.clone(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(400);
+
+    let obs = observations(&log);
+    let timeouts: Vec<&Micros> = obs
+        .iter()
+        .filter_map(|(t, o)| match o {
+            Obs::VarTimeout(name) if name == "sensor/reading" => Some(t),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(timeouts.len(), 1, "warned exactly once: {obs:?}");
+    // The warning came after the last sample plus ~3 periods.
+    let last_sample = obs
+        .iter()
+        .filter(|(_, o)| matches!(o, Obs::Var(..)))
+        .map(|(t, _)| *t)
+        .max()
+        .unwrap();
+    assert!(*timeouts[0] > last_sample);
+}
+
+#[test]
+fn stale_samples_are_dropped_by_validity() {
+    // A slow link delays samples beyond their validity window.
+    let mut h = SimHarness::new(lan(5));
+    h.network().set_default_link(LinkConfig::default().with_latency_us(30_000));
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+
+    let mut publisher = Scripted::new(
+        ServiceDescriptor::builder("fast")
+            .variable(
+                "fast/v",
+                DataType::U8,
+                ProtoDuration::from_millis(10),
+                ProtoDuration::from_millis(5), // validity < link latency
+            )
+            .build(),
+    );
+    publisher.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
+    }));
+    publisher.on_timer = Some(Box::new(|ctx, _| ctx.publish("fast/v", 1u8)));
+    h.add_service(NodeId(1), Box::new(publisher));
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("mon").subscribe_variable("fast/v", false).build(),
+            log.clone(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(200);
+
+    let delivered = observations(&log).iter().filter(|(_, o)| matches!(o, Obs::Var(..))).count();
+    assert_eq!(delivered, 0, "every sample arrived stale");
+    let stats = h.container(NodeId(2)).unwrap().stats();
+    assert!(stats.stale_samples_dropped > 5, "{stats:?}");
+}
+
+#[test]
+fn events_are_delivered_exactly_once_in_order_under_loss() {
+    let mut h = SimHarness::new(lossy(6, 0.10));
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+
+    let mut publisher = Scripted::new(
+        ServiceDescriptor::builder("alerter")
+            .event("alerter/tick", Some(DataType::U64))
+            .build(),
+    );
+    publisher.on_start = Some(Box::new(|ctx| {
+        // First emission waits out subscription wiring (even under loss the
+        // reliable control plane settles within a few RTOs); pub/sub has no
+        // retroactive delivery for earlier events.
+        ctx.set_timer(ProtoDuration::from_millis(300), Some(ProtoDuration::from_millis(5)));
+    }));
+    let mut i = 0u64;
+    publisher.on_timer = Some(Box::new(move |ctx, _| {
+        if i < 50 {
+            ctx.emit("alerter/tick", Some(Value::U64(i)));
+            i += 1;
+        }
+    }));
+    h.add_service(NodeId(1), Box::new(publisher));
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("watcher").subscribe_event("alerter/tick").build(),
+            log.clone(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(2_000);
+
+    let got: Vec<u64> = observations(&log)
+        .into_iter()
+        .filter_map(|(_, o)| match o {
+            Obs::Event(name, Some(v)) if name == "alerter/tick" => v.as_u64(),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(got, (0..50).collect::<Vec<u64>>(), "reliable, ordered, exactly once");
+    // Loss did force retransmissions.
+    let arq = h.container(NodeId(1)).unwrap().arq_stats();
+    assert!(arq.retransmitted > 0, "{arq:?}");
+    assert_eq!(arq.failed, 0);
+}
+
+#[test]
+fn bare_events_carry_no_payload() {
+    let mut h = SimHarness::new(lan(7));
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+
+    let mut publisher = Scripted::new(
+        ServiceDescriptor::builder("bare").event("bare/ping", None).build(),
+    );
+    publisher.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(20), None);
+    }));
+    publisher.on_timer = Some(Box::new(|ctx, _| ctx.emit("bare/ping", None)));
+    h.add_service(NodeId(1), Box::new(publisher));
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("w").subscribe_event("bare/ping").build(),
+            log.clone(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(200);
+    let events: Vec<Obs> = observations(&log)
+        .into_iter()
+        .filter(|(_, o)| matches!(o, Obs::Event(..)))
+        .map(|(_, o)| o)
+        .collect();
+    assert_eq!(events, vec![Obs::Event("bare/ping".into(), None)]);
+}
+
+#[test]
+fn remote_invocation_roundtrip() {
+    let mut h = SimHarness::new(lan(8));
+    h.add_container(ContainerConfig::new("client", NodeId(1)));
+    h.add_container(ContainerConfig::new("server", NodeId(2)));
+
+    let mut server = Scripted::new(
+        ServiceDescriptor::builder("math")
+            .function("math/double", vec![DataType::U32], Some(DataType::U32))
+            .build(),
+    );
+    server.on_call = Some(Box::new(|_ctx, function, args| {
+        assert_eq!(function.as_str(), "math/double");
+        let x = args[0].as_u64().unwrap() as u32;
+        Ok(Value::U32(x * 2))
+    }));
+    h.add_service(NodeId(2), Box::new(server));
+
+    let log = obs_log();
+    let mut client = Scripted::new(
+        ServiceDescriptor::builder("consumer").requires_function("math/double").build(),
+    );
+    client.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(30), None);
+    }));
+    client.on_timer = Some(Box::new(|ctx, _| {
+        ctx.call("math/double", vec![Value::U32(21)]);
+    }));
+    let reply_log = log.clone();
+    client.on_reply = Some(Box::new(move |ctx, handle, result| {
+        reply_log
+            .lock()
+            .unwrap()
+            .push((ctx.now(), Obs::Reply(handle.0 .0, result.map_err(|e| e.to_string()))));
+    }));
+    h.add_service(NodeId(1), Box::new(client));
+
+    h.start_all();
+    h.run_for_millis(300);
+
+    let replies: Vec<Obs> = observations(&log)
+        .into_iter()
+        .filter(|(_, o)| matches!(o, Obs::Reply(..)))
+        .map(|(_, o)| o)
+        .collect();
+    assert_eq!(replies, vec![Obs::Reply(1, Ok(Value::U32(42)))]);
+    assert_eq!(h.container(NodeId(2)).unwrap().stats().calls_served, 1);
+}
+
+#[test]
+fn local_calls_bypass_the_network() {
+    let mut h = SimHarness::new(lan(9));
+    h.add_container(ContainerConfig::new("solo", NodeId(1)));
+
+    let mut server = Scripted::new(
+        ServiceDescriptor::builder("math")
+            .function("math/neg", vec![DataType::I32], Some(DataType::I32))
+            .build(),
+    );
+    server.on_call =
+        Some(Box::new(|_ctx, _f, args| Ok(Value::I32(-(args[0].as_i64().unwrap() as i32)))));
+    h.add_service(NodeId(1), Box::new(server));
+
+    let log = obs_log();
+    let mut client =
+        Scripted::new(ServiceDescriptor::builder("consumer").build());
+    client.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(10), None);
+    }));
+    client.on_timer = Some(Box::new(|ctx, _| {
+        ctx.call("math/neg", vec![Value::I32(7)]);
+    }));
+    let reply_log = log.clone();
+    client.on_reply = Some(Box::new(move |ctx, handle, result| {
+        reply_log
+            .lock()
+            .unwrap()
+            .push((ctx.now(), Obs::Reply(handle.0 .0, result.map_err(|e| e.to_string()))));
+    }));
+    h.add_service(NodeId(1), Box::new(client));
+    h.start_all();
+    h.run_for_millis(100);
+
+    let replies: Vec<Obs> = observations(&log)
+        .into_iter()
+        .filter(|(_, o)| matches!(o, Obs::Reply(..)))
+        .map(|(_, o)| o)
+        .collect();
+    assert_eq!(replies, vec![Obs::Reply(1, Ok(Value::I32(-7)))]);
+    // No CallRequest ever hit the wire (only discovery traffic did).
+    let arq = h.container(NodeId(1)).unwrap().arq_stats();
+    assert_eq!(arq.sent, 0, "local call used the in-container path");
+}
+
+#[test]
+fn call_errors_propagate() {
+    let mut h = SimHarness::new(lan(10));
+    h.add_container(ContainerConfig::new("client", NodeId(1)));
+    h.add_container(ContainerConfig::new("server", NodeId(2)));
+
+    let mut server = Scripted::new(
+        ServiceDescriptor::builder("fragile")
+            .function("fragile/work", vec![], Some(DataType::Bool))
+            .build(),
+    );
+    server.on_call = Some(Box::new(|_ctx, _f, _a| Err("out of film".into())));
+    h.add_service(NodeId(2), Box::new(server));
+
+    let log = obs_log();
+    let mut client = Scripted::new(ServiceDescriptor::builder("consumer").build());
+    client.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(30), None);
+    }));
+    client.on_timer = Some(Box::new(|ctx, _| {
+        ctx.call("fragile/work", vec![]);
+        ctx.call("no/such-function", vec![]);
+    }));
+    let reply_log = log.clone();
+    client.on_reply = Some(Box::new(move |ctx, handle, result| {
+        reply_log
+            .lock()
+            .unwrap()
+            .push((ctx.now(), Obs::Reply(handle.0 .0, result.map_err(|e| e.to_string()))));
+    }));
+    h.add_service(NodeId(1), Box::new(client));
+    h.start_all();
+    h.run_for_millis(300);
+
+    let mut replies: Vec<Obs> = observations(&log)
+        .into_iter()
+        .filter(|(_, o)| matches!(o, Obs::Reply(..)))
+        .map(|(_, o)| o)
+        .collect();
+    replies.sort_by_key(|o| match o {
+        Obs::Reply(h, _) => *h,
+        _ => 0,
+    });
+    assert_eq!(replies.len(), 2);
+    assert!(matches!(&replies[0], Obs::Reply(_, Err(e)) if e.contains("out of film")));
+    assert!(matches!(&replies[1], Obs::Reply(_, Err(e)) if e.contains("no provider")));
+}
+
+#[test]
+fn calls_fail_over_to_redundant_provider() {
+    let mut h = SimHarness::new(lan(11));
+    h.add_container(ContainerConfig::new("client", NodeId(1)));
+    h.add_container(ContainerConfig::new("primary", NodeId(2)));
+    h.add_container(ContainerConfig::new("backup", NodeId(3)));
+
+    for node in [NodeId(2), NodeId(3)] {
+        let mut server = Scripted::new(
+            ServiceDescriptor::builder("storage")
+                .function("storage/where", vec![], Some(DataType::U32))
+                .build(),
+        );
+        let who = node.0;
+        server.on_call = Some(Box::new(move |_ctx, _f, _a| Ok(Value::U32(who))));
+        h.add_service(node, Box::new(server));
+    }
+
+    let log = obs_log();
+    let mut client = Scripted::new(ServiceDescriptor::builder("consumer").build());
+    client.on_start = Some(Box::new(|ctx| {
+        // Call every 100 ms, pinned to node 2 while it lives.
+        ctx.set_timer(ProtoDuration::from_millis(100), Some(ProtoDuration::from_millis(100)));
+    }));
+    client.on_timer = Some(Box::new(|ctx, _| {
+        ctx.call_with_policy("storage/where", vec![], CallPolicy::PreferNode(NodeId(2)));
+    }));
+    let reply_log = log.clone();
+    client.on_reply = Some(Box::new(move |ctx, handle, result| {
+        reply_log
+            .lock()
+            .unwrap()
+            .push((ctx.now(), Obs::Reply(handle.0 .0, result.map_err(|e| e.to_string()))));
+    }));
+    h.add_service(NodeId(1), Box::new(client));
+    h.start_all();
+    h.run_for_millis(450);
+
+    // Kill the primary mid-mission.
+    h.crash_node(NodeId(2));
+    h.run_for_millis(3_000);
+
+    let replies: Vec<(u64, Result<u64, String>)> = observations(&log)
+        .into_iter()
+        .filter_map(|(_, o)| match o {
+            Obs::Reply(h, r) => Some((h, r.map(|v| v.as_u64().unwrap()))),
+            _ => None,
+        })
+        .collect();
+    let served_by_primary = replies.iter().filter(|(_, r)| *r == Ok(2)).count();
+    let served_by_backup = replies.iter().filter(|(_, r)| *r == Ok(3)).count();
+    assert!(served_by_primary >= 3, "primary served before crash: {replies:?}");
+    assert!(served_by_backup >= 10, "backup continues the mission: {replies:?}");
+    // Every call eventually answered (possibly after failover); at most the
+    // in-flight ones during the blackout window report an error.
+    let errors = replies.iter().filter(|(_, r)| r.is_err()).count();
+    assert!(errors <= 2, "at most the in-flight calls error: {replies:?}");
+    assert!(h.container(NodeId(1)).unwrap().stats().call_failovers >= 1);
+}
+
+#[test]
+fn file_distribution_to_multiple_nodes_is_bit_exact() {
+    let mut h = SimHarness::new(lossy(12, 0.02));
+    h.add_container(ContainerConfig::new("cam", NodeId(1)));
+    h.add_container(ContainerConfig::new("store", NodeId(2)));
+    h.add_container(ContainerConfig::new("proc", NodeId(3)));
+
+    let image: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+    let mut camera = Scripted::new(
+        ServiceDescriptor::builder("camera").file_resource("camera/img").build(),
+    );
+    let img = Bytes::from(image.clone());
+    camera.on_start = Some(Box::new(move |ctx| {
+        ctx.publish_file("camera/img", img.clone());
+    }));
+    h.add_service(NodeId(1), Box::new(camera));
+
+    let log2 = obs_log();
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("storage").subscribe_file("camera/img").build(),
+            log2.clone(),
+        )),
+    );
+    let log3 = obs_log();
+    h.add_service(
+        NodeId(3),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("video").subscribe_file("camera/img").build(),
+            log3.clone(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(3_000);
+
+    for (node, log) in [(NodeId(2), &log2), (NodeId(3), &log3)] {
+        let data: Vec<Bytes> = observations(log)
+            .into_iter()
+            .filter_map(|(_, o)| match o {
+                Obs::FileData(name, _rev, data) if name == "camera/img" => Some(data),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(data.len(), 1, "{node} received exactly once");
+        assert_eq!(data[0].as_ref(), image.as_slice(), "{node} bit-exact");
+    }
+}
+
+#[test]
+fn same_node_file_subscription_bypasses_the_network() {
+    let mut h = SimHarness::new(lan(13));
+    h.add_container(ContainerConfig::new("solo", NodeId(1)));
+
+    let payload = Bytes::from(vec![7u8; 50_000]);
+    let mut camera = Scripted::new(
+        ServiceDescriptor::builder("camera").file_resource("camera/img").build(),
+    );
+    let img = payload.clone();
+    camera.on_start = Some(Box::new(move |ctx| {
+        ctx.publish_file("camera/img", img.clone());
+    }));
+    h.add_service(NodeId(1), Box::new(camera));
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(1),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("storage").subscribe_file("camera/img").build(),
+            log.clone(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(200);
+
+    let got: Vec<Bytes> = observations(&log)
+        .into_iter()
+        .filter_map(|(_, o)| match o {
+            Obs::FileData(_, _, data) => Some(data),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0], payload);
+    let stats = h.container(NodeId(1)).unwrap().stats();
+    assert_eq!(stats.file_bypass_deliveries, 1);
+    assert_eq!(stats.files_received, 0, "no network reception happened");
+    // No chunk ever hit the wire.
+    let chunks_on_wire = h.network().stats().bytes_sent;
+    assert!(chunks_on_wire < 10_000, "only control-plane traffic: {chunks_on_wire}");
+}
+
+#[test]
+fn file_revision_update_reaches_subscribers() {
+    let mut h = SimHarness::new(lan(14));
+    h.add_container(ContainerConfig::new("cam", NodeId(1)));
+    h.add_container(ContainerConfig::new("store", NodeId(2)));
+
+    let mut camera = Scripted::new(
+        ServiceDescriptor::builder("camera").file_resource("camera/map").build(),
+    );
+    camera.on_start = Some(Box::new(move |ctx| {
+        ctx.publish_file("camera/map", Bytes::from(vec![1u8; 10_000]));
+        // Revise after 300 ms.
+        ctx.set_timer(ProtoDuration::from_millis(300), None);
+    }));
+    camera.on_timer = Some(Box::new(move |ctx, _| {
+        ctx.publish_file("camera/map", Bytes::from(vec![2u8; 5_000]));
+    }));
+    h.add_service(NodeId(1), Box::new(camera));
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("storage").subscribe_file("camera/map").build(),
+            log.clone(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(1_500);
+
+    let revs: Vec<(u32, usize, u8)> = observations(&log)
+        .into_iter()
+        .filter_map(|(_, o)| match o {
+            Obs::FileData(_, rev, data) => Some((rev, data.len(), data[0])),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(revs, vec![(1, 10_000, 1), (2, 5_000, 2)], "both revisions, in order");
+}
+
+#[test]
+fn panicking_service_is_quarantined_and_fleet_notified() {
+    let mut h = SimHarness::new(lan(15));
+    h.add_container(ContainerConfig::new("a", NodeId(1)));
+    h.add_container(ContainerConfig::new("b", NodeId(2)));
+
+    let mut bomb = Scripted::new(
+        ServiceDescriptor::builder("bomb")
+            .function("bomb/arm", vec![], None)
+            .build(),
+    );
+    bomb.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(50), None);
+    }));
+    bomb.on_timer = Some(Box::new(|_ctx, _| panic!("deliberate test panic")));
+    h.add_service(NodeId(1), Box::new(bomb));
+    h.start_all();
+
+    // Silence the default panic hook for the expected panic.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    h.run_for_millis(300);
+    std::panic::set_hook(prev_hook);
+
+    let a = h.container(NodeId(1)).unwrap();
+    assert_eq!(a.service_state("bomb"), Some(marea_core::ServiceState::Failed));
+    assert_eq!(a.stats().services_failed, 1);
+    // The other container no longer sees the function as available.
+    let b = h.container(NodeId(2)).unwrap();
+    assert!(b.directory().resolve_function("bomb/arm", CallPolicy::Dynamic, None).is_none());
+}
+
+#[test]
+fn graceful_bye_purges_remote_caches_immediately() {
+    let mut h = SimHarness::new(lan(16));
+    h.add_container(ContainerConfig::new("a", NodeId(1)));
+    h.add_container(ContainerConfig::new("b", NodeId(2)));
+    h.add_service(
+        NodeId(2),
+        Box::new(Scripted::new(
+            ServiceDescriptor::builder("x").function("x/f", vec![], None).build(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(50);
+    assert!(h
+        .container(NodeId(1))
+        .unwrap()
+        .directory()
+        .resolve_function("x/f", CallPolicy::Dynamic, None)
+        .is_some());
+    h.stop_node(NodeId(2));
+    h.run_for_millis(10);
+    let a = h.container(NodeId(1)).unwrap();
+    assert!(!a.directory().node_alive(NodeId(2)), "bye is immediate, no heartbeat wait");
+    assert!(a.directory().resolve_function("x/f", CallPolicy::Dynamic, None).is_none());
+}
+
+#[test]
+fn unicast_fanout_mode_still_delivers() {
+    let mut h = SimHarness::new(lan(17));
+    let mut cfg = ContainerConfig::new("pub", NodeId(1));
+    cfg.var_distribution = VarDistribution::UnicastFanout;
+    h.add_container(cfg);
+    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+
+    let mut publisher = Scripted::new(
+        ServiceDescriptor::builder("p")
+            .variable("p/v", DataType::U32, ProtoDuration::from_millis(10), ProtoDuration::from_millis(100))
+            .build(),
+    );
+    publisher.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
+    }));
+    publisher.on_timer = Some(Box::new(|ctx, _| ctx.publish("p/v", 5u32)));
+    h.add_service(NodeId(1), Box::new(publisher));
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("s").subscribe_variable("p/v", false).build(),
+            log.clone(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(300);
+    let n = observations(&log).iter().filter(|(_, o)| matches!(o, Obs::Var(..))).count();
+    assert!(n >= 20, "unicast fan-out delivers: {n}");
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let run = |seed: u64| -> (u64, u64, u64, u64) {
+        let mut h = SimHarness::new(lossy(seed, 0.05));
+        h.add_container(ContainerConfig::new("pub", NodeId(1)));
+        h.add_container(ContainerConfig::new("sub", NodeId(2)));
+        let mut publisher = Scripted::new(
+            ServiceDescriptor::builder("p")
+                .variable("p/v", DataType::U64, ProtoDuration::from_millis(5), ProtoDuration::from_millis(50))
+                .event("p/e", Some(DataType::U64))
+                .build(),
+        );
+        publisher.on_start = Some(Box::new(|ctx| {
+            ctx.set_timer(ProtoDuration::from_millis(5), Some(ProtoDuration::from_millis(5)));
+        }));
+        let mut k = 0u64;
+        publisher.on_timer = Some(Box::new(move |ctx, _| {
+            k += 1;
+            ctx.publish("p/v", k);
+            if k.is_multiple_of(7) {
+                ctx.emit("p/e", Some(Value::U64(k)));
+            }
+        }));
+        h.add_service(NodeId(1), Box::new(publisher));
+        let log = obs_log();
+        h.add_service(
+            NodeId(2),
+            Box::new(Recorder::new(
+                ServiceDescriptor::builder("s")
+                    .subscribe_variable("p/v", false)
+                    .subscribe_event("p/e")
+                    .build(),
+                log.clone(),
+            )),
+        );
+        h.start_all();
+        h.run_for_millis(500);
+        let stats = h.container(NodeId(2)).unwrap().stats();
+        let net = h.network().stats();
+        (
+            stats.var_samples_delivered,
+            stats.events_delivered,
+            net.datagrams_delivered,
+            net.bytes_delivered,
+        )
+    };
+    let a = run(99);
+    let b = run(99);
+    let c = run(100);
+    assert_eq!(a, b, "same seed, same run");
+    assert_ne!(a, c, "different seed, different packet trace");
+}
+
+#[test]
+fn priority_scheduler_runs_events_before_variable_backlog() {
+    // Queue 200 variable deliveries and 1 event in the same tick; with the
+    // priority scheduler the event handler runs first even though it was
+    // enqueued last. The FIFO ablation runs it last.
+    let order_with = |kind: SchedulerKind| -> usize {
+        let mut h = SimHarness::new(lan(18));
+        let mut cfg = ContainerConfig::new("solo", NodeId(1));
+        cfg.scheduler = kind;
+        cfg.tick_budget = 512;
+        h.add_container(cfg);
+
+        let mut blaster = Scripted::new(
+            ServiceDescriptor::builder("blaster")
+                .variable("b/v", DataType::U32, ProtoDuration::ZERO, ProtoDuration::from_secs(1))
+                .event("b/e", None)
+                .build(),
+        );
+        blaster.on_start = Some(Box::new(|ctx| {
+            ctx.set_timer(ProtoDuration::from_millis(10), None);
+        }));
+        blaster.on_timer = Some(Box::new(|ctx, _| {
+            for i in 0..200u32 {
+                ctx.publish("b/v", i);
+            }
+            ctx.emit("b/e", None);
+        }));
+        h.add_service(NodeId(1), Box::new(blaster));
+
+        let log = obs_log();
+        h.add_service(
+            NodeId(1),
+            Box::new(Recorder::new(
+                ServiceDescriptor::builder("listener")
+                    .subscribe_variable("b/v", false)
+                    .subscribe_event("b/e")
+                    .build(),
+                log.clone(),
+            )),
+        );
+        h.start_all();
+        h.run_for_millis(100);
+        let obs = observations(&log);
+        obs.iter()
+            .position(|(_, o)| matches!(o, Obs::Event(..)))
+            .expect("event delivered")
+    };
+    let pos_priority = order_with(SchedulerKind::Priority);
+    let pos_fifo = order_with(SchedulerKind::Fifo);
+    assert!(
+        pos_priority < 5,
+        "priority scheduler delivers the event almost immediately (pos {pos_priority})"
+    );
+    assert!(
+        pos_fifo > 100,
+        "fifo scheduler buries the event behind the variable backlog (pos {pos_fifo})"
+    );
+}
+
+#[test]
+fn required_function_availability_notices() {
+    let mut h = SimHarness::new(lan(19));
+    h.add_container(ContainerConfig::new("a", NodeId(1)));
+    h.add_container(ContainerConfig::new("b", NodeId(2)));
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(1),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("needy").requires_function("late/fn").build(),
+            log.clone(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(100);
+    // Initially unavailable.
+    assert!(observations(&log)
+        .iter()
+        .any(|(_, o)| matches!(o, Obs::Provider(p) if p.contains("FunctionUnavailable"))));
+
+    // Provider appears later.
+    h.container_mut(NodeId(2))
+        .unwrap()
+        .add_service(Box::new(Scripted::new(
+            ServiceDescriptor::builder("late").function("late/fn", vec![], None).build(),
+        )))
+        .unwrap();
+    h.run_for_millis(200);
+    assert!(observations(&log)
+        .iter()
+        .any(|(_, o)| matches!(o, Obs::Provider(p) if p.contains("FunctionAvailable"))));
+}

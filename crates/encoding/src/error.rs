@@ -1,0 +1,156 @@
+//! Encoding-layer error types.
+
+use std::error::Error;
+use std::fmt;
+
+use marea_presentation::TypeError;
+
+/// Error produced while encoding a value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodeError {
+    /// The value does not conform to the schema it was encoded against.
+    Type(TypeError),
+    /// The value nests deeper than the configured limit.
+    ///
+    /// Deep nesting is rejected symmetrically on encode and decode so a
+    /// container can never emit a message its peers will refuse.
+    TooDeep {
+        /// Configured maximum depth.
+        limit: usize,
+    },
+    /// A vector or blob exceeds the per-message size limit.
+    TooLarge {
+        /// Size of the offending component in bytes.
+        size: usize,
+        /// Configured maximum.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::Type(e) => write!(f, "cannot encode: {e}"),
+            EncodeError::TooDeep { limit } => {
+                write!(f, "value nesting exceeds depth limit {limit}")
+            }
+            EncodeError::TooLarge { size, limit } => {
+                write!(f, "component of {size} bytes exceeds size limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EncodeError::Type(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeError> for EncodeError {
+    fn from(e: TypeError) -> Self {
+        EncodeError::Type(e)
+    }
+}
+
+/// Error produced while decoding bytes into a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes needed beyond the end of input.
+        needed: usize,
+    },
+    /// A varint ran longer than its maximum encoded width.
+    VarintOverflow,
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A char field held an invalid Unicode scalar value.
+    InvalidChar(u32),
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A type-descriptor or value tag byte was not recognized.
+    InvalidTag(u8),
+    /// A union discriminant referenced a non-existent alternative.
+    InvalidDiscriminant(u32),
+    /// A length prefix exceeded the configured limit.
+    LengthOverflow {
+        /// Declared length.
+        declared: u64,
+        /// Configured maximum.
+        limit: usize,
+    },
+    /// The nesting depth limit was exceeded while decoding.
+    TooDeep {
+        /// Configured maximum depth.
+        limit: usize,
+    },
+    /// Input remained after the value was fully decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A name embedded in a self-describing payload was invalid.
+    InvalidName,
+    /// The decoded type is not compatible with the expected type.
+    TypeMismatch,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed } => {
+                write!(f, "unexpected end of input ({needed} more bytes needed)")
+            }
+            DecodeError::VarintOverflow => write!(f, "varint exceeds maximum width"),
+            DecodeError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            DecodeError::InvalidChar(cp) => write!(f, "invalid unicode scalar value {cp:#x}"),
+            DecodeError::InvalidBool(b) => write!(f, "invalid boolean byte {b:#x}"),
+            DecodeError::InvalidTag(t) => write!(f, "unrecognized tag byte {t:#x}"),
+            DecodeError::InvalidDiscriminant(d) => {
+                write!(f, "union discriminant {d} has no alternative")
+            }
+            DecodeError::LengthOverflow { declared, limit } => {
+                write!(f, "declared length {declared} exceeds limit {limit}")
+            }
+            DecodeError::TooDeep { limit } => {
+                write!(f, "encoded value nests deeper than limit {limit}")
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} unconsumed bytes after value")
+            }
+            DecodeError::InvalidName => write!(f, "invalid embedded name"),
+            DecodeError::TypeMismatch => {
+                write!(f, "decoded type incompatible with expected type")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_concise() {
+        assert_eq!(
+            DecodeError::UnexpectedEof { needed: 4 }.to_string(),
+            "unexpected end of input (4 more bytes needed)"
+        );
+        assert_eq!(EncodeError::TooDeep { limit: 16 }.to_string(), "value nesting exceeds depth limit 16");
+    }
+
+    #[test]
+    fn encode_error_wraps_type_error() {
+        use marea_presentation::{DataType, Value};
+        let te = Value::Bool(true).conforms_to(&DataType::F64).unwrap_err();
+        let ee: EncodeError = te.clone().into();
+        assert_eq!(ee, EncodeError::Type(te));
+        assert!(Error::source(&ee).is_some());
+    }
+}

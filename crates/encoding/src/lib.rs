@@ -1,0 +1,56 @@
+//! # marea-encoding — the PEPt *Encoding* layer
+//!
+//! > *"Encoding describes the representation of these data on the wire."*
+//! > — paper §6
+//!
+//! This crate turns presentation-layer [`Value`](marea_presentation::Value)s
+//! into bytes and back. Two codecs are provided, both pluggable through the
+//! [`Codec`] trait (the PEPt architecture demands that each subsystem
+//! "accept new pluggable subsystems"):
+//!
+//! * [`CompactCodec`] — schema-directed positional encoding. Struct field
+//!   names never travel; integers are LEB128 varints (zigzag for signed);
+//!   fixed-length vectors carry no length prefix. This is the codec used for
+//!   the high-rate *variable* primitive where every wire byte counts on a
+//!   bandwidth-limited UAV datalink.
+//! * [`SelfDescribingCodec`] — prefixes each payload with a compact **type
+//!   descriptor** ([`typedesc`]) followed by the compact encoding of the
+//!   value. Receivers can decode without prior schema knowledge (ground
+//!   stations, log replayers) at the cost of per-message overhead; the
+//!   `pept_ablation` bench quantifies that cost.
+//!
+//! ## Example
+//!
+//! ```
+//! use marea_encoding::{Codec, CompactCodec};
+//! use marea_presentation::{DataType, StructType, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ty = DataType::Struct(StructType::new("Fix")
+//!     .with_field("lat", DataType::F64)?
+//!     .with_field("lon", DataType::F64)?);
+//! let v = Value::struct_of("Fix").field("lat", 41.3).field("lon", 2.1).build()?;
+//!
+//! let codec = CompactCodec;
+//! let bytes = codec.encode_to_vec(&v, &ty)?;
+//! assert_eq!(bytes.len(), 16); // two f64, nothing else
+//! assert_eq!(codec.decode(&bytes, &ty)?, v);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod compact;
+mod error;
+mod selfdesc;
+pub mod typedesc;
+mod wire;
+
+pub use codec::{Codec, CodecId, CodecRegistry};
+pub use compact::CompactCodec;
+pub use error::{DecodeError, EncodeError};
+pub use selfdesc::SelfDescribingCodec;
+pub use wire::{WireReader, WireWriter};

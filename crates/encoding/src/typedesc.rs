@@ -1,0 +1,307 @@
+//! Wire-format type descriptors.
+//!
+//! A type descriptor is the serialized form of a [`DataType`]. It travels in
+//! two places:
+//!
+//! * in front of every [`SelfDescribingCodec`](crate::SelfDescribingCodec)
+//!   payload, and
+//! * inside the discovery announcements the service containers broadcast
+//!   when a service declares its variables/events/functions (paper §3, name
+//!   management) — peers learn schemas from the descriptor, never from
+//!   out-of-band configuration.
+
+use bytes::BytesMut;
+
+use marea_presentation::{DataType, StructType, TypeKind, UnionType, VectorType};
+
+use crate::error::DecodeError;
+use crate::wire::{WireReader, WireWriter};
+
+/// Maximum nesting depth accepted when decoding a descriptor.
+const MAX_TYPE_DEPTH: usize = 32;
+
+/// Maximum number of fields/alternatives accepted per composite.
+const MAX_FIELDS: usize = 256;
+
+/// Maximum length of an embedded field/alternative name.
+const MAX_NAME_LEN: usize = 128;
+
+/// Serializes a [`DataType`] into `buf`.
+pub fn encode_type(ty: &DataType, buf: &mut BytesMut) {
+    let mut w = WireWriter::new(buf);
+    encode_into(ty, &mut w);
+}
+
+/// Serializes a [`DataType`] into a fresh vector.
+pub fn encode_type_to_vec(ty: &DataType) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    encode_type(ty, &mut buf);
+    buf.to_vec()
+}
+
+fn encode_into(ty: &DataType, w: &mut WireWriter<'_>) {
+    w.put_u8(ty.kind().wire_tag());
+    match ty {
+        DataType::Vector(vt) => {
+            match vt.fixed_len() {
+                Some(n) => {
+                    w.put_u8(1);
+                    w.put_varint(n as u64);
+                }
+                None => w.put_u8(0),
+            }
+            encode_into(vt.elem(), w);
+        }
+        DataType::Struct(st) => {
+            encode_opt_name(st.name().map(|n| n.as_str()), w);
+            w.put_varint(st.fields().len() as u64);
+            for f in st.fields() {
+                w.put_str(f.name().as_str());
+                encode_into(f.ty(), w);
+            }
+        }
+        DataType::Union(ut) => {
+            encode_opt_name(ut.name().map(|n| n.as_str()), w);
+            w.put_varint(ut.alternatives().len() as u64);
+            for a in ut.alternatives() {
+                w.put_str(a.name().as_str());
+                encode_into(a.ty(), w);
+            }
+        }
+        _ => {} // scalar: tag is everything
+    }
+}
+
+fn encode_opt_name(name: Option<&str>, w: &mut WireWriter<'_>) {
+    match name {
+        Some(n) => {
+            w.put_u8(1);
+            w.put_str(n);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+/// Deserializes a [`DataType`] from a reader.
+///
+/// # Errors
+///
+/// Any [`DecodeError`] for malformed input: unknown tags, invalid embedded
+/// names, excessive nesting or field counts.
+pub fn decode_type(r: &mut WireReader<'_>) -> Result<DataType, DecodeError> {
+    decode_from(r, 0)
+}
+
+/// Deserializes a [`DataType`] from a complete byte slice.
+///
+/// # Errors
+///
+/// As [`decode_type`], plus [`DecodeError::TrailingBytes`] if input remains.
+pub fn decode_type_from_slice(bytes: &[u8]) -> Result<DataType, DecodeError> {
+    let mut r = WireReader::new(bytes);
+    let ty = decode_type(&mut r)?;
+    if !r.is_empty() {
+        return Err(DecodeError::TrailingBytes { remaining: r.remaining() });
+    }
+    Ok(ty)
+}
+
+fn decode_from(r: &mut WireReader<'_>, depth: usize) -> Result<DataType, DecodeError> {
+    if depth > MAX_TYPE_DEPTH {
+        return Err(DecodeError::TooDeep { limit: MAX_TYPE_DEPTH });
+    }
+    let tag = r.get_u8()?;
+    let kind = TypeKind::from_wire_tag(tag).ok_or(DecodeError::InvalidTag(tag))?;
+    Ok(match kind {
+        TypeKind::Bool => DataType::Bool,
+        TypeKind::I8 => DataType::I8,
+        TypeKind::I16 => DataType::I16,
+        TypeKind::I32 => DataType::I32,
+        TypeKind::I64 => DataType::I64,
+        TypeKind::U8 => DataType::U8,
+        TypeKind::U16 => DataType::U16,
+        TypeKind::U32 => DataType::U32,
+        TypeKind::U64 => DataType::U64,
+        TypeKind::F32 => DataType::F32,
+        TypeKind::F64 => DataType::F64,
+        TypeKind::Char => DataType::Char,
+        TypeKind::Str => DataType::Str,
+        TypeKind::Bytes => DataType::Bytes,
+        TypeKind::Vector => {
+            let fixed = r.get_bool().map_err(|_| DecodeError::InvalidTag(2))?;
+            let len = if fixed {
+                let n = r.get_varint()?;
+                Some(usize::try_from(n).map_err(|_| DecodeError::VarintOverflow)?)
+            } else {
+                None
+            };
+            let elem = decode_from(r, depth + 1)?;
+            match len {
+                Some(n) => DataType::Vector(VectorType::fixed(elem, n)),
+                None => DataType::Vector(VectorType::of(elem)),
+            }
+        }
+        TypeKind::Struct => {
+            let name = decode_opt_name(r)?;
+            let count = r.get_varint()?;
+            if count > MAX_FIELDS as u64 {
+                return Err(DecodeError::LengthOverflow { declared: count, limit: MAX_FIELDS });
+            }
+            let mut st = match name {
+                Some(n) => StructType::new(&n),
+                None => StructType::anonymous(),
+            };
+            for _ in 0..count {
+                let fname = r.get_str(MAX_NAME_LEN)?.to_owned();
+                let fty = decode_from(r, depth + 1)?;
+                st = st.with_field(&fname, fty).map_err(|_| DecodeError::InvalidName)?;
+            }
+            DataType::Struct(st)
+        }
+        TypeKind::Union => {
+            let name = decode_opt_name(r)?;
+            let count = r.get_varint()?;
+            if count > MAX_FIELDS as u64 {
+                return Err(DecodeError::LengthOverflow { declared: count, limit: MAX_FIELDS });
+            }
+            let mut ut = match name {
+                Some(n) => UnionType::new(&n),
+                None => UnionType::anonymous(),
+            };
+            for _ in 0..count {
+                let aname = r.get_str(MAX_NAME_LEN)?.to_owned();
+                let aty = decode_from(r, depth + 1)?;
+                ut = ut.with_alternative(&aname, aty).map_err(|_| DecodeError::InvalidName)?;
+            }
+            DataType::Union(ut)
+        }
+    })
+}
+
+fn decode_opt_name(r: &mut WireReader<'_>) -> Result<Option<String>, DecodeError> {
+    let present = r.get_bool().map_err(|e| match e {
+        DecodeError::InvalidBool(b) => DecodeError::InvalidTag(b),
+        other => other,
+    })?;
+    if present {
+        let s = r.get_str(MAX_NAME_LEN)?;
+        // Names embedded in descriptors must themselves be valid.
+        marea_presentation::Name::new(s).map_err(|_| DecodeError::InvalidName)?;
+        Ok(Some(s.to_owned()))
+    } else {
+        Ok(None)
+    }
+}
+
+// StructType::new / UnionType::new panic on invalid literals; the decoder
+// validated the name first, so wrap them safely here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ty: &DataType) -> DataType {
+        let bytes = encode_type_to_vec(ty);
+        decode_type_from_slice(&bytes).unwrap()
+    }
+
+    #[test]
+    fn scalars_are_one_byte() {
+        for ty in [DataType::Bool, DataType::F64, DataType::Str, DataType::Bytes] {
+            let bytes = encode_type_to_vec(&ty);
+            assert_eq!(bytes.len(), 1);
+            assert_eq!(roundtrip(&ty), ty);
+        }
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        let ty = DataType::Struct(
+            StructType::new("Fix")
+                .with_field("lat", DataType::F64)
+                .unwrap()
+                .with_field(
+                    "history",
+                    DataType::Vector(VectorType::fixed(DataType::F32, 8)),
+                )
+                .unwrap()
+                .with_field(
+                    "status",
+                    DataType::Union(
+                        UnionType::anonymous()
+                            .with_alternative("ok", DataType::Bool)
+                            .unwrap()
+                            .with_alternative("err", DataType::Str)
+                            .unwrap(),
+                    ),
+                )
+                .unwrap(),
+        );
+        assert_eq!(roundtrip(&ty), ty);
+    }
+
+    #[test]
+    fn anonymous_and_named_composites_are_distinguished() {
+        let anon = DataType::Struct(StructType::anonymous().with_field("x", DataType::U8).unwrap());
+        let named = DataType::Struct(StructType::new("X").with_field("x", DataType::U8).unwrap());
+        assert_eq!(roundtrip(&anon), anon);
+        assert_eq!(roundtrip(&named), named);
+        assert_ne!(encode_type_to_vec(&anon), encode_type_to_vec(&named));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert_eq!(decode_type_from_slice(&[0xEE]), Err(DecodeError::InvalidTag(0xEE)));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let ty = DataType::Struct(StructType::new("S").with_field("a", DataType::U64).unwrap());
+        let bytes = encode_type_to_vec(&ty);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_type_from_slice(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn embedded_bad_names_are_rejected() {
+        // Hand-craft a struct descriptor with an invalid field name "9x".
+        let mut buf = BytesMut::new();
+        {
+            let mut w = WireWriter::new(&mut buf);
+            w.put_u8(TypeKind::Struct.wire_tag());
+            w.put_u8(0); // anonymous
+            w.put_varint(1);
+            w.put_str("9x");
+            w.put_u8(TypeKind::Bool.wire_tag());
+        }
+        assert_eq!(decode_type_from_slice(&buf), Err(DecodeError::InvalidName));
+    }
+
+    #[test]
+    fn field_count_limit_is_enforced() {
+        let mut buf = BytesMut::new();
+        {
+            let mut w = WireWriter::new(&mut buf);
+            w.put_u8(TypeKind::Struct.wire_tag());
+            w.put_u8(0);
+            w.put_varint(100_000);
+        }
+        assert!(matches!(
+            decode_type_from_slice(&buf),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_type_to_vec(&DataType::Bool);
+        bytes.push(0);
+        assert_eq!(
+            decode_type_from_slice(&bytes),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Waypoint-following autopilot.
+
+use crate::geo::GeoPoint;
+use crate::kinematics::Kinematics;
+use crate::plan::{FlightPlan, Waypoint};
+
+/// Where the autopilot stands in its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AutopilotStatus {
+    /// Flying towards waypoint `next`.
+    Enroute {
+        /// Index of the next waypoint.
+        next: usize,
+    },
+    /// Every waypoint has been visited; holding the last heading.
+    Done,
+}
+
+/// Steers a [`Kinematics`] model along a [`FlightPlan`].
+#[derive(Debug, Clone)]
+pub struct Autopilot {
+    plan: FlightPlan,
+    next: usize,
+}
+
+impl Autopilot {
+    /// Creates an autopilot for `plan`.
+    pub fn new(plan: FlightPlan) -> Self {
+        Autopilot { plan, next: 0 }
+    }
+
+    /// The plan being flown.
+    pub fn plan(&self) -> &FlightPlan {
+        &self.plan
+    }
+
+    /// Progress.
+    pub fn status(&self) -> AutopilotStatus {
+        if self.next >= self.plan.len() {
+            AutopilotStatus::Done
+        } else {
+            AutopilotStatus::Enroute { next: self.next }
+        }
+    }
+
+    /// The waypoint currently being flown to.
+    pub fn current_target(&self) -> Option<&Waypoint> {
+        self.plan.get(self.next)
+    }
+
+    /// Updates steering commands and detects arrivals. Returns the indices
+    /// of waypoints reached during this update (normally zero or one).
+    pub fn update(&mut self, kin: &mut Kinematics) -> Vec<usize> {
+        let mut reached = Vec::new();
+        let pos: GeoPoint = kin.state().position;
+        while let Some(wp) = self.plan.get(self.next) {
+            if pos.distance_m(&wp.point) <= wp.radius_m {
+                reached.push(self.next);
+                self.next += 1;
+            } else {
+                break;
+            }
+        }
+        if let Some(wp) = self.plan.get(self.next) {
+            kin.set_target_heading(pos.bearing_rad(&wp.point));
+            kin.set_target_alt(wp.point.alt);
+        }
+        reached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Waypoint;
+
+    #[test]
+    fn flies_the_whole_plan() {
+        let origin = GeoPoint::new(41.275, 1.987, 100.0);
+        let plan = FlightPlan::new(vec![
+            Waypoint::nav(origin.displaced_m(0.0, 500.0)),
+            Waypoint::nav(origin.displaced_m(500.0, 500.0)),
+            Waypoint::nav(origin.displaced_m(500.0, 0.0)),
+        ]);
+        let mut kin = Kinematics::new(origin, 25.0);
+        let mut ap = Autopilot::new(plan);
+        let mut reached = Vec::new();
+        // 2 minutes of simulated flight at 10 Hz.
+        for _ in 0..1200 {
+            kin.step(0.1);
+            reached.extend(ap.update(&mut kin));
+            if ap.status() == AutopilotStatus::Done {
+                break;
+            }
+        }
+        assert_eq!(reached, vec![0, 1, 2]);
+        assert_eq!(ap.status(), AutopilotStatus::Done);
+    }
+
+    #[test]
+    fn enroute_reports_next_waypoint() {
+        let origin = GeoPoint::new(41.275, 1.987, 100.0);
+        let plan = FlightPlan::new(vec![Waypoint::nav(origin.displaced_m(0.0, 1000.0))]);
+        let mut kin = Kinematics::new(origin, 20.0);
+        let mut ap = Autopilot::new(plan);
+        ap.update(&mut kin);
+        assert_eq!(ap.status(), AutopilotStatus::Enroute { next: 0 });
+        assert!(ap.current_target().is_some());
+    }
+
+    #[test]
+    fn empty_plan_is_done_immediately() {
+        let origin = GeoPoint::new(41.275, 1.987, 100.0);
+        let mut kin = Kinematics::new(origin, 20.0);
+        let mut ap = Autopilot::new(FlightPlan::default());
+        assert!(ap.update(&mut kin).is_empty());
+        assert_eq!(ap.status(), AutopilotStatus::Done);
+    }
+}

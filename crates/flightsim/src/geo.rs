@@ -1,0 +1,114 @@
+//! Geographic points and flat-earth math.
+//!
+//! Missions for mini-UAVs span a few kilometres, so a local flat-earth
+//! approximation (equirectangular) is accurate to well under a metre —
+//! and keeps the whole simulation dependency-free and fast.
+
+use serde::{Deserialize, Serialize};
+
+/// Metres per degree of latitude (WGS-84 mean).
+const M_PER_DEG_LAT: f64 = 111_320.0;
+
+/// A geographic position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees (positive north).
+    pub lat: f64,
+    /// Longitude in degrees (positive east).
+    pub lon: f64,
+    /// Altitude above mean sea level, metres.
+    pub alt: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point.
+    pub fn new(lat: f64, lon: f64, alt: f64) -> Self {
+        GeoPoint { lat, lon, alt }
+    }
+
+    /// Horizontal distance to `other` in metres (flat-earth).
+    pub fn distance_m(&self, other: &GeoPoint) -> f64 {
+        let (dx, dy) = self.offset_m(other);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// 3D distance including the altitude difference.
+    pub fn distance_3d_m(&self, other: &GeoPoint) -> f64 {
+        let (dx, dy) = self.offset_m(other);
+        let dz = other.alt - self.alt;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Initial bearing towards `other`, radians in `[0, 2π)` (0 = north,
+    /// clockwise positive — aviation convention).
+    pub fn bearing_rad(&self, other: &GeoPoint) -> f64 {
+        let (dx, dy) = self.offset_m(other);
+        let b = dx.atan2(dy); // atan2(east, north)
+        if b < 0.0 {
+            b + std::f64::consts::TAU
+        } else {
+            b
+        }
+    }
+
+    /// East/north offset of `other` from `self` in metres.
+    pub fn offset_m(&self, other: &GeoPoint) -> (f64, f64) {
+        let dy = (other.lat - self.lat) * M_PER_DEG_LAT;
+        let dx = (other.lon - self.lon) * M_PER_DEG_LAT * self.lat.to_radians().cos();
+        (dx, dy)
+    }
+
+    /// Returns the point displaced `east_m`/`north_m` metres.
+    pub fn displaced_m(&self, east_m: f64, north_m: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.lat + north_m / M_PER_DEG_LAT,
+            lon: self.lon + east_m / (M_PER_DEG_LAT * self.lat.to_radians().cos()),
+            alt: self.alt,
+        }
+    }
+
+    /// Same horizontal position at a different altitude.
+    pub fn at_alt(&self, alt: f64) -> GeoPoint {
+        GeoPoint { alt, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GeoPoint {
+        // Castelldefels, the paper's lab location.
+        GeoPoint::new(41.275, 1.987, 0.0)
+    }
+
+    #[test]
+    fn displacement_roundtrips() {
+        let p = base();
+        let q = p.displaced_m(300.0, -400.0);
+        let (dx, dy) = p.offset_m(&q);
+        assert!((dx - 300.0).abs() < 0.01, "{dx}");
+        assert!((dy + 400.0).abs() < 0.01, "{dy}");
+        assert!((p.distance_m(&q) - 500.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bearings_follow_compass() {
+        let p = base();
+        let north = p.displaced_m(0.0, 100.0);
+        let east = p.displaced_m(100.0, 0.0);
+        let south = p.displaced_m(0.0, -100.0);
+        let west = p.displaced_m(-100.0, 0.0);
+        assert!((p.bearing_rad(&north) - 0.0).abs() < 1e-6);
+        assert!((p.bearing_rad(&east) - std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+        assert!((p.bearing_rad(&south) - std::f64::consts::PI).abs() < 1e-6);
+        assert!((p.bearing_rad(&west) - 3.0 * std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_3d_includes_altitude() {
+        let p = base();
+        let q = p.displaced_m(0.0, 30.0).at_alt(40.0);
+        assert!((p.distance_3d_m(&q) - 50.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,39 @@
+//! # marea-flightsim — the UAV flight-dynamics substrate
+//!
+//! The paper's system flies on a real mini-UAV with a Flight Computer
+//! System feeding GPS fixes, and the authors demo'd a FlightGear telemetry
+//! bridge (§6). Neither is available to a reproduction, so this crate
+//! substitutes both with a deterministic simulation:
+//!
+//! * [`Kinematics`] — a simple constant-speed aircraft model with bounded
+//!   turn and climb rates;
+//! * [`FlightPlan`] / [`Autopilot`] — waypoint navigation with per-waypoint
+//!   actions (the mission scripts of §5);
+//! * [`sensors`] — noisy GPS / barometer / IMU readings derived from the
+//!   true state (seeded, reproducible);
+//! * [`Terrain`] — a synthetic landscape with deterministically placed
+//!   high-contrast *targets*, rendered into grayscale frames for the camera
+//!   payload (so the Fig. 3 image-processing scenario has ground truth);
+//! * [`World`] — glues the above behind a single stepping facade that
+//!   services drive from container timers.
+//!
+//! Everything is seeded: the same seed yields the same flight, the same
+//! sensor noise and the same imagery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autopilot;
+mod geo;
+mod kinematics;
+mod plan;
+pub mod sensors;
+mod terrain;
+mod world;
+
+pub use autopilot::{Autopilot, AutopilotStatus};
+pub use geo::GeoPoint;
+pub use kinematics::{Kinematics, UavState};
+pub use plan::{FlightPlan, Waypoint, WaypointAction};
+pub use terrain::{Frame, Terrain};
+pub use world::{World, WorldEvent};

@@ -1,0 +1,126 @@
+//! Flight plans: ordered waypoints with per-waypoint mission actions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geo::GeoPoint;
+
+/// What the mission should do on arrival at a waypoint (paper §5: "the MC
+/// is instructed to take high resolution photos at specified locations").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaypointAction {
+    /// Take a photo and distribute it to the payload services.
+    TakePhoto,
+    /// Emit a named mission event.
+    Notify(String),
+    /// Nothing special; navigation fix only.
+    None,
+}
+
+/// One waypoint of a flight plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waypoint {
+    /// Target position.
+    pub point: GeoPoint,
+    /// Arrival radius in metres: the waypoint counts as reached inside it.
+    pub radius_m: f64,
+    /// Action on arrival.
+    pub action: WaypointAction,
+}
+
+impl Waypoint {
+    /// A plain navigation waypoint with a 30 m arrival radius.
+    pub fn nav(point: GeoPoint) -> Self {
+        Waypoint { point, radius_m: 30.0, action: WaypointAction::None }
+    }
+
+    /// A photo waypoint with a 30 m arrival radius.
+    pub fn photo(point: GeoPoint) -> Self {
+        Waypoint { point, radius_m: 30.0, action: WaypointAction::TakePhoto }
+    }
+
+    /// Builder-style arrival radius override.
+    #[must_use]
+    pub fn with_radius_m(mut self, r: f64) -> Self {
+        self.radius_m = r;
+        self
+    }
+}
+
+/// An ordered list of waypoints.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlightPlan {
+    waypoints: Vec<Waypoint>,
+}
+
+impl FlightPlan {
+    /// Creates a plan from waypoints.
+    pub fn new(waypoints: Vec<Waypoint>) -> Self {
+        FlightPlan { waypoints }
+    }
+
+    /// A rectangular survey ("lawnmower") pattern over an area anchored at
+    /// `origin`, with photo waypoints at each corner — the kind of mission
+    /// the paper's Fig. 3 scenario runs.
+    pub fn survey(origin: GeoPoint, width_m: f64, height_m: f64, passes: u32) -> Self {
+        let mut wps = Vec::new();
+        for i in 0..passes {
+            let y = height_m * f64::from(i) / f64::from(passes.max(1));
+            let (x0, x1) = if i % 2 == 0 { (0.0, width_m) } else { (width_m, 0.0) };
+            wps.push(Waypoint::photo(origin.displaced_m(x0, y)));
+            wps.push(Waypoint::photo(origin.displaced_m(x1, y)));
+        }
+        FlightPlan::new(wps)
+    }
+
+    /// The waypoints in order.
+    pub fn waypoints(&self) -> &[Waypoint] {
+        &self.waypoints
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.waypoints.len()
+    }
+
+    /// `true` when the plan has no waypoints.
+    pub fn is_empty(&self) -> bool {
+        self.waypoints.is_empty()
+    }
+
+    /// Waypoint by index.
+    pub fn get(&self, i: usize) -> Option<&Waypoint> {
+        self.waypoints.get(i)
+    }
+
+    /// Total horizontal path length in metres.
+    pub fn path_length_m(&self) -> f64 {
+        self.waypoints.windows(2).map(|w| w[0].point.distance_m(&w[1].point)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_alternates_direction() {
+        let origin = GeoPoint::new(41.275, 1.987, 100.0);
+        let plan = FlightPlan::survey(origin, 1000.0, 600.0, 3);
+        assert_eq!(plan.len(), 6);
+        // First pass goes east, second comes back west.
+        let (dx0, _) = origin.offset_m(&plan.get(1).unwrap().point);
+        let (dx1, _) = origin.offset_m(&plan.get(3).unwrap().point);
+        assert!(dx0 > 900.0);
+        assert!(dx1 < 100.0);
+        assert!(plan.path_length_m() > 3000.0);
+        assert!(plan.waypoints().iter().all(|w| w.action == WaypointAction::TakePhoto));
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = FlightPlan::default();
+        assert!(p.is_empty());
+        assert_eq!(p.path_length_m(), 0.0);
+        assert!(p.get(0).is_none());
+    }
+}

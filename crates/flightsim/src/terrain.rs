@@ -1,0 +1,234 @@
+//! Synthetic terrain and payload imagery.
+//!
+//! The paper's Fig. 3 scenario photographs the ground and runs on-board
+//! detection on an FPGA. This module substitutes the physical world: a
+//! deterministic landscape (value-noise texture) with high-contrast
+//! *targets* placed pseudo-randomly from the seed. The camera service
+//! renders grayscale frames; the video-processing service detects bright
+//! blobs; tests compare detections against [`Terrain::targets_in_view`]
+//! ground truth.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geo::GeoPoint;
+
+/// A rendered camera frame (8-bit grayscale, row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Metres covered by one pixel.
+    pub m_per_px: f64,
+    /// Pixel values, `width * height` bytes, row-major from the north-west
+    /// corner.
+    pub pixels: Vec<u8>,
+}
+
+impl Frame {
+    /// Pixel accessor.
+    pub fn at(&self, x: u32, y: u32) -> u8 {
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Serializes to the wire format used for file transfer: a 16-byte
+    /// header (magic, width, height, µm-per-px) followed by pixels.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.pixels.len());
+        out.extend_from_slice(b"MIMG");
+        out.extend_from_slice(&self.width.to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&((self.m_per_px * 1e6) as u32).to_le_bytes());
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Inverse of [`Frame::to_bytes`]; `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Frame> {
+        if bytes.len() < 16 || &bytes[0..4] != b"MIMG" {
+            return None;
+        }
+        let width = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+        let height = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        let um_per_px = u32::from_le_bytes(bytes[12..16].try_into().ok()?);
+        let n = (width as usize).checked_mul(height as usize)?;
+        if bytes.len() != 16 + n {
+            return None;
+        }
+        Some(Frame {
+            width,
+            height,
+            m_per_px: f64::from(um_per_px) / 1e6,
+            pixels: bytes[16..].to_vec(),
+        })
+    }
+}
+
+/// A ground target (something worth detecting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Target {
+    /// Location.
+    pub position: GeoPoint,
+    /// Radius on the ground, metres.
+    pub radius_m: f64,
+}
+
+/// The deterministic synthetic landscape.
+#[derive(Debug, Clone)]
+pub struct Terrain {
+    seed: u64,
+    targets: Vec<Target>,
+}
+
+impl Terrain {
+    /// Creates a landscape seeded with `seed`, scattering `target_count`
+    /// targets uniformly within `extent_m` metres of `origin`.
+    pub fn new(seed: u64, origin: GeoPoint, extent_m: f64, target_count: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7A26_55AA);
+        let targets = (0..target_count)
+            .map(|_| {
+                let east = rng.gen_range(0.0..extent_m);
+                let north = rng.gen_range(0.0..extent_m);
+                let radius = rng.gen_range(4.0..12.0);
+                Target { position: origin.displaced_m(east, north), radius_m: radius }
+            })
+            .collect();
+        Terrain { seed, targets }
+    }
+
+    /// The ground-truth target list.
+    pub fn targets(&self) -> &[Target] {
+        &self.targets
+    }
+
+    /// Ground texture brightness at a point, 0-255 (excluding targets).
+    fn texture(&self, east_m: f64, north_m: f64) -> u8 {
+        // Two octaves of hashed value noise: cheap, deterministic, no deps.
+        let v1 = hash_noise(self.seed, (east_m / 80.0).floor() as i64, (north_m / 80.0).floor() as i64);
+        let v2 = hash_noise(self.seed ^ 1, (east_m / 17.0).floor() as i64, (north_m / 17.0).floor() as i64);
+        // Keep the background in the dark half so targets stand out.
+        (40.0 + 0.35 * v1 + 0.15 * v2) as u8
+    }
+
+    /// Renders a nadir frame centred on `center` with the given resolution.
+    pub fn render(&self, center: GeoPoint, width: u32, height: u32, m_per_px: f64) -> Frame {
+        let mut pixels = vec![0u8; (width * height) as usize];
+        let half_w = f64::from(width) / 2.0 * m_per_px;
+        let half_h = f64::from(height) / 2.0 * m_per_px;
+        // Pre-compute target offsets relative to the frame centre.
+        let target_offsets: Vec<(f64, f64, f64)> = self
+            .targets
+            .iter()
+            .map(|t| {
+                let (dx, dy) = center.offset_m(&t.position);
+                (dx, dy, t.radius_m)
+            })
+            .filter(|(dx, dy, r)| dx.abs() < half_w + r && dy.abs() < half_h + r)
+            .collect();
+        for y in 0..height {
+            for x in 0..width {
+                let east = (f64::from(x) + 0.5) * m_per_px - half_w;
+                // Row 0 is the northern edge.
+                let north = half_h - (f64::from(y) + 0.5) * m_per_px;
+                let mut v = self.texture(east, north);
+                for (tx, ty, r) in &target_offsets {
+                    let d2 = (east - tx) * (east - tx) + (north - ty) * (north - ty);
+                    if d2 <= r * r {
+                        v = 235; // hot target, well above any texture value
+                    }
+                }
+                pixels[(y * width + x) as usize] = v;
+            }
+        }
+        Frame { width, height, m_per_px, pixels }
+    }
+
+    /// Ground truth: targets whose centre falls inside a frame rendered at
+    /// `center` with the given geometry.
+    pub fn targets_in_view(
+        &self,
+        center: GeoPoint,
+        width: u32,
+        height: u32,
+        m_per_px: f64,
+    ) -> Vec<Target> {
+        let half_w = f64::from(width) / 2.0 * m_per_px;
+        let half_h = f64::from(height) / 2.0 * m_per_px;
+        self.targets
+            .iter()
+            .filter(|t| {
+                let (dx, dy) = center.offset_m(&t.position);
+                dx.abs() < half_w && dy.abs() < half_h
+            })
+            .copied()
+            .collect()
+    }
+}
+
+fn hash_noise(seed: u64, x: i64, y: i64) -> f64 {
+    let mut h = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((x as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((y as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    h ^= h >> 31;
+    h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    h ^= h >> 27;
+    (h % 256) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin() -> GeoPoint {
+        GeoPoint::new(41.275, 1.987, 0.0)
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let t1 = Terrain::new(5, origin(), 2000.0, 10);
+        let t2 = Terrain::new(5, origin(), 2000.0, 10);
+        let c = origin().displaced_m(500.0, 500.0).at_alt(120.0);
+        assert_eq!(t1.render(c, 64, 64, 2.0), t2.render(c, 64, 64, 2.0));
+        assert_eq!(t1.targets(), t2.targets());
+    }
+
+    #[test]
+    fn targets_render_bright() {
+        let t = Terrain::new(6, origin(), 1000.0, 5);
+        let target = t.targets()[0];
+        let frame = t.render(target.position, 64, 64, 1.0);
+        // Centre pixel is on the target.
+        assert_eq!(frame.at(32, 32), 235);
+        // Background stays dark.
+        let background = t.render(origin().displaced_m(-5000.0, -5000.0), 64, 64, 1.0);
+        assert!(background.pixels.iter().all(|&p| p < 170));
+    }
+
+    #[test]
+    fn ground_truth_matches_view_geometry() {
+        let t = Terrain::new(7, origin(), 1000.0, 20);
+        let target = t.targets()[3];
+        let seen = t.targets_in_view(target.position, 128, 128, 2.0);
+        assert!(seen.iter().any(|s| s.position == target.position));
+        let not_seen = t.targets_in_view(origin().displaced_m(-9999.0, -9999.0), 128, 128, 2.0);
+        assert!(not_seen.is_empty());
+    }
+
+    #[test]
+    fn frame_bytes_roundtrip() {
+        let t = Terrain::new(8, origin(), 500.0, 3);
+        let f = t.render(origin(), 32, 16, 1.5);
+        let bytes = f.to_bytes();
+        assert_eq!(Frame::from_bytes(&bytes).unwrap(), f);
+        assert!(Frame::from_bytes(&bytes[..10]).is_none());
+        let mut corrupt = bytes.clone();
+        corrupt[0] = b'X';
+        assert!(Frame::from_bytes(&corrupt).is_none());
+        let mut truncated = bytes.clone();
+        truncated.pop();
+        assert!(Frame::from_bytes(&truncated).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! Network and link configuration.
+
+/// Characteristics of one directed link (or the network-wide default).
+///
+/// Defaults model a small switched Ethernet LAN of the kind the paper's
+/// avionics nodes share: 100 µs propagation, no jitter, no loss, 100 Mbit/s,
+/// 1500-byte MTU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Base one-way latency in microseconds.
+    pub latency_us: u64,
+    /// Additional uniformly distributed jitter in `[0, jitter_us]`.
+    pub jitter_us: u64,
+    /// Independent per-replica loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Serialization bandwidth in bits per second; `None` = infinite.
+    pub bandwidth_bps: Option<u64>,
+    /// Maximum datagram size in bytes; larger sends are dropped (and
+    /// counted), mirroring a UDP stack without IP fragmentation.
+    pub mtu: usize,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency_us: 100,
+            jitter_us: 0,
+            loss: 0.0,
+            bandwidth_bps: Some(100_000_000),
+            mtu: 1500,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Sets the base latency (builder style).
+    #[must_use]
+    pub fn with_latency_us(mut self, v: u64) -> Self {
+        self.latency_us = v;
+        self
+    }
+
+    /// Sets the jitter bound (builder style).
+    #[must_use]
+    pub fn with_jitter_us(mut self, v: u64) -> Self {
+        self.jitter_us = v;
+        self
+    }
+
+    /// Sets the loss probability (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not within `[0, 1]`.
+    #[must_use]
+    pub fn with_loss(mut self, v: f64) -> Self {
+        assert!((0.0..=1.0).contains(&v), "loss probability {v} outside [0,1]");
+        self.loss = v;
+        self
+    }
+
+    /// Sets the bandwidth (builder style).
+    #[must_use]
+    pub fn with_bandwidth_bps(mut self, v: Option<u64>) -> Self {
+        self.bandwidth_bps = v;
+        self
+    }
+
+    /// Sets the MTU (builder style).
+    #[must_use]
+    pub fn with_mtu(mut self, v: usize) -> Self {
+        self.mtu = v;
+        self
+    }
+
+    /// Transmission (serialization) time of `len` bytes on this link, µs.
+    pub(crate) fn tx_time_us(&self, len: usize) -> u64 {
+        match self.bandwidth_bps {
+            Some(bps) if bps > 0 => (len as u64 * 8 * 1_000_000) / bps,
+            _ => 0,
+        }
+    }
+}
+
+/// Whole-network configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Link characteristics applied to every pair without an override.
+    pub default_link: LinkConfig,
+    /// PRNG seed: identical seeds reproduce identical packet traces.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig { default_link: LinkConfig::default(), seed: 0xC0FFEE }
+    }
+}
+
+impl NetConfig {
+    /// Sets the seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the default link (builder style).
+    #[must_use]
+    pub fn with_default_link(mut self, link: LinkConfig) -> Self {
+        self.default_link = link;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_math() {
+        let l = LinkConfig::default().with_bandwidth_bps(Some(1_000_000)); // 1 Mbit/s
+        assert_eq!(l.tx_time_us(125), 1_000); // 125 B = 1000 bits = 1 ms
+        let inf = LinkConfig::default().with_bandwidth_bps(None);
+        assert_eq!(inf.tx_time_us(100_000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn loss_range_checked() {
+        let _ = LinkConfig::default().with_loss(1.5);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let l = LinkConfig::default()
+            .with_latency_us(5)
+            .with_jitter_us(2)
+            .with_loss(0.25)
+            .with_mtu(9000);
+        assert_eq!(l.latency_us, 5);
+        assert_eq!(l.jitter_us, 2);
+        assert_eq!(l.loss, 0.25);
+        assert_eq!(l.mtu, 9000);
+        let c = NetConfig::default().with_seed(42).with_default_link(l);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.default_link, l);
+    }
+}

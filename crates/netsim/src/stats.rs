@@ -1,0 +1,64 @@
+//! Packet accounting, the measurement substrate for the bandwidth
+//! experiments (C2: multicast vs unicast fan-out; C4: file distribution).
+
+use std::collections::BTreeMap;
+
+/// Per-node counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Datagrams passed to `send` by this node.
+    pub sent: u64,
+    /// Payload bytes passed to `send` by this node.
+    pub sent_bytes: u64,
+    /// Datagram replicas delivered into this node's inbox.
+    pub delivered: u64,
+    /// Payload bytes delivered into this node's inbox.
+    pub delivered_bytes: u64,
+}
+
+/// Network-wide counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Datagrams sent (one per `send` call, however many replicas result).
+    pub datagrams_sent: u64,
+    /// Payload bytes sent (counted once per `send` call).
+    pub bytes_sent: u64,
+    /// Replicas delivered to an inbox.
+    pub datagrams_delivered: u64,
+    /// Payload bytes delivered (counted per replica).
+    pub bytes_delivered: u64,
+    /// Replicas dropped by random loss.
+    pub dropped_loss: u64,
+    /// Sends dropped because the payload exceeded the link MTU.
+    pub dropped_mtu: u64,
+    /// Replicas dropped by an active partition.
+    pub dropped_partition: u64,
+    /// Sends addressed to a group/destination with no (other) member.
+    pub no_receiver: u64,
+    /// Per-node breakdown.
+    pub per_node: BTreeMap<u32, NodeStats>,
+}
+
+impl NetStats {
+    /// Counters for one node (zero if never seen).
+    pub fn node(&self, id: u32) -> NodeStats {
+        self.per_node.get(&id).copied().unwrap_or_default()
+    }
+
+    /// Total replicas dropped for any reason.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_mtu + self.dropped_partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_lookup_defaults_to_zero() {
+        let s = NetStats::default();
+        assert_eq!(s.node(7), NodeStats::default());
+        assert_eq!(s.total_dropped(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Textual paths into composite values (`waypoints[2].lat`).
+//!
+//! Ground-station displays and mission scripts frequently need to pluck one
+//! field out of a telemetry record; [`ValuePath`] gives them a small, fast,
+//! pre-parseable selector language: dot-separated field names and `[n]`
+//! vector indices.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::PathError;
+
+/// One step of a [`ValuePath`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PathSegment {
+    /// Descend into a struct field or union alternative by name.
+    Field(String),
+    /// Descend into a vector element by index.
+    Index(usize),
+}
+
+impl fmt::Display for PathSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathSegment::Field(name) => f.write_str(name),
+            PathSegment::Index(i) => write!(f, "[{i}]"),
+        }
+    }
+}
+
+/// A parsed path into a composite [`Value`](crate::Value).
+///
+/// # Examples
+///
+/// ```
+/// use marea_presentation::ValuePath;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = ValuePath::parse("waypoints[2].lat")?;
+/// assert_eq!(p.segments().len(), 3);
+/// assert_eq!(p.to_string(), "waypoints[2].lat");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ValuePath {
+    segments: Vec<PathSegment>,
+}
+
+impl ValuePath {
+    /// Parses a textual path.
+    ///
+    /// Grammar: `field ( '.' field | '[' digits ']' )*`, where `field` is a
+    /// run of characters other than `.`, `[`, `]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError`] on empty input, empty components, unterminated
+    /// or non-numeric indices.
+    pub fn parse(s: &str) -> Result<Self, PathError> {
+        if s.is_empty() {
+            return Err(PathError::Empty);
+        }
+        let mut segments = Vec::new();
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        let mut expect_field = true; // a path must start with a field name
+        while i < bytes.len() {
+            match bytes[i] {
+                b'.' => {
+                    if expect_field {
+                        return Err(PathError::Syntax { at: i, reason: "empty field name" });
+                    }
+                    expect_field = true;
+                    i += 1;
+                }
+                b'[' => {
+                    if expect_field {
+                        return Err(PathError::Syntax {
+                            at: i,
+                            reason: "index not allowed here; expected field name",
+                        });
+                    }
+                    let close = s[i..]
+                        .find(']')
+                        .map(|off| i + off)
+                        .ok_or(PathError::Syntax { at: i, reason: "unterminated index" })?;
+                    let digits = &s[i + 1..close];
+                    if digits.is_empty() {
+                        return Err(PathError::Syntax { at: i + 1, reason: "empty index" });
+                    }
+                    let idx = digits
+                        .parse::<usize>()
+                        .map_err(|_| PathError::Syntax { at: i + 1, reason: "index is not a number" })?;
+                    segments.push(PathSegment::Index(idx));
+                    i = close + 1;
+                }
+                b']' => return Err(PathError::Syntax { at: i, reason: "unexpected `]`" }),
+                _ => {
+                    if !expect_field {
+                        return Err(PathError::Syntax {
+                            at: i,
+                            reason: "expected `.` or `[` between segments",
+                        });
+                    }
+                    let end = s[i..]
+                        .find(['.', '[', ']'])
+                        .map(|off| i + off)
+                        .unwrap_or(s.len());
+                    segments.push(PathSegment::Field(s[i..end].to_owned()));
+                    expect_field = false;
+                    i = end;
+                }
+            }
+        }
+        if expect_field {
+            return Err(PathError::Syntax { at: s.len(), reason: "trailing `.`" });
+        }
+        if segments.is_empty() {
+            return Err(PathError::Empty);
+        }
+        Ok(ValuePath { segments })
+    }
+
+    /// The parsed segments in order.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+}
+
+impl fmt::Display for ValuePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 && matches!(seg, PathSegment::Field(_)) {
+                write!(f, ".")?;
+            }
+            write!(f, "{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ValuePath {
+    type Err = PathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ValuePath::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fields_and_indices() {
+        let p = ValuePath::parse("a.b[3].c[0][1]").unwrap();
+        assert_eq!(
+            p.segments(),
+            &[
+                PathSegment::Field("a".into()),
+                PathSegment::Field("b".into()),
+                PathSegment::Index(3),
+                PathSegment::Field("c".into()),
+                PathSegment::Index(0),
+                PathSegment::Index(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for src in ["a", "a.b", "a[0]", "a.b[3].c[0][1]", "gps.position.lat"] {
+            let p = ValuePath::parse(src).unwrap();
+            assert_eq!(p.to_string(), src);
+            let again: ValuePath = p.to_string().parse().unwrap();
+            assert_eq!(again, p);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        for bad in ["", ".", "a.", ".a", "a..b", "[0]", "a[", "a[]", "a[x]", "a]b", "a[0]b"] {
+            assert!(ValuePath::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        match ValuePath::parse("ab..c") {
+            Err(PathError::Syntax { at, .. }) => assert_eq!(at, 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

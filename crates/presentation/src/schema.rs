@@ -1,0 +1,230 @@
+//! Named schemas and per-container schema registries.
+//!
+//! A [`Schema`] binds a [`Name`] to a [`DataType`]; the [`SchemaRegistry`]
+//! is the container-local catalogue of every variable/event/function
+//! signature a node knows about. During middleware initialization services
+//! declare what they provide and what they require; the registry is what the
+//! container consults to verify that "all the functions they need ... are
+//! provided by one or more services available in the network" (paper §4.3).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::InvalidNameError;
+use crate::name::Name;
+use crate::types::DataType;
+use crate::value::Value;
+use crate::TypeError;
+
+/// A named data type: the declared shape of one variable, event payload or
+/// function parameter list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    name: Name,
+    ty: DataType,
+}
+
+impl Schema {
+    /// Creates a schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidNameError`] if `name` is not a valid [`Name`].
+    pub fn new(name: impl AsRef<str>, ty: DataType) -> Result<Self, InvalidNameError> {
+        Ok(Schema { name: Name::new(name)?, ty })
+    }
+
+    /// Schema name.
+    pub fn name(&self) -> &Name {
+        &self.name
+    }
+
+    /// The declared type.
+    pub fn ty(&self) -> &DataType {
+        &self.ty
+    }
+
+    /// Checks a value against this schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TypeError`] produced by
+    /// [`Value::conforms_to`].
+    pub fn check(&self, value: &Value) -> Result<(), TypeError> {
+        value.conforms_to(&self.ty)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)
+    }
+}
+
+/// A catalogue of named schemas with last-writer-wins registration.
+///
+/// Iteration order is deterministic (sorted by name) so that discovery
+/// announcements built from a registry are reproducible across runs — a
+/// requirement for the deterministic simulation used in tests and benches.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaRegistry {
+    entries: BTreeMap<Name, Schema>,
+}
+
+impl SchemaRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SchemaRegistry::default()
+    }
+
+    /// Registers a schema, returning the previous one under the same name,
+    /// if any.
+    pub fn register(&mut self, schema: Schema) -> Option<Schema> {
+        self.entries.insert(schema.name.clone(), schema)
+    }
+
+    /// Convenience: build and register in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidNameError`] if `name` is invalid.
+    pub fn declare(
+        &mut self,
+        name: impl AsRef<str>,
+        ty: DataType,
+    ) -> Result<Option<Schema>, InvalidNameError> {
+        Ok(self.register(Schema::new(name, ty)?))
+    }
+
+    /// Looks up a schema by name.
+    pub fn get(&self, name: &str) -> Option<&Schema> {
+        self.entries.get(name)
+    }
+
+    /// `true` if a schema is registered under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Removes a schema by name, returning it.
+    pub fn remove(&mut self, name: &str) -> Option<Schema> {
+        self.entries.remove(name)
+    }
+
+    /// Number of registered schemas.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over schemas sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = &Schema> {
+        self.entries.values()
+    }
+
+    /// Checks `value` against the schema registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Ok(false)` when no schema is registered under `name` (the
+    /// caller decides whether unknown names are fatal); returns a
+    /// [`TypeError`] when the schema exists and the value violates it.
+    pub fn check(&self, name: &str, value: &Value) -> Result<bool, TypeError> {
+        match self.get(name) {
+            Some(schema) => schema.check(value).map(|()| true),
+            None => Ok(false),
+        }
+    }
+}
+
+impl FromIterator<Schema> for SchemaRegistry {
+    fn from_iter<I: IntoIterator<Item = Schema>>(iter: I) -> Self {
+        let mut reg = SchemaRegistry::new();
+        for s in iter {
+            reg.register(s);
+        }
+        reg
+    }
+}
+
+impl Extend<Schema> for SchemaRegistry {
+    fn extend<I: IntoIterator<Item = Schema>>(&mut self, iter: I) {
+        for s in iter {
+            self.register(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StructType;
+
+    fn position_schema() -> Schema {
+        Schema::new(
+            "gps/position",
+            DataType::Struct(
+                StructType::new("Position")
+                    .with_field("lat", DataType::F64)
+                    .unwrap()
+                    .with_field("lon", DataType::F64)
+                    .unwrap(),
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = SchemaRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(position_schema());
+        assert!(reg.contains("gps/position"));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("gps/position").unwrap().name(), "gps/position");
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let mut reg = SchemaRegistry::new();
+        reg.declare("x", DataType::Bool).unwrap();
+        let old = reg.declare("x", DataType::I32).unwrap();
+        assert_eq!(old.unwrap().ty(), &DataType::Bool);
+        assert_eq!(reg.get("x").unwrap().ty(), &DataType::I32);
+    }
+
+    #[test]
+    fn check_dispatches_by_name() {
+        let mut reg = SchemaRegistry::new();
+        reg.register(position_schema());
+        let ok = Value::struct_of("Position").field("lat", 1.0).field("lon", 2.0).build().unwrap();
+        assert!(reg.check("gps/position", &ok).unwrap());
+        assert!(!reg.check("unknown", &ok).unwrap(), "unknown names are Ok(false)");
+        let bad = Value::Bool(true);
+        assert!(reg.check("gps/position", &bad).is_err());
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_name() {
+        let mut reg = SchemaRegistry::new();
+        reg.declare("zeta", DataType::Bool).unwrap();
+        reg.declare("alpha", DataType::Bool).unwrap();
+        reg.declare("mid", DataType::Bool).unwrap();
+        let names: Vec<_> = reg.iter().map(|s| s.name().to_string()).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let reg: SchemaRegistry =
+            vec![position_schema(), Schema::new("alt", DataType::F32).unwrap()]
+                .into_iter()
+                .collect();
+        assert_eq!(reg.len(), 2);
+    }
+}

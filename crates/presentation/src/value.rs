@@ -1,0 +1,895 @@
+//! Dynamically-typed values exchanged between services.
+
+use std::fmt;
+
+use crate::error::{InvalidNameError, TypeError, TypeErrorKind};
+use crate::name::Name;
+use crate::path::{PathSegment, ValuePath};
+use crate::types::{DataType, StructType, TypeKind, UnionType, VectorType};
+
+/// A homogeneous sequence of values.
+///
+/// The element type is carried explicitly so that *empty* vectors still know
+/// what they contain — required both for type checking and for the compact
+/// codec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorValue {
+    elem_ty: DataType,
+    items: Vec<Value>,
+}
+
+impl VectorValue {
+    /// Creates a vector value, checking every element against `elem_ty`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] locating the first non-conforming element.
+    pub fn new(elem_ty: DataType, items: Vec<Value>) -> Result<Self, TypeError> {
+        for (i, item) in items.iter().enumerate() {
+            item.conforms_to(&elem_ty).map_err(|e| e.at_index(i))?;
+        }
+        Ok(VectorValue { elem_ty, items })
+    }
+
+    /// Creates an empty vector of `elem_ty`.
+    pub fn empty(elem_ty: DataType) -> Self {
+        VectorValue { elem_ty, items: Vec::new() }
+    }
+
+    /// Element type of the vector.
+    pub fn elem_ty(&self) -> &DataType {
+        &self.elem_ty
+    }
+
+    /// Elements in order.
+    pub fn items(&self) -> &[Value] {
+        &self.items
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Appends an element after checking it against the element type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if `item` does not conform to the element
+    /// type.
+    pub fn push(&mut self, item: Value) -> Result<(), TypeError> {
+        item.conforms_to(&self.elem_ty).map_err(|e| e.at_index(self.items.len()))?;
+        self.items.push(item);
+        Ok(())
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.items.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a VectorValue {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+/// An ordered collection of named values (a struct instance).
+///
+/// The optional `type_name` is documentation-only: it never travels on the
+/// wire and is deliberately excluded from equality, so a decoded struct
+/// compares equal to the one that was encoded.
+#[derive(Debug, Clone, Default)]
+pub struct StructValue {
+    type_name: Option<Name>,
+    fields: Vec<(Name, Value)>,
+}
+
+impl PartialEq for StructValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl StructValue {
+    /// Creates an empty struct value with no type name.
+    pub fn new() -> Self {
+        StructValue::default()
+    }
+
+    /// Documentation type name attached at construction, if any.
+    pub fn type_name(&self) -> Option<&Name> {
+        self.type_name.as_ref()
+    }
+
+    /// Fields in insertion order.
+    pub fn fields(&self) -> &[(Name, Value)] {
+        &self.fields
+    }
+
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup by name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Value> {
+        self.fields.iter_mut().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Sets a field, replacing any existing value under the same name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidNameError`] if `name` is not a valid [`Name`].
+    pub fn set(&mut self, name: &str, value: impl Into<Value>) -> Result<(), InvalidNameError> {
+        let name = Name::new(name)?;
+        if let Some(slot) = self.fields.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value.into();
+        } else {
+            self.fields.push((name, value.into()));
+        }
+        Ok(())
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` if the struct has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// A union instance: discriminant + selected alternative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionValue {
+    discriminant: u32,
+    alternative: Name,
+    value: Box<Value>,
+}
+
+impl UnionValue {
+    /// Creates a union value selecting `alternative` (with its declaration
+    /// index `discriminant`) and carrying `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidNameError`] if `alternative` is not a valid name.
+    pub fn new(
+        discriminant: u32,
+        alternative: impl AsRef<str>,
+        value: impl Into<Value>,
+    ) -> Result<Self, InvalidNameError> {
+        Ok(UnionValue {
+            discriminant,
+            alternative: Name::new(alternative)?,
+            value: Box::new(value.into()),
+        })
+    }
+
+    /// Creates a union value for `alternative` as declared by `ty`, checking
+    /// the payload type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the alternative is unknown or the payload
+    /// does not conform to the alternative's type.
+    pub fn for_type(
+        ty: &UnionType,
+        alternative: &str,
+        value: impl Into<Value>,
+    ) -> Result<Self, TypeError> {
+        let disc = ty.discriminant(alternative).ok_or_else(|| {
+            TypeError::new(TypeErrorKind::UnknownAlternative { alternative: alternative.into() })
+        })?;
+        let value = value.into();
+        let alt = ty.alternative(alternative).expect("discriminant implies alternative");
+        value.conforms_to(alt.ty()).map_err(|e| e.in_field(alternative))?;
+        Ok(UnionValue {
+            discriminant: disc,
+            alternative: alt.name().clone(),
+            value: Box::new(value),
+        })
+    }
+
+    /// Wire discriminant (declaration index of the alternative).
+    pub fn discriminant(&self) -> u32 {
+        self.discriminant
+    }
+
+    /// Name of the selected alternative.
+    pub fn alternative(&self) -> &Name {
+        &self.alternative
+    }
+
+    /// Payload carried by the selected alternative.
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+}
+
+/// A dynamically-typed MAREA datum.
+///
+/// Values mirror [`DataType`] one-to-one; [`Value::conforms_to`] checks a
+/// value against a schema and pinpoints mismatches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// Signed 8-bit integer.
+    I8(i8),
+    /// Signed 16-bit integer.
+    I16(i16),
+    /// Signed 32-bit integer.
+    I32(i32),
+    /// Signed 64-bit integer.
+    I64(i64),
+    /// Unsigned 8-bit integer.
+    U8(u8),
+    /// Unsigned 16-bit integer.
+    U16(u16),
+    /// Unsigned 32-bit integer.
+    U32(u32),
+    /// Unsigned 64-bit integer.
+    U64(u64),
+    /// IEEE-754 single-precision float.
+    F32(f32),
+    /// IEEE-754 double-precision float.
+    F64(f64),
+    /// Unicode scalar value.
+    Char(char),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw byte blob.
+    Bytes(Vec<u8>),
+    /// Homogeneous sequence.
+    Vector(VectorValue),
+    /// Named fields.
+    Struct(StructValue),
+    /// Tagged alternative.
+    Union(UnionValue),
+}
+
+impl Value {
+    /// The coarse kind of this value.
+    pub fn kind(&self) -> TypeKind {
+        match self {
+            Value::Bool(_) => TypeKind::Bool,
+            Value::I8(_) => TypeKind::I8,
+            Value::I16(_) => TypeKind::I16,
+            Value::I32(_) => TypeKind::I32,
+            Value::I64(_) => TypeKind::I64,
+            Value::U8(_) => TypeKind::U8,
+            Value::U16(_) => TypeKind::U16,
+            Value::U32(_) => TypeKind::U32,
+            Value::U64(_) => TypeKind::U64,
+            Value::F32(_) => TypeKind::F32,
+            Value::F64(_) => TypeKind::F64,
+            Value::Char(_) => TypeKind::Char,
+            Value::Str(_) => TypeKind::Str,
+            Value::Bytes(_) => TypeKind::Bytes,
+            Value::Vector(_) => TypeKind::Vector,
+            Value::Struct(_) => TypeKind::Struct,
+            Value::Union(_) => TypeKind::Union,
+        }
+    }
+
+    /// Starts building a struct value with a documentation type name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_name` is not a valid [`Name`] literal; use
+    /// [`StructBuilder::anonymous`] for runtime names.
+    pub fn struct_of(type_name: &str) -> StructBuilder {
+        StructBuilder {
+            inner: StructValue {
+                type_name: Some(
+                    Name::new(type_name).expect("struct type name must be a valid name literal"),
+                ),
+                fields: Vec::new(),
+            },
+            error: None,
+        }
+    }
+
+    /// Checks this value against `ty`, locating the first mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] describing the first place where the value
+    /// deviates from the schema: kind mismatches, missing/unknown/reordered
+    /// struct fields, wrong fixed-vector lengths, or unknown union
+    /// alternatives.
+    pub fn conforms_to(&self, ty: &DataType) -> Result<(), TypeError> {
+        match (ty, self) {
+            (DataType::Vector(vt), Value::Vector(vv)) => Self::check_vector(vt, vv),
+            (DataType::Struct(st), Value::Struct(sv)) => Self::check_struct(st, sv),
+            (DataType::Union(ut), Value::Union(uv)) => Self::check_union(ut, uv),
+            (expected, found) if expected.kind() == found.kind() => Ok(()),
+            (expected, found) => Err(expected.kind_mismatch(found.kind())),
+        }
+    }
+
+    fn check_vector(vt: &VectorType, vv: &VectorValue) -> Result<(), TypeError> {
+        if let Some(required) = vt.fixed_len() {
+            if vv.len() != required {
+                return Err(TypeError::new(TypeErrorKind::VectorLength {
+                    expected: required,
+                    found: vv.len(),
+                }));
+            }
+        }
+        if !vv.elem_ty().is_compatible_with(vt.elem()) {
+            return Err(TypeError::new(TypeErrorKind::KindMismatch {
+                expected: vt.elem().kind(),
+                found: vv.elem_ty().kind(),
+            }));
+        }
+        for (i, item) in vv.iter().enumerate() {
+            item.conforms_to(vt.elem()).map_err(|e| e.at_index(i))?;
+        }
+        Ok(())
+    }
+
+    fn check_struct(st: &StructType, sv: &StructValue) -> Result<(), TypeError> {
+        // Detect duplicates first so the error is precise.
+        for (i, (name, _)) in sv.fields().iter().enumerate() {
+            if sv.fields()[..i].iter().any(|(n, _)| n == name) {
+                return Err(TypeError::new(TypeErrorKind::DuplicateField {
+                    field: name.to_string(),
+                }));
+            }
+        }
+        for def in st.fields() {
+            match sv.get(def.name().as_str()) {
+                Some(v) => v.conforms_to(def.ty()).map_err(|e| e.in_field(def.name().as_str()))?,
+                None => {
+                    return Err(TypeError::new(TypeErrorKind::MissingField {
+                        field: def.name().to_string(),
+                    }))
+                }
+            }
+        }
+        for (name, _) in sv.fields() {
+            if st.field(name.as_str()).is_none() {
+                return Err(TypeError::new(TypeErrorKind::UnknownField {
+                    field: name.to_string(),
+                }));
+            }
+        }
+        // Positional (compact) encoding requires declaration order.
+        for (i, (name, _)) in sv.fields().iter().enumerate() {
+            if st.fields()[i].name() != name {
+                return Err(TypeError::new(TypeErrorKind::FieldOrder { field: name.to_string() }));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_union(ut: &UnionType, uv: &UnionValue) -> Result<(), TypeError> {
+        let alt = ut.alternative(uv.alternative().as_str()).ok_or_else(|| {
+            TypeError::new(TypeErrorKind::UnknownAlternative {
+                alternative: uv.alternative().to_string(),
+            })
+        })?;
+        let expected = ut.discriminant(uv.alternative().as_str()).expect("alternative exists");
+        if expected != uv.discriminant() {
+            return Err(TypeError::new(TypeErrorKind::DiscriminantMismatch {
+                found: uv.discriminant(),
+                expected,
+            }));
+        }
+        uv.value().conforms_to(alt.ty()).map_err(|e| e.in_field(uv.alternative().as_str()))
+    }
+
+    /// Navigates into the value along a textual path such as
+    /// `waypoints[2].lat`. Returns `None` when the path does not resolve.
+    pub fn at(&self, path: &str) -> Option<&Value> {
+        let parsed = ValuePath::parse(path).ok()?;
+        self.at_path(&parsed)
+    }
+
+    /// Navigates into the value along a pre-parsed [`ValuePath`].
+    pub fn at_path(&self, path: &ValuePath) -> Option<&Value> {
+        let mut current = self;
+        for seg in path.segments() {
+            current = match (seg, current) {
+                (PathSegment::Field(name), Value::Struct(s)) => s.get(name)?,
+                (PathSegment::Field(name), Value::Union(u))
+                    if u.alternative() == name.as_str() =>
+                {
+                    u.value()
+                }
+                (PathSegment::Index(i), Value::Vector(v)) => v.items().get(*i)?,
+                _ => return None,
+            };
+        }
+        Some(current)
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `i64` if it is any signed integer (widening)
+    /// or an unsigned integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I8(v) => Some(i64::from(*v)),
+            Value::I16(v) => Some(i64::from(*v)),
+            Value::I32(v) => Some(i64::from(*v)),
+            Value::I64(v) => Some(*v),
+            Value::U8(v) => Some(i64::from(*v)),
+            Value::U16(v) => Some(i64::from(*v)),
+            Value::U32(v) => Some(i64::from(*v)),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a `u64` if it is any unsigned integer (widening)
+    /// or a non-negative signed integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U8(v) => Some(u64::from(*v)),
+            Value::U16(v) => Some(u64::from(*v)),
+            Value::U32(v) => Some(u64::from(*v)),
+            Value::U64(v) => Some(*v),
+            Value::I8(v) => u64::try_from(*v).ok(),
+            Value::I16(v) => u64::try_from(*v).ok(),
+            Value::I32(v) => u64::try_from(*v).ok(),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `f64` if it is `F32` or `F64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F32(v) => Some(f64::from(*v)),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the byte payload, if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the struct payload, if this is a `Struct`.
+    pub fn as_struct(&self) -> Option<&StructValue> {
+        match self {
+            Value::Struct(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the vector payload, if this is a `Vector`.
+    pub fn as_vector(&self) -> Option<&VectorValue> {
+        match self {
+            Value::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the union payload, if this is a `Union`.
+    pub fn as_union(&self) -> Option<&UnionValue> {
+        match self {
+            Value::Union(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Rough in-memory size in bytes, used by the container's resource
+    /// accounting (paper §3, *resource management*).
+    pub fn size_hint(&self) -> usize {
+        match self {
+            Value::Bool(_) | Value::I8(_) | Value::U8(_) => 1,
+            Value::I16(_) | Value::U16(_) => 2,
+            Value::I32(_) | Value::U32(_) | Value::F32(_) | Value::Char(_) => 4,
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => 8,
+            Value::Str(s) => s.len() + 8,
+            Value::Bytes(b) => b.len() + 8,
+            Value::Vector(v) => v.iter().map(Value::size_hint).sum::<usize>() + 8,
+            Value::Struct(s) => {
+                s.fields().iter().map(|(n, v)| n.len() + v.size_hint()).sum::<usize>() + 8
+            }
+            Value::Union(u) => u.value().size_hint() + u.alternative().len() + 8,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::I8(v) => write!(f, "{v}"),
+            Value::I16(v) => write!(f, "{v}"),
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U8(v) => write!(f, "{v}"),
+            Value::U16(v) => write!(f, "{v}"),
+            Value::U32(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Char(v) => write!(f, "{v:?}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Bytes(v) => write!(f, "bytes[{}]", v.len()),
+            Value::Vector(v) => {
+                write!(f, "[")?;
+                for (i, item) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Struct(s) => {
+                write!(f, "{{ ")?;
+                for (i, (name, v)) in s.fields().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {v}")?;
+                }
+                write!(f, " }}")
+            }
+            Value::Union(u) => write!(f, "{}({})", u.alternative(), u.value()),
+        }
+    }
+}
+
+macro_rules! impl_from_scalar {
+    ($($from:ty => $variant:ident),* $(,)?) => {
+        $(
+            impl From<$from> for Value {
+                fn from(v: $from) -> Value {
+                    Value::$variant(v)
+                }
+            }
+        )*
+    };
+}
+
+impl_from_scalar! {
+    bool => Bool,
+    i8 => I8,
+    i16 => I16,
+    i32 => I32,
+    i64 => I64,
+    u8 => U8,
+    u16 => U16,
+    u32 => U32,
+    u64 => U64,
+    f32 => F32,
+    f64 => F64,
+    char => Char,
+    String => Str,
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Value {
+        Value::Bytes(v)
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(v: &[u8]) -> Value {
+        Value::Bytes(v.to_vec())
+    }
+}
+
+impl From<StructValue> for Value {
+    fn from(v: StructValue) -> Value {
+        Value::Struct(v)
+    }
+}
+
+impl From<VectorValue> for Value {
+    fn from(v: VectorValue) -> Value {
+        Value::Vector(v)
+    }
+}
+
+impl From<UnionValue> for Value {
+    fn from(v: UnionValue) -> Value {
+        Value::Union(v)
+    }
+}
+
+/// Builder for [`StructValue`]s, obtained through [`Value::struct_of`] or
+/// [`StructBuilder::anonymous`].
+///
+/// Field-name validation errors are deferred to [`StructBuilder::build`] so
+/// chains stay ergonomic.
+#[derive(Debug, Clone)]
+pub struct StructBuilder {
+    inner: StructValue,
+    error: Option<InvalidNameError>,
+}
+
+impl StructBuilder {
+    /// Starts building an anonymous struct value.
+    pub fn anonymous() -> Self {
+        StructBuilder { inner: StructValue::new(), error: None }
+    }
+
+    /// Appends a field.
+    #[must_use]
+    pub fn field(mut self, name: &str, value: impl Into<Value>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match Name::new(name) {
+            Ok(n) => {
+                if self.inner.fields.iter().any(|(existing, _)| *existing == n) {
+                    self.error = Some(InvalidNameError {
+                        offending: name.to_owned(),
+                        reason: "duplicate field name in struct value",
+                    });
+                } else {
+                    self.inner.fields.push((n, value.into()));
+                }
+            }
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Finishes the struct.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first field-name validation error encountered while
+    /// building.
+    pub fn build(self) -> Result<Value, InvalidNameError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(Value::Struct(self.inner)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn position_ty() -> DataType {
+        DataType::Struct(
+            StructType::new("Position")
+                .with_field("lat", DataType::F64)
+                .unwrap()
+                .with_field("lon", DataType::F64)
+                .unwrap()
+                .with_field("alt", DataType::F32)
+                .unwrap(),
+        )
+    }
+
+    fn position_val() -> Value {
+        Value::struct_of("Position")
+            .field("lat", 41.3)
+            .field("lon", 2.1)
+            .field("alt", 120.0f32)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn conforming_struct_passes() {
+        position_val().conforms_to(&position_ty()).unwrap();
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let v = Value::struct_of("Position").field("lat", 41.3).field("lon", 2.1).build().unwrap();
+        let err = v.conforms_to(&position_ty()).unwrap_err();
+        assert_eq!(err.kind(), &TypeErrorKind::MissingField { field: "alt".into() });
+    }
+
+    #[test]
+    fn unknown_field_is_reported() {
+        let v = Value::struct_of("Position")
+            .field("lat", 41.3)
+            .field("lon", 2.1)
+            .field("alt", 1.0f32)
+            .field("extra", 1u8)
+            .build()
+            .unwrap();
+        let err = v.conforms_to(&position_ty()).unwrap_err();
+        assert_eq!(err.kind(), &TypeErrorKind::UnknownField { field: "extra".into() });
+    }
+
+    #[test]
+    fn field_order_is_enforced() {
+        let v = Value::struct_of("Position")
+            .field("lon", 2.1)
+            .field("lat", 41.3)
+            .field("alt", 1.0f32)
+            .build()
+            .unwrap();
+        let err = v.conforms_to(&position_ty()).unwrap_err();
+        assert!(matches!(err.kind(), TypeErrorKind::FieldOrder { .. }));
+    }
+
+    #[test]
+    fn nested_error_locations() {
+        let wp_ty = DataType::Vector(VectorType::of(position_ty()));
+        let bad = Value::Vector(
+            VectorValue::new(
+                position_ty(),
+                vec![position_val(), position_val()],
+            )
+            .unwrap(),
+        );
+        // Corrupt the second element's alt to a wrong kind via rebuild.
+        let mut vv = match bad {
+            Value::Vector(v) => v,
+            _ => unreachable!(),
+        };
+        let mut items: Vec<Value> = vv.items().to_vec();
+        if let Value::Struct(s) = &mut items[1] {
+            *s.get_mut("alt").unwrap() = Value::Bool(true);
+        }
+        vv = VectorValue { elem_ty: vv.elem_ty().clone(), items };
+        let err = Value::Vector(vv).conforms_to(&wp_ty).unwrap_err();
+        assert_eq!(err.location(), "[1].alt");
+    }
+
+    #[test]
+    fn fixed_vector_length_checked() {
+        let ty = DataType::Vector(VectorType::fixed(DataType::U8, 3));
+        let ok = Value::Vector(
+            VectorValue::new(DataType::U8, vec![1u8.into(), 2u8.into(), 3u8.into()]).unwrap(),
+        );
+        ok.conforms_to(&ty).unwrap();
+        let short =
+            Value::Vector(VectorValue::new(DataType::U8, vec![1u8.into(), 2u8.into()]).unwrap());
+        let err = short.conforms_to(&ty).unwrap_err();
+        assert_eq!(err.kind(), &TypeErrorKind::VectorLength { expected: 3, found: 2 });
+    }
+
+    #[test]
+    fn empty_vector_checks_via_elem_ty() {
+        let ty = DataType::Vector(VectorType::of(DataType::F64));
+        let ok = Value::Vector(VectorValue::empty(DataType::F64));
+        ok.conforms_to(&ty).unwrap();
+        let bad = Value::Vector(VectorValue::empty(DataType::Bool));
+        assert!(bad.conforms_to(&ty).is_err());
+    }
+
+    #[test]
+    fn union_checks_discriminant_and_payload() {
+        let ty = UnionType::new("Alarm")
+            .with_alternative("engine", DataType::U8)
+            .unwrap()
+            .with_alternative("link_loss", DataType::U16)
+            .unwrap();
+        let dt = DataType::Union(ty.clone());
+
+        let ok = Value::Union(UnionValue::for_type(&ty, "link_loss", 7u16).unwrap());
+        ok.conforms_to(&dt).unwrap();
+
+        let wrong_payload = UnionValue::for_type(&ty, "link_loss", true);
+        assert!(wrong_payload.is_err());
+
+        let bad_disc = Value::Union(UnionValue::new(5, "engine", 1u8).unwrap());
+        let err = bad_disc.conforms_to(&dt).unwrap_err();
+        assert!(matches!(err.kind(), TypeErrorKind::DiscriminantMismatch { .. }));
+    }
+
+    #[test]
+    fn path_navigation() {
+        let wp = Value::struct_of("Plan")
+            .field(
+                "waypoints",
+                VectorValue::new(
+                    position_ty(),
+                    vec![position_val(), position_val()],
+                )
+                .unwrap(),
+            )
+            .field("name", "survey-A")
+            .build()
+            .unwrap();
+        assert_eq!(wp.at("waypoints[1].lat").and_then(Value::as_f64), Some(41.3));
+        assert_eq!(wp.at("name").and_then(Value::as_str), Some("survey-A"));
+        assert!(wp.at("waypoints[9].lat").is_none());
+        assert!(wp.at("bogus").is_none());
+    }
+
+    #[test]
+    fn union_path_navigation() {
+        let ty = UnionType::new("Alarm").with_alternative("engine", DataType::U8).unwrap();
+        let v = Value::Union(UnionValue::for_type(&ty, "engine", 3u8).unwrap());
+        assert_eq!(v.at("engine").and_then(|x| x.as_u64()), Some(3));
+        assert!(v.at("link_loss").is_none());
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::from(-3i8).as_i64(), Some(-3));
+        assert_eq!(Value::from(300u16).as_u64(), Some(300));
+        assert_eq!(Value::from(u64::MAX).as_i64(), None);
+        assert_eq!(Value::from(-1i32).as_u64(), None);
+        assert_eq!(Value::from(2.5f32).as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn struct_set_replaces() {
+        let mut s = StructValue::new();
+        s.set("x", 1i32).unwrap();
+        s.set("x", 2i32).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("x").and_then(Value::as_i64), Some(2));
+        assert!(s.set("bad name", 1i32).is_err());
+    }
+
+    #[test]
+    fn builder_surfaces_name_errors() {
+        let err = Value::struct_of("S").field("ok", 1i32).field("not ok", 2i32).build();
+        assert!(err.is_err());
+        let dup = Value::struct_of("S").field("a", 1i32).field("a", 2i32).build();
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn vector_push_checks_type() {
+        let mut v = VectorValue::empty(DataType::U8);
+        v.push(1u8.into()).unwrap();
+        assert!(v.push(true.into()).is_err());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn size_hint_tracks_payload() {
+        let small = Value::from(1u8);
+        let big = Value::Bytes(vec![0; 1024]);
+        assert!(big.size_hint() > small.size_hint());
+        assert!(position_val().size_hint() > 20);
+    }
+
+    #[test]
+    fn display_renders_compactly() {
+        let v = position_val();
+        let s = v.to_string();
+        assert!(s.contains("lat: 41.3"), "{s}");
+        assert_eq!(Value::Bytes(vec![1, 2, 3]).to_string(), "bytes[3]");
+    }
+}

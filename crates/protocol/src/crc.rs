@@ -1,0 +1,82 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Implemented locally rather than pulled from a crate: the frame integrity
+//! check is a core protocol element and must stay byte-identical across
+//! every MAREA port.
+
+/// Lazily-built 256-entry lookup table for the reflected IEEE polynomial
+/// 0xEDB88320.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 (IEEE) of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // Standard check value for "123456789".
+/// assert_eq!(marea_protocol::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update: feed successive slices with the running state.
+/// Initialize with `0xFFFF_FFFF` and finalize by xoring `0xFFFF_FFFF`.
+pub(crate) fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = state;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        let oneshot = crc32(data);
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(5) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = vec![0xA5u8; 64];
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Fragmentation and reassembly of payloads larger than the transport MTU.
+//!
+//! The transport layer reports an MTU; any logical message whose frame
+//! would exceed it is split into [`Message::Fragment`]s. Fragments of
+//! different logical messages may interleave on the wire (and arrive
+//! reordered or duplicated from multicast retransmission), so the
+//! [`Reassembler`] keys buffers by `(source node, message id)` and evicts
+//! incomplete sets after a timeout — best-effort traffic must never pin
+//! memory on a low-resource node.
+
+use std::collections::HashMap;
+
+use bytes::{Bytes, BytesMut};
+
+use crate::error::ProtocolError;
+use crate::ids::NodeId;
+use crate::messages::Message;
+use crate::time::{Micros, ProtoDuration};
+
+/// Upper bound on fragments per logical message.
+pub const MAX_FRAGMENTS: u32 = 64 * 1024;
+
+/// Upper bound on concurrently reassembling messages per source.
+const MAX_PENDING_PER_SOURCE: usize = 64;
+
+/// Splits `payload` into fragment messages of at most `max_chunk` bytes.
+///
+/// Returns a single-element vector when the payload already fits — callers
+/// can treat the fragmentation path uniformly.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadFragment`] when `max_chunk` is zero or the payload
+/// would need more than [`MAX_FRAGMENTS`] pieces.
+pub fn fragment_payload(
+    msg_id: u64,
+    payload: &[u8],
+    max_chunk: usize,
+) -> Result<Vec<Message>, ProtocolError> {
+    if max_chunk == 0 {
+        return Err(ProtocolError::BadFragment("fragment size of zero"));
+    }
+    let count = payload.len().div_ceil(max_chunk).max(1);
+    if count > MAX_FRAGMENTS as usize {
+        return Err(ProtocolError::BadFragment("payload needs too many fragments"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for (index, chunk) in payload.chunks(max_chunk).enumerate() {
+        out.push(Message::Fragment {
+            msg_id,
+            index: index as u32,
+            count: count as u32,
+            payload: Bytes::copy_from_slice(chunk),
+        });
+    }
+    if payload.is_empty() {
+        out.push(Message::Fragment { msg_id, index: 0, count: 1, payload: Bytes::new() });
+    }
+    Ok(out)
+}
+
+#[derive(Debug)]
+struct Pending {
+    parts: Vec<Option<Bytes>>,
+    received: u32,
+    first_seen: Micros,
+}
+
+/// Reassembles interleaved fragment streams from many sources.
+#[derive(Debug)]
+pub struct Reassembler {
+    pending: HashMap<(NodeId, u64), Pending>,
+    timeout: ProtoDuration,
+}
+
+impl Reassembler {
+    /// Creates a reassembler that drops incomplete messages after `timeout`.
+    pub fn new(timeout: ProtoDuration) -> Self {
+        Reassembler { pending: HashMap::new(), timeout }
+    }
+
+    /// Number of partially reassembled messages currently buffered.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Offers one received fragment; returns the full payload when this
+    /// fragment completes its set.
+    ///
+    /// Duplicated fragments are ignored; inconsistent counts abort the set.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadFragment`] on inconsistent metadata (index out of
+    /// range, count mismatch, zero count, over-limit counts or per-source
+    /// buffer exhaustion).
+    pub fn offer(
+        &mut self,
+        src: NodeId,
+        msg_id: u64,
+        index: u32,
+        count: u32,
+        payload: Bytes,
+        now: Micros,
+    ) -> Result<Option<Bytes>, ProtocolError> {
+        if count == 0 {
+            return Err(ProtocolError::BadFragment("fragment count of zero"));
+        }
+        if count > MAX_FRAGMENTS {
+            return Err(ProtocolError::BadFragment("fragment count over limit"));
+        }
+        if index >= count {
+            return Err(ProtocolError::BadFragment("fragment index out of range"));
+        }
+        // Fast path: unfragmented payload.
+        if count == 1 {
+            return Ok(Some(payload));
+        }
+        let key = (src, msg_id);
+        if !self.pending.contains_key(&key) {
+            let per_source = self.pending.keys().filter(|(s, _)| *s == src).count();
+            if per_source >= MAX_PENDING_PER_SOURCE {
+                return Err(ProtocolError::BadFragment("too many pending messages from source"));
+            }
+            self.pending.insert(
+                key,
+                Pending { parts: vec![None; count as usize], received: 0, first_seen: now },
+            );
+        }
+        let entry = self.pending.get_mut(&key).expect("just inserted");
+        if entry.parts.len() != count as usize {
+            // A mismatched count means the stream is corrupt; drop the set.
+            self.pending.remove(&key);
+            return Err(ProtocolError::BadFragment("fragment count changed mid-stream"));
+        }
+        let slot = &mut entry.parts[index as usize];
+        if slot.is_none() {
+            *slot = Some(payload);
+            entry.received += 1;
+        }
+        if entry.received == count {
+            let entry = self.pending.remove(&key).expect("present");
+            let mut full = BytesMut::new();
+            for part in entry.parts {
+                full.extend_from_slice(&part.expect("all parts received"));
+            }
+            return Ok(Some(full.freeze()));
+        }
+        Ok(None)
+    }
+
+    /// Drops incomplete sets older than the timeout; returns how many were
+    /// evicted.
+    pub fn expire(&mut self, now: Micros) -> usize {
+        let timeout = self.timeout;
+        let before = self.pending.len();
+        self.pending.retain(|_, p| now.saturating_since(p.first_seen) < timeout);
+        before - self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts_of(msgs: &[Message]) -> Vec<(u64, u32, u32, Bytes)> {
+        msgs.iter()
+            .map(|m| match m {
+                Message::Fragment { msg_id, index, count, payload } => {
+                    (*msg_id, *index, *count, payload.clone())
+                }
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fragments_cover_payload_exactly() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let frags = fragment_payload(1, &payload, 1024).unwrap();
+        assert_eq!(frags.len(), 10);
+        let mut r = Reassembler::new(ProtoDuration::from_secs(1));
+        let mut done = None;
+        for (id, idx, cnt, bytes) in parts_of(&frags) {
+            done = r.offer(NodeId(1), id, idx, cnt, bytes, Micros::ZERO).unwrap();
+        }
+        assert_eq!(done.unwrap().as_ref(), payload.as_slice());
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn small_payload_is_single_fragment() {
+        let frags = fragment_payload(2, b"tiny", 1024).unwrap();
+        assert_eq!(frags.len(), 1);
+        let mut r = Reassembler::new(ProtoDuration::from_secs(1));
+        let (id, idx, cnt, bytes) = parts_of(&frags).remove(0);
+        let out = r.offer(NodeId(1), id, idx, cnt, bytes, Micros::ZERO).unwrap();
+        assert_eq!(out.unwrap().as_ref(), b"tiny");
+    }
+
+    #[test]
+    fn empty_payload_works() {
+        let frags = fragment_payload(3, b"", 1024).unwrap();
+        assert_eq!(frags.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicates_are_handled() {
+        let payload: Vec<u8> = (0..5000u32).map(|i| i as u8).collect();
+        let frags = parts_of(&fragment_payload(4, &payload, 999).unwrap());
+        let mut r = Reassembler::new(ProtoDuration::from_secs(1));
+        let mut order: Vec<usize> = (0..frags.len()).rev().collect();
+        order.push(0); // duplicate
+        let mut done = None;
+        for i in order {
+            let (id, idx, cnt, bytes) = frags[i].clone();
+            if let Some(full) = r.offer(NodeId(9), id, idx, cnt, bytes, Micros::ZERO).unwrap() {
+                done = Some(full);
+            }
+        }
+        assert_eq!(done.unwrap().as_ref(), payload.as_slice());
+    }
+
+    #[test]
+    fn interleaved_sources_do_not_collide() {
+        let a = parts_of(&fragment_payload(7, b"aaaaaaaaaa", 4).unwrap());
+        let b = parts_of(&fragment_payload(7, b"bbbbbbbbbb", 4).unwrap());
+        let mut r = Reassembler::new(ProtoDuration::from_secs(1));
+        let mut got = Vec::new();
+        for ((id_a, ia, ca, pa), (id_b, ib, cb, pb)) in a.into_iter().zip(b) {
+            if let Some(f) = r.offer(NodeId(1), id_a, ia, ca, pa, Micros::ZERO).unwrap() {
+                got.push(f);
+            }
+            if let Some(f) = r.offer(NodeId(2), id_b, ib, cb, pb, Micros::ZERO).unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].as_ref(), b"aaaaaaaaaa");
+        assert_eq!(got[1].as_ref(), b"bbbbbbbbbb");
+    }
+
+    #[test]
+    fn timeout_evicts_incomplete_sets() {
+        let frags = parts_of(&fragment_payload(5, &[0u8; 4000], 1000).unwrap());
+        let mut r = Reassembler::new(ProtoDuration::from_millis(100));
+        let (id, idx, cnt, bytes) = frags[0].clone();
+        r.offer(NodeId(1), id, idx, cnt, bytes, Micros::ZERO).unwrap();
+        assert_eq!(r.pending_count(), 1);
+        assert_eq!(r.expire(Micros::from_millis(50)), 0);
+        assert_eq!(r.expire(Micros::from_millis(150)), 1);
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn bad_metadata_is_rejected() {
+        let mut r = Reassembler::new(ProtoDuration::from_secs(1));
+        assert!(r.offer(NodeId(1), 1, 0, 0, Bytes::new(), Micros::ZERO).is_err());
+        assert!(r.offer(NodeId(1), 1, 5, 3, Bytes::new(), Micros::ZERO).is_err());
+        assert!(r
+            .offer(NodeId(1), 1, 0, MAX_FRAGMENTS + 1, Bytes::new(), Micros::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn count_change_mid_stream_aborts_set() {
+        let mut r = Reassembler::new(ProtoDuration::from_secs(1));
+        r.offer(NodeId(1), 8, 0, 3, Bytes::from_static(b"x"), Micros::ZERO).unwrap();
+        let err = r.offer(NodeId(1), 8, 1, 4, Bytes::from_static(b"y"), Micros::ZERO);
+        assert!(err.is_err());
+        assert_eq!(r.pending_count(), 0, "corrupt set is dropped");
+    }
+
+    #[test]
+    fn per_source_buffer_limit() {
+        let mut r = Reassembler::new(ProtoDuration::from_secs(1));
+        for id in 0..64u64 {
+            r.offer(NodeId(1), id, 0, 2, Bytes::new(), Micros::ZERO).unwrap();
+        }
+        assert!(r.offer(NodeId(1), 999, 0, 2, Bytes::new(), Micros::ZERO).is_err());
+        // A different source is unaffected.
+        assert!(r.offer(NodeId(2), 999, 0, 2, Bytes::new(), Micros::ZERO).is_ok());
+    }
+
+    #[test]
+    fn zero_chunk_size_is_rejected() {
+        assert!(fragment_payload(1, b"abc", 0).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Explicit time representation for the protocol state machines.
+//!
+//! Protocol code never reads a clock; every entry point takes `now:
+//! Micros`. Under the network simulator `now` is virtual time, which makes
+//! retransmission, validity and heartbeat behaviour fully deterministic and
+//! property-testable; under the real-time driver it is microseconds since
+//! container start.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in time, in microseconds since an arbitrary epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Micros(pub u64);
+
+/// A span of time, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProtoDuration(pub u64);
+
+impl Micros {
+    /// The zero epoch.
+    pub const ZERO: Micros = Micros(0);
+
+    /// Constructs from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Micros(ms * 1_000)
+    }
+
+    /// Constructs from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Micros(s * 1_000_000)
+    }
+
+    /// Raw microsecond count.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    pub fn saturating_since(self, earlier: Micros) -> ProtoDuration {
+        ProtoDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Millisecond representation (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+}
+
+impl ProtoDuration {
+    /// The zero duration.
+    pub const ZERO: ProtoDuration = ProtoDuration(0);
+
+    /// Constructs from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        ProtoDuration(ms * 1_000)
+    }
+
+    /// Constructs from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        ProtoDuration(s * 1_000_000)
+    }
+
+    /// Raw microsecond count.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Millisecond representation (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration scaled by an integer factor, saturating.
+    pub fn saturating_mul(self, factor: u64) -> ProtoDuration {
+        ProtoDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<ProtoDuration> for Micros {
+    type Output = Micros;
+
+    fn add(self, rhs: ProtoDuration) -> Micros {
+        Micros(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<ProtoDuration> for Micros {
+    fn add_assign(&mut self, rhs: ProtoDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Micros> for Micros {
+    type Output = ProtoDuration;
+
+    fn sub(self, rhs: Micros) -> ProtoDuration {
+        ProtoDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for ProtoDuration {
+    type Output = ProtoDuration;
+
+    fn add(self, rhs: ProtoDuration) -> ProtoDuration {
+        ProtoDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl From<std::time::Duration> for ProtoDuration {
+    fn from(d: std::time::Duration) -> Self {
+        ProtoDuration(d.as_micros().min(u128::from(u64::MAX)) as u64)
+    }
+}
+
+impl From<ProtoDuration> for std::time::Duration {
+    fn from(d: ProtoDuration) -> Self {
+        std::time::Duration::from_micros(d.0)
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.0 as f64 / 1e6)
+    }
+}
+
+impl fmt::Display for ProtoDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_saturates() {
+        let t = Micros(10);
+        assert_eq!(t - Micros(50), ProtoDuration::ZERO);
+        assert_eq!(Micros(u64::MAX) + ProtoDuration(5), Micros(u64::MAX));
+        assert_eq!(ProtoDuration(u64::MAX).saturating_mul(3), ProtoDuration(u64::MAX));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Micros::from_millis(2).as_micros(), 2_000);
+        assert_eq!(Micros::from_secs(1).as_millis(), 1_000);
+        assert_eq!(ProtoDuration::from_secs(2).as_secs_f64(), 2.0);
+        let std_d: std::time::Duration = ProtoDuration::from_millis(5).into();
+        assert_eq!(std_d.as_micros(), 5_000);
+        assert_eq!(ProtoDuration::from(std::time::Duration::from_micros(7)).0, 7);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(ProtoDuration(500).to_string(), "500µs");
+        assert_eq!(ProtoDuration(2_500).to_string(), "2.500ms");
+        assert_eq!(ProtoDuration(1_500_000).to_string(), "1.500s");
+        assert_eq!(Micros(1_000_000).to_string(), "t+1.000000s");
+    }
+
+    #[test]
+    fn saturating_since() {
+        assert_eq!(Micros(100).saturating_since(Micros(40)).0, 60);
+        assert_eq!(Micros(40).saturating_since(Micros(100)).0, 0);
+    }
+}

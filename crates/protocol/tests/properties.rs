@@ -1,0 +1,239 @@
+//! Property tests for the protocol state machines.
+//!
+//! These drive the ARQ and MFTP machinery through adversarial loss/reorder
+//! schedules and assert the end-to-end invariants the middleware relies on:
+//! exactly-once in-order delivery for the reliable channel, and bit-exact
+//! file reconstruction for the bulk transfer protocol.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use marea_presentation::Name;
+use marea_protocol::arq::{ArqConfig, ArqReceiver, ArqSender};
+use marea_protocol::fragment::{fragment_payload, Reassembler};
+use marea_protocol::mftp::{FileReceiver, FileSender, RevisionPolicy};
+use marea_protocol::{
+    Frame, GroupId, Message, Micros, NodeId, ProtoDuration, TransferId,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// ARQ delivers every message exactly once, in order, under arbitrary
+    /// per-transmission loss (as long as loss is not total) — the §4.2
+    /// guarantee behind the event primitive.
+    #[test]
+    fn arq_delivers_exactly_once_in_order(
+        payload_count in 1usize..40,
+        loss_seed in any::<u64>(),
+        loss_permille in 0u32..700,
+    ) {
+        let cfg = ArqConfig {
+            window: 16,
+            initial_rto: ProtoDuration::from_millis(20),
+            max_rto: ProtoDuration::from_millis(200),
+            max_attempts: 30,
+        };
+        let mut tx = ArqSender::new(1, cfg);
+        let mut rx = ArqReceiver::new(1, 64);
+        let mut delivered: Vec<Bytes> = Vec::new();
+        let mut to_send: Vec<Bytes> =
+            (0..payload_count).map(|i| Bytes::from(vec![i as u8; 8])).collect();
+        to_send.reverse();
+
+        // Simple deterministic PRNG for the loss schedule.
+        let mut state = loss_seed | 1;
+        let mut chance = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as u32
+        };
+
+        let mut now = Micros::ZERO;
+        let mut stalled_iters = 0;
+        while delivered.len() < payload_count {
+            // Feed the window.
+            while tx.can_send() {
+                let Some(p) = to_send.pop() else { break };
+                let msg = tx.send(p, now).unwrap();
+                if chance() >= loss_permille {
+                    if let Message::RelData { seq, payload, .. } = msg {
+                        delivered.extend(rx.on_data(seq, payload));
+                    }
+                }
+            }
+            // Retransmissions (lossy too).
+            let (retx, failed) = tx.poll(now);
+            prop_assert!(failed.is_empty(), "retry budget must suffice at this loss rate");
+            for msg in retx {
+                if chance() >= loss_permille {
+                    if let Message::RelData { seq, payload, .. } = msg {
+                        delivered.extend(rx.on_data(seq, payload));
+                    }
+                }
+            }
+            // Ack path (also lossy).
+            if chance() >= loss_permille {
+                if let Message::RelAck { cumulative, sack, .. } = rx.make_ack() {
+                    tx.on_ack(cumulative, sack);
+                }
+            }
+            now += ProtoDuration::from_millis(25);
+            stalled_iters += 1;
+            prop_assert!(stalled_iters < 4000, "must converge");
+        }
+        prop_assert_eq!(delivered.len(), payload_count);
+        for (i, p) in delivered.iter().enumerate() {
+            let expected = vec![i as u8; 8];
+            prop_assert_eq!(p.as_ref(), expected.as_slice());
+        }
+        // Exactly-once: nothing extra arrives later.
+        let (retx, _) = tx.poll(now + ProtoDuration::from_secs(10));
+        for msg in retx {
+            if let Message::RelData { seq, payload, .. } = msg {
+                prop_assert!(rx.on_data(seq, payload).is_empty());
+            }
+        }
+    }
+
+    /// MFTP reconstructs the exact file bytes for every subscriber under
+    /// arbitrary independent chunk loss, in a bounded number of rounds.
+    #[test]
+    fn mftp_reconstructs_exact_bytes(
+        size in 0usize..8000,
+        chunk_size in 1u32..700,
+        n_subs in 1usize..5,
+        loss_seed in any::<u64>(),
+        loss_permille in 0u32..500,
+    ) {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31 % 255) as u8).collect();
+        let mut s = FileSender::new(
+            TransferId(9),
+            Name::new("blob").unwrap(),
+            1,
+            Bytes::from(data.clone()),
+            chunk_size,
+            GroupId(3),
+        ).unwrap();
+        let mut rxs = Vec::new();
+        for i in 0..n_subs {
+            let node = NodeId(10 + i as u32);
+            s.on_subscribe(node);
+            let (rx, _sub) =
+                FileReceiver::from_announce(&s.announce(), node, RevisionPolicy::Restart).unwrap();
+            rxs.push(rx);
+        }
+
+        let mut state = loss_seed | 1;
+        let mut chance = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as u32
+        };
+
+        let mut rounds = 0;
+        loop {
+            loop {
+                let chunks = s.next_chunks(32);
+                if chunks.is_empty() {
+                    break;
+                }
+                for c in &chunks {
+                    if let Message::FileChunk { revision, index, payload, .. } = c {
+                        for rx in rxs.iter_mut() {
+                            if chance() >= loss_permille {
+                                rx.on_chunk(*revision, *index, payload);
+                            }
+                        }
+                    }
+                }
+            }
+            let q = s.query();
+            let Message::FileQuery { revision, .. } = q else { unreachable!() };
+            for rx in &rxs {
+                match rx.on_query(revision) {
+                    Some(Message::FileAck { subscriber, revision, .. }) => {
+                        s.on_ack(subscriber, revision);
+                    }
+                    Some(Message::FileNack { subscriber, revision, runs, .. }) => {
+                        s.on_nack(subscriber, revision, &runs).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+            if s.is_complete() {
+                break;
+            }
+            rounds += 1;
+            prop_assert!(rounds < 200, "transfer must converge");
+        }
+        for rx in rxs {
+            prop_assert!(rx.is_complete());
+            let got = rx.into_data();
+            prop_assert_eq!(got.as_ref(), data.as_slice());
+        }
+    }
+
+    /// Fragmentation survives arbitrary permutations and duplication.
+    #[test]
+    fn fragments_reassemble_under_shuffle(
+        payload in proptest::collection::vec(any::<u8>(), 0..6000),
+        chunk in 1usize..999,
+        shuffle in any::<prop::sample::Index>(),
+        dup in any::<prop::sample::Index>(),
+    ) {
+        let frags = fragment_payload(1, &payload, chunk).unwrap();
+        let mut order: Vec<usize> = (0..frags.len()).collect();
+        // Rotate by a generated amount (cheap deterministic permutation).
+        let rot = shuffle.index(frags.len().max(1));
+        order.rotate_left(rot);
+        // Inject one duplicate.
+        order.push(dup.index(frags.len().max(1)).min(frags.len() - 1));
+
+        let mut r = Reassembler::new(ProtoDuration::from_secs(5));
+        let mut out = None;
+        for i in order {
+            if let Message::Fragment { msg_id, index, count, payload } = frags[i].clone() {
+                if let Some(full) = r
+                    .offer(NodeId(1), msg_id, index, count, payload, Micros::ZERO)
+                    .unwrap()
+                {
+                    out = Some(full);
+                }
+            }
+        }
+        let got = out.unwrap();
+        prop_assert_eq!(got.as_ref(), payload.as_slice());
+    }
+
+    /// Arbitrary bytes never panic the frame parser, and valid frames
+    /// round-trip bit-exactly.
+    #[test]
+    fn frame_fuzz_and_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Frame::decode(&bytes); // must not panic
+        let frame = Frame::new(NodeId(1), marea_protocol::MessageKind::VarSample,
+            Bytes::from(bytes.clone()));
+        let wire = frame.encode();
+        let back = Frame::decode(&wire).unwrap();
+        prop_assert_eq!(back.payload(), bytes.as_slice());
+    }
+
+    /// Arbitrary bytes never panic the tagged-message parser.
+    #[test]
+    fn message_fuzz_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode_tagged(&bytes);
+    }
+
+    /// A corrupted frame is always rejected (CRC) — flip any single bit.
+    #[test]
+    fn frame_single_bit_corruption_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let frame = Frame::new(NodeId(7), marea_protocol::MessageKind::EventData,
+            Bytes::from(payload));
+        let mut wire = frame.encode().to_vec();
+        let i = byte.index(wire.len());
+        wire[i] ^= 1 << bit;
+        prop_assert!(Frame::decode(&wire).is_err(), "bit flip at {}:{} accepted", i, bit);
+    }
+}

@@ -1,0 +1,128 @@
+//! The in-memory filesystem substrate behind the storage service.
+//!
+//! Paper §5: *"The storage service is a generic service that provides
+//! storage and retrieval of data by providing access to an inner file
+//! system."* A real deployment would mount flash storage; the reproduction
+//! substitutes a process-local namespace with the same observable
+//! behaviour (paths, overwrite semantics, listings).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+#[derive(Debug, Default)]
+struct MemFsInner {
+    files: BTreeMap<String, Bytes>,
+    writes: u64,
+}
+
+/// A shareable in-memory filesystem. Cloning shares the same namespace, so
+/// tests can inspect what a [`StorageService`](crate::StorageService)
+/// persisted.
+#[derive(Debug, Clone, Default)]
+pub struct MemFs {
+    inner: Arc<Mutex<MemFsInner>>,
+}
+
+impl MemFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        MemFs::default()
+    }
+
+    /// Writes (or overwrites) a file.
+    pub fn write(&self, path: impl Into<String>, data: Bytes) {
+        let mut inner = self.inner.lock();
+        inner.files.insert(path.into(), data);
+        inner.writes += 1;
+    }
+
+    /// Reads a file.
+    pub fn read(&self, path: &str) -> Option<Bytes> {
+        self.inner.lock().files.get(path).cloned()
+    }
+
+    /// Removes a file, returning its content.
+    pub fn remove(&self, path: &str) -> Option<Bytes> {
+        self.inner.lock().files.remove(path)
+    }
+
+    /// Paths starting with `prefix`, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .lock()
+            .files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of stored files.
+    pub fn len(&self) -> usize {
+        self.inner.lock().files.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.inner.lock().files.values().map(|b| b.len()).sum()
+    }
+
+    /// Number of write operations performed.
+    pub fn write_count(&self) -> u64 {
+        self.inner.lock().writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_remove() {
+        let fs = MemFs::new();
+        assert!(fs.is_empty());
+        fs.write("photos/img-1", Bytes::from_static(b"abc"));
+        assert_eq!(fs.read("photos/img-1").unwrap().as_ref(), b"abc");
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs.total_bytes(), 3);
+        assert_eq!(fs.remove("photos/img-1").unwrap().as_ref(), b"abc");
+        assert!(fs.read("photos/img-1").is_none());
+    }
+
+    #[test]
+    fn overwrite_replaces_and_counts() {
+        let fs = MemFs::new();
+        fs.write("x", Bytes::from_static(b"1"));
+        fs.write("x", Bytes::from_static(b"22"));
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs.total_bytes(), 2);
+        assert_eq!(fs.write_count(), 2);
+    }
+
+    #[test]
+    fn listing_is_sorted_and_prefixed() {
+        let fs = MemFs::new();
+        fs.write("b/2", Bytes::new());
+        fs.write("a/1", Bytes::new());
+        fs.write("b/1", Bytes::new());
+        assert_eq!(fs.list(""), vec!["a/1", "b/1", "b/2"]);
+        assert_eq!(fs.list("b/"), vec!["b/1", "b/2"]);
+        assert!(fs.list("zzz").is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_namespace() {
+        let fs = MemFs::new();
+        let alias = fs.clone();
+        fs.write("shared", Bytes::from_static(b"x"));
+        assert!(alias.read("shared").is_some());
+    }
+}

@@ -1,0 +1,129 @@
+//! The GPS service: the mission's data source (paper §5).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use marea_core::{ProtoDuration, Service, ServiceContext, ServiceDescriptor, TimerId};
+use marea_flightsim::sensors::GpsSensor;
+use marea_flightsim::World;
+
+use crate::names::{self, position_value};
+
+/// The simulated world shared by the airframe-facing services (GPS drives
+/// it forward; the camera reads it).
+pub type SharedWorld = Arc<Mutex<World>>;
+
+/// Publishes `gps/position` at a fixed rate from the simulated airframe.
+///
+/// > *"The position is a high rate changing data and the consumer services
+/// > can lose some values without problem, then the variable primitive for
+/// > its high efficiency is preferred over the safer event primitive."*
+/// > — paper §5
+#[derive(Debug)]
+pub struct GpsService {
+    world: SharedWorld,
+    sensor: GpsSensor,
+    period: ProtoDuration,
+    validity: ProtoDuration,
+    in_outage: bool,
+}
+
+impl GpsService {
+    /// Creates the service over a shared world; `seed` drives sensor noise.
+    pub fn new(world: SharedWorld, seed: u64) -> Self {
+        GpsService {
+            world,
+            sensor: GpsSensor::new(seed),
+            period: ProtoDuration::from_millis(50), // 20 Hz
+            validity: ProtoDuration::from_millis(200),
+            in_outage: false,
+        }
+    }
+
+    /// Overrides the publication period (builder style).
+    #[must_use]
+    pub fn with_period(mut self, period: ProtoDuration) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Direct sensor access (tests inject outages).
+    pub fn sensor_mut(&mut self) -> &mut GpsSensor {
+        &mut self.sensor
+    }
+}
+
+impl Service for GpsService {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("gps")
+            .variable(names::VAR_POSITION, names::position_type(), self.period, self.validity)
+            .event(names::EVT_FIX_LOST, None)
+            .build()
+    }
+
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(self.period, Some(self.period));
+        ctx.log("gps: started");
+    }
+
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        let t_s = ctx.now().as_micros() as f64 / 1e6;
+        let (state, fix) = {
+            let mut world = self.world.lock();
+            world.advance_to(t_s);
+            let state = world.state();
+            (state, self.sensor.sample(&state, t_s))
+        };
+        match fix {
+            Some(fix) => {
+                if self.in_outage {
+                    self.in_outage = false;
+                    ctx.log("gps: fix re-acquired");
+                }
+                ctx.publish(
+                    names::VAR_POSITION,
+                    position_value(
+                        fix.position.lat,
+                        fix.position.lon,
+                        fix.position.alt,
+                        fix.course_rad,
+                        fix.speed_mps,
+                    ),
+                );
+            }
+            None => {
+                if !self.in_outage {
+                    self.in_outage = true;
+                    ctx.emit(names::EVT_FIX_LOST, None);
+                    ctx.log(format!(
+                        "gps: fix lost at ({:.5}, {:.5})",
+                        state.position.lat, state.position.lon
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marea_flightsim::{FlightPlan, GeoPoint, Terrain};
+
+    #[test]
+    fn descriptor_declares_the_contract() {
+        let origin = GeoPoint::new(41.275, 1.987, 120.0);
+        let world = Arc::new(Mutex::new(World::new(
+            origin,
+            20.0,
+            FlightPlan::default(),
+            Terrain::new(1, origin, 100.0, 0),
+        )));
+        let svc = GpsService::new(world, 1);
+        let d = svc.descriptor();
+        assert_eq!(d.name(), "gps");
+        assert!(d.provides().iter().any(|p| p.name() == names::VAR_POSITION));
+        assert!(d.provides().iter().any(|p| p.name() == names::EVT_FIX_LOST));
+    }
+}

@@ -1,0 +1,130 @@
+//! The ground control station service.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use marea_core::{Micros, Service, ServiceContext, ServiceDescriptor};
+use marea_presentation::{Name, Value};
+
+use crate::names::{self, parse_detection, parse_position};
+
+/// The operator's console feed: a shareable, append-only line buffer.
+pub type Display = Arc<Mutex<Vec<String>>>;
+
+/// Subscribes to the mission's variables and events and renders them as
+/// terminal lines.
+///
+/// > *"In this simple use case, the ground station basically shows the
+/// > subscribed variables and events in a terminal."* — paper §5
+#[derive(Debug)]
+pub struct GroundStationService {
+    display: Display,
+    positions_seen: u64,
+    /// Display one position line out of every `decimate` fixes (20 Hz
+    /// telemetry would scroll a real console unreadably).
+    decimate: u64,
+}
+
+impl GroundStationService {
+    /// Creates a ground station writing into `display`.
+    pub fn new(display: Display) -> Self {
+        GroundStationService { display, positions_seen: 0, decimate: 20 }
+    }
+
+    /// Shows every n-th position (builder style).
+    #[must_use]
+    pub fn with_decimation(mut self, decimate: u64) -> Self {
+        self.decimate = decimate.max(1);
+        self
+    }
+
+    fn show(&self, now: Micros, line: impl AsRef<str>) {
+        self.display.lock().push(format!("[{:>10.3}s] {}", now.as_micros() as f64 / 1e6, line.as_ref()));
+    }
+}
+
+impl Service for GroundStationService {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("ground-station")
+            .subscribe_variable(names::VAR_POSITION, false)
+            .subscribe_variable(names::VAR_MC_STATUS, true)
+            .subscribe_event(names::EVT_PHOTO_REQUEST)
+            .subscribe_event(names::EVT_PHOTO_TAKEN)
+            .subscribe_event(names::EVT_MISSION_COMPLETE)
+            .subscribe_event(names::EVT_TARGET_ALERT)
+            .subscribe_event(names::EVT_FIX_LOST)
+            .build()
+    }
+
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        self.show(ctx.now(), "ground station online");
+    }
+
+    fn on_variable(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: &Value,
+        _stamp: Micros,
+    ) {
+        if name == names::VAR_POSITION {
+            self.positions_seen += 1;
+            if self.positions_seen.is_multiple_of(self.decimate) {
+                if let Some((lat, lon, alt, hdg, spd)) = parse_position(value) {
+                    self.show(
+                        ctx.now(),
+                        format!(
+                            "pos {lat:.5},{lon:.5} alt {alt:.0}m hdg {:.0}° spd {spd:.1}m/s",
+                            hdg.to_degrees()
+                        ),
+                    );
+                }
+            }
+        } else if name == names::VAR_MC_STATUS {
+            self.show(ctx.now(), format!("mission status: {value}"));
+        }
+    }
+
+    fn on_variable_timeout(&mut self, ctx: &mut ServiceContext<'_>, name: &Name) {
+        self.show(ctx.now(), format!("WARNING: variable `{name}` stopped arriving"));
+    }
+
+    fn on_event(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: Option<&Value>,
+        _stamp: Micros,
+    ) {
+        let line = match name.as_str() {
+            n if n == names::EVT_PHOTO_REQUEST => {
+                format!("photo requested at waypoint {}", value.and_then(Value::as_u64).unwrap_or(0))
+            }
+            n if n == names::EVT_PHOTO_TAKEN => {
+                format!("photo {} taken", value.and_then(Value::as_u64).unwrap_or(0))
+            }
+            n if n == names::EVT_MISSION_COMPLETE => "MISSION COMPLETE".to_owned(),
+            n if n == names::EVT_TARGET_ALERT => match value.and_then(parse_detection) {
+                Some((rev, count)) => format!("TARGET ALERT: {count} target(s) in photo {rev}"),
+                None => "TARGET ALERT".to_owned(),
+            },
+            n if n == names::EVT_FIX_LOST => "WARNING: gps fix lost".to_owned(),
+            other => format!("event `{other}`"),
+        };
+        self.show(ctx.now(), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_subscribes_to_the_mission_feed() {
+        let d = GroundStationService::new(Display::default()).descriptor();
+        assert_eq!(d.var_subscriptions().len(), 2);
+        assert_eq!(d.event_subscriptions().len(), 5);
+        assert!(d.provides().is_empty(), "pure consumer");
+    }
+}

@@ -1,0 +1,48 @@
+//! # marea-services — reusable avionics services
+//!
+//! The paper's application example (§5, Fig. 3) is an image-acquisition
+//! mission run by generic, reusable services. This crate implements that
+//! cast on top of the [`marea_core`] service API:
+//!
+//! * [`GpsService`] — publishes the `gps/position` variable at 20 Hz from
+//!   the simulated airframe ("the starting service is the GPS which
+//!   generates the position variable");
+//! * [`MissionControlService`] — follows the flight plan, emits
+//!   `mc/photo-request` events at photo waypoints, initializes the payload
+//!   services through remote calls;
+//! * [`CameraService`] — exposes `camera/prepare`, answers photo-request
+//!   events by rendering a frame and distributing it as revisions of the
+//!   `camera/photo` file resource;
+//! * [`StorageService`] — a generic storage service over an in-memory
+//!   [`MemFs`]; stores photos and serves `storage/*` functions;
+//! * [`VideoProcessingService`] — detects bright targets in received
+//!   frames and emits `video/target-detected`;
+//! * [`GroundStationService`] — "basically shows the subscribed variables
+//!   and events in a terminal";
+//! * [`TelemetryBridge`] — the FlightGear-style telemetry formatter of §6.
+//!
+//! All inter-service names and schemas live in [`names`] so missions can
+//! recombine services freely — the reuse the paper sells.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod camera;
+pub mod detect;
+mod fs;
+mod gps;
+mod ground;
+mod mission;
+pub mod names;
+mod storage;
+mod telemetry;
+mod video;
+
+pub use camera::CameraService;
+pub use fs::MemFs;
+pub use gps::{GpsService, SharedWorld};
+pub use ground::GroundStationService;
+pub use mission::MissionControlService;
+pub use storage::StorageService;
+pub use telemetry::TelemetryBridge;
+pub use video::VideoProcessingService;

@@ -1,0 +1,192 @@
+//! Mission control: the orchestrator of the Fig. 3 scenario.
+
+use marea_core::{
+    CallError, CallHandle, Micros, ProtoDuration, Service, ServiceContext, ServiceDescriptor,
+};
+use marea_flightsim::{FlightPlan, GeoPoint, WaypointAction};
+use marea_presentation::{DataType, Name, Value};
+
+use crate::names::{self, parse_position};
+
+/// Follows the flight plan and orchestrates the payload services.
+///
+/// > *"The Mission Control is a service that monitors the status of the
+/// > mission and following a provided flight plan orchestrates the rest of
+/// > services to autonomously accomplish the mission."* — paper §5
+///
+/// Interactions, one per primitive (the paper's point):
+/// * consumes the `gps/position` **variable**;
+/// * initializes the camera through a **remote invocation**
+///   (`camera/prepare`);
+/// * commands photos with the `mc/photo-request` **event**;
+/// * the photos themselves travel as **file transfers** (camera → storage
+///   / video), which mission control only observes through events.
+#[derive(Debug)]
+pub struct MissionControlService {
+    plan: FlightPlan,
+    next_wp: usize,
+    photos_requested: u32,
+    complete_reported: bool,
+    prepare_handle: Option<CallHandle>,
+    camera_ready: bool,
+}
+
+impl MissionControlService {
+    /// Creates mission control for `plan`.
+    pub fn new(plan: FlightPlan) -> Self {
+        MissionControlService {
+            plan,
+            next_wp: 0,
+            photos_requested: 0,
+            complete_reported: false,
+            prepare_handle: None,
+            camera_ready: false,
+        }
+    }
+
+    fn publish_status(&self, ctx: &mut ServiceContext<'_>) {
+        let status = Value::struct_of("McStatus")
+            .field("next_waypoint", self.next_wp as u32)
+            .field("photos", self.photos_requested)
+            .field("complete", self.next_wp >= self.plan.len())
+            .build()
+            .expect("literal field names");
+        ctx.publish(names::VAR_MC_STATUS, status);
+    }
+}
+
+impl Service for MissionControlService {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("mission-control")
+            .variable(
+                names::VAR_MC_STATUS,
+                names::mc_status_type(),
+                ProtoDuration::ZERO,
+                ProtoDuration::from_secs(5),
+            )
+            .event(names::EVT_PHOTO_REQUEST, Some(DataType::U32))
+            .event(names::EVT_MISSION_COMPLETE, None)
+            .event(names::EVT_TARGET_ALERT, Some(names::detection_type()))
+            .subscribe_variable(names::VAR_POSITION, true)
+            .subscribe_event(names::EVT_TARGET_DETECTED)
+            .requires_function(names::FN_CAMERA_PREPARE)
+            .requires_function(names::FN_STORAGE_STORE)
+            .build()
+    }
+
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.log(format!("mc: mission with {} waypoints", self.plan.len()));
+        self.publish_status(ctx);
+    }
+
+    fn on_provider_change(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        notice: &marea_core::ProviderNotice,
+    ) {
+        // Initialize the camera as soon as its function appears ("all these
+        // initialization have remote call semantics", §5).
+        if let marea_core::ProviderNotice::FunctionAvailable(name) = notice {
+            if name == names::FN_CAMERA_PREPARE && self.prepare_handle.is_none() {
+                self.prepare_handle =
+                    Some(ctx.call(names::FN_CAMERA_PREPARE, vec![Value::Str("mission".into())]));
+                ctx.log("mc: preparing camera");
+            }
+        }
+    }
+
+    fn on_reply(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        handle: CallHandle,
+        result: Result<Value, CallError>,
+    ) {
+        if Some(handle) == self.prepare_handle {
+            match result {
+                Ok(_) => {
+                    self.camera_ready = true;
+                    ctx.log("mc: camera ready");
+                }
+                Err(e) => {
+                    ctx.log(format!("mc: camera prepare failed: {e}"));
+                    self.prepare_handle = None; // retry on next availability
+                }
+            }
+        }
+    }
+
+    fn on_variable(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: &Value,
+        _stamp: Micros,
+    ) {
+        if name != names::VAR_POSITION {
+            return;
+        }
+        let Some((lat, lon, alt, _, _)) = parse_position(value) else { return };
+        let here = GeoPoint::new(lat, lon, alt);
+        let mut changed = false;
+        while let Some(wp) = self.plan.get(self.next_wp) {
+            if here.distance_m(&wp.point) > wp.radius_m {
+                break;
+            }
+            if wp.action == WaypointAction::TakePhoto {
+                if self.camera_ready {
+                    ctx.emit(names::EVT_PHOTO_REQUEST, Some(Value::U32(self.next_wp as u32)));
+                    self.photos_requested += 1;
+                    ctx.log(format!("mc: photo requested at waypoint {}", self.next_wp));
+                } else {
+                    ctx.log(format!(
+                        "mc: waypoint {} reached but camera not ready; skipping photo",
+                        self.next_wp
+                    ));
+                }
+            }
+            self.next_wp += 1;
+            changed = true;
+        }
+        if changed {
+            self.publish_status(ctx);
+            if self.next_wp >= self.plan.len() && !self.complete_reported {
+                self.complete_reported = true;
+                ctx.emit(names::EVT_MISSION_COMPLETE, None);
+                ctx.log("mc: mission complete");
+            }
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: Option<&Value>,
+        _stamp: Micros,
+    ) {
+        if name == names::EVT_TARGET_DETECTED {
+            // Relay to the ground station channel ("it can notify the GS
+            // and MC", §5).
+            if let Some(v) = value {
+                ctx.emit(names::EVT_TARGET_ALERT, Some(v.clone()));
+                ctx.log(format!("mc: target alert relayed ({v})"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_wires_all_four_primitives() {
+        let mc = MissionControlService::new(FlightPlan::default());
+        let d = mc.descriptor();
+        assert!(d.provides().iter().any(|p| p.name() == names::VAR_MC_STATUS));
+        assert!(d.provides().iter().any(|p| p.name() == names::EVT_PHOTO_REQUEST));
+        assert!(d.var_subscriptions().iter().any(|s| s.name == names::VAR_POSITION));
+        assert!(d.required_functions().iter().any(|f| f == names::FN_CAMERA_PREPARE));
+        assert!(d.event_subscriptions().iter().any(|e| e == names::EVT_TARGET_DETECTED));
+    }
+}

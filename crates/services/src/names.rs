@@ -1,0 +1,142 @@
+//! The mission vocabulary: names and schemas shared by the standard
+//! services.
+//!
+//! Keeping the contract here (instead of inside each service) is what lets
+//! "all the services \[be\] generic enough to be reutilized in most of the
+//! UAV missions" (paper §5) — a mission recombines services purely by
+//! name.
+
+use marea_presentation::{DataType, StructType, Value};
+
+/// `gps/position` — the high-rate position variable (paper §5).
+pub const VAR_POSITION: &str = "gps/position";
+/// `gps/fix-lost` — bare event emitted when the receiver loses its fix.
+pub const EVT_FIX_LOST: &str = "gps/fix-lost";
+/// `mc/status` — mission progress variable.
+pub const VAR_MC_STATUS: &str = "mc/status";
+/// `mc/photo-request` — event carrying the waypoint index to photograph.
+pub const EVT_PHOTO_REQUEST: &str = "mc/photo-request";
+/// `mc/mission-complete` — bare event at end of plan.
+pub const EVT_MISSION_COMPLETE: &str = "mc/mission-complete";
+/// `mc/target-alert` — relayed detection alert for the ground station.
+pub const EVT_TARGET_ALERT: &str = "mc/target-alert";
+/// `camera/prepare` — remote function arming the camera.
+pub const FN_CAMERA_PREPARE: &str = "camera/prepare";
+/// `camera/photo` — the file resource carrying photos (one revision per
+/// shot).
+pub const FILE_PHOTO: &str = "camera/photo";
+/// `camera/photo-taken` — event carrying the new photo revision.
+pub const EVT_PHOTO_TAKEN: &str = "camera/photo-taken";
+/// `storage/store` — remote function storing a named blob.
+pub const FN_STORAGE_STORE: &str = "storage/store";
+/// `storage/get` — remote function fetching a named blob.
+pub const FN_STORAGE_GET: &str = "storage/get";
+/// `storage/list` — remote function listing stored paths.
+pub const FN_STORAGE_LIST: &str = "storage/list";
+/// `video/target-detected` — event carrying detection results.
+pub const EVT_TARGET_DETECTED: &str = "video/target-detected";
+/// `telemetry/fg` — FlightGear-style telemetry line variable.
+pub const VAR_TELEMETRY: &str = "telemetry/fg";
+
+/// Schema of [`VAR_POSITION`].
+pub fn position_type() -> DataType {
+    DataType::Struct(
+        StructType::new("Position")
+            .with_field("lat", DataType::F64)
+            .expect("literal")
+            .with_field("lon", DataType::F64)
+            .expect("literal")
+            .with_field("alt", DataType::F64)
+            .expect("literal")
+            .with_field("heading", DataType::F64)
+            .expect("literal")
+            .with_field("speed", DataType::F64)
+            .expect("literal"),
+    )
+}
+
+/// Builds a [`VAR_POSITION`] sample.
+pub fn position_value(lat: f64, lon: f64, alt: f64, heading: f64, speed: f64) -> Value {
+    Value::struct_of("Position")
+        .field("lat", lat)
+        .field("lon", lon)
+        .field("alt", alt)
+        .field("heading", heading)
+        .field("speed", speed)
+        .build()
+        .expect("literal field names")
+}
+
+/// Parses a [`VAR_POSITION`] sample into `(lat, lon, alt, heading, speed)`.
+pub fn parse_position(v: &Value) -> Option<(f64, f64, f64, f64, f64)> {
+    Some((
+        v.at("lat")?.as_f64()?,
+        v.at("lon")?.as_f64()?,
+        v.at("alt")?.as_f64()?,
+        v.at("heading")?.as_f64()?,
+        v.at("speed")?.as_f64()?,
+    ))
+}
+
+/// Schema of [`EVT_TARGET_DETECTED`] / [`EVT_TARGET_ALERT`] payloads.
+pub fn detection_type() -> DataType {
+    DataType::Struct(
+        StructType::new("Detection")
+            .with_field("revision", DataType::U32)
+            .expect("literal")
+            .with_field("count", DataType::U32)
+            .expect("literal"),
+    )
+}
+
+/// Builds a detection payload.
+pub fn detection_value(revision: u32, count: u32) -> Value {
+    Value::struct_of("Detection")
+        .field("revision", revision)
+        .field("count", count)
+        .build()
+        .expect("literal field names")
+}
+
+/// Parses a detection payload into `(revision, count)`.
+pub fn parse_detection(v: &Value) -> Option<(u32, u32)> {
+    Some((v.at("revision")?.as_u64()? as u32, v.at("count")?.as_u64()? as u32))
+}
+
+/// Schema of [`VAR_MC_STATUS`].
+pub fn mc_status_type() -> DataType {
+    DataType::Struct(
+        StructType::new("McStatus")
+            .with_field("next_waypoint", DataType::U32)
+            .expect("literal")
+            .with_field("photos", DataType::U32)
+            .expect("literal")
+            .with_field("complete", DataType::Bool)
+            .expect("literal"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_roundtrip() {
+        let v = position_value(41.2, 1.9, 120.0, 1.5, 22.0);
+        v.conforms_to(&position_type()).unwrap();
+        assert_eq!(parse_position(&v), Some((41.2, 1.9, 120.0, 1.5, 22.0)));
+    }
+
+    #[test]
+    fn detection_roundtrip() {
+        let v = detection_value(3, 2);
+        v.conforms_to(&detection_type()).unwrap();
+        assert_eq!(parse_detection(&v), Some((3, 2)));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_shapes() {
+        assert!(parse_position(&Value::Bool(true)).is_none());
+        assert!(parse_detection(&position_value(0.0, 0.0, 0.0, 0.0, 0.0)).is_none());
+    }
+}

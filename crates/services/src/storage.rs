@@ -1,0 +1,95 @@
+//! The generic storage service.
+
+use bytes::Bytes;
+
+use marea_core::{FileEvent, Service, ServiceContext, ServiceDescriptor};
+use marea_presentation::{DataType, Name, Value};
+
+use crate::fs::MemFs;
+use crate::names;
+
+/// Stores named blobs in an inner filesystem and archives every photo
+/// revision it receives over the file-transfer primitive.
+///
+/// > *"The storage service is a generic service that provides storage and
+/// > retrieval of data by providing access to an inner file system. It is
+/// > told to store the photos and the GPS positions by the MC."* — paper §5
+#[derive(Debug)]
+pub struct StorageService {
+    fs: MemFs,
+}
+
+impl StorageService {
+    /// Creates a storage service over `fs` (clone the [`MemFs`] to inspect
+    /// stored content from tests).
+    pub fn new(fs: MemFs) -> Self {
+        StorageService { fs }
+    }
+}
+
+impl Service for StorageService {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("storage")
+            .function(
+                names::FN_STORAGE_STORE,
+                vec![DataType::Str, DataType::Bytes],
+                Some(DataType::Bool),
+            )
+            .function(names::FN_STORAGE_GET, vec![DataType::Str], Some(DataType::Bytes))
+            .function(names::FN_STORAGE_LIST, vec![DataType::Str], Some(DataType::Str))
+            .subscribe_file(names::FILE_PHOTO)
+            .build()
+    }
+
+    fn on_call(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        function: &Name,
+        args: &[Value],
+    ) -> Result<Value, String> {
+        match function.as_str() {
+            f if f == names::FN_STORAGE_STORE => {
+                let path = args[0].as_str().ok_or("path must be a string")?.to_owned();
+                let data = args[1].as_bytes().ok_or("data must be bytes")?.to_vec();
+                ctx.log(format!("storage: stored `{path}` ({} bytes)", data.len()));
+                self.fs.write(path, Bytes::from(data));
+                Ok(Value::Bool(true))
+            }
+            f if f == names::FN_STORAGE_GET => {
+                let path = args[0].as_str().ok_or("path must be a string")?;
+                match self.fs.read(path) {
+                    Some(data) => Ok(Value::Bytes(data.to_vec())),
+                    None => Err(format!("no such file `{path}`")),
+                }
+            }
+            f if f == names::FN_STORAGE_LIST => {
+                let prefix = args[0].as_str().ok_or("prefix must be a string")?;
+                Ok(Value::Str(self.fs.list(prefix).join("\n")))
+            }
+            other => Err(format!("unknown function `{other}`")),
+        }
+    }
+
+    fn on_file_event(&mut self, ctx: &mut ServiceContext<'_>, event: &FileEvent) {
+        if let FileEvent::Received { resource, revision, data } = event {
+            let path = format!("photos/{resource}/rev-{revision:04}");
+            ctx.log(format!("storage: archived `{path}` ({} bytes)", data.len()));
+            self.fs.write(path, data.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_exposes_fs_functions() {
+        let s = StorageService::new(MemFs::new());
+        let d = s.descriptor();
+        for f in [names::FN_STORAGE_STORE, names::FN_STORAGE_GET, names::FN_STORAGE_LIST] {
+            assert!(d.provides().iter().any(|p| p.name() == f), "{f}");
+        }
+        assert!(d.file_interests().iter().any(|i| i == names::FILE_PHOTO));
+    }
+}

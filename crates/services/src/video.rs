@@ -1,0 +1,93 @@
+//! The on-board video processing service.
+
+use marea_core::{FileEvent, Service, ServiceContext, ServiceDescriptor};
+use marea_flightsim::Frame;
+
+use crate::detect::detect_blobs;
+use crate::names::{self, detection_value};
+
+/// Runs target detection on every photo revision it receives and emits
+/// `video/target-detected` when something is found.
+///
+/// > *"At the same time, the video processing module is told to process the
+/// > same file resource ... If the video process detects the pre-programmed
+/// > characteristics in the image it can notify the GS and MC."* — paper §5
+#[derive(Debug)]
+pub struct VideoProcessingService {
+    threshold: u8,
+    min_pixels: u32,
+    frames_processed: u32,
+    detections: u32,
+}
+
+impl VideoProcessingService {
+    /// Creates a detector with the default tuning for the synthetic
+    /// terrain's hot targets.
+    pub fn new() -> Self {
+        VideoProcessingService { threshold: 200, min_pixels: 4, frames_processed: 0, detections: 0 }
+    }
+
+    /// Overrides detection tuning (builder style).
+    #[must_use]
+    pub fn with_tuning(mut self, threshold: u8, min_pixels: u32) -> Self {
+        self.threshold = threshold;
+        self.min_pixels = min_pixels;
+        self
+    }
+
+    /// Frames processed so far.
+    pub fn frames_processed(&self) -> u32 {
+        self.frames_processed
+    }
+}
+
+impl Default for VideoProcessingService {
+    fn default() -> Self {
+        VideoProcessingService::new()
+    }
+}
+
+impl Service for VideoProcessingService {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("video")
+            .event(names::EVT_TARGET_DETECTED, Some(names::detection_type()))
+            .subscribe_file(names::FILE_PHOTO)
+            .build()
+    }
+
+    fn on_file_event(&mut self, ctx: &mut ServiceContext<'_>, event: &FileEvent) {
+        let FileEvent::Received { resource, revision, data } = event else { return };
+        let Some(frame) = Frame::from_bytes(data) else {
+            ctx.log(format!("video: `{resource}` rev {revision} is not a frame; skipped"));
+            return;
+        };
+        self.frames_processed += 1;
+        let blobs = detect_blobs(&frame, self.threshold, self.min_pixels);
+        ctx.log(format!(
+            "video: rev {} processed, {} target(s) found",
+            revision,
+            blobs.len()
+        ));
+        if !blobs.is_empty() {
+            self.detections += 1;
+            ctx.emit(
+                names::EVT_TARGET_DETECTED,
+                Some(detection_value(*revision, blobs.len() as u32)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_subscribes_to_photos() {
+        let v = VideoProcessingService::new().with_tuning(180, 2);
+        let d = v.descriptor();
+        assert!(d.file_interests().iter().any(|i| i == names::FILE_PHOTO));
+        assert!(d.provides().iter().any(|p| p.name() == names::EVT_TARGET_DETECTED));
+        assert_eq!(v.frames_processed(), 0);
+    }
+}

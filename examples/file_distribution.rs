@@ -1,0 +1,110 @@
+//! Multicast file distribution (§4.4) under packet loss.
+//!
+//! Run with `cargo run --example file_distribution`.
+//!
+//! One publisher distributes a 256 KiB "image" to four subscriber nodes
+//! over a LAN dropping 3% of datagrams. The MFTP-style protocol announces,
+//! streams chunks by multicast, then iterates NACK-driven repair rounds
+//! until everyone holds the file. Compare the wire cost with what four
+//! independent unicast transfers would have paid.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use marea::core::{
+    ContainerConfig, FileEvent, NodeId, ProtoDuration, Service, ServiceContext, ServiceDescriptor,
+    SimHarness, TimerId,
+};
+use marea::netsim::{LinkConfig, NetConfig};
+
+struct Publisher {
+    data: Bytes,
+}
+
+impl Service for Publisher {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("imager").file_resource("imager/frame").build()
+    }
+
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(ProtoDuration::from_millis(50), None);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        println!("publisher: announcing {} bytes", self.data.len());
+        ctx.publish_file("imager/frame", self.data.clone());
+    }
+
+    fn on_file_event(&mut self, ctx: &mut ServiceContext<'_>, event: &FileEvent) {
+        if let FileEvent::DistributionComplete { resource, revision, subscribers } = event {
+            println!(
+                "publisher: `{resource}` rev {revision} fully distributed to {subscribers} subscribers at t={}",
+                ctx.now()
+            );
+        }
+    }
+}
+
+struct Receiver {
+    completions: Arc<Mutex<Vec<(u32, usize)>>>,
+}
+
+impl Service for Receiver {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("sink").subscribe_file("imager/frame").build()
+    }
+
+    fn on_file_event(&mut self, ctx: &mut ServiceContext<'_>, event: &FileEvent) {
+        if let FileEvent::Received { revision, data, .. } = event {
+            println!(
+                "node {}: received rev {} ({} bytes) at t={}",
+                ctx.local_node(),
+                revision,
+                data.len(),
+                ctx.now()
+            );
+            self.completions.lock().push((*revision, data.len()));
+        }
+    }
+}
+
+fn main() {
+    const SUBSCRIBERS: u32 = 4;
+    const SIZE: usize = 256 * 1024;
+
+    let net = NetConfig::default()
+        .with_seed(99)
+        .with_default_link(LinkConfig::default().with_loss(0.03));
+    let mut h = SimHarness::new(net);
+
+    h.add_container(ContainerConfig::new("publisher", NodeId(1)));
+    let data: Vec<u8> = (0..SIZE).map(|i| (i % 253) as u8).collect();
+    h.add_service(NodeId(1), Box::new(Publisher { data: Bytes::from(data) }));
+
+    let completions = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..SUBSCRIBERS {
+        let node = NodeId(10 + i);
+        h.add_container(ContainerConfig::new("subscriber", node));
+        h.add_service(node, Box::new(Receiver { completions: completions.clone() }));
+    }
+
+    h.start_all();
+    h.run_for_millis(5_000);
+
+    let done = completions.lock().len();
+    let stats = h.network().stats();
+    println!("\n===== results =====");
+    println!("complete receptions: {done}/{SUBSCRIBERS}");
+    println!("datagrams sent (all nodes): {}", stats.datagrams_sent);
+    println!("bytes sent on the wire:     {}", stats.bytes_sent);
+    println!("datagrams lost to the LAN:  {}", stats.dropped_loss);
+    let efficiency = SIZE as f64 * SUBSCRIBERS as f64 / stats.bytes_sent as f64;
+    println!(
+        "delivery efficiency: {:.2}x (payload delivered / wire bytes; unicast fan-out would sit near 1.0 before loss)",
+        efficiency
+    );
+    assert_eq!(done as u32, SUBSCRIBERS);
+    println!("multicast file distribution ✔");
+}

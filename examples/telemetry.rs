@@ -1,0 +1,51 @@
+//! The FlightGear telemetry bridge (§6's two-day productivity anecdote).
+//!
+//! Run with `cargo run --example telemetry`.
+//!
+//! A GPS service flies a short survey; the [`TelemetryBridge`] — a service
+//! written purely against the public MAREA API — converts the position
+//! variable into FlightGear generic-protocol CSV and NMEA `GPGGA`
+//! sentences, the formats a real visualization pipeline would ingest.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use marea::core::{ContainerConfig, NodeId, SimHarness};
+use marea::flightsim::{FlightPlan, GeoPoint, Terrain, World};
+use marea::netsim::NetConfig;
+use marea::services::{GpsService, TelemetryBridge};
+
+fn main() {
+    let mut h = SimHarness::new(NetConfig::default().with_seed(6));
+
+    let origin = GeoPoint::new(41.275, 1.987, 120.0);
+    let plan = FlightPlan::survey(origin.displaced_m(200.0, 200.0), 800.0, 400.0, 2);
+    let world = Arc::new(Mutex::new(World::new(
+        origin,
+        25.0,
+        plan,
+        Terrain::new(6, origin, 1500.0, 5),
+    )));
+
+    h.add_container(ContainerConfig::new("fcs", NodeId(1)));
+    h.add_container(ContainerConfig::new("ground", NodeId(2)));
+    h.add_service(NodeId(1), Box::new(GpsService::new(world, 6)));
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    h.add_service(NodeId(2), Box::new(TelemetryBridge::new(lines.clone())));
+
+    h.start_all();
+    h.run_for_millis(30_000); // 30 s of flight
+
+    let lines = lines.lock();
+    println!("captured {} telemetry lines; every 40th shown:\n", lines.len());
+    println!("{:<52} | NMEA", "FlightGear generic protocol");
+    println!("{}", "-".repeat(100));
+    for pair in lines.chunks(2).step_by(20) {
+        if let [fg, nmea] = pair {
+            println!("{fg:<52} | {nmea}");
+        }
+    }
+    assert!(lines.len() > 500, "20 Hz for 30 s produces a steady stream");
+    println!("\ntelemetry bridge ✔ (built on the public service API alone)");
+}

@@ -1,0 +1,32 @@
+//! # marea — A Middleware Architecture for Unmanned Aircraft Avionics
+//!
+//! Facade crate re-exporting the whole MAREA workspace. See the README for
+//! the architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! The layers follow the PEPt architecture from the paper (§6):
+//!
+//! * [`presentation`] — the C-like data model ([`Value`](presentation::Value),
+//!   [`DataType`](presentation::DataType));
+//! * [`encoding`] — pluggable wire codecs;
+//! * [`protocol`] — framing, ARQ reliability, fragmentation, bulk transfer;
+//! * [`transport`] — pluggable transports (in-process, simulated LAN, UDP);
+//! * [`core`] — the service container and the four communication primitives;
+//! * [`netsim`] — the deterministic network simulator substrate;
+//! * [`flightsim`] — the UAV flight dynamics substrate;
+//! * [`services`] — reusable avionics services (GPS, mission control, …).
+
+#![forbid(unsafe_code)]
+
+pub use marea_core as core;
+pub use marea_encoding as encoding;
+pub use marea_flightsim as flightsim;
+pub use marea_netsim as netsim;
+pub use marea_presentation as presentation;
+pub use marea_protocol as protocol;
+pub use marea_services as services;
+pub use marea_transport as transport;
+
+/// Commonly used items, for glob import in examples and application code.
+pub mod prelude {
+    pub use marea_presentation::{DataType, Name, StructType, Value};
+}
