@@ -13,13 +13,16 @@ fn bench_c4_scenarios(c: &mut Criterion) {
     let mut group = c.benchmark_group("c4_file_multicast");
     for (size, subs) in [(64 * 1024usize, 4u32), (256 * 1024, 8)] {
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(BenchmarkId::new("distribute", format!("{}KiB_x{subs}", size / 1024)), |b| {
-            b.iter(|| {
-                let r = bench_file_multicast(size, subs, 0.0, 5);
-                assert_eq!(r.completed, subs);
-                r
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("distribute", format!("{}KiB_x{subs}", size / 1024)),
+            |b| {
+                b.iter(|| {
+                    let r = bench_file_multicast(size, subs, 0.0, 5);
+                    assert_eq!(r.completed, subs);
+                    r
+                })
+            },
+        );
     }
     group.finish();
 }

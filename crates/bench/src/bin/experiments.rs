@@ -212,10 +212,7 @@ fn c6_failover() {
         "provider failover",
         "§4.3 — \"redirect requests to the redundant service ... continue its mission\"",
     );
-    println!(
-        "   {:<8} {:>16} {:>14} {:>12}",
-        "seed", "blackout (ms)", "app errors", "failovers"
-    );
+    println!("   {:<8} {:>16} {:>14} {:>12}", "seed", "blackout (ms)", "app errors", "failovers");
     for seed in [800u64, 801, 802] {
         let r = bench_failover(seed);
         println!("   {:<8} {:>16} {:>14} {:>12}", seed, r.blackout_ms, r.errors, r.failovers);

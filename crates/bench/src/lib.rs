@@ -21,13 +21,13 @@ use std::sync::{Arc, Mutex};
 use bytes::Bytes;
 
 use marea_core::{
-    CallError, CallHandle, ContainerConfig, FileEvent, Micros, NodeId, ProtoDuration,
-    SchedulerKind, Service, ServiceContext, ServiceDescriptor, SimHarness, TimerId,
-    VarDistribution,
+    CallError, CallHandle, ContainerConfig, EventPort, FileEvent, FnPort, Micros, NodeId,
+    ProtoDuration, SchedulerKind, Service, ServiceContext, ServiceDescriptor, SimHarness, TimerId,
+    TypedCallHandle, VarDistribution, VarPort,
 };
-use marea_netsim::{Destination, LinkConfig, NetConfig, SimNet};
 use marea_netsim::tcpish::{TcpishConfig, TcpishEndpoint};
-use marea_presentation::{DataType, Name, Value};
+use marea_netsim::{Destination, LinkConfig, NetConfig, SimNet};
+use marea_presentation::{Name, Value};
 use marea_protocol::arq::{ArqConfig, ArqReceiver, ArqSender};
 use marea_protocol::Message;
 
@@ -58,8 +58,18 @@ fn lossy_net(seed: u64, loss: f64) -> NetConfig {
     NetConfig::default().with_seed(seed).with_default_link(LinkConfig::default().with_loss(loss))
 }
 
-fn payload_of(bytes: usize) -> Value {
-    Value::Bytes(vec![0xA5; bytes])
+fn payload_of(bytes: usize) -> Vec<u8> {
+    vec![0xA5; bytes]
+}
+
+// Shared bench vocabulary: one constructor per name, used by both sides
+// of each contract (the same pattern as `marea_services::names`).
+fn echo_port() -> FnPort<(Vec<u8>,), Vec<u8>> {
+    FnPort::new("bench/echo")
+}
+
+fn who_port() -> FnPort<(), u32> {
+    FnPort::new("bench/who")
 }
 
 // ---------------------------------------------------------------------------
@@ -69,11 +79,18 @@ fn payload_of(bytes: usize) -> Value {
 struct EventBlaster {
     payload: usize,
     remaining: u32,
+    port: EventPort<Vec<u8>>,
+}
+
+impl EventBlaster {
+    fn new(payload: usize, remaining: u32) -> Self {
+        EventBlaster { payload, remaining, port: EventPort::new("bench/ev") }
+    }
 }
 
 impl Service for EventBlaster {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("blaster").event("bench/ev", Some(DataType::Bytes)).build()
+        ServiceDescriptor::builder("blaster").provides_event(&self.port).build()
     }
     fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
         ctx.set_timer(ProtoDuration::from_millis(2), Some(ProtoDuration::from_millis(2)));
@@ -81,7 +98,7 @@ impl Service for EventBlaster {
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
         if self.remaining > 0 {
             self.remaining -= 1;
-            ctx.emit("bench/ev", Some(payload_of(self.payload)));
+            ctx.emit_to(&self.port, payload_of(self.payload));
         }
     }
 }
@@ -100,7 +117,7 @@ pub fn bench_event_latency(payload_bytes: usize, n: u32, loss: f64, seed: u64) -
     h.set_tick_us(100);
     h.add_container(ContainerConfig::new("pub", NodeId(1)));
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
-    h.add_service(NodeId(1), Box::new(EventBlaster { payload: payload_bytes, remaining: n }));
+    h.add_service(NodeId(1), Box::new(EventBlaster::new(payload_bytes, n)));
     h.add_service(NodeId(2), Box::new(EventSink));
     h.start_all();
     let budget_ms = 200 + n as u64 * 4;
@@ -123,13 +140,20 @@ pub fn bench_event_latency(payload_bytes: usize, n: u32, loss: f64, seed: u64) -
 struct RpcCaller {
     payload: usize,
     remaining: u32,
-    inflight: Option<(CallHandle, Micros)>,
+    inflight: Option<(TypedCallHandle<Vec<u8>>, Micros)>,
     rtts: Arc<Mutex<Vec<u64>>>,
+    echo: FnPort<(Vec<u8>,), Vec<u8>>,
+}
+
+impl RpcCaller {
+    fn new(payload: usize, remaining: u32, rtts: Arc<Mutex<Vec<u64>>>) -> Self {
+        RpcCaller { payload, remaining, inflight: None, rtts, echo: echo_port() }
+    }
 }
 
 impl Service for RpcCaller {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("caller").requires_function("bench/echo").build()
+        ServiceDescriptor::builder("caller").requires_fn(&self.echo).build()
     }
     fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
         ctx.set_timer(ProtoDuration::from_millis(2), Some(ProtoDuration::from_millis(2)));
@@ -137,29 +161,46 @@ impl Service for RpcCaller {
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
         if self.inflight.is_none() && self.remaining > 0 {
             self.remaining -= 1;
-            let h = ctx.call("bench/echo", vec![payload_of(self.payload)]);
+            let h = ctx.call_fn(&self.echo, (payload_of(self.payload),));
             self.inflight = Some((h, ctx.now()));
         }
     }
-    fn on_reply(&mut self, ctx: &mut ServiceContext<'_>, handle: CallHandle, result: Result<Value, CallError>) {
+    fn on_reply(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        handle: CallHandle,
+        result: Result<Value, CallError>,
+    ) {
         if let Some((h, sent)) = self.inflight.take() {
-            if h == handle && result.is_ok() {
+            if h.matches(handle) && h.decode(result).is_ok() {
                 self.rtts.lock().unwrap().push(ctx.now().saturating_since(sent).as_micros());
             }
         }
     }
 }
 
-struct Echo;
+struct Echo {
+    port: FnPort<(Vec<u8>,), Vec<u8>>,
+}
+
+impl Echo {
+    fn new() -> Self {
+        Echo { port: echo_port() }
+    }
+}
 
 impl Service for Echo {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("echo")
-            .function("bench/echo", vec![DataType::Bytes], Some(DataType::Bytes))
-            .build()
+        ServiceDescriptor::builder("echo").provides_fn(&self.port).build()
     }
-    fn on_call(&mut self, _ctx: &mut ServiceContext<'_>, _f: &Name, args: &[Value]) -> Result<Value, String> {
-        Ok(args[0].clone())
+    fn on_call(
+        &mut self,
+        _ctx: &mut ServiceContext<'_>,
+        _f: &Name,
+        args: &[Value],
+    ) -> Result<Value, String> {
+        let (data,) = self.port.decode_args(args).map_err(|e| e.to_string())?;
+        Ok(self.port.encode_ret(data))
     }
 }
 
@@ -170,11 +211,8 @@ pub fn bench_rpc_rtt(payload_bytes: usize, n: u32, loss: f64, seed: u64) -> Late
     h.add_container(ContainerConfig::new("caller", NodeId(1)));
     h.add_container(ContainerConfig::new("server", NodeId(2)));
     let rtts = Arc::new(Mutex::new(Vec::new()));
-    h.add_service(
-        NodeId(1),
-        Box::new(RpcCaller { payload: payload_bytes, remaining: n, inflight: None, rtts: rtts.clone() }),
-    );
-    h.add_service(NodeId(2), Box::new(Echo));
+    h.add_service(NodeId(1), Box::new(RpcCaller::new(payload_bytes, n, rtts.clone())));
+    h.add_service(NodeId(2), Box::new(Echo::new()));
     h.start_all();
     let budget_ms = 500 + n as u64 * 8;
     let mut waited = 0;
@@ -206,17 +244,19 @@ pub struct FanoutResult {
 
 struct VarBlaster {
     remaining: u32,
+    port: VarPort<Vec<u8>>,
+}
+
+impl VarBlaster {
+    fn new(remaining: u32) -> Self {
+        VarBlaster { remaining, port: VarPort::new("bench/var") }
+    }
 }
 
 impl Service for VarBlaster {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("varpub")
-            .variable(
-                "bench/var",
-                DataType::Bytes,
-                ProtoDuration::from_millis(5),
-                ProtoDuration::from_millis(50),
-            )
+            .provides_var(&self.port, ProtoDuration::from_millis(5), ProtoDuration::from_millis(50))
             .build()
     }
     fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
@@ -225,7 +265,7 @@ impl Service for VarBlaster {
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
         if self.remaining > 0 {
             self.remaining -= 1;
-            ctx.publish("bench/var", payload_of(32));
+            ctx.publish_to(&self.port, payload_of(32));
         }
     }
 }
@@ -254,7 +294,7 @@ pub fn bench_var_fanout(
     cfg.heartbeat_period = ProtoDuration::from_secs(10);
     cfg.announce_period = ProtoDuration::from_secs(10);
     h.add_container(cfg);
-    h.add_service(NodeId(1), Box::new(VarBlaster { remaining: samples }));
+    h.add_service(NodeId(1), Box::new(VarBlaster::new(samples)));
     for i in 0..subscribers {
         let node = NodeId(10 + i);
         let mut cfg = ContainerConfig::new("sub", node);
@@ -306,7 +346,13 @@ pub struct ReliableRunCost {
 /// C3a: `n` event-sized messages, one every `interval_us`, over the
 /// middleware's ARQ channel. Events are *sporadic* (the paper's use case:
 /// "punctual and important facts"), so per-message latency is the metric.
-pub fn bench_arq_under_loss(loss: f64, n: u32, msg_len: usize, interval_us: u64, seed: u64) -> ReliableRunCost {
+pub fn bench_arq_under_loss(
+    loss: f64,
+    n: u32,
+    msg_len: usize,
+    interval_us: u64,
+    seed: u64,
+) -> ReliableRunCost {
     let net = SimNet::new(lossy_net(seed, loss));
     let a = net.socket(1);
     let b = net.socket(2);
@@ -365,7 +411,13 @@ pub fn bench_arq_under_loss(loss: f64, n: u32, msg_len: usize, interval_us: u64,
 }
 
 /// C3b: the same sporadic workload over the simulated generic TCP stack.
-pub fn bench_tcp_under_loss(loss: f64, n: u32, msg_len: usize, interval_us: u64, seed: u64) -> ReliableRunCost {
+pub fn bench_tcp_under_loss(
+    loss: f64,
+    n: u32,
+    msg_len: usize,
+    interval_us: u64,
+    seed: u64,
+) -> ReliableRunCost {
     let net = SimNet::new(lossy_net(seed, loss));
     let a = net.socket(1);
     let b = net.socket(2);
@@ -548,13 +600,26 @@ pub fn bench_file_bypass(size: usize, seed: u64) -> (u64, u64) {
 struct LoadedPublisher {
     bg_per_tick: u32,
     remaining_events: u32,
+    bg: VarPort<u32>,
+    prio: EventPort<u64>,
+}
+
+impl LoadedPublisher {
+    fn new(bg_per_tick: u32, remaining_events: u32) -> Self {
+        LoadedPublisher {
+            bg_per_tick,
+            remaining_events,
+            bg: VarPort::new("bench/bg"),
+            prio: EventPort::new("bench/prio"),
+        }
+    }
 }
 
 impl Service for LoadedPublisher {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("loaded")
-            .variable("bench/bg", DataType::U32, ProtoDuration::ZERO, ProtoDuration::from_secs(1))
-            .event("bench/prio", Some(DataType::U64))
+            .provides_var(&self.bg, ProtoDuration::ZERO, ProtoDuration::from_secs(1))
+            .provides_event(&self.prio)
             .build()
     }
     fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
@@ -563,12 +628,12 @@ impl Service for LoadedPublisher {
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
         // A storm of low-priority variable work …
         for i in 0..self.bg_per_tick {
-            ctx.publish("bench/bg", i);
+            ctx.publish_to(&self.bg, i);
         }
         // … and one latency-critical event.
         if self.remaining_events > 0 {
             self.remaining_events -= 1;
-            ctx.emit("bench/prio", Some(Value::U64(ctx.now().as_micros())));
+            ctx.emit_to(&self.prio, ctx.now().as_micros());
         }
     }
 }
@@ -600,10 +665,7 @@ pub fn bench_scheduler_latency(
     cfg.scheduler = kind;
     cfg.tick_budget = 64;
     h.add_container(cfg);
-    h.add_service(
-        NodeId(1),
-        Box::new(LoadedPublisher { bg_per_tick, remaining_events: n_events }),
-    );
+    h.add_service(NodeId(1), Box::new(LoadedPublisher::new(bg_per_tick, n_events)));
     h.add_service(NodeId(2), Box::new(LoadedSink));
     h.start_all();
     h.run_for_millis(u64::from(n_events) * 5 + 500);
@@ -635,23 +697,31 @@ type FailoverOutcomes = Arc<Mutex<Vec<(u64, Result<u32, String>)>>>;
 
 struct FailoverCaller {
     outcomes: FailoverOutcomes,
+    who: FnPort<(), u32>,
+}
+
+impl FailoverCaller {
+    fn new(outcomes: FailoverOutcomes) -> Self {
+        FailoverCaller { outcomes, who: who_port() }
+    }
 }
 
 impl Service for FailoverCaller {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("focaller").requires_function("bench/who").build()
+        ServiceDescriptor::builder("focaller").requires_fn(&self.who).build()
     }
     fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
         ctx.set_timer(ProtoDuration::from_millis(50), Some(ProtoDuration::from_millis(50)));
     }
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
-        ctx.call_with_policy(
-            "bench/who",
-            vec![],
-            marea_core::CallPolicy::PreferNode(NodeId(2)),
-        );
+        ctx.call_fn_with_policy(&self.who, (), marea_core::CallPolicy::PreferNode(NodeId(2)));
     }
-    fn on_reply(&mut self, ctx: &mut ServiceContext<'_>, _h: CallHandle, result: Result<Value, CallError>) {
+    fn on_reply(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        _h: CallHandle,
+        result: Result<Value, CallError>,
+    ) {
         self.outcomes.lock().unwrap().push((
             ctx.now().as_millis(),
             result.map(|v| v.as_u64().unwrap_or(0) as u32).map_err(|e| e.to_string()),
@@ -661,16 +731,26 @@ impl Service for FailoverCaller {
 
 struct WhoAmI {
     node: u32,
+    port: FnPort<(), u32>,
+}
+
+impl WhoAmI {
+    fn new(node: u32) -> Self {
+        WhoAmI { node, port: who_port() }
+    }
 }
 
 impl Service for WhoAmI {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("who")
-            .function("bench/who", vec![], Some(DataType::U32))
-            .build()
+        ServiceDescriptor::builder("who").provides_fn(&self.port).build()
     }
-    fn on_call(&mut self, _ctx: &mut ServiceContext<'_>, _f: &Name, _a: &[Value]) -> Result<Value, String> {
-        Ok(Value::U32(self.node))
+    fn on_call(
+        &mut self,
+        _ctx: &mut ServiceContext<'_>,
+        _f: &Name,
+        _a: &[Value],
+    ) -> Result<Value, String> {
+        Ok(self.port.encode_ret(self.node))
     }
 }
 
@@ -681,9 +761,9 @@ pub fn bench_failover(seed: u64) -> FailoverResult {
     h.add_container(ContainerConfig::new("primary", NodeId(2)));
     h.add_container(ContainerConfig::new("backup", NodeId(3)));
     let outcomes = Arc::new(Mutex::new(Vec::new()));
-    h.add_service(NodeId(1), Box::new(FailoverCaller { outcomes: outcomes.clone() }));
-    h.add_service(NodeId(2), Box::new(WhoAmI { node: 2 }));
-    h.add_service(NodeId(3), Box::new(WhoAmI { node: 3 }));
+    h.add_service(NodeId(1), Box::new(FailoverCaller::new(outcomes.clone())));
+    h.add_service(NodeId(2), Box::new(WhoAmI::new(2)));
+    h.add_service(NodeId(3), Box::new(WhoAmI::new(3)));
     h.start_all();
     h.run_for_millis(2_000);
     let crash_at = h.now().as_millis();
@@ -713,7 +793,7 @@ pub fn bench_local_vs_remote_event(n: u32, seed: u64) -> (LatencyResult, Latency
     let mut h = SimHarness::new(NetConfig::default().with_seed(seed));
     h.set_tick_us(100);
     h.add_container(ContainerConfig::new("solo", NodeId(1)));
-    h.add_service(NodeId(1), Box::new(EventBlaster { payload: 32, remaining: n }));
+    h.add_service(NodeId(1), Box::new(EventBlaster::new(32, n)));
     h.add_service(NodeId(1), Box::new(EventSink));
     h.start_all();
     h.run_for_millis(u64::from(n) * 4 + 100);

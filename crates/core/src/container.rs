@@ -224,9 +224,16 @@ impl ServiceContainer {
         &self.config.name
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (merges the per-engine mismatch counters).
     pub fn stats(&self) -> ContainerStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.type_mismatches = crate::stats::TypeMismatchStats {
+            vars: self.vars.type_mismatches,
+            events: self.events.type_mismatches,
+            calls: self.rpc.type_mismatches,
+            files: self.files.type_mismatches,
+        };
+        stats
     }
 
     /// The name directory (read access for tests/tools).
@@ -344,12 +351,7 @@ impl ServiceContainer {
             self.files.interests.entry(name.clone()).or_default().services.push(seq);
         }
         for name in descriptor.required_functions() {
-            self.rpc
-                .required
-                .entry(name.clone())
-                .or_default()
-                .services
-                .push(seq);
+            self.rpc.required.entry(name.clone()).or_default().services.push(seq);
         }
 
         self.slots.push(ServiceSlot {
@@ -375,7 +377,12 @@ impl ServiceContainer {
         self.running = true;
         self.started_at = now;
         self.transport.join(GroupId::CONTROL.0);
-        self.directory.apply_hello(self.config.node, self.config.name.clone(), self.incarnation, now);
+        self.directory.apply_hello(
+            self.config.node,
+            self.config.name.clone(),
+            self.incarnation,
+            now,
+        );
         let entries = self.announce_entries();
         self.directory.apply_announce(self.config.node, &entries, now);
         self.send_message(
@@ -416,7 +423,12 @@ impl ServiceContainer {
             return;
         }
         self.stats.ticks += 1;
-        self.directory.apply_heartbeat(self.config.node, self.incarnation, self.load_permille(), now);
+        self.directory.apply_heartbeat(
+            self.config.node,
+            self.incarnation,
+            self.load_permille(),
+            now,
+        );
 
         self.pump_transport(now);
         self.detect_failures(now);
@@ -547,7 +559,7 @@ impl ServiceContainer {
                 }
             }
             Message::EventData { name, seq, stamp_us, codec, payload } => {
-                self.handle_event_data(name, seq, stamp_us, codec, payload);
+                self.handle_event_data(name, seq, stamp_us, codec, payload, now);
             }
             Message::CallRequest { request, function, target_seq, codec, payload } => {
                 self.handle_call_request(src, request, function, target_seq, codec, payload, now);
@@ -616,7 +628,13 @@ impl ServiceContainer {
         }
     }
 
-    fn handle_subscribe_var(&mut self, name: Name, subscriber: NodeId, need_initial: bool, now: Micros) {
+    fn handle_subscribe_var(
+        &mut self,
+        name: Name,
+        subscriber: NodeId,
+        need_initial: bool,
+        now: Micros,
+    ) {
         let initial = {
             let Some(pv) = self.vars.published.get_mut(&name) else { return };
             pv.remote_subscribers.insert(subscriber);
@@ -656,8 +674,7 @@ impl ServiceContainer {
         let decoded = {
             let Some(sub) = self.vars.subscribed.get_mut(&name) else { return };
             // Validity QoS: drop samples past their window (paper §4.1).
-            if validity_us > 0 && now.saturating_since(Micros(stamp_us)).as_micros() > validity_us
-            {
+            if validity_us > 0 && now.saturating_since(Micros(stamp_us)).as_micros() > validity_us {
                 self.stats.stale_samples_dropped += 1;
                 return;
             }
@@ -677,7 +694,14 @@ impl ServiceContainer {
             };
             value.map(|v| (v, sub.services.clone()))
         };
-        let Some((value, services)) = decoded else { return };
+        let Some((value, services)) = decoded else {
+            // The sample passed filtering but its payload does not decode
+            // against the announced schema: a publisher/subscriber
+            // contract violation, not a transport problem.
+            self.vars.type_mismatches += 1;
+            self.log_line(now, format!("sample of `{name}` violates announced schema; dropped"));
+            return;
+        };
         for svc in services {
             self.push_task(
                 Priority::VARIABLE,
@@ -692,7 +716,16 @@ impl ServiceContainer {
         }
     }
 
-    fn handle_event_data(&mut self, name: Name, seq: u64, stamp_us: u64, codec: u8, payload: Bytes) {
+    #[allow(clippy::too_many_arguments)]
+    fn handle_event_data(
+        &mut self,
+        name: Name,
+        seq: u64,
+        stamp_us: u64,
+        codec: u8,
+        payload: Bytes,
+        now: Micros,
+    ) {
         let decoded = {
             let Some(sub) = self.events.subscribed.get(&name) else { return };
             let value = if payload.is_empty() {
@@ -709,6 +742,13 @@ impl ServiceContainer {
             (value, sub.services.clone())
         };
         let (value, services) = decoded;
+        if value.is_none() && !payload.is_empty() {
+            // A payload arrived but does not decode against the announced
+            // schema; the event is still delivered bare so subscribers see
+            // the occurrence, and the disagreement is counted.
+            self.events.type_mismatches += 1;
+            self.log_line(now, format!("event `{name}` payload violates announced schema"));
+        }
         for svc in services {
             self.push_task(
                 Priority::EVENT,
@@ -753,7 +793,10 @@ impl ServiceContainer {
                         match self.codecs.get(CodecId(codec)) {
                             Some(c) => match decode_args(&payload, &func.sig, c.as_ref()) {
                                 Ok(args) => Outcome::Execute(args),
-                                Err(_) => Outcome::Refuse(CallStatus::AppError),
+                                Err(_) => {
+                                    self.rpc.type_mismatches += 1;
+                                    Outcome::Refuse(CallStatus::AppError)
+                                }
                             },
                             None => Outcome::Refuse(CallStatus::AppError),
                         }
@@ -776,11 +819,24 @@ impl ServiceContainer {
         }
     }
 
-    fn handle_call_reply(&mut self, request: RequestId, status: CallStatus, codec: u8, payload: Bytes, now: Micros) {
+    fn handle_call_reply(
+        &mut self,
+        request: RequestId,
+        status: CallStatus,
+        codec: u8,
+        payload: Bytes,
+        now: Micros,
+    ) {
         let Some(call) = self.rpc.pending.remove(&request) else { return };
         let result = match status {
             CallStatus::Ok => match self.codecs.get(CodecId(codec)) {
-                Some(c) => decode_result(&payload, &call.returns, c.as_ref()),
+                Some(c) => {
+                    let decoded = decode_result(&payload, &call.returns, c.as_ref());
+                    if decoded.is_err() {
+                        self.rpc.type_mismatches += 1;
+                    }
+                    decoded
+                }
                 None => Err(CallError::BadArguments("unknown codec".into())),
             },
             CallStatus::AppError => {
@@ -798,7 +854,11 @@ impl ServiceContainer {
         if result.is_err() {
             self.stats.call_errors += 1;
         }
-        self.push_task(Priority::CALL, call.caller_seq, TaskPayload::DeliverReply { request, result });
+        self.push_task(
+            Priority::CALL,
+            call.caller_seq,
+            TaskPayload::DeliverReply { request, result },
+        );
     }
 
     fn handle_file_announce(&mut self, src: NodeId, msg: Message, now: Micros) {
@@ -827,8 +887,11 @@ impl ServiceContainer {
                     _ => (Wire::Nothing, Vec::new()),
                 },
                 None => {
-                    match FileReceiver::from_announce(&msg, self.config.node, RevisionPolicy::Restart)
-                    {
+                    match FileReceiver::from_announce(
+                        &msg,
+                        self.config.node,
+                        RevisionPolicy::Restart,
+                    ) {
                         Ok((rx, _sub)) => {
                             interest.receiver = Some(rx);
                             interest.publisher = Some(src);
@@ -865,7 +928,14 @@ impl ServiceContainer {
         }
     }
 
-    fn handle_file_chunk(&mut self, transfer: TransferId, revision: u32, index: u32, payload: Bytes, now: Micros) {
+    fn handle_file_chunk(
+        &mut self,
+        transfer: TransferId,
+        revision: u32,
+        index: u32,
+        payload: Bytes,
+        now: Micros,
+    ) {
         let completion = {
             let Some(name) = self.files.resource_of(transfer).cloned() else { return };
             let Some(interest) = self.files.interests.get_mut(&name) else { return };
@@ -1016,7 +1086,9 @@ impl ServiceContainer {
                         self.push_task(
                             Priority::CALL,
                             svc,
-                            TaskPayload::Provider(ProviderNotice::VariableUnavailable(name.clone())),
+                            TaskPayload::Provider(ProviderNotice::VariableUnavailable(
+                                name.clone(),
+                            )),
                         );
                     }
                 }
@@ -1203,6 +1275,7 @@ impl ServiceContainer {
                         self.rpc.pending.insert(id, call);
                     }
                     Err(e) => {
+                        self.rpc.type_mismatches += 1;
                         self.stats.call_errors += 1;
                         self.push_task(
                             Priority::CALL,
@@ -1410,7 +1483,12 @@ impl ServiceContainer {
 
     fn push_task(&mut self, priority: Priority, service_seq: u32, payload: TaskPayload) {
         self.next_task_seq += 1;
-        self.scheduler.push(Task { priority, enqueued_seq: self.next_task_seq, service_seq, payload });
+        self.scheduler.push(Task {
+            priority,
+            enqueued_seq: self.next_task_seq,
+            service_seq,
+            payload,
+        });
     }
 
     fn run_tasks(&mut self, now: Micros) {
@@ -1535,11 +1613,8 @@ impl ServiceContainer {
         }
         match &payload {
             TaskPayload::Start => {
-                let starting = self
-                    .slots
-                    .get(idx)
-                    .map(|s| s.state == ServiceState::Starting)
-                    .unwrap_or(false);
+                let starting =
+                    self.slots.get(idx).map(|s| s.state == ServiceState::Starting).unwrap_or(false);
                 if starting {
                     self.set_service_state(seq, ServiceState::Running, now);
                 }
@@ -1595,12 +1670,17 @@ impl ServiceContainer {
                         codec: codec.id().0,
                         payload,
                     },
-                    Err(e) => Message::CallReply {
-                        request,
-                        status: CallStatus::AppError,
-                        codec: codec.id().0,
-                        payload: Bytes::from(e.to_string().into_bytes()),
-                    },
+                    Err(e) => {
+                        // The provider returned a value that violates its
+                        // own declared return schema.
+                        self.rpc.type_mismatches += 1;
+                        Message::CallReply {
+                            request,
+                            status: CallStatus::AppError,
+                            codec: codec.id().0,
+                            payload: Bytes::from(e.to_string().into_bytes()),
+                        }
+                    }
                 },
                 Err(e) => Message::CallReply {
                     request,
@@ -1683,6 +1763,7 @@ impl ServiceContainer {
                 return;
             }
             if let Err(e) = value.conforms_to(&pv.ty) {
+                self.vars.type_mismatches += 1;
                 self.log_line(now, format!("publish to `{name}` violates schema: {e}"));
                 return;
             }
@@ -1765,11 +1846,13 @@ impl ServiceContainer {
             (Some(ty), Some(v)) => match codec.encode_to_vec(v, ty) {
                 Ok(b) => Bytes::from(b),
                 Err(e) => {
+                    self.events.type_mismatches += 1;
                     self.log_line(now, format!("event `{name}` payload violates schema: {e}"));
                     return;
                 }
             },
             (None, Some(_)) => {
+                self.events.type_mismatches += 1;
                 self.log_line(now, format!("event `{name}` declared bare; payload dropped"));
                 Bytes::new()
             }
@@ -1838,6 +1921,10 @@ impl ServiceContainer {
         let payload = match encode_args(&args, &sig, codec.as_ref()) {
             Ok(p) => p,
             Err(e) => {
+                // The caller's arguments disagree with the provider's
+                // declared signature — impossible through a typed FnPort,
+                // counted when the dynamic compat `call` is used.
+                self.rpc.type_mismatches += 1;
                 self.stats.call_errors += 1;
                 self.push_task(
                     Priority::CALL,
@@ -1874,6 +1961,7 @@ impl ServiceContainer {
             })
             .unwrap_or(false);
         if !declared {
+            self.files.type_mismatches += 1;
             self.log_line(now, format!("publish of undeclared file resource `{resource}` dropped"));
             return;
         }
@@ -1939,7 +2027,11 @@ impl ServiceContainer {
             self.push_task(
                 Priority::FILE,
                 svc,
-                TaskPayload::FileBypass { resource: resource.clone(), revision, data: data.clone() },
+                TaskPayload::FileBypass {
+                    resource: resource.clone(),
+                    revision,
+                    data: data.clone(),
+                },
             );
         }
     }

@@ -67,19 +67,22 @@ impl Directory {
     /// A higher incarnation than previously known wipes the node's cached
     /// provisions: they belong to the previous life.
     pub fn apply_hello(&mut self, node: NodeId, container: Name, incarnation: u64, now: Micros) {
-        let stale = self
-            .nodes
-            .get(&node)
-            .map(|n| n.incarnation < incarnation)
-            .unwrap_or(false);
+        let stale = self.nodes.get(&node).map(|n| n.incarnation < incarnation).unwrap_or(false);
         if stale {
             self.purge_node(node);
         }
-        self.nodes.insert(node, NodeInfo { container, incarnation, last_seen: now, load_permille: 0 });
+        self.nodes
+            .insert(node, NodeInfo { container, incarnation, last_seen: now, load_permille: 0 });
     }
 
     /// Records a heartbeat.
-    pub fn apply_heartbeat(&mut self, node: NodeId, incarnation: u64, load_permille: u16, now: Micros) {
+    pub fn apply_heartbeat(
+        &mut self,
+        node: NodeId,
+        incarnation: u64,
+        load_permille: u16,
+        now: Micros,
+    ) {
         match self.nodes.get_mut(&node) {
             Some(info) if info.incarnation == incarnation => {
                 info.last_seen = now;
@@ -236,26 +239,20 @@ impl Directory {
                 return Some(p);
             }
         }
-        candidates
-            .into_iter()
-            .min_by_key(|p| {
-                let load = self.nodes.get(&p.service.node).map(|n| n.load_permille).unwrap_or(0);
-                (load, p.service.node, p.service.seq)
-            })
+        candidates.into_iter().min_by_key(|p| {
+            let load = self.nodes.get(&p.service.node).map(|n| n.load_permille).unwrap_or(0);
+            (load, p.service.node, p.service.seq)
+        })
     }
 
     /// Resolves the provider of a *variable*, returning its announced QoS.
     pub fn resolve_variable(&self, name: &str) -> Option<&ProviderInfo> {
-        self.providers(name)
-            .into_iter()
-            .find(|p| matches!(p.provision, Provision::Variable { .. }))
+        self.providers(name).into_iter().find(|p| matches!(p.provision, Provision::Variable { .. }))
     }
 
     /// Resolves the provider of an *event channel*.
     pub fn resolve_event(&self, name: &str) -> Option<&ProviderInfo> {
-        self.providers(name)
-            .into_iter()
-            .find(|p| matches!(p.provision, Provision::Event { .. }))
+        self.providers(name).into_iter().find(|p| matches!(p.provision, Provision::Event { .. }))
     }
 
     /// Resolves the provider of a *file resource*.
@@ -314,15 +311,13 @@ mod tests {
     #[test]
     fn resolve_static_pin_and_fallback() {
         let mut d = dir_with_two_storages();
-        let p = d
-            .resolve_function("storage/store", CallPolicy::PreferNode(NodeId(3)), None)
-            .unwrap();
+        let p =
+            d.resolve_function("storage/store", CallPolicy::PreferNode(NodeId(3)), None).unwrap();
         assert_eq!(p.service.node, NodeId(3));
         // Pinned node dies: falls back to the survivor.
         d.apply_bye(NodeId(3));
-        let p = d
-            .resolve_function("storage/store", CallPolicy::PreferNode(NodeId(3)), None)
-            .unwrap();
+        let p =
+            d.resolve_function("storage/store", CallPolicy::PreferNode(NodeId(3)), None).unwrap();
         assert_eq!(p.service.node, NodeId(2));
     }
 
@@ -330,9 +325,8 @@ mod tests {
     fn exclude_skips_failed_provider() {
         let d = dir_with_two_storages();
         let first = d.resolve_function("storage/store", CallPolicy::Dynamic, None).unwrap();
-        let second = d
-            .resolve_function("storage/store", CallPolicy::Dynamic, Some(first.service))
-            .unwrap();
+        let second =
+            d.resolve_function("storage/store", CallPolicy::Dynamic, Some(first.service)).unwrap();
         assert_ne!(first.service, second.service);
     }
 

@@ -50,6 +50,9 @@ impl SubscribedEvent {
 pub(crate) struct EventEngine {
     pub published: HashMap<Name, PublishedEvent>,
     pub subscribed: HashMap<Name, SubscribedEvent>,
+    /// Payloads violating the channel declaration (see
+    /// [`TypeMismatchStats::events`](crate::stats::TypeMismatchStats)).
+    pub type_mismatches: u64,
 }
 
 #[cfg(test)]

@@ -48,6 +48,9 @@ pub(crate) struct FileEngine {
     pub transfer_index: HashMap<TransferId, Name>,
     /// Next transfer session id.
     pub next_transfer: u64,
+    /// Publications referencing undeclared resources (see
+    /// [`TypeMismatchStats::files`](crate::stats::TypeMismatchStats)).
+    pub type_mismatches: u64,
 }
 
 impl FileEngine {

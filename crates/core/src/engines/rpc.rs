@@ -60,6 +60,9 @@ pub(crate) struct RpcEngine {
     pub functions: HashMap<Name, LocalFunction>,
     pub pending: HashMap<RequestId, PendingCall>,
     pub required: HashMap<Name, RequiredFn>,
+    /// Marshalling failures against declared signatures (see
+    /// [`TypeMismatchStats::calls`](crate::stats::TypeMismatchStats)).
+    pub type_mismatches: u64,
 }
 
 impl RpcEngine {
@@ -74,12 +77,8 @@ impl RpcEngine {
     /// Pending calls currently targeting `node` (for immediate failover on
     /// node death).
     pub fn targeting_node(&self, node: marea_protocol::NodeId) -> Vec<RequestId> {
-        let mut v: Vec<RequestId> = self
-            .pending
-            .iter()
-            .filter(|(_, c)| c.target.node == node)
-            .map(|(id, _)| *id)
-            .collect();
+        let mut v: Vec<RequestId> =
+            self.pending.iter().filter(|(_, c)| c.target.node == node).map(|(id, _)| *id).collect();
         v.sort();
         v
     }
@@ -104,7 +103,8 @@ pub(crate) fn encode_args(
     }
     let mut buf = BytesMut::new();
     for (arg, ty) in args.iter().zip(&sig.params) {
-        let encoded = codec.encode_to_vec(arg, ty).map_err(|e| CallError::BadArguments(e.to_string()))?;
+        let encoded =
+            codec.encode_to_vec(arg, ty).map_err(|e| CallError::BadArguments(e.to_string()))?;
         let mut w = WireWriter::new(&mut buf);
         w.put_len_prefixed(&encoded);
     }
@@ -193,7 +193,8 @@ mod tests {
 
     #[test]
     fn result_roundtrip_and_void() {
-        let bytes = encode_result(&Value::Bool(true), &Some(DataType::Bool), &CompactCodec).unwrap();
+        let bytes =
+            encode_result(&Value::Bool(true), &Some(DataType::Bool), &CompactCodec).unwrap();
         assert_eq!(
             decode_result(&bytes, &Some(DataType::Bool), &CompactCodec).unwrap(),
             Value::Bool(true)

@@ -132,7 +132,14 @@ impl SubscribedVar {
     }
 
     /// Binds to a (new) provider.
-    pub fn bind(&mut self, provider: ServiceId, period_us: u64, validity_us: u64, ty: DataType, now: Micros) {
+    pub fn bind(
+        &mut self,
+        provider: ServiceId,
+        period_us: u64,
+        validity_us: u64,
+        ty: DataType,
+        now: Micros,
+    ) {
         let changed = self.provider != Some(provider);
         self.provider = Some(provider);
         self.period_us = period_us;
@@ -151,6 +158,9 @@ impl SubscribedVar {
 pub(crate) struct VarEngine {
     pub published: HashMap<Name, PublishedVar>,
     pub subscribed: HashMap<Name, SubscribedVar>,
+    /// Samples whose value disagreed with the declared schema (see
+    /// [`TypeMismatchStats::vars`](crate::stats::TypeMismatchStats)).
+    pub type_mismatches: u64,
 }
 
 impl VarEngine {
@@ -175,13 +185,7 @@ mod tests {
 
     fn sub() -> SubscribedVar {
         let mut s = SubscribedVar::new(true);
-        s.bind(
-            ServiceId::new(NodeId(2), 1),
-            50_000,
-            200_000,
-            DataType::F64,
-            Micros::ZERO,
-        );
+        s.bind(ServiceId::new(NodeId(2), 1), 50_000, 200_000, DataType::F64, Micros::ZERO);
         s
     }
 

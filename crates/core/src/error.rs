@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use marea_presentation::Name;
+use marea_presentation::{Name, TypeMismatch};
 
 /// Error raised by container-level operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +56,10 @@ pub enum CallError {
     Timeout,
     /// Arguments did not match the declared signature.
     BadArguments(String),
+    /// The reply value did not match the return schema the typed port
+    /// declared (surfaced by
+    /// [`TypedCallHandle::decode`](crate::TypedCallHandle::decode)).
+    TypeMismatch(TypeMismatch),
 }
 
 impl fmt::Display for CallError {
@@ -67,6 +71,7 @@ impl fmt::Display for CallError {
             CallError::ServiceUnavailable => write!(f, "provider service unavailable"),
             CallError::Timeout => write!(f, "call timed out"),
             CallError::BadArguments(e) => write!(f, "bad arguments: {e}"),
+            CallError::TypeMismatch(e) => write!(f, "reply {e}"),
         }
     }
 }

@@ -24,19 +24,37 @@
 //! [`ServiceContainer::tick`] from either the deterministic
 //! [`SimHarness`] or the wall-clock [`RealtimeDriver`].
 //!
+//! Declarations and interactions are **typed**: the descriptor builder
+//! derives each provision's wire schema from a Rust type and returns a
+//! *port* ([`VarPort`], [`EventPort`], [`FnPort`]) that the service stores
+//! and publishes/emits/calls through — a payload that disagrees with the
+//! declared schema is a compile error, not a runtime drop.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use marea_core::{ContainerConfig, Service, ServiceContext, ServiceDescriptor, SimHarness};
+//! use marea_core::{
+//!     ContainerConfig, Service, ServiceContext, ServiceDescriptor, SimHarness, VarPort,
+//! };
 //! use marea_netsim::NetConfig;
-//! use marea_presentation::{DataType, Name, Value};
-//! use marea_protocol::{Micros, NodeId, ProtoDuration};
+//! use marea_protocol::{NodeId, ProtoDuration};
 //!
-//! struct Beacon;
+//! struct Beacon {
+//!     count: VarPort<u64>,
+//! }
+//!
+//! impl Beacon {
+//!     fn new() -> Self {
+//!         // Ports are plain data; build them once and share them with
+//!         // the descriptor.
+//!         Beacon { count: VarPort::new("beacon/count") }
+//!     }
+//! }
+//!
 //! impl Service for Beacon {
 //!     fn descriptor(&self) -> ServiceDescriptor {
 //!         ServiceDescriptor::builder("beacon")
-//!             .variable("beacon/count", DataType::U64,
+//!             .provides_var(&self.count,
 //!                 ProtoDuration::from_millis(10), ProtoDuration::from_millis(100))
 //!             .build()
 //!     }
@@ -44,16 +62,19 @@
 //!         ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
 //!     }
 //!     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: marea_core::TimerId) {
-//!         ctx.publish("beacon/count", ctx.now().as_micros());
+//!         // `publish_to` only accepts u64 — the port's declared schema.
+//!         ctx.publish_to(&self.count, ctx.now().as_micros());
 //!     }
 //! }
 //!
 //! let mut h = SimHarness::new(NetConfig::default());
 //! h.add_container(ContainerConfig::new("node-a", NodeId(1)));
-//! h.add_service(NodeId(1), Box::new(Beacon));
+//! h.add_service(NodeId(1), Box::new(Beacon::new()));
 //! h.start_all();
 //! h.run_for_millis(100);
-//! assert!(h.container(NodeId(1)).unwrap().stats().vars_published >= 5);
+//! let stats = h.container(NodeId(1)).unwrap().stats();
+//! assert!(stats.vars_published >= 5);
+//! assert_eq!(stats.type_mismatches.total(), 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -66,6 +87,7 @@ mod engines;
 mod error;
 mod harness;
 mod link;
+mod ports;
 mod scheduler;
 mod service;
 mod stats;
@@ -76,6 +98,7 @@ pub use directory::{Directory, NodeInfo, ProviderInfo};
 pub use error::{CallError, ContainerError};
 pub use harness::{RealtimeDriver, SimHarness};
 pub use link::ReliableLink;
+pub use ports::{EventPort, FnPort, TypedCallHandle, VarPort};
 pub use scheduler::{
     FifoScheduler, Priority, PriorityScheduler, Scheduler, SchedulerKind, Task, TaskPayload,
 };
@@ -83,9 +106,13 @@ pub use service::{
     CallHandle, CallPolicy, FileEvent, ProviderNotice, Service, ServiceContext, ServiceDescriptor,
     ServiceDescriptorBuilder, TimerId, VarSubscription,
 };
-pub use stats::ContainerStats;
+pub use stats::{ContainerStats, TypeMismatchStats};
 
 // Re-exports that appear in this crate's public API, for downstream
 // convenience.
+pub use marea_presentation::{
+    ArgsCodec, ArgsSchema, EventPayload, FnRet, FromArgs, FromValue, HasDataType, IntoArgs,
+    IntoValue, TypeMismatch, ValueCodec,
+};
 pub use marea_protocol::messages::{FunctionSig, Provision, ServiceState};
 pub use marea_protocol::{Micros, NodeId, ProtoDuration, RequestId, ServiceId};

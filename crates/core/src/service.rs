@@ -16,11 +16,12 @@ use std::fmt;
 
 use bytes::Bytes;
 
-use marea_presentation::{DataType, Name, Value};
+use marea_presentation::{ArgsCodec, DataType, EventPayload, FnRet, Name, Value, ValueCodec};
 use marea_protocol::messages::{FunctionSig, Provision};
 use marea_protocol::{Micros, NodeId, ProtoDuration, RequestId};
 
 use crate::error::CallError;
+use crate::ports::{EventPort, FnPort, TypedCallHandle, VarPort};
 
 /// Handle correlating a [`ServiceContext::call`] with its later
 /// [`Service::on_reply`].
@@ -178,6 +179,20 @@ impl ServiceDescriptor {
 
 /// Builder for [`ServiceDescriptor`].
 ///
+/// The primary API is **typed**: [`variable`](Self::variable),
+/// [`event`](Self::event) and [`function`](Self::function) derive the wire
+/// schema from a Rust type and hand back a port
+/// ([`VarPort`]/[`EventPort`]/[`FnPort`]) the service stores and later
+/// passes to the typed [`ServiceContext`] methods. Ports shared through a
+/// vocabulary module (one port constructor used by producer and consumers
+/// alike) are declared with the `provides_*` / `subscribe_to_*` /
+/// [`requires_fn`](Self::requires_fn) methods instead.
+///
+/// The `*_dynamic` methods keep the old stringly-typed declarations
+/// compiling; they skip the compile-time check, so a value/descriptor
+/// disagreement is only caught at runtime (and counted in
+/// [`ContainerStats::type_mismatches`](crate::ContainerStats)).
+///
 /// # Panics
 ///
 /// All builder methods panic on invalid name literals — descriptors are
@@ -193,15 +208,134 @@ impl ServiceDescriptorBuilder {
         Name::new(s).expect("name must be a valid name literal")
     }
 
-    /// Declares a published variable with its schema and QoS.
-    #[must_use]
-    pub fn variable(
-        mut self,
+    // ---- typed declarations (the primary API) ---------------------------
+
+    /// Declares a published variable whose schema derives from `T`,
+    /// returning the typed port to publish through.
+    ///
+    /// ```
+    /// # use marea_core::ServiceDescriptor;
+    /// # use marea_protocol::ProtoDuration;
+    /// let mut b = ServiceDescriptor::builder("beacon");
+    /// let count = b.variable::<u64>(
+    ///     "beacon/count",
+    ///     ProtoDuration::from_millis(10),
+    ///     ProtoDuration::from_millis(100),
+    /// );
+    /// let descriptor = b.build();
+    /// # assert_eq!(count.name(), "beacon/count");
+    /// # assert_eq!(descriptor.provides().len(), 1);
+    /// ```
+    pub fn variable<T: ValueCodec>(
+        &mut self,
+        name: &str,
+        period: ProtoDuration,
+        validity: ProtoDuration,
+    ) -> VarPort<T> {
+        let port = VarPort::new(name);
+        self.provides_var(&port, period, validity);
+        port
+    }
+
+    /// Declares a published event channel with payload `P` (`()` for bare
+    /// channels, `Option<T>` for optional payloads), returning the typed
+    /// port to emit through.
+    pub fn event<P: EventPayload>(&mut self, name: &str) -> EventPort<P> {
+        let port = EventPort::new(name);
+        self.provides_event(&port);
+        port
+    }
+
+    /// Declares a callable function with the signature derived from the
+    /// argument tuple `A` and return type `R`, returning the typed port
+    /// the provider uses to decode arguments and encode results.
+    pub fn function<A: ArgsCodec, R: FnRet>(&mut self, name: &str) -> FnPort<A, R> {
+        let port = FnPort::new(name);
+        self.provides_fn(&port);
+        port
+    }
+
+    /// Declares a published variable through an existing (shared) port.
+    pub fn provides_var<T: ValueCodec>(
+        &mut self,
+        port: &VarPort<T>,
+        period: ProtoDuration,
+        validity: ProtoDuration,
+    ) -> &mut Self {
+        self.inner.provides.push(Provision::Variable {
+            name: port.name().clone(),
+            ty: port.data_type(),
+            period_us: period.as_micros(),
+            validity_us: validity.as_micros(),
+        });
+        self
+    }
+
+    /// Declares a published event channel through an existing port.
+    pub fn provides_event<P: EventPayload>(&mut self, port: &EventPort<P>) -> &mut Self {
+        self.inner
+            .provides
+            .push(Provision::Event { name: port.name().clone(), ty: port.payload_type() });
+        self
+    }
+
+    /// Declares a callable function through an existing port.
+    pub fn provides_fn<A: ArgsCodec, R: FnRet>(&mut self, port: &FnPort<A, R>) -> &mut Self {
+        self.inner
+            .provides
+            .push(Provision::Function { name: port.name().clone(), sig: port.signature() });
+        self
+    }
+
+    /// Subscribes to the variable behind a typed port; incoming samples
+    /// are decoded with [`VarPort::decode`].
+    pub fn subscribe_to_var<T: ValueCodec>(
+        &mut self,
+        port: &VarPort<T>,
+        need_initial: bool,
+    ) -> &mut Self {
+        self.inner
+            .var_subscriptions
+            .push(VarSubscription { name: port.name().clone(), need_initial });
+        self
+    }
+
+    /// Subscribes to the event channel behind a typed port.
+    pub fn subscribe_to_event<P: EventPayload>(&mut self, port: &EventPort<P>) -> &mut Self {
+        self.inner.event_subscriptions.push(port.name().clone());
+        self
+    }
+
+    /// Declares that the service needs the function behind a typed port
+    /// callable somewhere in the network.
+    pub fn requires_fn<A: ArgsCodec, R: FnRet>(&mut self, port: &FnPort<A, R>) -> &mut Self {
+        self.inner.required_functions.push(port.name().clone());
+        self
+    }
+
+    // ---- dynamic compatibility layer ------------------------------------
+
+    /// Declares a published variable from an explicit [`DataType`].
+    ///
+    /// **Deprecated in favour of [`variable`](Self::variable)** — the
+    /// dynamic declaration cannot check at compile time that published
+    /// values match `ty`; mismatches surface only at runtime as counted
+    /// [`type_mismatches`](crate::ContainerStats::type_mismatches).
+    /// Migration:
+    ///
+    /// ```text
+    /// // before                                        // after
+    /// .variable_dynamic("beacon/count",                let count = b.variable::<u64>(
+    ///     DataType::U64, period, validity)                 "beacon/count", period, validity);
+    /// ctx.publish("beacon/count", 7u64);               ctx.publish_to(&count, 7u64);
+    /// ```
+    pub fn variable_dynamic(
+        &mut self,
         name: &str,
         ty: DataType,
         period: ProtoDuration,
         validity: ProtoDuration,
-    ) -> Self {
+    ) -> &mut Self {
         self.inner.provides.push(Provision::Variable {
             name: Self::name(name),
             ty,
@@ -211,16 +345,27 @@ impl ServiceDescriptorBuilder {
         self
     }
 
-    /// Declares a published event channel (payload type optional).
-    #[must_use]
-    pub fn event(mut self, name: &str, ty: Option<DataType>) -> Self {
+    /// Declares a published event channel from an explicit payload type.
+    ///
+    /// **Deprecated in favour of [`event`](Self::event)** — see
+    /// [`variable_dynamic`](Self::variable_dynamic) for the migration
+    /// pattern.
+    pub fn event_dynamic(&mut self, name: &str, ty: Option<DataType>) -> &mut Self {
         self.inner.provides.push(Provision::Event { name: Self::name(name), ty });
         self
     }
 
-    /// Declares a callable function.
-    #[must_use]
-    pub fn function(mut self, name: &str, params: Vec<DataType>, returns: Option<DataType>) -> Self {
+    /// Declares a callable function from an explicit signature.
+    ///
+    /// **Deprecated in favour of [`function`](Self::function)** — see
+    /// [`variable_dynamic`](Self::variable_dynamic) for the migration
+    /// pattern.
+    pub fn function_dynamic(
+        &mut self,
+        name: &str,
+        params: Vec<DataType>,
+        returns: Option<DataType>,
+    ) -> &mut Self {
         self.inner.provides.push(Provision::Function {
             name: Self::name(name),
             sig: FunctionSig { params, returns },
@@ -228,47 +373,44 @@ impl ServiceDescriptorBuilder {
         self
     }
 
+    // ---- untyped declarations (no schema involved) ----------------------
+
     /// Declares a distributable file resource.
-    #[must_use]
-    pub fn file_resource(mut self, name: &str) -> Self {
+    pub fn file_resource(&mut self, name: &str) -> &mut Self {
         self.inner.provides.push(Provision::FileResource { name: Self::name(name) });
         self
     }
 
-    /// Subscribes to a variable.
-    #[must_use]
-    pub fn subscribe_variable(mut self, name: &str, need_initial: bool) -> Self {
-        self.inner
-            .var_subscriptions
-            .push(VarSubscription { name: Self::name(name), need_initial });
+    /// Subscribes to a variable by name (schema checked at runtime only;
+    /// prefer [`subscribe_to_var`](Self::subscribe_to_var)).
+    pub fn subscribe_variable(&mut self, name: &str, need_initial: bool) -> &mut Self {
+        self.inner.var_subscriptions.push(VarSubscription { name: Self::name(name), need_initial });
         self
     }
 
-    /// Subscribes to an event channel.
-    #[must_use]
-    pub fn subscribe_event(mut self, name: &str) -> Self {
+    /// Subscribes to an event channel by name (prefer
+    /// [`subscribe_to_event`](Self::subscribe_to_event)).
+    pub fn subscribe_event(&mut self, name: &str) -> &mut Self {
         self.inner.event_subscriptions.push(Self::name(name));
         self
     }
 
     /// Registers interest in a file resource.
-    #[must_use]
-    pub fn subscribe_file(mut self, name: &str) -> Self {
+    pub fn subscribe_file(&mut self, name: &str) -> &mut Self {
         self.inner.file_interests.push(Self::name(name));
         self
     }
 
     /// Declares that the service needs `name` callable somewhere in the
-    /// network.
-    #[must_use]
-    pub fn requires_function(mut self, name: &str) -> Self {
+    /// network (prefer [`requires_fn`](Self::requires_fn)).
+    pub fn requires_function(&mut self, name: &str) -> &mut Self {
         self.inner.required_functions.push(Self::name(name));
         self
     }
 
     /// Finishes the descriptor.
-    pub fn build(self) -> ServiceDescriptor {
-        self.inner
+    pub fn build(&self) -> ServiceDescriptor {
+        self.inner.clone()
     }
 }
 
@@ -326,27 +468,94 @@ impl<'a> ServiceContext<'a> {
         self.service_seq
     }
 
-    /// Publishes a sample of a declared variable (best-effort, §4.1).
+    /// Publishes a sample through a typed port (best-effort, §4.1).
+    ///
+    /// The value's conformance to the declared schema is guaranteed by the
+    /// port's type — a mismatch is a compile error, not a runtime drop.
+    pub fn publish_to<T: ValueCodec>(&mut self, port: &VarPort<T>, value: T) {
+        self.effects.push(Effect::Publish { name: port.name().clone(), value: value.into_value() });
+    }
+
+    /// Emits an event through a typed port (reliable, §4.2).
+    ///
+    /// Bare channels take `()`; optional payloads take an `Option`.
+    pub fn emit_to<P: EventPayload>(&mut self, port: &EventPort<P>, payload: P) {
+        self.effects
+            .push(Effect::Emit { name: port.name().clone(), value: payload.into_payload() });
+    }
+
+    /// Starts a remote invocation through a typed port; the outcome
+    /// arrives via [`Service::on_reply`] and is decoded with
+    /// [`TypedCallHandle::decode`].
+    pub fn call_fn<A: ArgsCodec, R: FnRet>(
+        &mut self,
+        port: &FnPort<A, R>,
+        args: A,
+    ) -> TypedCallHandle<R> {
+        self.call_fn_with_policy(port, args, CallPolicy::Dynamic)
+    }
+
+    /// [`ServiceContext::call_fn`] with an explicit provider policy.
+    pub fn call_fn_with_policy<A: ArgsCodec, R: FnRet>(
+        &mut self,
+        port: &FnPort<A, R>,
+        args: A,
+        policy: CallPolicy,
+    ) -> TypedCallHandle<R> {
+        *self.next_request_id += 1;
+        let handle = CallHandle(RequestId(*self.next_request_id));
+        self.effects.push(Effect::Call {
+            handle,
+            function: port.name().clone(),
+            args: args.into_args(),
+            policy,
+        });
+        TypedCallHandle::new(handle)
+    }
+
+    /// Publishes a sample of a declared variable by name (best-effort,
+    /// §4.1).
+    ///
+    /// **Deprecated in favour of [`publish_to`](Self::publish_to)** — this
+    /// compat method cannot check the value against the descriptor at
+    /// compile time; a disagreement is dropped at runtime and counted in
+    /// [`ContainerStats::type_mismatches`](crate::ContainerStats).
+    /// Migration:
+    ///
+    /// ```text
+    /// // before                               // after (port from the builder)
+    /// ctx.publish("beacon/count", count);     ctx.publish_to(&self.count_port, count);
+    /// ```
     pub fn publish(&mut self, name: &str, value: impl Into<Value>) {
         if let Ok(name) = Name::new(name) {
             self.effects.push(Effect::Publish { name, value: value.into() });
         }
     }
 
-    /// Emits an event on a declared channel (reliable, §4.2).
+    /// Emits an event on a declared channel by name (reliable, §4.2).
+    ///
+    /// **Deprecated in favour of [`emit_to`](Self::emit_to)** — see
+    /// [`publish`](Self::publish) for the migration pattern.
     pub fn emit(&mut self, name: &str, value: Option<Value>) {
         if let Ok(name) = Name::new(name) {
             self.effects.push(Effect::Emit { name, value });
         }
     }
 
-    /// Starts a remote invocation; the outcome arrives via
+    /// Starts a remote invocation by name; the outcome arrives via
     /// [`Service::on_reply`] with the returned handle.
+    ///
+    /// **Deprecated in favour of [`call_fn`](Self::call_fn)** — the typed
+    /// call marshals arguments from a tuple checked against the port's
+    /// signature and decodes the reply through [`TypedCallHandle::decode`].
     pub fn call(&mut self, function: &str, args: Vec<Value>) -> CallHandle {
         self.call_with_policy(function, args, CallPolicy::Dynamic)
     }
 
     /// [`ServiceContext::call`] with an explicit provider policy.
+    ///
+    /// **Deprecated in favour of
+    /// [`call_fn_with_policy`](Self::call_fn_with_policy).**
     pub fn call_with_policy(
         &mut self,
         function: &str,
@@ -439,14 +648,28 @@ pub trait Service: Send {
     fn on_stop(&mut self, ctx: &mut ServiceContext<'_>) {}
 
     /// A subscribed variable sample arrived (already validity-filtered).
-    fn on_variable(&mut self, ctx: &mut ServiceContext<'_>, name: &Name, value: &Value, stamp: Micros) {}
+    fn on_variable(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: &Value,
+        stamp: Micros,
+    ) {
+    }
 
     /// A subscribed variable stopped arriving within its expected deadline.
     fn on_variable_timeout(&mut self, ctx: &mut ServiceContext<'_>, name: &Name) {}
 
     /// A subscribed event arrived (guaranteed delivery, in order per
     /// publisher).
-    fn on_event(&mut self, ctx: &mut ServiceContext<'_>, name: &Name, value: Option<&Value>, stamp: Micros) {}
+    fn on_event(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: Option<&Value>,
+        stamp: Micros,
+    ) {
+    }
 
     /// A declared function is being invoked.
     ///
@@ -463,7 +686,13 @@ pub trait Service: Send {
     }
 
     /// The outcome of an earlier [`ServiceContext::call`] arrived.
-    fn on_reply(&mut self, ctx: &mut ServiceContext<'_>, handle: CallHandle, result: Result<Value, CallError>) {}
+    fn on_reply(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        handle: CallHandle,
+        result: Result<Value, CallError>,
+    ) {
+    }
 
     /// A file-transfer notification arrived.
     fn on_file_event(&mut self, ctx: &mut ServiceContext<'_>, event: &FileEvent) {}
@@ -487,16 +716,20 @@ mod tests {
 
     #[test]
     fn descriptor_builder_collects_declarations() {
-        let d = ServiceDescriptor::builder("camera")
-            .variable("camera/status", DataType::U8, ProtoDuration::from_millis(100), ProtoDuration::from_millis(500))
-            .event("camera/photo-taken", Some(DataType::U32))
-            .function("camera/prepare", vec![DataType::Str], Some(DataType::Bool))
-            .file_resource("camera/image")
+        let mut b = ServiceDescriptor::builder("camera");
+        let status = b.variable::<u8>(
+            "camera/status",
+            ProtoDuration::from_millis(100),
+            ProtoDuration::from_millis(500),
+        );
+        let taken = b.event::<u32>("camera/photo-taken");
+        let prepare = b.function::<(String,), bool>("camera/prepare");
+        b.file_resource("camera/image")
             .subscribe_variable("gps/position", true)
             .subscribe_event("mc/photo-now")
             .subscribe_file("mc/flight-plan")
-            .requires_function("storage/store")
-            .build();
+            .requires_function("storage/store");
+        let d = b.build();
         assert_eq!(d.name(), "camera");
         assert_eq!(d.provides().len(), 4);
         assert_eq!(d.var_subscriptions().len(), 1);
@@ -506,6 +739,49 @@ mod tests {
         assert_eq!(d.required_functions().len(), 1);
         assert!(d.find_provision("camera/prepare").is_some());
         assert!(d.find_provision("nope").is_none());
+        // Ports carry the declared schemas.
+        assert_eq!(status.data_type(), DataType::U8);
+        assert_eq!(taken.payload_type(), Some(DataType::U32));
+        let sig = prepare.signature();
+        assert_eq!(sig.params, vec![DataType::Str]);
+        assert_eq!(sig.returns, Some(DataType::Bool));
+        match d.find_provision("camera/status") {
+            Some(Provision::Variable { ty, .. }) => assert_eq!(ty, &DataType::U8),
+            other => panic!("unexpected provision {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_and_dynamic_declarations_agree() {
+        let mut typed = ServiceDescriptor::builder("a");
+        typed.variable::<u64>("v", ProtoDuration::from_millis(10), ProtoDuration::from_millis(50));
+        let mut dynamic = ServiceDescriptor::builder("a");
+        dynamic.variable_dynamic(
+            "v",
+            DataType::U64,
+            ProtoDuration::from_millis(10),
+            ProtoDuration::from_millis(50),
+        );
+        assert_eq!(typed.build().provides(), dynamic.build().provides());
+    }
+
+    #[test]
+    fn shared_ports_wire_both_sides() {
+        let position = VarPort::<f64>::new("gps/position");
+        let alert = EventPort::<u32>::new("mc/alert");
+        let store = FnPort::<(String, Vec<u8>), bool>::new("storage/store");
+        let mut b = ServiceDescriptor::builder("consumer");
+        b.subscribe_to_var(&position, true).subscribe_to_event(&alert).requires_fn(&store);
+        let d = b.build();
+        assert_eq!(d.var_subscriptions()[0].name, "gps/position");
+        assert_eq!(d.event_subscriptions()[0], "mc/alert");
+        assert_eq!(d.required_functions()[0], "storage/store");
+
+        let mut p = ServiceDescriptor::builder("producer");
+        p.provides_var(&position, ProtoDuration::from_millis(50), ProtoDuration::from_millis(200))
+            .provides_event(&alert)
+            .provides_fn(&store);
+        assert_eq!(p.build().provides().len(), 3);
     }
 
     #[test]
@@ -541,6 +817,55 @@ mod tests {
         ctx.set_degraded(true);
         ctx.stop_self();
         assert_eq!(effects.len(), 11);
+    }
+
+    #[test]
+    fn typed_context_methods_queue_typed_effects() {
+        let name = Name::new("svc").unwrap();
+        let mut effects = Vec::new();
+        let mut req = 0u64;
+        let mut tim = 0u64;
+        let mut ctx = ServiceContext {
+            now: Micros(5),
+            node: NodeId(1),
+            service_name: &name,
+            service_seq: 3,
+            effects: &mut effects,
+            next_request_id: &mut req,
+            next_timer_id: &mut tim,
+        };
+        let var = VarPort::<u64>::new("v");
+        let bare = EventPort::<()>::new("e");
+        let payload = EventPort::<u32>::new("p");
+        let func = FnPort::<(String, u32), bool>::new("f");
+        ctx.publish_to(&var, 9);
+        ctx.emit_to(&bare, ());
+        ctx.emit_to(&payload, 7);
+        let handle = ctx.call_fn(&func, ("x".to_owned(), 1));
+        assert_eq!(handle.handle().0, RequestId(1));
+
+        match &effects[0] {
+            Effect::Publish { name, value } => {
+                assert_eq!(name, "v");
+                assert_eq!(value, &Value::U64(9));
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+        match &effects[1] {
+            Effect::Emit { value, .. } => assert_eq!(value, &None),
+            other => panic!("unexpected effect {other:?}"),
+        }
+        match &effects[2] {
+            Effect::Emit { value, .. } => assert_eq!(value, &Some(Value::U32(7))),
+            other => panic!("unexpected effect {other:?}"),
+        }
+        match &effects[3] {
+            Effect::Call { function, args, .. } => {
+                assert_eq!(function, "f");
+                assert_eq!(args, &vec![Value::Str("x".into()), Value::U32(1)]);
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
     }
 
     #[test]

@@ -51,6 +51,39 @@ pub struct ContainerStats {
     pub file_bypass_deliveries: u64,
     /// Services that panicked and were marked failed by the watchdog.
     pub services_failed: u64,
+    /// Typed-contract violations detected by the four engines.
+    ///
+    /// The typed port API makes these unrepresentable at compile time; a
+    /// non-zero counter means a service is still using the dynamic compat
+    /// methods with a value that disagrees with its descriptor, or a peer
+    /// node announced one schema and sent another.
+    pub type_mismatches: TypeMismatchStats,
+}
+
+/// Per-engine counters of descriptor/value disagreements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypeMismatchStats {
+    /// Variable samples whose value violated the declared schema (publish
+    /// side) or failed to decode against the announced schema (subscribe
+    /// side).
+    pub vars: u64,
+    /// Event payloads violating the channel declaration: wrong schema,
+    /// payload on a bare channel, or undecodable incoming payload.
+    pub events: u64,
+    /// Invocation marshalling failures: arguments or results that
+    /// disagree with the declared signature.
+    pub calls: u64,
+    /// File publications referencing a resource the service never
+    /// declared (the file engine's form of contract violation — file
+    /// content itself is opaque).
+    pub files: u64,
+}
+
+impl TypeMismatchStats {
+    /// Sum over all four engines.
+    pub fn total(&self) -> u64 {
+        self.vars + self.events + self.calls + self.files
+    }
 }
 
 impl ContainerStats {

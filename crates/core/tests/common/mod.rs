@@ -69,7 +69,13 @@ impl Service for Recorder {
         self.push(ctx, Obs::Stopped);
     }
 
-    fn on_variable(&mut self, ctx: &mut ServiceContext<'_>, name: &Name, value: &Value, _stamp: Micros) {
+    fn on_variable(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: &Value,
+        _stamp: Micros,
+    ) {
         self.push(ctx, Obs::Var(name.to_string(), value.clone()));
     }
 
@@ -77,11 +83,22 @@ impl Service for Recorder {
         self.push(ctx, Obs::VarTimeout(name.to_string()));
     }
 
-    fn on_event(&mut self, ctx: &mut ServiceContext<'_>, name: &Name, value: Option<&Value>, _stamp: Micros) {
+    fn on_event(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: Option<&Value>,
+        _stamp: Micros,
+    ) {
         self.push(ctx, Obs::Event(name.to_string(), value.cloned()));
     }
 
-    fn on_reply(&mut self, ctx: &mut ServiceContext<'_>, handle: CallHandle, result: Result<Value, CallError>) {
+    fn on_reply(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        handle: CallHandle,
+        result: Result<Value, CallError>,
+    ) {
         self.push(ctx, Obs::Reply(handle.0 .0, result.map_err(|e| e.to_string())));
     }
 
@@ -121,10 +138,14 @@ pub struct Scripted {
     pub on_start: Option<Box<dyn FnMut(&mut ServiceContext<'_>) + Send>>,
     pub on_timer: Option<Box<dyn FnMut(&mut ServiceContext<'_>, TimerId) + Send>>,
     pub on_event: Option<Box<dyn FnMut(&mut ServiceContext<'_>, &Name, Option<&Value>) + Send>>,
-    pub on_call: Option<Box<dyn FnMut(&mut ServiceContext<'_>, &Name, &[Value]) -> Result<Value, String> + Send>>,
+    pub on_call: Option<
+        Box<dyn FnMut(&mut ServiceContext<'_>, &Name, &[Value]) -> Result<Value, String> + Send>,
+    >,
     pub on_variable: Option<Box<dyn FnMut(&mut ServiceContext<'_>, &Name, &Value) + Send>>,
     pub on_file_event: Option<Box<dyn FnMut(&mut ServiceContext<'_>, &FileEvent) + Send>>,
-    pub on_reply: Option<Box<dyn FnMut(&mut ServiceContext<'_>, CallHandle, Result<Value, CallError>) + Send>>,
+    pub on_reply: Option<
+        Box<dyn FnMut(&mut ServiceContext<'_>, CallHandle, Result<Value, CallError>) + Send>,
+    >,
     pub on_provider_change: Option<Box<dyn FnMut(&mut ServiceContext<'_>, &ProviderNotice) + Send>>,
 }
 
@@ -161,20 +182,37 @@ impl Service for Scripted {
         }
     }
 
-    fn on_event(&mut self, ctx: &mut ServiceContext<'_>, name: &Name, value: Option<&Value>, _stamp: Micros) {
+    fn on_event(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: Option<&Value>,
+        _stamp: Micros,
+    ) {
         if let Some(f) = &mut self.on_event {
             f(ctx, name, value);
         }
     }
 
-    fn on_call(&mut self, ctx: &mut ServiceContext<'_>, function: &Name, args: &[Value]) -> Result<Value, String> {
+    fn on_call(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        function: &Name,
+        args: &[Value],
+    ) -> Result<Value, String> {
         match &mut self.on_call {
             Some(f) => f(ctx, function, args),
             None => Err("no handler".into()),
         }
     }
 
-    fn on_variable(&mut self, ctx: &mut ServiceContext<'_>, name: &Name, value: &Value, _stamp: Micros) {
+    fn on_variable(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: &Value,
+        _stamp: Micros,
+    ) {
         if let Some(f) = &mut self.on_variable {
             f(ctx, name, value);
         }
@@ -186,7 +224,12 @@ impl Service for Scripted {
         }
     }
 
-    fn on_reply(&mut self, ctx: &mut ServiceContext<'_>, handle: CallHandle, result: Result<Value, CallError>) {
+    fn on_reply(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        handle: CallHandle,
+        result: Result<Value, CallError>,
+    ) {
         if let Some(f) = &mut self.on_reply {
             f(ctx, handle, result);
         }

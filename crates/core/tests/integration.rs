@@ -43,7 +43,7 @@ fn variables_flow_across_nodes_with_schema() {
     // Publisher: counter at 10 ms period.
     let mut publisher = Scripted::new(
         ServiceDescriptor::builder("counter")
-            .variable(
+            .variable_dynamic(
                 "counter/value",
                 DataType::U64,
                 ProtoDuration::from_millis(10),
@@ -65,7 +65,9 @@ fn variables_flow_across_nodes_with_schema() {
     h.add_service(
         NodeId(2),
         Box::new(Recorder::new(
-            ServiceDescriptor::builder("display").subscribe_variable("counter/value", false).build(),
+            ServiceDescriptor::builder("display")
+                .subscribe_variable("counter/value", false)
+                .build(),
             log.clone(),
         )),
     );
@@ -98,7 +100,7 @@ fn initial_value_is_guaranteed_to_late_subscribers() {
     // Publishes exactly once at start, then stays silent. Long validity.
     let mut publisher = Scripted::new(
         ServiceDescriptor::builder("oneshot")
-            .variable(
+            .variable_dynamic(
                 "oneshot/value",
                 DataType::U32,
                 ProtoDuration::ZERO, // aperiodic
@@ -142,7 +144,7 @@ fn variable_timeout_warns_subscribers() {
     // Publishes at 10 ms for 100 ms, then goes silent (sensor failure).
     let mut publisher = Scripted::new(
         ServiceDescriptor::builder("sensor")
-            .variable(
+            .variable_dynamic(
                 "sensor/reading",
                 DataType::F32,
                 ProtoDuration::from_millis(10),
@@ -166,7 +168,9 @@ fn variable_timeout_warns_subscribers() {
     h.add_service(
         NodeId(2),
         Box::new(Recorder::new(
-            ServiceDescriptor::builder("monitor").subscribe_variable("sensor/reading", false).build(),
+            ServiceDescriptor::builder("monitor")
+                .subscribe_variable("sensor/reading", false)
+                .build(),
             log.clone(),
         )),
     );
@@ -183,12 +187,8 @@ fn variable_timeout_warns_subscribers() {
         .collect();
     assert_eq!(timeouts.len(), 1, "warned exactly once: {obs:?}");
     // The warning came after the last sample plus ~3 periods.
-    let last_sample = obs
-        .iter()
-        .filter(|(_, o)| matches!(o, Obs::Var(..)))
-        .map(|(t, _)| *t)
-        .max()
-        .unwrap();
+    let last_sample =
+        obs.iter().filter(|(_, o)| matches!(o, Obs::Var(..))).map(|(t, _)| *t).max().unwrap();
     assert!(*timeouts[0] > last_sample);
 }
 
@@ -202,7 +202,7 @@ fn stale_samples_are_dropped_by_validity() {
 
     let mut publisher = Scripted::new(
         ServiceDescriptor::builder("fast")
-            .variable(
+            .variable_dynamic(
                 "fast/v",
                 DataType::U8,
                 ProtoDuration::from_millis(10),
@@ -241,7 +241,7 @@ fn events_are_delivered_exactly_once_in_order_under_loss() {
 
     let mut publisher = Scripted::new(
         ServiceDescriptor::builder("alerter")
-            .event("alerter/tick", Some(DataType::U64))
+            .event_dynamic("alerter/tick", Some(DataType::U64))
             .build(),
     );
     publisher.on_start = Some(Box::new(|ctx| {
@@ -290,9 +290,8 @@ fn bare_events_carry_no_payload() {
     h.add_container(ContainerConfig::new("pub", NodeId(1)));
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("bare").event("bare/ping", None).build(),
-    );
+    let mut publisher =
+        Scripted::new(ServiceDescriptor::builder("bare").event_dynamic("bare/ping", None).build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(20), None);
     }));
@@ -325,7 +324,7 @@ fn remote_invocation_roundtrip() {
 
     let mut server = Scripted::new(
         ServiceDescriptor::builder("math")
-            .function("math/double", vec![DataType::U32], Some(DataType::U32))
+            .function_dynamic("math/double", vec![DataType::U32], Some(DataType::U32))
             .build(),
     );
     server.on_call = Some(Box::new(|_ctx, function, args| {
@@ -373,7 +372,7 @@ fn local_calls_bypass_the_network() {
 
     let mut server = Scripted::new(
         ServiceDescriptor::builder("math")
-            .function("math/neg", vec![DataType::I32], Some(DataType::I32))
+            .function_dynamic("math/neg", vec![DataType::I32], Some(DataType::I32))
             .build(),
     );
     server.on_call =
@@ -381,8 +380,7 @@ fn local_calls_bypass_the_network() {
     h.add_service(NodeId(1), Box::new(server));
 
     let log = obs_log();
-    let mut client =
-        Scripted::new(ServiceDescriptor::builder("consumer").build());
+    let mut client = Scripted::new(ServiceDescriptor::builder("consumer").build());
     client.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(10), None);
     }));
@@ -419,7 +417,7 @@ fn call_errors_propagate() {
 
     let mut server = Scripted::new(
         ServiceDescriptor::builder("fragile")
-            .function("fragile/work", vec![], Some(DataType::Bool))
+            .function_dynamic("fragile/work", vec![], Some(DataType::Bool))
             .build(),
     );
     server.on_call = Some(Box::new(|_ctx, _f, _a| Err("out of film".into())));
@@ -469,7 +467,7 @@ fn calls_fail_over_to_redundant_provider() {
     for node in [NodeId(2), NodeId(3)] {
         let mut server = Scripted::new(
             ServiceDescriptor::builder("storage")
-                .function("storage/where", vec![], Some(DataType::U32))
+                .function_dynamic("storage/where", vec![], Some(DataType::U32))
                 .build(),
         );
         let who = node.0;
@@ -527,9 +525,8 @@ fn file_distribution_to_multiple_nodes_is_bit_exact() {
     h.add_container(ContainerConfig::new("proc", NodeId(3)));
 
     let image: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
-    let mut camera = Scripted::new(
-        ServiceDescriptor::builder("camera").file_resource("camera/img").build(),
-    );
+    let mut camera =
+        Scripted::new(ServiceDescriptor::builder("camera").file_resource("camera/img").build());
     let img = Bytes::from(image.clone());
     camera.on_start = Some(Box::new(move |ctx| {
         ctx.publish_file("camera/img", img.clone());
@@ -574,9 +571,8 @@ fn same_node_file_subscription_bypasses_the_network() {
     h.add_container(ContainerConfig::new("solo", NodeId(1)));
 
     let payload = Bytes::from(vec![7u8; 50_000]);
-    let mut camera = Scripted::new(
-        ServiceDescriptor::builder("camera").file_resource("camera/img").build(),
-    );
+    let mut camera =
+        Scripted::new(ServiceDescriptor::builder("camera").file_resource("camera/img").build());
     let img = payload.clone();
     camera.on_start = Some(Box::new(move |ctx| {
         ctx.publish_file("camera/img", img.clone());
@@ -617,9 +613,8 @@ fn file_revision_update_reaches_subscribers() {
     h.add_container(ContainerConfig::new("cam", NodeId(1)));
     h.add_container(ContainerConfig::new("store", NodeId(2)));
 
-    let mut camera = Scripted::new(
-        ServiceDescriptor::builder("camera").file_resource("camera/map").build(),
-    );
+    let mut camera =
+        Scripted::new(ServiceDescriptor::builder("camera").file_resource("camera/map").build());
     camera.on_start = Some(Box::new(move |ctx| {
         ctx.publish_file("camera/map", Bytes::from(vec![1u8; 10_000]));
         // Revise after 300 ms.
@@ -658,9 +653,7 @@ fn panicking_service_is_quarantined_and_fleet_notified() {
     h.add_container(ContainerConfig::new("b", NodeId(2)));
 
     let mut bomb = Scripted::new(
-        ServiceDescriptor::builder("bomb")
-            .function("bomb/arm", vec![], None)
-            .build(),
+        ServiceDescriptor::builder("bomb").function_dynamic("bomb/arm", vec![], None).build(),
     );
     bomb.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(50), None);
@@ -691,7 +684,7 @@ fn graceful_bye_purges_remote_caches_immediately() {
     h.add_service(
         NodeId(2),
         Box::new(Scripted::new(
-            ServiceDescriptor::builder("x").function("x/f", vec![], None).build(),
+            ServiceDescriptor::builder("x").function_dynamic("x/f", vec![], None).build(),
         )),
     );
     h.start_all();
@@ -719,7 +712,12 @@ fn unicast_fanout_mode_still_delivers() {
 
     let mut publisher = Scripted::new(
         ServiceDescriptor::builder("p")
-            .variable("p/v", DataType::U32, ProtoDuration::from_millis(10), ProtoDuration::from_millis(100))
+            .variable_dynamic(
+                "p/v",
+                DataType::U32,
+                ProtoDuration::from_millis(10),
+                ProtoDuration::from_millis(100),
+            )
             .build(),
     );
     publisher.on_start = Some(Box::new(|ctx| {
@@ -750,8 +748,13 @@ fn identical_seeds_reproduce_identical_runs() {
         h.add_container(ContainerConfig::new("sub", NodeId(2)));
         let mut publisher = Scripted::new(
             ServiceDescriptor::builder("p")
-                .variable("p/v", DataType::U64, ProtoDuration::from_millis(5), ProtoDuration::from_millis(50))
-                .event("p/e", Some(DataType::U64))
+                .variable_dynamic(
+                    "p/v",
+                    DataType::U64,
+                    ProtoDuration::from_millis(5),
+                    ProtoDuration::from_millis(50),
+                )
+                .event_dynamic("p/e", Some(DataType::U64))
                 .build(),
         );
         publisher.on_start = Some(Box::new(|ctx| {
@@ -809,8 +812,13 @@ fn priority_scheduler_runs_events_before_variable_backlog() {
 
         let mut blaster = Scripted::new(
             ServiceDescriptor::builder("blaster")
-                .variable("b/v", DataType::U32, ProtoDuration::ZERO, ProtoDuration::from_secs(1))
-                .event("b/e", None)
+                .variable_dynamic(
+                    "b/v",
+                    DataType::U32,
+                    ProtoDuration::ZERO,
+                    ProtoDuration::from_secs(1),
+                )
+                .event_dynamic("b/e", None)
                 .build(),
         );
         blaster.on_start = Some(Box::new(|ctx| {
@@ -838,9 +846,7 @@ fn priority_scheduler_runs_events_before_variable_backlog() {
         h.start_all();
         h.run_for_millis(100);
         let obs = observations(&log);
-        obs.iter()
-            .position(|(_, o)| matches!(o, Obs::Event(..)))
-            .expect("event delivered")
+        obs.iter().position(|(_, o)| matches!(o, Obs::Event(..))).expect("event delivered")
     };
     let pos_priority = order_with(SchedulerKind::Priority);
     let pos_fifo = order_with(SchedulerKind::Fifo);
@@ -879,11 +885,308 @@ fn required_function_availability_notices() {
     h.container_mut(NodeId(2))
         .unwrap()
         .add_service(Box::new(Scripted::new(
-            ServiceDescriptor::builder("late").function("late/fn", vec![], None).build(),
+            ServiceDescriptor::builder("late").function_dynamic("late/fn", vec![], None).build(),
         )))
         .unwrap();
     h.run_for_millis(200);
     assert!(observations(&log)
         .iter()
         .any(|(_, o)| matches!(o, Obs::Provider(p) if p.contains("FunctionAvailable"))));
+}
+
+// ---------------------------------------------------------------------------
+// Typed service ports
+// ---------------------------------------------------------------------------
+
+mod typed {
+    use super::*;
+    use marea_core::{
+        CallError, CallHandle, EventPort, FnPort, Service, ServiceContext, TimerId,
+        TypedCallHandle, VarPort,
+    };
+    use marea_presentation::Name;
+    use std::sync::{Arc, Mutex};
+
+    /// A fully typed producer: variable, event and function all declared
+    /// through ports returned by the builder.
+    struct TypedBeacon {
+        n: u64,
+        count: VarPort<u64>,
+        decade: EventPort<u32>,
+        double: FnPort<(u32,), u32>,
+    }
+
+    impl TypedBeacon {
+        fn new() -> Self {
+            TypedBeacon {
+                n: 0,
+                count: VarPort::new("typed/count"),
+                decade: EventPort::new("typed/decade"),
+                double: FnPort::new("typed/double"),
+            }
+        }
+    }
+
+    impl Service for TypedBeacon {
+        fn descriptor(&self) -> ServiceDescriptor {
+            let mut b = ServiceDescriptor::builder("typed-beacon");
+            b.provides_var(
+                &self.count,
+                ProtoDuration::from_millis(10),
+                ProtoDuration::from_millis(100),
+            )
+            .provides_event(&self.decade)
+            .provides_fn(&self.double);
+            b.build()
+        }
+        fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+            ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
+        }
+        fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+            self.n += 1;
+            ctx.publish_to(&self.count, self.n);
+            if self.n.is_multiple_of(10) {
+                ctx.emit_to(&self.decade, self.n as u32);
+            }
+        }
+        fn on_call(
+            &mut self,
+            _ctx: &mut ServiceContext<'_>,
+            function: &Name,
+            args: &[Value],
+        ) -> Result<Value, String> {
+            if !self.double.matches(function) {
+                return Err("unknown function".into());
+            }
+            let (x,) = self.double.decode_args(args).map_err(|e| e.to_string())?;
+            Ok(self.double.encode_ret(x * 2))
+        }
+    }
+
+    #[derive(Default)]
+    struct Seen {
+        counts: Vec<u64>,
+        decades: Vec<u32>,
+        doubled: Option<Result<u32, String>>,
+    }
+
+    /// A fully typed consumer: subscribes and decodes through the same
+    /// port constructors, calls through a typed handle.
+    struct TypedObserver {
+        seen: Arc<Mutex<Seen>>,
+        count: VarPort<u64>,
+        decade: EventPort<u32>,
+        double: FnPort<(u32,), u32>,
+        pending: Option<TypedCallHandle<u32>>,
+        called: bool,
+    }
+
+    impl TypedObserver {
+        fn new(seen: Arc<Mutex<Seen>>) -> Self {
+            TypedObserver {
+                seen,
+                count: VarPort::new("typed/count"),
+                decade: EventPort::new("typed/decade"),
+                double: FnPort::new("typed/double"),
+                pending: None,
+                called: false,
+            }
+        }
+    }
+
+    impl Service for TypedObserver {
+        fn descriptor(&self) -> ServiceDescriptor {
+            let mut b = ServiceDescriptor::builder("typed-observer");
+            b.subscribe_to_var(&self.count, true)
+                .subscribe_to_event(&self.decade)
+                .requires_fn(&self.double);
+            b.build()
+        }
+        fn on_provider_change(
+            &mut self,
+            ctx: &mut ServiceContext<'_>,
+            notice: &marea_core::ProviderNotice,
+        ) {
+            if let marea_core::ProviderNotice::FunctionAvailable(name) = notice {
+                if self.double.matches(name) && !self.called {
+                    self.called = true;
+                    self.pending = Some(ctx.call_fn(&self.double, (21,)));
+                }
+            }
+        }
+        fn on_variable(
+            &mut self,
+            _ctx: &mut ServiceContext<'_>,
+            name: &Name,
+            value: &Value,
+            _stamp: Micros,
+        ) {
+            if self.count.matches(name) {
+                if let Ok(n) = self.count.decode(value) {
+                    self.seen.lock().unwrap().counts.push(n);
+                }
+            }
+        }
+        fn on_event(
+            &mut self,
+            _ctx: &mut ServiceContext<'_>,
+            name: &Name,
+            value: Option<&Value>,
+            _stamp: Micros,
+        ) {
+            if self.decade.matches(name) {
+                if let Ok(d) = self.decade.decode(value) {
+                    self.seen.lock().unwrap().decades.push(d);
+                }
+            }
+        }
+        fn on_reply(
+            &mut self,
+            _ctx: &mut ServiceContext<'_>,
+            handle: CallHandle,
+            result: Result<Value, CallError>,
+        ) {
+            if let Some(pending) = self.pending {
+                if pending.matches(handle) {
+                    self.seen.lock().unwrap().doubled =
+                        Some(pending.decode(result).map_err(|e| e.to_string()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_ports_flow_end_to_end() {
+        let mut h = SimHarness::new(lan(41));
+        h.add_container(ContainerConfig::new("pub", NodeId(1)));
+        h.add_container(ContainerConfig::new("sub", NodeId(2)));
+        h.add_service(NodeId(1), Box::new(TypedBeacon::new()));
+        let seen = Arc::new(Mutex::new(Seen::default()));
+        h.add_service(NodeId(2), Box::new(TypedObserver::new(seen.clone())));
+        h.start_all();
+        h.run_for_millis(400);
+
+        let seen = seen.lock().unwrap();
+        assert!(seen.counts.len() >= 20, "typed samples flow: {}", seen.counts.len());
+        assert!(seen.counts.windows(2).all(|w| w[0] < w[1]));
+        assert!(!seen.decades.is_empty(), "typed events flow");
+        assert_eq!(seen.doubled, Some(Ok(42)), "typed call round-trips");
+
+        // No contract can be violated through typed ports.
+        for node in [NodeId(1), NodeId(2)] {
+            let s = h.container(node).unwrap().stats();
+            assert_eq!(s.type_mismatches.total(), 0, "{node:?}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn compat_publish_type_mismatch_is_counted() {
+        let mut h = SimHarness::new(lan(42));
+        h.add_container(ContainerConfig::new("pub", NodeId(1)));
+        h.add_container(ContainerConfig::new("sub", NodeId(2)));
+
+        // Descriptor declares U64; the dynamic compat publish sends F64.
+        let mut publisher = Scripted::new(
+            ServiceDescriptor::builder("badpub")
+                .variable_dynamic(
+                    "bad/value",
+                    DataType::U64,
+                    ProtoDuration::from_millis(10),
+                    ProtoDuration::from_millis(100),
+                )
+                .build(),
+        );
+        publisher.on_start = Some(Box::new(|ctx| {
+            ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
+        }));
+        publisher.on_timer = Some(Box::new(|ctx, _| ctx.publish("bad/value", 1.5f64)));
+        h.add_service(NodeId(1), Box::new(publisher));
+
+        let log = obs_log();
+        h.add_service(
+            NodeId(2),
+            Box::new(Recorder::new(
+                ServiceDescriptor::builder("watcher")
+                    .subscribe_variable("bad/value", false)
+                    .build(),
+                log.clone(),
+            )),
+        );
+        h.start_all();
+        h.run_for_millis(200);
+
+        let stats = h.container(NodeId(1)).unwrap().stats();
+        assert!(stats.type_mismatches.vars >= 5, "publish-side mismatches counted: {stats:?}");
+        assert_eq!(stats.vars_published, 0, "violating samples never hit the wire");
+        assert!(
+            !observations(&log).iter().any(|(_, o)| matches!(o, Obs::Var(..))),
+            "nothing deliverable reached the subscriber"
+        );
+        assert!(
+            h.container(NodeId(1)).unwrap().log_lines().any(|(_, l)| l.contains("violates schema")),
+            "violation is logged"
+        );
+    }
+
+    #[test]
+    fn compat_event_and_call_mismatches_are_counted() {
+        let mut h = SimHarness::new(lan(43));
+        h.add_container(ContainerConfig::new("a", NodeId(1)));
+        h.add_container(ContainerConfig::new("b", NodeId(2)));
+
+        // Provider: event channel declared U32, function (U32) -> U32.
+        let provider = Scripted::new(
+            ServiceDescriptor::builder("provider")
+                .event_dynamic("p/ev", Some(DataType::U32))
+                .function_dynamic("p/fn", vec![DataType::U32], Some(DataType::U32))
+                .build(),
+        );
+        h.add_service(NodeId(2), Box::new(provider));
+
+        // Abuser: emits a Str on its own U32 channel, calls with a Bool
+        // argument, and publishes an undeclared file resource.
+        let mut abuser = Scripted::new(
+            ServiceDescriptor::builder("abuser")
+                .event_dynamic("a/ev", Some(DataType::U32))
+                .requires_function("p/fn")
+                .build(),
+        );
+        abuser.on_start = Some(Box::new(|ctx| {
+            ctx.set_timer(ProtoDuration::from_millis(50), None);
+        }));
+        abuser.on_timer = Some(Box::new(|ctx, _| {
+            ctx.emit("a/ev", Some(Value::Str("wrong".into())));
+            ctx.call("p/fn", vec![Value::Bool(true)]);
+            ctx.publish_file("a/undeclared", Bytes::from_static(b"x"));
+        }));
+        let log = obs_log();
+        let recorder_log = log.clone();
+        abuser.on_reply = Some(Box::new(move |_, _, result| {
+            recorder_log
+                .lock()
+                .unwrap()
+                .push((Micros(0), Obs::Reply(0, result.map_err(|e| e.to_string()))));
+        }));
+        h.add_service(NodeId(1), Box::new(abuser));
+
+        h.start_all();
+        h.run_for_millis(300);
+
+        let stats = h.container(NodeId(1)).unwrap().stats();
+        assert!(stats.type_mismatches.events >= 1, "event payload mismatch counted: {stats:?}");
+        assert!(stats.type_mismatches.calls >= 1, "argument mismatch counted: {stats:?}");
+        assert!(stats.type_mismatches.files >= 1, "undeclared file counted: {stats:?}");
+        // The caller observed the failure as a structured error.
+        let replies: Vec<_> = observations(&log)
+            .into_iter()
+            .filter_map(|(_, o)| match o {
+                Obs::Reply(_, r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            replies.iter().any(|r| matches!(r, Err(e) if e.contains("bad arguments"))),
+            "{replies:?}"
+        );
+    }
 }

@@ -22,7 +22,7 @@ fn events_larger_than_the_mtu_are_fragmented_and_delivered() {
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
     let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("big").event("big/blob", Some(DataType::Bytes)).build(),
+        ServiceDescriptor::builder("big").event_dynamic("big/blob", Some(DataType::Bytes)).build(),
     );
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(50), None);
@@ -68,7 +68,7 @@ fn oversized_events_survive_loss() {
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
     let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("big").event("big/blob", Some(DataType::Bytes)).build(),
+        ServiceDescriptor::builder("big").event_dynamic("big/blob", Some(DataType::Bytes)).build(),
     );
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(100), Some(ProtoDuration::from_millis(100)));
@@ -111,7 +111,12 @@ fn partition_heals_and_traffic_resumes() {
 
     let mut publisher = Scripted::new(
         ServiceDescriptor::builder("p")
-            .variable("p/v", DataType::U64, ProtoDuration::from_millis(20), ProtoDuration::from_millis(100))
+            .variable_dynamic(
+                "p/v",
+                DataType::U64,
+                ProtoDuration::from_millis(20),
+                ProtoDuration::from_millis(100),
+            )
             .build(),
     );
     publisher.on_start = Some(Box::new(|ctx| {
@@ -142,10 +147,8 @@ fn partition_heals_and_traffic_resumes() {
     h.run_for_millis(4_000);
     assert!(!h.container(NodeId(1)).unwrap().directory().node_alive(NodeId(2)));
     assert!(!h.container(NodeId(2)).unwrap().directory().node_alive(NodeId(1)));
-    let timeouts = observations(&log)
-        .iter()
-        .filter(|(_, o)| matches!(o, Obs::VarTimeout(_)))
-        .count();
+    let timeouts =
+        observations(&log).iter().filter(|(_, o)| matches!(o, Obs::VarTimeout(_))).count();
     assert_eq!(timeouts, 1, "subscriber warned exactly once about the silent variable");
 
     // Heal: rediscovery through heartbeats + periodic announces, then the
@@ -155,10 +158,7 @@ fn partition_heals_and_traffic_resumes() {
     assert!(h.container(NodeId(1)).unwrap().directory().node_alive(NodeId(2)));
     assert!(h.container(NodeId(2)).unwrap().directory().node_alive(NodeId(1)));
     let after = observations(&log).iter().filter(|(_, o)| matches!(o, Obs::Var(..))).count();
-    assert!(
-        after > before + 50,
-        "samples resumed after healing: before={before}, after={after}"
-    );
+    assert!(after > before + 50, "samples resumed after healing: before={before}, after={after}");
     // The subscriber saw the provider disappear and come back.
     let notices: Vec<String> = observations(&log)
         .into_iter()
@@ -183,9 +183,14 @@ fn sustained_10_percent_loss_mission_keeps_its_guarantees() {
 
     let mut worker = Scripted::new(
         ServiceDescriptor::builder("worker")
-            .variable("w/v", DataType::U64, ProtoDuration::from_millis(10), ProtoDuration::from_millis(50))
-            .event("w/e", Some(DataType::U64))
-            .function("w/ping", vec![DataType::U64], Some(DataType::U64))
+            .variable_dynamic(
+                "w/v",
+                DataType::U64,
+                ProtoDuration::from_millis(10),
+                ProtoDuration::from_millis(50),
+            )
+            .event_dynamic("w/e", Some(DataType::U64))
+            .function_dynamic("w/ping", vec![DataType::U64], Some(DataType::U64))
             .build(),
     );
     worker.on_start = Some(Box::new(|ctx| {
@@ -199,9 +204,7 @@ fn sustained_10_percent_loss_mission_keeps_its_guarantees() {
             ctx.emit("w/e", Some(Value::U64(k / 10)));
         }
     }));
-    worker.on_call = Some(Box::new(|_ctx, _f, args| {
-        Ok(Value::U64(args[0].as_u64().unwrap() + 1))
-    }));
+    worker.on_call = Some(Box::new(|_ctx, _f, args| Ok(Value::U64(args[0].as_u64().unwrap() + 1))));
     h.add_service(NodeId(1), Box::new(worker));
 
     let log = obs_log();
@@ -274,9 +277,8 @@ fn node_crash_mid_file_transfer_leaves_receiver_consistent() {
     h.add_container(ContainerConfig::new("pub", NodeId(1)));
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("fp").file_resource("fp/blob").build(),
-    );
+    let mut publisher =
+        Scripted::new(ServiceDescriptor::builder("fp").file_resource("fp/blob").build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.publish_file("fp/blob", Bytes::from(vec![9u8; 2_000_000])); // ~8s at 2Mbit/s
     }));
@@ -315,7 +317,12 @@ fn service_added_and_stopped_at_runtime() {
     // Hot-add a publisher on a running container.
     let mut publisher = Scripted::new(
         ServiceDescriptor::builder("hot")
-            .variable("hot/v", DataType::U8, ProtoDuration::from_millis(10), ProtoDuration::from_millis(100))
+            .variable_dynamic(
+                "hot/v",
+                DataType::U8,
+                ProtoDuration::from_millis(10),
+                ProtoDuration::from_millis(100),
+            )
             .build(),
     );
     publisher.on_start = Some(Box::new(|ctx| {

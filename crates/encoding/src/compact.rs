@@ -303,15 +303,10 @@ mod tests {
 
     #[test]
     fn truncated_input_is_rejected() {
-        let ty = DataType::Struct(
-            StructType::new("P").with_field("x", DataType::F64).unwrap(),
-        );
+        let ty = DataType::Struct(StructType::new("P").with_field("x", DataType::F64).unwrap());
         let v = Value::struct_of("P").field("x", 9.0).build().unwrap();
         let bytes = codec().encode_to_vec(&v, &ty).unwrap();
-        assert!(matches!(
-            codec().decode(&bytes[..4], &ty),
-            Err(DecodeError::UnexpectedEof { .. })
-        ));
+        assert!(matches!(codec().decode(&bytes[..4], &ty), Err(DecodeError::UnexpectedEof { .. })));
     }
 
     #[test]

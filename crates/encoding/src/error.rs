@@ -142,7 +142,10 @@ mod tests {
             DecodeError::UnexpectedEof { needed: 4 }.to_string(),
             "unexpected end of input (4 more bytes needed)"
         );
-        assert_eq!(EncodeError::TooDeep { limit: 16 }.to_string(), "value nesting exceeds depth limit 16");
+        assert_eq!(
+            EncodeError::TooDeep { limit: 16 }.to_string(),
+            "value nesting exceeds depth limit 16"
+        );
     }
 
     #[test]

@@ -219,10 +219,7 @@ mod tests {
             StructType::new("Fix")
                 .with_field("lat", DataType::F64)
                 .unwrap()
-                .with_field(
-                    "history",
-                    DataType::Vector(VectorType::fixed(DataType::F32, 8)),
-                )
+                .with_field("history", DataType::Vector(VectorType::fixed(DataType::F32, 8)))
                 .unwrap()
                 .with_field(
                     "status",
@@ -289,10 +286,7 @@ mod tests {
             w.put_u8(0);
             w.put_varint(100_000);
         }
-        assert!(matches!(
-            decode_type_from_slice(&buf),
-            Err(DecodeError::LengthOverflow { .. })
-        ));
+        assert!(matches!(decode_type_from_slice(&buf), Err(DecodeError::LengthOverflow { .. })));
     }
 
     #[test]

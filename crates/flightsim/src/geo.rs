@@ -4,13 +4,11 @@
 //! approximation (equirectangular) is accurate to well under a metre —
 //! and keeps the whole simulation dependency-free and fast.
 
-use serde::{Deserialize, Serialize};
-
 /// Metres per degree of latitude (WGS-84 mean).
 const M_PER_DEG_LAT: f64 = 111_320.0;
 
 /// A geographic position.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     /// Latitude in degrees (positive north).
     pub lat: f64,

@@ -1,11 +1,9 @@
 //! The aircraft motion model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::geo::GeoPoint;
 
 /// Instantaneous aircraft state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UavState {
     /// Position.
     pub position: GeoPoint,
@@ -20,7 +18,7 @@ pub struct UavState {
 /// A fixed-wing-like kinematic model: constant commanded speed, bounded
 /// turn rate, bounded climb rate. Good enough to exercise every middleware
 /// path with realistic timing; not an aerodynamics simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Kinematics {
     state: UavState,
     /// Commanded heading, radians.
@@ -37,15 +35,10 @@ impl Kinematics {
     /// Creates a model at `start`, heading north at `speed_mps`.
     pub fn new(start: GeoPoint, speed_mps: f64) -> Self {
         Kinematics {
-            state: UavState {
-                position: start,
-                heading_rad: 0.0,
-                speed_mps,
-                climb_mps: 0.0,
-            },
+            state: UavState { position: start, heading_rad: 0.0, speed_mps, climb_mps: 0.0 },
             target_heading_rad: 0.0,
             target_alt_m: start.alt,
-            max_turn_rate: 0.5,  // ~29°/s, typical for a mini UAV
+            max_turn_rate: 0.5, // ~29°/s, typical for a mini UAV
             max_climb_mps: 3.0,
         }
     }
@@ -86,7 +79,8 @@ impl Kinematics {
 
         // Climb towards the commanded altitude.
         let alt_err = self.target_alt_m - self.state.position.alt;
-        self.state.climb_mps = alt_err.clamp(-self.max_climb_mps * dt_s, self.max_climb_mps * dt_s) / dt_s.max(1e-9);
+        self.state.climb_mps =
+            alt_err.clamp(-self.max_climb_mps * dt_s, self.max_climb_mps * dt_s) / dt_s.max(1e-9);
         let climb = self.state.climb_mps * dt_s;
 
         // Advance.

@@ -1,12 +1,10 @@
 //! Flight plans: ordered waypoints with per-waypoint mission actions.
 
-use serde::{Deserialize, Serialize};
-
 use crate::geo::GeoPoint;
 
 /// What the mission should do on arrival at a waypoint (paper §5: "the MC
 /// is instructed to take high resolution photos at specified locations").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WaypointAction {
     /// Take a photo and distribute it to the payload services.
     TakePhoto,
@@ -17,7 +15,7 @@ pub enum WaypointAction {
 }
 
 /// One waypoint of a flight plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Waypoint {
     /// Target position.
     pub point: GeoPoint,
@@ -47,7 +45,7 @@ impl Waypoint {
 }
 
 /// An ordered list of waypoints.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FlightPlan {
     waypoints: Vec<Waypoint>,
 }

@@ -6,13 +6,12 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::geo::GeoPoint;
 use crate::kinematics::UavState;
 
 /// A GPS fix as published on the `gps/position` variable.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpsFix {
     /// Measured position.
     pub position: GeoPoint,
@@ -38,7 +37,12 @@ pub struct GpsSensor {
 impl GpsSensor {
     /// Creates a receiver with a noise seed.
     pub fn new(seed: u64) -> Self {
-        GpsSensor { rng: SmallRng::seed_from_u64(seed), sigma_m: 2.5, sigma_alt_m: 4.0, outage_until_s: 0.0 }
+        GpsSensor {
+            rng: SmallRng::seed_from_u64(seed),
+            sigma_m: 2.5,
+            sigma_alt_m: 4.0,
+            outage_until_s: 0.0,
+        }
     }
 
     /// Simulates an outage (no fixes) until `until_s` of mission time.
@@ -90,7 +94,7 @@ impl Barometer {
     /// Samples pressure altitude from the true state.
     pub fn sample(&mut self, truth: &UavState) -> f64 {
         // Random-walk drift, bounded.
-        self.drift_m = (self.drift_m + self.rng.gen_range(-0.02..0.02)).clamp(-5.0, 5.0);
+        self.drift_m = (self.drift_m + self.rng.gen_range(-0.02f64..0.02)).clamp(-5.0, 5.0);
         truth.position.alt + self.drift_m + self.rng.gen_range(-self.sigma_m..self.sigma_m)
     }
 }

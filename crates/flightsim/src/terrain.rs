@@ -106,8 +106,13 @@ impl Terrain {
     /// Ground texture brightness at a point, 0-255 (excluding targets).
     fn texture(&self, east_m: f64, north_m: f64) -> u8 {
         // Two octaves of hashed value noise: cheap, deterministic, no deps.
-        let v1 = hash_noise(self.seed, (east_m / 80.0).floor() as i64, (north_m / 80.0).floor() as i64);
-        let v2 = hash_noise(self.seed ^ 1, (east_m / 17.0).floor() as i64, (north_m / 17.0).floor() as i64);
+        let v1 =
+            hash_noise(self.seed, (east_m / 80.0).floor() as i64, (north_m / 80.0).floor() as i64);
+        let v2 = hash_noise(
+            self.seed ^ 1,
+            (east_m / 17.0).floor() as i64,
+            (north_m / 17.0).floor() as i64,
+        );
         // Keep the background in the dark half so targets stand out.
         (40.0 + 0.35 * v1 + 0.15 * v2) as u8
     }

@@ -124,7 +124,13 @@ impl SimNetInner {
         let deliver_at = depart_at + link.latency_us + jitter;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.inflight.push(Reverse(InFlight { deliver_at, seq, src, dst, payload: clone_bytes(payload) }));
+        self.inflight.push(Reverse(InFlight {
+            deliver_at,
+            seq,
+            src,
+            dst,
+            payload: clone_bytes(payload),
+        }));
     }
 
     fn send(&mut self, src: u32, dest: Destination, payload: Bytes) -> Result<(), SendError> {
@@ -161,9 +167,7 @@ impl SimNetInner {
                 .filter(|(id, st)| **id != src && st.groups.contains(&group))
                 .map(|(id, _)| *id)
                 .collect(),
-            Destination::Broadcast => {
-                self.nodes.keys().copied().filter(|id| *id != src).collect()
-            }
+            Destination::Broadcast => self.nodes.keys().copied().filter(|id| *id != src).collect(),
         };
         if targets.is_empty() {
             self.stats.no_receiver += 1;
@@ -502,11 +506,9 @@ mod tests {
     fn bandwidth_serializes_bursts() {
         // 1 Mbit/s: a 125-byte datagram takes 1 ms to serialize. Ten sent
         // back-to-back must arrive spread over ~10 ms, not together.
-        let net = SimNet::new(
-            NetConfig::default().with_default_link(
-                LinkConfig::default().with_bandwidth_bps(Some(1_000_000)).with_latency_us(0),
-            ),
-        );
+        let net = SimNet::new(NetConfig::default().with_default_link(
+            LinkConfig::default().with_bandwidth_bps(Some(1_000_000)).with_latency_us(0),
+        ));
         let a = net.socket(1);
         let _b = net.socket(2);
         for _ in 0..10 {
@@ -552,7 +554,10 @@ mod tests {
         a.send(Destination::Unicast(2), Bytes::from_static(b"x")).unwrap();
         net.remove_node(2);
         net.run_until_idle();
-        assert!(matches!(b.send(Destination::Unicast(1), Bytes::new()), Err(SendError::UnknownNode(2))));
+        assert!(matches!(
+            b.send(Destination::Unicast(1), Bytes::new()),
+            Err(SendError::UnknownNode(2))
+        ));
         // Delivery to removed node silently vanished.
         assert_eq!(net.stats().datagrams_delivered, 0);
     }
@@ -571,8 +576,7 @@ mod tests {
     #[test]
     fn delivery_order_is_stable_for_equal_times() {
         let net = SimNet::new(
-            NetConfig::default()
-                .with_default_link(LinkConfig::default().with_bandwidth_bps(None)),
+            NetConfig::default().with_default_link(LinkConfig::default().with_bandwidth_bps(None)),
         );
         let a = net.socket(1);
         let b = net.socket(2);
@@ -589,15 +593,9 @@ mod tests {
 
     #[test]
     fn jitter_spreads_arrivals() {
-        let net = SimNet::new(
-            NetConfig::default()
-                .with_seed(10)
-                .with_default_link(
-                    LinkConfig::default()
-                        .with_jitter_us(10_000)
-                        .with_bandwidth_bps(None),
-                ),
-        );
+        let net = SimNet::new(NetConfig::default().with_seed(10).with_default_link(
+            LinkConfig::default().with_jitter_us(10_000).with_bandwidth_bps(None),
+        ));
         let a = net.socket(1);
         let _b = net.socket(2);
         let mut arrivals = Vec::new();

@@ -297,11 +297,8 @@ impl TcpishEndpoint {
                 self.dup_acks = 0;
                 self.inflight.retain(|&s, seg| s + seg.payload.len() as u64 > ack);
                 self.rto_us = self.cfg.min_rto_us;
-                self.rto_deadline = if self.inflight.is_empty() {
-                    None
-                } else {
-                    Some(now_us + self.rto_us)
-                };
+                self.rto_deadline =
+                    if self.inflight.is_empty() { None } else { Some(now_us + self.rto_us) };
             } else if ack == self.snd_una && !self.inflight.is_empty() && payload.is_empty() {
                 self.dup_acks += 1;
                 if self.dup_acks == 3 {
@@ -476,8 +473,8 @@ mod tests {
         let (ack, _) = c.on_segment(&sa[0], 0);
         s.on_segment(&ack[0], 0);
 
-        c.send_message(b"first-event!");   // 16 bytes with prefix -> seg 1
-        c.send_message(b"second-event");   // seg 2
+        c.send_message(b"first-event!"); // 16 bytes with prefix -> seg 1
+        c.send_message(b"second-event"); // seg 2
         let segs = c.poll(0);
         assert!(segs.len() >= 2);
         // Drop the first segment, deliver the rest: nothing must surface.

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod convert;
 mod error;
 mod name;
 mod path;
@@ -53,6 +54,10 @@ pub mod testkit;
 mod types;
 mod value;
 
+pub use convert::{
+    ArgsCodec, ArgsSchema, EventPayload, FnRet, FromArgs, FromValue, HasDataType, IntoArgs,
+    IntoValue, TypeMismatch, ValueCodec,
+};
 pub use error::{InvalidNameError, PathError, TypeError, TypeErrorKind};
 pub use name::Name;
 pub use path::{PathSegment, ValuePath};

@@ -89,9 +89,10 @@ impl ValuePath {
                     if digits.is_empty() {
                         return Err(PathError::Syntax { at: i + 1, reason: "empty index" });
                     }
-                    let idx = digits
-                        .parse::<usize>()
-                        .map_err(|_| PathError::Syntax { at: i + 1, reason: "index is not a number" })?;
+                    let idx = digits.parse::<usize>().map_err(|_| PathError::Syntax {
+                        at: i + 1,
+                        reason: "index is not a number",
+                    })?;
                     segments.push(PathSegment::Index(idx));
                     i = close + 1;
                 }
@@ -103,10 +104,7 @@ impl ValuePath {
                             reason: "expected `.` or `[` between segments",
                         });
                     }
-                    let end = s[i..]
-                        .find(['.', '[', ']'])
-                        .map(|off| i + off)
-                        .unwrap_or(s.len());
+                    let end = s[i..].find(['.', '[', ']']).map(|off| i + off).unwrap_or(s.len());
                     segments.push(PathSegment::Field(s[i..end].to_owned()));
                     expect_field = false;
                     i = end;

@@ -43,9 +43,8 @@ pub fn arb_data_type(depth: u32) -> BoxedStrategy<DataType> {
                 // Variable-length vectors.
                 inner.clone().prop_map(|t| DataType::Vector(VectorType::of(t))),
                 // Fixed-length vectors.
-                (inner.clone(), 0usize..4).prop_map(|(t, n)| {
-                    DataType::Vector(VectorType::fixed(t, n))
-                }),
+                (inner.clone(), 0usize..4)
+                    .prop_map(|(t, n)| { DataType::Vector(VectorType::fixed(t, n)) }),
                 // Structs with 1..4 uniquely named fields.
                 (
                     proptest::collection::btree_set(arb_name(), 1..4),

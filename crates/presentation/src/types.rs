@@ -387,9 +387,7 @@ impl DataType {
     pub fn depth(&self) -> usize {
         match self {
             DataType::Vector(v) => 1 + v.elem().depth(),
-            DataType::Struct(s) => {
-                1 + s.fields().iter().map(|f| f.ty().depth()).max().unwrap_or(0)
-            }
+            DataType::Struct(s) => 1 + s.fields().iter().map(|f| f.ty().depth()).max().unwrap_or(0),
             DataType::Union(u) => {
                 1 + u.alternatives().iter().map(|f| f.ty().depth()).max().unwrap_or(0)
             }
@@ -411,15 +409,17 @@ impl DataType {
             }
             (DataType::Struct(a), DataType::Struct(b)) => {
                 a.fields().len() == b.fields().len()
-                    && a.fields().iter().zip(b.fields()).all(|(x, y)| {
-                        x.name() == y.name() && x.ty().is_compatible_with(y.ty())
-                    })
+                    && a.fields()
+                        .iter()
+                        .zip(b.fields())
+                        .all(|(x, y)| x.name() == y.name() && x.ty().is_compatible_with(y.ty()))
             }
             (DataType::Union(a), DataType::Union(b)) => {
                 a.alternatives().len() == b.alternatives().len()
-                    && a.alternatives().iter().zip(b.alternatives()).all(|(x, y)| {
-                        x.name() == y.name() && x.ty().is_compatible_with(y.ty())
-                    })
+                    && a.alternatives()
+                        .iter()
+                        .zip(b.alternatives())
+                        .all(|(x, y)| x.name() == y.name() && x.ty().is_compatible_with(y.ty()))
             }
             (a, b) => a.kind() == b.kind(),
         }
@@ -559,10 +559,7 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(
-            position().to_string(),
-            "struct Position { lat: f64, lon: f64, alt: f32 }"
-        );
+        assert_eq!(position().to_string(), "struct Position { lat: f64, lon: f64, alt: f32 }");
         let v = DataType::Vector(VectorType::fixed(DataType::U8, 16));
         assert_eq!(v.to_string(), "vector<u8, 16>");
     }

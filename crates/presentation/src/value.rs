@@ -407,9 +407,7 @@ impl Value {
         for seg in path.segments() {
             current = match (seg, current) {
                 (PathSegment::Field(name), Value::Struct(s)) => s.get(name)?,
-                (PathSegment::Field(name), Value::Union(u))
-                    if u.alternative() == name.as_str() =>
-                {
+                (PathSegment::Field(name), Value::Union(u)) if u.alternative() == name.as_str() => {
                     u.value()
                 }
                 (PathSegment::Index(i), Value::Vector(v)) => v.items().get(*i)?,
@@ -752,11 +750,7 @@ mod tests {
     fn nested_error_locations() {
         let wp_ty = DataType::Vector(VectorType::of(position_ty()));
         let bad = Value::Vector(
-            VectorValue::new(
-                position_ty(),
-                vec![position_val(), position_val()],
-            )
-            .unwrap(),
+            VectorValue::new(position_ty(), vec![position_val(), position_val()]).unwrap(),
         );
         // Corrupt the second element's alt to a wrong kind via rebuild.
         let mut vv = match bad {
@@ -819,11 +813,7 @@ mod tests {
         let wp = Value::struct_of("Plan")
             .field(
                 "waypoints",
-                VectorValue::new(
-                    position_ty(),
-                    vec![position_val(), position_val()],
-                )
-                .unwrap(),
+                VectorValue::new(position_ty(), vec![position_val(), position_val()]).unwrap(),
             )
             .field("name", "survey-A")
             .build()

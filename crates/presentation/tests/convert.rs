@@ -1,0 +1,170 @@
+//! Property-style tests for the typed conversion layer: every
+//! `IntoValue`/`FromValue` impl round-trips, and every descriptor/value
+//! disagreement surfaces as a structured `TypeMismatch`.
+
+use marea_presentation::{
+    ArgsSchema, DataType, EventPayload, FnRet, FromArgs, FromValue, HasDataType, IntoArgs,
+    IntoValue, TypeKind, Value,
+};
+use proptest::prelude::*;
+
+macro_rules! roundtrip_property {
+    ($($test:ident: $t:ty => $dt:expr, $strategy:expr;)*) => {
+        proptest! {
+            $(
+                /// Generated values of the Rust type survive the trip
+                /// through the dynamic `Value` unchanged, and the derived
+                /// schema is the declared one.
+                #[test]
+                fn $test(x in $strategy) {
+                    prop_assert_eq!(<$t as HasDataType>::data_type(), $dt);
+                    let v = x.clone().into_value();
+                    prop_assert!(v.conforms_to(&<$t as HasDataType>::data_type()).is_ok());
+                    let back = <$t as FromValue>::from_value(&v);
+                    prop_assert_eq!(back.ok(), Some(x));
+                }
+            )*
+        }
+    };
+}
+
+roundtrip_property! {
+    roundtrip_bool: bool => DataType::Bool, any::<bool>();
+    roundtrip_i8: i8 => DataType::I8, any::<i8>();
+    roundtrip_i16: i16 => DataType::I16, any::<i16>();
+    roundtrip_i32: i32 => DataType::I32, any::<i32>();
+    roundtrip_i64: i64 => DataType::I64, any::<i64>();
+    roundtrip_u8: u8 => DataType::U8, any::<u8>();
+    roundtrip_u16: u16 => DataType::U16, any::<u16>();
+    roundtrip_u32: u32 => DataType::U32, any::<u32>();
+    roundtrip_u64: u64 => DataType::U64, any::<u64>();
+    roundtrip_f32: f32 => DataType::F32, any::<f32>();
+    roundtrip_f64: f64 => DataType::F64, any::<f64>();
+    roundtrip_char: char => DataType::Char, any::<char>();
+    roundtrip_string: String => DataType::Str, any::<String>();
+    roundtrip_bytes: Vec<u8> => DataType::Bytes, proptest::collection::vec(any::<u8>(), 0..64);
+}
+
+proptest! {
+    /// Tuple argument packs round-trip element-wise with the declared
+    /// parameter schemas.
+    #[test]
+    fn roundtrip_args(a in any::<u64>(), b in any::<String>(), c in any::<bool>()) {
+        let args = (a, b.clone(), c).into_args();
+        prop_assert_eq!(args.len(), 3);
+        prop_assert_eq!(
+            <(u64, String, bool)>::arg_types(),
+            vec![DataType::U64, DataType::Str, DataType::Bool]
+        );
+        for (arg, ty) in args.iter().zip(<(u64, String, bool)>::arg_types()) {
+            prop_assert!(arg.conforms_to(&ty).is_ok());
+        }
+        let back = <(u64, String, bool)>::from_args(&args);
+        prop_assert_eq!(back.ok(), Some((a, b, c)));
+    }
+
+    /// Optional event payloads round-trip in both the present and absent
+    /// cases.
+    #[test]
+    fn roundtrip_optional_payload(x in any::<u32>(), present in any::<bool>()) {
+        let payload = if present { Some(x) } else { None };
+        let wire = payload.into_payload();
+        let back = <Option<u32> as EventPayload>::from_payload(wire.as_ref());
+        prop_assert_eq!(back.ok(), Some(payload));
+    }
+
+    /// Every *wrong-kind* dynamic value is rejected with a mismatch that
+    /// names the declared schema and the observed kind — the (declared
+    /// `U64`, published `F64`) case and all its relatives.
+    #[test]
+    fn wrong_kind_is_a_structured_mismatch(x in any::<f64>()) {
+        let err = u64::from_value(&Value::F64(x)).unwrap_err();
+        prop_assert_eq!(err.expected(), Some(&DataType::U64));
+        prop_assert_eq!(err.found(), Some(TypeKind::F64));
+
+        let err = bool::from_value(&Value::U64(1)).unwrap_err();
+        prop_assert_eq!(err.expected(), Some(&DataType::Bool));
+        prop_assert_eq!(err.found(), Some(TypeKind::U64));
+
+        let err = String::from_value(&Value::Bytes(vec![1])).unwrap_err();
+        prop_assert_eq!(err.expected(), Some(&DataType::Str));
+        prop_assert_eq!(err.found(), Some(TypeKind::Bytes));
+    }
+}
+
+#[test]
+fn every_scalar_rejects_every_other_kind() {
+    // Exhaustive negative matrix over the scalar codecs: decoding a value
+    // of any *different* kind must fail with the declared schema in the
+    // error.
+    let values = vec![
+        Value::Bool(true),
+        Value::I8(1),
+        Value::I16(1),
+        Value::I32(1),
+        Value::I64(1),
+        Value::U8(1),
+        Value::U16(1),
+        Value::U32(1),
+        Value::U64(1),
+        Value::F32(1.0),
+        Value::F64(1.0),
+        Value::Char('x'),
+        Value::Str("s".into()),
+        Value::Bytes(vec![1]),
+    ];
+    fn check<T: FromValue + std::fmt::Debug>(values: &[Value]) {
+        for v in values {
+            let decoded_ok = T::from_value(v).is_ok();
+            let kinds_match = v.kind() == T::data_type().kind();
+            assert_eq!(decoded_ok, kinds_match, "decoding {v:?} as {:?}", T::data_type());
+            if !decoded_ok {
+                let err = T::from_value(v).unwrap_err();
+                assert_eq!(err.expected(), Some(&T::data_type()));
+                assert_eq!(err.found(), Some(v.kind()));
+            }
+        }
+    }
+    check::<bool>(&values);
+    check::<i8>(&values);
+    check::<i16>(&values);
+    check::<i32>(&values);
+    check::<i64>(&values);
+    check::<u8>(&values);
+    check::<u16>(&values);
+    check::<u32>(&values);
+    check::<u64>(&values);
+    check::<f32>(&values);
+    check::<f64>(&values);
+    check::<char>(&values);
+    check::<String>(&values);
+    check::<Vec<u8>>(&values);
+}
+
+#[test]
+fn args_arity_and_position_errors_are_located() {
+    // Too few arguments.
+    let err = <(u64, String)>::from_args(&[Value::U64(1)]).unwrap_err();
+    assert!(err.to_string().contains("2 arguments"), "{err}");
+    // Wrong type in the second position is attributed to argument 1.
+    let err = <(u64, String)>::from_args(&[Value::U64(1), Value::U64(2)]).unwrap_err();
+    assert_eq!(err.detail(), Some("argument 1"));
+    assert_eq!(err.expected(), Some(&DataType::Str));
+}
+
+#[test]
+fn bare_and_void_contracts() {
+    assert_eq!(<() as EventPayload>::payload_type(), None);
+    assert_eq!(<() as FnRet>::return_type(), None);
+    // A mandatory payload that never arrives is a mismatch, not a drop.
+    let err = <u32 as EventPayload>::from_payload(None).unwrap_err();
+    assert_eq!(err.expected(), Some(&DataType::U32));
+    assert_eq!(err.found(), None);
+    assert!(err.to_string().contains("no payload"), "{err}");
+}
+
+#[test]
+fn borrowed_str_encodes_like_owned_string() {
+    assert_eq!(<&str as HasDataType>::data_type(), DataType::Str);
+    assert_eq!("hi".into_value(), String::from("hi").into_value());
+}

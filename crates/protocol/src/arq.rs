@@ -85,7 +85,13 @@ pub struct ArqSender {
 impl ArqSender {
     /// Creates a sender for `channel`.
     pub fn new(channel: u16, config: ArqConfig) -> Self {
-        ArqSender { channel, config, next_seq: 0, inflight: BTreeMap::new(), stats: ArqStats::default() }
+        ArqSender {
+            channel,
+            config,
+            next_seq: 0,
+            inflight: BTreeMap::new(),
+            stats: ArqStats::default(),
+        }
     }
 
     /// Channel id.
@@ -210,7 +216,13 @@ impl ArqReceiver {
     /// Creates a receiver for `channel`; `max_buffer` bounds out-of-order
     /// storage (protecting low-resource nodes).
     pub fn new(channel: u16, max_buffer: usize) -> Self {
-        ArqReceiver { channel, next_expected: 0, buffered: BTreeMap::new(), max_buffer, duplicates: 0 }
+        ArqReceiver {
+            channel,
+            next_expected: 0,
+            buffered: BTreeMap::new(),
+            max_buffer,
+            duplicates: 0,
+        }
     }
 
     /// Channel id.

@@ -257,9 +257,7 @@ mod tests {
         let mut r = Reassembler::new(ProtoDuration::from_secs(1));
         assert!(r.offer(NodeId(1), 1, 0, 0, Bytes::new(), Micros::ZERO).is_err());
         assert!(r.offer(NodeId(1), 1, 5, 3, Bytes::new(), Micros::ZERO).is_err());
-        assert!(r
-            .offer(NodeId(1), 1, 0, MAX_FRAGMENTS + 1, Bytes::new(), Micros::ZERO)
-            .is_err());
+        assert!(r.offer(NodeId(1), 1, 0, MAX_FRAGMENTS + 1, Bytes::new(), Micros::ZERO).is_err());
     }
 
     #[test]

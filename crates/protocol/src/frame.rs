@@ -16,7 +16,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use crate::crc::{crc32_update};
+use crate::crc::crc32_update;
 use crate::error::FrameError;
 use crate::ids::NodeId;
 use crate::messages::MessageKind;
@@ -155,7 +155,10 @@ impl Frame {
         let stored_crc = u32::from_le_bytes([input[12], input[13], input[14], input[15]]);
         let payload = &input[FRAME_HEADER_LEN..];
         if payload.len() != payload_len as usize {
-            return Err(FrameError::LengthMismatch { declared: payload_len, actual: payload.len() });
+            return Err(FrameError::LengthMismatch {
+                declared: payload_len,
+                actual: payload.len(),
+            });
         }
         let computed = {
             let state = crc32_update(0xFFFF_FFFF, &input[..12]);
@@ -200,7 +203,10 @@ mod tests {
     fn rejects_bad_magic() {
         let mut wire = sample().encode().to_vec();
         wire[0] ^= 0xFF;
-        assert_eq!(Frame::decode(&wire), Err(FrameError::BadMagic(u16::from_le_bytes([wire[0], wire[1]]))));
+        assert_eq!(
+            Frame::decode(&wire),
+            Err(FrameError::BadMagic(u16::from_le_bytes([wire[0], wire[1]])))
+        );
     }
 
     #[test]

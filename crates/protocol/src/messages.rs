@@ -744,10 +744,9 @@ impl Message {
 
     fn read_body(kind: MessageKind, r: &mut WireReader<'_>) -> Result<Message, DecodeError> {
         Ok(match kind {
-            MessageKind::Hello => Message::Hello {
-                container: read_name(r)?,
-                incarnation: r.get_varint()?,
-            },
+            MessageKind::Hello => {
+                Message::Hello { container: read_name(r)?, incarnation: r.get_varint()? }
+            }
             MessageKind::Heartbeat => Message::Heartbeat {
                 incarnation: r.get_varint()?,
                 uptime_us: r.get_varint()?,
@@ -805,8 +804,7 @@ impl Message {
                 let service_seq = read_u32(r)?;
                 let name = read_name(r)?;
                 let tag = r.get_u8()?;
-                let state =
-                    ServiceState::from_wire_tag(tag).ok_or(DecodeError::InvalidTag(tag))?;
+                let state = ServiceState::from_wire_tag(tag).ok_or(DecodeError::InvalidTag(tag))?;
                 Message::ServiceStatus { service_seq, name, state }
             }
             MessageKind::SubscribeVar => Message::SubscribeVar {
@@ -814,10 +812,9 @@ impl Message {
                 subscriber: NodeId(r.get_u32_le()?),
                 need_initial: r.get_bool()?,
             },
-            MessageKind::UnsubscribeVar => Message::UnsubscribeVar {
-                name: read_name(r)?,
-                subscriber: NodeId(r.get_u32_le()?),
-            },
+            MessageKind::UnsubscribeVar => {
+                Message::UnsubscribeVar { name: read_name(r)?, subscriber: NodeId(r.get_u32_le()?) }
+            }
             MessageKind::VarSample => Message::VarSample {
                 name: read_name(r)?,
                 seq: r.get_varint()?,
@@ -843,8 +840,7 @@ impl Message {
             MessageKind::CallReply => {
                 let request = RequestId(r.get_varint()?);
                 let tag = r.get_u8()?;
-                let status =
-                    CallStatus::from_wire_tag(tag).ok_or(DecodeError::InvalidTag(tag))?;
+                let status = CallStatus::from_wire_tag(tag).ok_or(DecodeError::InvalidTag(tag))?;
                 Message::CallReply { request, status, codec: r.get_u8()?, payload: read_blob(r)? }
             }
             MessageKind::FileAnnounce => Message::FileAnnounce {
@@ -865,10 +861,9 @@ impl Message {
                 index: read_u32(r)?,
                 payload: read_blob(r)?,
             },
-            MessageKind::FileQuery => Message::FileQuery {
-                transfer: TransferId(r.get_varint()?),
-                revision: read_u32(r)?,
-            },
+            MessageKind::FileQuery => {
+                Message::FileQuery { transfer: TransferId(r.get_varint()?), revision: read_u32(r)? }
+            }
             MessageKind::FileAck => Message::FileAck {
                 transfer: TransferId(r.get_varint()?),
                 revision: read_u32(r)?,
@@ -885,7 +880,9 @@ impl Message {
                 }
                 Message::FileNack { transfer, revision, subscriber, runs }
             }
-            MessageKind::FileCancel => Message::FileCancel { transfer: TransferId(r.get_varint()?) },
+            MessageKind::FileCancel => {
+                Message::FileCancel { transfer: TransferId(r.get_varint()?) }
+            }
             MessageKind::Fragment => Message::Fragment {
                 msg_id: r.get_varint()?,
                 index: read_u32(r)?,
@@ -902,10 +899,9 @@ impl Message {
                 cumulative: r.get_u64_le()?,
                 sack: r.get_u64_le()?,
             },
-            MessageKind::SubscribeEvent => Message::SubscribeEvent {
-                name: read_name(r)?,
-                subscriber: NodeId(r.get_u32_le()?),
-            },
+            MessageKind::SubscribeEvent => {
+                Message::SubscribeEvent { name: read_name(r)?, subscriber: NodeId(r.get_u32_le()?) }
+            }
             MessageKind::UnsubscribeEvent => Message::UnsubscribeEvent {
                 name: read_name(r)?,
                 subscriber: NodeId(r.get_u32_le()?),
@@ -982,7 +978,10 @@ mod tests {
                         Provision::Event { name: name("gps/glitch"), ty: Some(DataType::U8) },
                         Provision::Function {
                             name: name("gps/self-test"),
-                            sig: FunctionSig { params: vec![DataType::U8], returns: Some(DataType::Bool) },
+                            sig: FunctionSig {
+                                params: vec![DataType::U8],
+                                returns: Some(DataType::Bool),
+                            },
                         },
                         Provision::Function {
                             name: name("gps/reset"),

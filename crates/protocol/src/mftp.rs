@@ -805,12 +805,9 @@ mod tests {
     fn finish_current_policy_defers_new_revision() {
         let mut s = sender(&[1u8; 1000], 100);
         s.on_subscribe(NodeId(2));
-        let (mut rx, _) = FileReceiver::from_announce(
-            &s.announce(),
-            NodeId(2),
-            RevisionPolicy::FinishCurrent,
-        )
-        .unwrap();
+        let (mut rx, _) =
+            FileReceiver::from_announce(&s.announce(), NodeId(2), RevisionPolicy::FinishCurrent)
+                .unwrap();
         let ann2 = s.bump_revision(Bytes::from(vec![2u8; 100])).unwrap();
         assert_eq!(rx.on_announce(&ann2).unwrap(), AnnounceOutcome::DeferredNewRevision);
         assert_eq!(rx.revision(), 1);

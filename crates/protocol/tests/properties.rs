@@ -12,9 +12,7 @@ use marea_presentation::Name;
 use marea_protocol::arq::{ArqConfig, ArqReceiver, ArqSender};
 use marea_protocol::fragment::{fragment_payload, Reassembler};
 use marea_protocol::mftp::{FileReceiver, FileSender, RevisionPolicy};
-use marea_protocol::{
-    Frame, GroupId, Message, Micros, NodeId, ProtoDuration, TransferId,
-};
+use marea_protocol::{Frame, GroupId, Message, Micros, NodeId, ProtoDuration, TransferId};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]

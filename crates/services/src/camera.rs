@@ -2,8 +2,8 @@
 
 use bytes::Bytes;
 
-use marea_core::{Micros, Service, ServiceContext, ServiceDescriptor};
-use marea_presentation::{DataType, Name, Value};
+use marea_core::{EventPort, FnPort, Micros, Service, ServiceContext, ServiceDescriptor};
+use marea_presentation::{Name, Value};
 
 use crate::gps::SharedWorld;
 use crate::names;
@@ -23,13 +23,25 @@ pub struct CameraService {
     height: u32,
     ready: bool,
     shots: u32,
+    prepare: FnPort<(String,), bool>,
+    photo_taken: EventPort<u32>,
+    photo_request: EventPort<u32>,
 }
 
 impl CameraService {
     /// Creates a camera over the shared world with a default 256×256
     /// sensor.
     pub fn new(world: SharedWorld) -> Self {
-        CameraService { world, width: 256, height: 256, ready: false, shots: 0 }
+        CameraService {
+            world,
+            width: 256,
+            height: 256,
+            ready: false,
+            shots: 0,
+            prepare: names::camera_prepare_port(),
+            photo_taken: names::photo_taken_port(),
+            photo_request: names::photo_request_port(),
+        }
     }
 
     /// Overrides the sensor resolution (builder style).
@@ -49,10 +61,10 @@ impl CameraService {
 impl Service for CameraService {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("camera")
-            .function(names::FN_CAMERA_PREPARE, vec![DataType::Str], Some(DataType::Bool))
+            .provides_fn(&self.prepare)
             .file_resource(names::FILE_PHOTO)
-            .event(names::EVT_PHOTO_TAKEN, Some(DataType::U32))
-            .subscribe_event(names::EVT_PHOTO_REQUEST)
+            .provides_event(&self.photo_taken)
+            .subscribe_to_event(&self.photo_request)
             .build()
     }
 
@@ -62,13 +74,13 @@ impl Service for CameraService {
         function: &Name,
         args: &[Value],
     ) -> Result<Value, String> {
-        if function != names::FN_CAMERA_PREPARE {
+        if !self.prepare.matches(function) {
             return Err(format!("unknown function `{function}`"));
         }
-        let mission = args.first().and_then(Value::as_str).unwrap_or("unnamed");
+        let (mission,) = self.prepare.decode_args(args).map_err(|e| e.to_string())?;
         self.ready = true;
         ctx.log(format!("camera: prepared for mission `{mission}`"));
-        Ok(Value::Bool(true))
+        Ok(self.prepare.encode_ret(true))
     }
 
     fn on_event(
@@ -78,7 +90,7 @@ impl Service for CameraService {
         _value: Option<&Value>,
         _stamp: Micros,
     ) {
-        if name != names::EVT_PHOTO_REQUEST {
+        if !self.photo_request.matches(name) {
             return;
         }
         if !self.ready {
@@ -99,7 +111,7 @@ impl Service for CameraService {
         // middleware's revision mechanism (§4.4) carries it to every
         // subscriber.
         ctx.publish_file(names::FILE_PHOTO, bytes);
-        ctx.emit(names::EVT_PHOTO_TAKEN, Some(Value::U32(self.shots)));
+        ctx.emit_to(&self.photo_taken, self.shots);
     }
 }
 

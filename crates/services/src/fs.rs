@@ -51,13 +51,7 @@ impl MemFs {
 
     /// Paths starting with `prefix`, sorted.
     pub fn list(&self, prefix: &str) -> Vec<String> {
-        self.inner
-            .lock()
-            .files
-            .keys()
-            .filter(|p| p.starts_with(prefix))
-            .cloned()
-            .collect()
+        self.inner.lock().files.keys().filter(|p| p.starts_with(prefix)).cloned().collect()
     }
 
     /// Number of stored files.

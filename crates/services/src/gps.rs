@@ -4,11 +4,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use marea_core::{ProtoDuration, Service, ServiceContext, ServiceDescriptor, TimerId};
+use marea_core::{
+    EventPort, ProtoDuration, Service, ServiceContext, ServiceDescriptor, TimerId, VarPort,
+};
 use marea_flightsim::sensors::GpsSensor;
 use marea_flightsim::World;
 
-use crate::names::{self, position_value};
+use crate::names::{self, Position};
 
 /// The simulated world shared by the airframe-facing services (GPS drives
 /// it forward; the camera reads it).
@@ -27,6 +29,8 @@ pub struct GpsService {
     period: ProtoDuration,
     validity: ProtoDuration,
     in_outage: bool,
+    position: VarPort<Position>,
+    fix_lost: EventPort<()>,
 }
 
 impl GpsService {
@@ -38,6 +42,8 @@ impl GpsService {
             period: ProtoDuration::from_millis(50), // 20 Hz
             validity: ProtoDuration::from_millis(200),
             in_outage: false,
+            position: names::position_port(),
+            fix_lost: names::fix_lost_port(),
         }
     }
 
@@ -57,8 +63,8 @@ impl GpsService {
 impl Service for GpsService {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("gps")
-            .variable(names::VAR_POSITION, names::position_type(), self.period, self.validity)
-            .event(names::EVT_FIX_LOST, None)
+            .provides_var(&self.position, self.period, self.validity)
+            .provides_event(&self.fix_lost)
             .build()
     }
 
@@ -81,21 +87,21 @@ impl Service for GpsService {
                     self.in_outage = false;
                     ctx.log("gps: fix re-acquired");
                 }
-                ctx.publish(
-                    names::VAR_POSITION,
-                    position_value(
-                        fix.position.lat,
-                        fix.position.lon,
-                        fix.position.alt,
-                        fix.course_rad,
-                        fix.speed_mps,
-                    ),
+                ctx.publish_to(
+                    &self.position,
+                    Position {
+                        lat: fix.position.lat,
+                        lon: fix.position.lon,
+                        alt: fix.position.alt,
+                        heading: fix.course_rad,
+                        speed: fix.speed_mps,
+                    },
                 );
             }
             None => {
                 if !self.in_outage {
                     self.in_outage = true;
-                    ctx.emit(names::EVT_FIX_LOST, None);
+                    ctx.emit_to(&self.fix_lost, ());
                     ctx.log(format!(
                         "gps: fix lost at ({:.5}, {:.5})",
                         state.position.lat, state.position.lon

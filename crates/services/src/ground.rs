@@ -4,10 +4,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use marea_core::{Micros, Service, ServiceContext, ServiceDescriptor};
+use marea_core::{EventPort, Micros, Service, ServiceContext, ServiceDescriptor, VarPort};
 use marea_presentation::{Name, Value};
 
-use crate::names::{self, parse_detection, parse_position};
+use crate::names::{self, Detection, McStatus, Position};
 
 /// The operator's console feed: a shareable, append-only line buffer.
 pub type Display = Arc<Mutex<Vec<String>>>;
@@ -24,12 +24,30 @@ pub struct GroundStationService {
     /// Display one position line out of every `decimate` fixes (20 Hz
     /// telemetry would scroll a real console unreadably).
     decimate: u64,
+    position: VarPort<Position>,
+    mc_status: VarPort<McStatus>,
+    photo_request: EventPort<u32>,
+    photo_taken: EventPort<u32>,
+    mission_complete: EventPort<()>,
+    target_alert: EventPort<Detection>,
+    fix_lost: EventPort<()>,
 }
 
 impl GroundStationService {
     /// Creates a ground station writing into `display`.
     pub fn new(display: Display) -> Self {
-        GroundStationService { display, positions_seen: 0, decimate: 20 }
+        GroundStationService {
+            display,
+            positions_seen: 0,
+            decimate: 20,
+            position: names::position_port(),
+            mc_status: names::mc_status_port(),
+            photo_request: names::photo_request_port(),
+            photo_taken: names::photo_taken_port(),
+            mission_complete: names::mission_complete_port(),
+            target_alert: names::target_alert_port(),
+            fix_lost: names::fix_lost_port(),
+        }
     }
 
     /// Shows every n-th position (builder style).
@@ -40,20 +58,24 @@ impl GroundStationService {
     }
 
     fn show(&self, now: Micros, line: impl AsRef<str>) {
-        self.display.lock().push(format!("[{:>10.3}s] {}", now.as_micros() as f64 / 1e6, line.as_ref()));
+        self.display.lock().push(format!(
+            "[{:>10.3}s] {}",
+            now.as_micros() as f64 / 1e6,
+            line.as_ref()
+        ));
     }
 }
 
 impl Service for GroundStationService {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("ground-station")
-            .subscribe_variable(names::VAR_POSITION, false)
-            .subscribe_variable(names::VAR_MC_STATUS, true)
-            .subscribe_event(names::EVT_PHOTO_REQUEST)
-            .subscribe_event(names::EVT_PHOTO_TAKEN)
-            .subscribe_event(names::EVT_MISSION_COMPLETE)
-            .subscribe_event(names::EVT_TARGET_ALERT)
-            .subscribe_event(names::EVT_FIX_LOST)
+            .subscribe_to_var(&self.position, false)
+            .subscribe_to_var(&self.mc_status, true)
+            .subscribe_to_event(&self.photo_request)
+            .subscribe_to_event(&self.photo_taken)
+            .subscribe_to_event(&self.mission_complete)
+            .subscribe_to_event(&self.target_alert)
+            .subscribe_to_event(&self.fix_lost)
             .build()
     }
 
@@ -68,21 +90,31 @@ impl Service for GroundStationService {
         value: &Value,
         _stamp: Micros,
     ) {
-        if name == names::VAR_POSITION {
+        if self.position.matches(name) {
             self.positions_seen += 1;
             if self.positions_seen.is_multiple_of(self.decimate) {
-                if let Some((lat, lon, alt, hdg, spd)) = parse_position(value) {
+                if let Ok(Position { lat, lon, alt, heading, speed }) = self.position.decode(value)
+                {
                     self.show(
                         ctx.now(),
                         format!(
-                            "pos {lat:.5},{lon:.5} alt {alt:.0}m hdg {:.0}° spd {spd:.1}m/s",
-                            hdg.to_degrees()
+                            "pos {lat:.5},{lon:.5} alt {alt:.0}m hdg {:.0}° spd {speed:.1}m/s",
+                            heading.to_degrees()
                         ),
                     );
                 }
             }
-        } else if name == names::VAR_MC_STATUS {
-            self.show(ctx.now(), format!("mission status: {value}"));
+        } else if self.mc_status.matches(name) {
+            match self.mc_status.decode(value) {
+                Ok(s) => self.show(
+                    ctx.now(),
+                    format!(
+                        "mission status: waypoint {} photos {} complete {}",
+                        s.next_waypoint, s.photos, s.complete
+                    ),
+                ),
+                Err(e) => self.show(ctx.now(), format!("undecodable mission status: {e}")),
+            }
         }
     }
 
@@ -97,20 +129,23 @@ impl Service for GroundStationService {
         value: Option<&Value>,
         _stamp: Micros,
     ) {
-        let line = match name.as_str() {
-            n if n == names::EVT_PHOTO_REQUEST => {
-                format!("photo requested at waypoint {}", value.and_then(Value::as_u64).unwrap_or(0))
+        let line = if self.photo_request.matches(name) {
+            format!("photo requested at waypoint {}", self.photo_request.decode(value).unwrap_or(0))
+        } else if self.photo_taken.matches(name) {
+            format!("photo {} taken", self.photo_taken.decode(value).unwrap_or(0))
+        } else if self.mission_complete.matches(name) {
+            "MISSION COMPLETE".to_owned()
+        } else if self.target_alert.matches(name) {
+            match self.target_alert.decode(value) {
+                Ok(Detection { revision, count }) => {
+                    format!("TARGET ALERT: {count} target(s) in photo {revision}")
+                }
+                Err(_) => "TARGET ALERT".to_owned(),
             }
-            n if n == names::EVT_PHOTO_TAKEN => {
-                format!("photo {} taken", value.and_then(Value::as_u64).unwrap_or(0))
-            }
-            n if n == names::EVT_MISSION_COMPLETE => "MISSION COMPLETE".to_owned(),
-            n if n == names::EVT_TARGET_ALERT => match value.and_then(parse_detection) {
-                Some((rev, count)) => format!("TARGET ALERT: {count} target(s) in photo {rev}"),
-                None => "TARGET ALERT".to_owned(),
-            },
-            n if n == names::EVT_FIX_LOST => "WARNING: gps fix lost".to_owned(),
-            other => format!("event `{other}`"),
+        } else if self.fix_lost.matches(name) {
+            "WARNING: gps fix lost".to_owned()
+        } else {
+            format!("event `{name}`")
         };
         self.show(ctx.now(), line);
     }

@@ -1,12 +1,13 @@
 //! Mission control: the orchestrator of the Fig. 3 scenario.
 
 use marea_core::{
-    CallError, CallHandle, Micros, ProtoDuration, Service, ServiceContext, ServiceDescriptor,
+    CallError, CallHandle, EventPort, FnPort, Micros, ProtoDuration, Service, ServiceContext,
+    ServiceDescriptor, TypedCallHandle, VarPort,
 };
 use marea_flightsim::{FlightPlan, GeoPoint, WaypointAction};
-use marea_presentation::{DataType, Name, Value};
+use marea_presentation::{Name, Value};
 
-use crate::names::{self, parse_position};
+use crate::names::{self, Detection, McStatus, Position};
 
 /// Follows the flight plan and orchestrates the payload services.
 ///
@@ -21,14 +22,27 @@ use crate::names::{self, parse_position};
 /// * commands photos with the `mc/photo-request` **event**;
 /// * the photos themselves travel as **file transfers** (camera → storage
 ///   / video), which mission control only observes through events.
+///
+/// Every interaction goes through a typed port from [`names`], so a
+/// payload that disagrees with the mission vocabulary does not compile.
 #[derive(Debug)]
 pub struct MissionControlService {
     plan: FlightPlan,
     next_wp: usize,
     photos_requested: u32,
     complete_reported: bool,
-    prepare_handle: Option<CallHandle>,
+    prepare_handle: Option<TypedCallHandle<bool>>,
     camera_ready: bool,
+    // Provided ports.
+    status: VarPort<McStatus>,
+    photo_request: EventPort<u32>,
+    mission_complete: EventPort<()>,
+    target_alert: EventPort<Detection>,
+    // Consumed ports.
+    position: VarPort<Position>,
+    target_detected: EventPort<Detection>,
+    camera_prepare: FnPort<(String,), bool>,
+    storage_store: FnPort<(String, Vec<u8>), bool>,
 }
 
 impl MissionControlService {
@@ -41,37 +55,41 @@ impl MissionControlService {
             complete_reported: false,
             prepare_handle: None,
             camera_ready: false,
+            status: names::mc_status_port(),
+            photo_request: names::photo_request_port(),
+            mission_complete: names::mission_complete_port(),
+            target_alert: names::target_alert_port(),
+            position: names::position_port(),
+            target_detected: names::target_detected_port(),
+            camera_prepare: names::camera_prepare_port(),
+            storage_store: names::storage_store_port(),
         }
     }
 
     fn publish_status(&self, ctx: &mut ServiceContext<'_>) {
-        let status = Value::struct_of("McStatus")
-            .field("next_waypoint", self.next_wp as u32)
-            .field("photos", self.photos_requested)
-            .field("complete", self.next_wp >= self.plan.len())
-            .build()
-            .expect("literal field names");
-        ctx.publish(names::VAR_MC_STATUS, status);
+        ctx.publish_to(
+            &self.status,
+            McStatus {
+                next_waypoint: self.next_wp as u32,
+                photos: self.photos_requested,
+                complete: self.next_wp >= self.plan.len(),
+            },
+        );
     }
 }
 
 impl Service for MissionControlService {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("mission-control")
-            .variable(
-                names::VAR_MC_STATUS,
-                names::mc_status_type(),
-                ProtoDuration::ZERO,
-                ProtoDuration::from_secs(5),
-            )
-            .event(names::EVT_PHOTO_REQUEST, Some(DataType::U32))
-            .event(names::EVT_MISSION_COMPLETE, None)
-            .event(names::EVT_TARGET_ALERT, Some(names::detection_type()))
-            .subscribe_variable(names::VAR_POSITION, true)
-            .subscribe_event(names::EVT_TARGET_DETECTED)
-            .requires_function(names::FN_CAMERA_PREPARE)
-            .requires_function(names::FN_STORAGE_STORE)
-            .build()
+        let mut b = ServiceDescriptor::builder("mission-control");
+        b.provides_var(&self.status, ProtoDuration::ZERO, ProtoDuration::from_secs(5))
+            .provides_event(&self.photo_request)
+            .provides_event(&self.mission_complete)
+            .provides_event(&self.target_alert)
+            .subscribe_to_var(&self.position, true)
+            .subscribe_to_event(&self.target_detected)
+            .requires_fn(&self.camera_prepare)
+            .requires_fn(&self.storage_store);
+        b.build()
     }
 
     fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
@@ -87,9 +105,9 @@ impl Service for MissionControlService {
         // Initialize the camera as soon as its function appears ("all these
         // initialization have remote call semantics", §5).
         if let marea_core::ProviderNotice::FunctionAvailable(name) = notice {
-            if name == names::FN_CAMERA_PREPARE && self.prepare_handle.is_none() {
+            if self.camera_prepare.matches(name) && self.prepare_handle.is_none() {
                 self.prepare_handle =
-                    Some(ctx.call(names::FN_CAMERA_PREPARE, vec![Value::Str("mission".into())]));
+                    Some(ctx.call_fn(&self.camera_prepare, ("mission".to_owned(),)));
                 ctx.log("mc: preparing camera");
             }
         }
@@ -101,16 +119,22 @@ impl Service for MissionControlService {
         handle: CallHandle,
         result: Result<Value, CallError>,
     ) {
-        if Some(handle) == self.prepare_handle {
-            match result {
-                Ok(_) => {
-                    self.camera_ready = true;
-                    ctx.log("mc: camera ready");
-                }
-                Err(e) => {
-                    ctx.log(format!("mc: camera prepare failed: {e}"));
-                    self.prepare_handle = None; // retry on next availability
-                }
+        let Some(pending) = self.prepare_handle else { return };
+        if !pending.matches(handle) {
+            return;
+        }
+        match pending.decode(result) {
+            Ok(true) => {
+                self.camera_ready = true;
+                ctx.log("mc: camera ready");
+            }
+            Ok(false) => {
+                ctx.log("mc: camera declined to arm");
+                self.prepare_handle = None; // retry on next availability
+            }
+            Err(e) => {
+                ctx.log(format!("mc: camera prepare failed: {e}"));
+                self.prepare_handle = None; // retry on next availability
             }
         }
     }
@@ -122,11 +146,16 @@ impl Service for MissionControlService {
         value: &Value,
         _stamp: Micros,
     ) {
-        if name != names::VAR_POSITION {
+        if !self.position.matches(name) {
             return;
         }
-        let Some((lat, lon, alt, _, _)) = parse_position(value) else { return };
-        let here = GeoPoint::new(lat, lon, alt);
+        let here = match self.position.decode(value) {
+            Ok(Position { lat, lon, alt, .. }) => GeoPoint::new(lat, lon, alt),
+            Err(e) => {
+                ctx.log(format!("mc: bad position sample: {e}"));
+                return;
+            }
+        };
         let mut changed = false;
         while let Some(wp) = self.plan.get(self.next_wp) {
             if here.distance_m(&wp.point) > wp.radius_m {
@@ -134,7 +163,7 @@ impl Service for MissionControlService {
             }
             if wp.action == WaypointAction::TakePhoto {
                 if self.camera_ready {
-                    ctx.emit(names::EVT_PHOTO_REQUEST, Some(Value::U32(self.next_wp as u32)));
+                    ctx.emit_to(&self.photo_request, self.next_wp as u32);
                     self.photos_requested += 1;
                     ctx.log(format!("mc: photo requested at waypoint {}", self.next_wp));
                 } else {
@@ -151,7 +180,7 @@ impl Service for MissionControlService {
             self.publish_status(ctx);
             if self.next_wp >= self.plan.len() && !self.complete_reported {
                 self.complete_reported = true;
-                ctx.emit(names::EVT_MISSION_COMPLETE, None);
+                ctx.emit_to(&self.mission_complete, ());
                 ctx.log("mc: mission complete");
             }
         }
@@ -164,12 +193,18 @@ impl Service for MissionControlService {
         value: Option<&Value>,
         _stamp: Micros,
     ) {
-        if name == names::EVT_TARGET_DETECTED {
+        if self.target_detected.matches(name) {
             // Relay to the ground station channel ("it can notify the GS
             // and MC", §5).
-            if let Some(v) = value {
-                ctx.emit(names::EVT_TARGET_ALERT, Some(v.clone()));
-                ctx.log(format!("mc: target alert relayed ({v})"));
+            match self.target_detected.decode(value) {
+                Ok(detection) => {
+                    ctx.emit_to(&self.target_alert, detection);
+                    ctx.log(format!(
+                        "mc: target alert relayed (photo {}, {} targets)",
+                        detection.revision, detection.count
+                    ));
+                }
+                Err(e) => ctx.log(format!("mc: undecodable detection: {e}")),
             }
         }
     }

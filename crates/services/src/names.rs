@@ -1,12 +1,18 @@
-//! The mission vocabulary: names and schemas shared by the standard
-//! services.
+//! The mission vocabulary: names, schemas and **typed ports** shared by
+//! the standard services.
 //!
 //! Keeping the contract here (instead of inside each service) is what lets
 //! "all the services \[be\] generic enough to be reutilized in most of the
 //! UAV missions" (paper §5) — a mission recombines services purely by
-//! name.
+//! name. The typed port constructors make that contract compile-time
+//! checked on *both* sides: the producer declares through the same port
+//! the consumers subscribe and decode through, so a schema change is a
+//! type error in every service it affects.
 
-use marea_presentation::{DataType, StructType, Value};
+use marea_core::{EventPort, FnPort, VarPort};
+use marea_presentation::{
+    DataType, FromValue, HasDataType, IntoValue, StructType, TypeMismatch, Value,
+};
 
 /// `gps/position` — the high-rate position variable (paper §5).
 pub const VAR_POSITION: &str = "gps/position";
@@ -38,82 +44,279 @@ pub const EVT_TARGET_DETECTED: &str = "video/target-detected";
 /// `telemetry/fg` — FlightGear-style telemetry line variable.
 pub const VAR_TELEMETRY: &str = "telemetry/fg";
 
-/// Schema of [`VAR_POSITION`].
+// ---- typed records ------------------------------------------------------
+
+/// A GPS fix: the payload of [`VAR_POSITION`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Altitude in metres.
+    pub alt: f64,
+    /// Course over ground in radians.
+    pub heading: f64,
+    /// Ground speed in m/s.
+    pub speed: f64,
+}
+
+impl HasDataType for Position {
+    fn data_type() -> DataType {
+        DataType::Struct(
+            StructType::new("Position")
+                .with_field("lat", DataType::F64)
+                .expect("literal")
+                .with_field("lon", DataType::F64)
+                .expect("literal")
+                .with_field("alt", DataType::F64)
+                .expect("literal")
+                .with_field("heading", DataType::F64)
+                .expect("literal")
+                .with_field("speed", DataType::F64)
+                .expect("literal"),
+        )
+    }
+}
+
+impl IntoValue for Position {
+    fn into_value(self) -> Value {
+        Value::struct_of("Position")
+            .field("lat", self.lat)
+            .field("lon", self.lon)
+            .field("alt", self.alt)
+            .field("heading", self.heading)
+            .field("speed", self.speed)
+            .build()
+            .expect("literal field names")
+    }
+}
+
+impl FromValue for Position {
+    fn from_value(value: &Value) -> Result<Self, TypeMismatch> {
+        let field = |name: &str| -> Result<f64, TypeMismatch> {
+            value.at(name).and_then(Value::as_f64).ok_or_else(|| {
+                TypeMismatch::new(Self::data_type(), value.kind())
+                    .with_detail(format!("field `{name}`"))
+            })
+        };
+        Ok(Position {
+            lat: field("lat")?,
+            lon: field("lon")?,
+            alt: field("alt")?,
+            heading: field("heading")?,
+            speed: field("speed")?,
+        })
+    }
+}
+
+/// A detection report: the payload of [`EVT_TARGET_DETECTED`] and
+/// [`EVT_TARGET_ALERT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Detection {
+    /// Photo revision the detection ran on.
+    pub revision: u32,
+    /// Number of targets found.
+    pub count: u32,
+}
+
+impl HasDataType for Detection {
+    fn data_type() -> DataType {
+        DataType::Struct(
+            StructType::new("Detection")
+                .with_field("revision", DataType::U32)
+                .expect("literal")
+                .with_field("count", DataType::U32)
+                .expect("literal"),
+        )
+    }
+}
+
+impl IntoValue for Detection {
+    fn into_value(self) -> Value {
+        Value::struct_of("Detection")
+            .field("revision", self.revision)
+            .field("count", self.count)
+            .build()
+            .expect("literal field names")
+    }
+}
+
+impl FromValue for Detection {
+    fn from_value(value: &Value) -> Result<Self, TypeMismatch> {
+        let field = |name: &str| -> Result<u32, TypeMismatch> {
+            match value.at(name) {
+                Some(Value::U32(v)) => Ok(*v),
+                _ => Err(TypeMismatch::new(Self::data_type(), value.kind())
+                    .with_detail(format!("field `{name}`"))),
+            }
+        };
+        Ok(Detection { revision: field("revision")?, count: field("count")? })
+    }
+}
+
+/// Mission progress: the payload of [`VAR_MC_STATUS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct McStatus {
+    /// Index of the next waypoint to reach.
+    pub next_waypoint: u32,
+    /// Photos requested so far.
+    pub photos: u32,
+    /// The plan is exhausted.
+    pub complete: bool,
+}
+
+impl HasDataType for McStatus {
+    fn data_type() -> DataType {
+        DataType::Struct(
+            StructType::new("McStatus")
+                .with_field("next_waypoint", DataType::U32)
+                .expect("literal")
+                .with_field("photos", DataType::U32)
+                .expect("literal")
+                .with_field("complete", DataType::Bool)
+                .expect("literal"),
+        )
+    }
+}
+
+impl IntoValue for McStatus {
+    fn into_value(self) -> Value {
+        Value::struct_of("McStatus")
+            .field("next_waypoint", self.next_waypoint)
+            .field("photos", self.photos)
+            .field("complete", self.complete)
+            .build()
+            .expect("literal field names")
+    }
+}
+
+impl FromValue for McStatus {
+    fn from_value(value: &Value) -> Result<Self, TypeMismatch> {
+        let mismatch = |detail: &str| {
+            TypeMismatch::new(Self::data_type(), value.kind()).with_detail(detail.to_owned())
+        };
+        let u32_field = |name: &str| match value.at(name) {
+            Some(Value::U32(v)) => Ok(*v),
+            _ => Err(mismatch(&format!("field `{name}`"))),
+        };
+        Ok(McStatus {
+            next_waypoint: u32_field("next_waypoint")?,
+            photos: u32_field("photos")?,
+            complete: value
+                .at("complete")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| mismatch("field `complete`"))?,
+        })
+    }
+}
+
+// ---- typed ports --------------------------------------------------------
+
+/// Typed port for [`VAR_POSITION`].
+pub fn position_port() -> VarPort<Position> {
+    VarPort::new(VAR_POSITION)
+}
+
+/// Typed port for [`EVT_FIX_LOST`] (bare).
+pub fn fix_lost_port() -> EventPort<()> {
+    EventPort::new(EVT_FIX_LOST)
+}
+
+/// Typed port for [`VAR_MC_STATUS`].
+pub fn mc_status_port() -> VarPort<McStatus> {
+    VarPort::new(VAR_MC_STATUS)
+}
+
+/// Typed port for [`EVT_PHOTO_REQUEST`] (payload: waypoint index).
+pub fn photo_request_port() -> EventPort<u32> {
+    EventPort::new(EVT_PHOTO_REQUEST)
+}
+
+/// Typed port for [`EVT_MISSION_COMPLETE`] (bare).
+pub fn mission_complete_port() -> EventPort<()> {
+    EventPort::new(EVT_MISSION_COMPLETE)
+}
+
+/// Typed port for [`EVT_TARGET_ALERT`].
+pub fn target_alert_port() -> EventPort<Detection> {
+    EventPort::new(EVT_TARGET_ALERT)
+}
+
+/// Typed port for [`FN_CAMERA_PREPARE`]: `(mission name) -> armed`.
+pub fn camera_prepare_port() -> FnPort<(String,), bool> {
+    FnPort::new(FN_CAMERA_PREPARE)
+}
+
+/// Typed port for [`EVT_PHOTO_TAKEN`] (payload: shot number).
+pub fn photo_taken_port() -> EventPort<u32> {
+    EventPort::new(EVT_PHOTO_TAKEN)
+}
+
+/// Typed port for [`FN_STORAGE_STORE`]: `(path, data) -> stored`.
+pub fn storage_store_port() -> FnPort<(String, Vec<u8>), bool> {
+    FnPort::new(FN_STORAGE_STORE)
+}
+
+/// Typed port for [`FN_STORAGE_GET`]: `(path) -> data`.
+pub fn storage_get_port() -> FnPort<(String,), Vec<u8>> {
+    FnPort::new(FN_STORAGE_GET)
+}
+
+/// Typed port for [`FN_STORAGE_LIST`]: `(prefix) -> newline-joined paths`.
+pub fn storage_list_port() -> FnPort<(String,), String> {
+    FnPort::new(FN_STORAGE_LIST)
+}
+
+/// Typed port for [`EVT_TARGET_DETECTED`].
+pub fn target_detected_port() -> EventPort<Detection> {
+    EventPort::new(EVT_TARGET_DETECTED)
+}
+
+/// Typed port for [`VAR_TELEMETRY`].
+pub fn telemetry_port() -> VarPort<String> {
+    VarPort::new(VAR_TELEMETRY)
+}
+
+// ---- dynamic compatibility helpers --------------------------------------
+
+/// Schema of [`VAR_POSITION`] (prefer [`Position`]'s
+/// [`HasDataType`] impl).
 pub fn position_type() -> DataType {
-    DataType::Struct(
-        StructType::new("Position")
-            .with_field("lat", DataType::F64)
-            .expect("literal")
-            .with_field("lon", DataType::F64)
-            .expect("literal")
-            .with_field("alt", DataType::F64)
-            .expect("literal")
-            .with_field("heading", DataType::F64)
-            .expect("literal")
-            .with_field("speed", DataType::F64)
-            .expect("literal"),
-    )
+    Position::data_type()
 }
 
-/// Builds a [`VAR_POSITION`] sample.
+/// Builds a [`VAR_POSITION`] sample (prefer constructing a [`Position`]).
 pub fn position_value(lat: f64, lon: f64, alt: f64, heading: f64, speed: f64) -> Value {
-    Value::struct_of("Position")
-        .field("lat", lat)
-        .field("lon", lon)
-        .field("alt", alt)
-        .field("heading", heading)
-        .field("speed", speed)
-        .build()
-        .expect("literal field names")
+    Position { lat, lon, alt, heading, speed }.into_value()
 }
 
-/// Parses a [`VAR_POSITION`] sample into `(lat, lon, alt, heading, speed)`.
+/// Parses a [`VAR_POSITION`] sample into `(lat, lon, alt, heading, speed)`
+/// (prefer [`Position::from_value`]).
 pub fn parse_position(v: &Value) -> Option<(f64, f64, f64, f64, f64)> {
-    Some((
-        v.at("lat")?.as_f64()?,
-        v.at("lon")?.as_f64()?,
-        v.at("alt")?.as_f64()?,
-        v.at("heading")?.as_f64()?,
-        v.at("speed")?.as_f64()?,
-    ))
+    Position::from_value(v).ok().map(|p| (p.lat, p.lon, p.alt, p.heading, p.speed))
 }
 
-/// Schema of [`EVT_TARGET_DETECTED`] / [`EVT_TARGET_ALERT`] payloads.
+/// Schema of [`EVT_TARGET_DETECTED`] / [`EVT_TARGET_ALERT`] payloads
+/// (prefer [`Detection`]).
 pub fn detection_type() -> DataType {
-    DataType::Struct(
-        StructType::new("Detection")
-            .with_field("revision", DataType::U32)
-            .expect("literal")
-            .with_field("count", DataType::U32)
-            .expect("literal"),
-    )
+    Detection::data_type()
 }
 
-/// Builds a detection payload.
+/// Builds a detection payload (prefer constructing a [`Detection`]).
 pub fn detection_value(revision: u32, count: u32) -> Value {
-    Value::struct_of("Detection")
-        .field("revision", revision)
-        .field("count", count)
-        .build()
-        .expect("literal field names")
+    Detection { revision, count }.into_value()
 }
 
-/// Parses a detection payload into `(revision, count)`.
+/// Parses a detection payload into `(revision, count)` (prefer
+/// [`Detection::from_value`]).
 pub fn parse_detection(v: &Value) -> Option<(u32, u32)> {
-    Some((v.at("revision")?.as_u64()? as u32, v.at("count")?.as_u64()? as u32))
+    Detection::from_value(v).ok().map(|d| (d.revision, d.count))
 }
 
-/// Schema of [`VAR_MC_STATUS`].
+/// Schema of [`VAR_MC_STATUS`] (prefer [`McStatus`]).
 pub fn mc_status_type() -> DataType {
-    DataType::Struct(
-        StructType::new("McStatus")
-            .with_field("next_waypoint", DataType::U32)
-            .expect("literal")
-            .with_field("photos", DataType::U32)
-            .expect("literal")
-            .with_field("complete", DataType::Bool)
-            .expect("literal"),
-    )
+    McStatus::data_type()
 }
 
 #[cfg(test)]
@@ -122,21 +325,54 @@ mod tests {
 
     #[test]
     fn position_roundtrip() {
-        let v = position_value(41.2, 1.9, 120.0, 1.5, 22.0);
-        v.conforms_to(&position_type()).unwrap();
+        let p = Position { lat: 41.2, lon: 1.9, alt: 120.0, heading: 1.5, speed: 22.0 };
+        let v = p.into_value();
+        v.conforms_to(&Position::data_type()).unwrap();
+        assert_eq!(Position::from_value(&v).unwrap(), p);
         assert_eq!(parse_position(&v), Some((41.2, 1.9, 120.0, 1.5, 22.0)));
     }
 
     #[test]
     fn detection_roundtrip() {
-        let v = detection_value(3, 2);
-        v.conforms_to(&detection_type()).unwrap();
+        let d = Detection { revision: 3, count: 2 };
+        let v = d.into_value();
+        v.conforms_to(&Detection::data_type()).unwrap();
+        assert_eq!(Detection::from_value(&v).unwrap(), d);
         assert_eq!(parse_detection(&v), Some((3, 2)));
     }
 
     #[test]
+    fn mc_status_roundtrip() {
+        let s = McStatus { next_waypoint: 4, photos: 2, complete: false };
+        let v = s.into_value();
+        v.conforms_to(&McStatus::data_type()).unwrap();
+        assert_eq!(McStatus::from_value(&v).unwrap(), s);
+    }
+
+    #[test]
     fn parse_rejects_wrong_shapes() {
+        assert!(Position::from_value(&Value::Bool(true)).is_err());
         assert!(parse_position(&Value::Bool(true)).is_none());
-        assert!(parse_detection(&position_value(0.0, 0.0, 0.0, 0.0, 0.0)).is_none());
+        let pos = Position::default().into_value();
+        let err = Detection::from_value(&pos).unwrap_err();
+        assert!(err.to_string().contains("revision"), "{err}");
+    }
+
+    #[test]
+    fn ports_match_declared_names() {
+        assert_eq!(position_port().name(), VAR_POSITION);
+        assert_eq!(camera_prepare_port().name(), FN_CAMERA_PREPARE);
+        assert_eq!(storage_store_port().name(), FN_STORAGE_STORE);
+        assert_eq!(target_detected_port().name(), EVT_TARGET_DETECTED);
+        assert_eq!(telemetry_port().name(), VAR_TELEMETRY);
+    }
+
+    #[test]
+    fn typed_schema_matches_legacy_schema() {
+        // The typed ports must stay wire-compatible with the historical
+        // dynamic declarations.
+        assert_eq!(position_type(), Position::data_type());
+        assert_eq!(detection_type(), Detection::data_type());
+        assert_eq!(mc_status_type(), McStatus::data_type());
     }
 }

@@ -2,8 +2,8 @@
 
 use bytes::Bytes;
 
-use marea_core::{FileEvent, Service, ServiceContext, ServiceDescriptor};
-use marea_presentation::{DataType, Name, Value};
+use marea_core::{FileEvent, FnPort, Service, ServiceContext, ServiceDescriptor};
+use marea_presentation::{Name, Value};
 
 use crate::fs::MemFs;
 use crate::names;
@@ -17,26 +17,30 @@ use crate::names;
 #[derive(Debug)]
 pub struct StorageService {
     fs: MemFs,
+    store: FnPort<(String, Vec<u8>), bool>,
+    get: FnPort<(String,), Vec<u8>>,
+    list: FnPort<(String,), String>,
 }
 
 impl StorageService {
     /// Creates a storage service over `fs` (clone the [`MemFs`] to inspect
     /// stored content from tests).
     pub fn new(fs: MemFs) -> Self {
-        StorageService { fs }
+        StorageService {
+            fs,
+            store: names::storage_store_port(),
+            get: names::storage_get_port(),
+            list: names::storage_list_port(),
+        }
     }
 }
 
 impl Service for StorageService {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("storage")
-            .function(
-                names::FN_STORAGE_STORE,
-                vec![DataType::Str, DataType::Bytes],
-                Some(DataType::Bool),
-            )
-            .function(names::FN_STORAGE_GET, vec![DataType::Str], Some(DataType::Bytes))
-            .function(names::FN_STORAGE_LIST, vec![DataType::Str], Some(DataType::Str))
+            .provides_fn(&self.store)
+            .provides_fn(&self.get)
+            .provides_fn(&self.list)
             .subscribe_file(names::FILE_PHOTO)
             .build()
     }
@@ -47,26 +51,22 @@ impl Service for StorageService {
         function: &Name,
         args: &[Value],
     ) -> Result<Value, String> {
-        match function.as_str() {
-            f if f == names::FN_STORAGE_STORE => {
-                let path = args[0].as_str().ok_or("path must be a string")?.to_owned();
-                let data = args[1].as_bytes().ok_or("data must be bytes")?.to_vec();
-                ctx.log(format!("storage: stored `{path}` ({} bytes)", data.len()));
-                self.fs.write(path, Bytes::from(data));
-                Ok(Value::Bool(true))
+        if self.store.matches(function) {
+            let (path, data) = self.store.decode_args(args).map_err(|e| e.to_string())?;
+            ctx.log(format!("storage: stored `{path}` ({} bytes)", data.len()));
+            self.fs.write(path, Bytes::from(data));
+            Ok(self.store.encode_ret(true))
+        } else if self.get.matches(function) {
+            let (path,) = self.get.decode_args(args).map_err(|e| e.to_string())?;
+            match self.fs.read(&path) {
+                Some(data) => Ok(self.get.encode_ret(data.to_vec())),
+                None => Err(format!("no such file `{path}`")),
             }
-            f if f == names::FN_STORAGE_GET => {
-                let path = args[0].as_str().ok_or("path must be a string")?;
-                match self.fs.read(path) {
-                    Some(data) => Ok(Value::Bytes(data.to_vec())),
-                    None => Err(format!("no such file `{path}`")),
-                }
-            }
-            f if f == names::FN_STORAGE_LIST => {
-                let prefix = args[0].as_str().ok_or("prefix must be a string")?;
-                Ok(Value::Str(self.fs.list(prefix).join("\n")))
-            }
-            other => Err(format!("unknown function `{other}`")),
+        } else if self.list.matches(function) {
+            let (prefix,) = self.list.decode_args(args).map_err(|e| e.to_string())?;
+            Ok(self.list.encode_ret(self.fs.list(&prefix).join("\n")))
+        } else {
+            Err(format!("unknown function `{function}`"))
         }
     }
 

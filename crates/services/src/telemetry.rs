@@ -12,10 +12,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use marea_core::{Micros, ProtoDuration, Service, ServiceContext, ServiceDescriptor};
-use marea_presentation::{DataType, Name, Value};
+use marea_core::{Micros, ProtoDuration, Service, ServiceContext, ServiceDescriptor, VarPort};
+use marea_presentation::{Name, Value};
 
-use crate::names::{self, parse_position};
+use crate::names::{self, Position};
 
 /// Captured telemetry output (shareable, for tests and consoles).
 pub type TelemetryLog = Arc<Mutex<Vec<String>>>;
@@ -25,21 +25,28 @@ pub type TelemetryLog = Arc<Mutex<Vec<String>>>;
 pub struct TelemetryBridge {
     sink: TelemetryLog,
     lines_emitted: u64,
+    telemetry: VarPort<String>,
+    position: VarPort<Position>,
 }
 
 impl TelemetryBridge {
     /// Creates a bridge writing formatted lines into `sink`.
     pub fn new(sink: TelemetryLog) -> Self {
-        TelemetryBridge { sink, lines_emitted: 0 }
+        TelemetryBridge {
+            sink,
+            lines_emitted: 0,
+            telemetry: names::telemetry_port(),
+            position: names::position_port(),
+        }
     }
 
     /// Formats one FlightGear generic-protocol line.
     fn fg_line(lat: f64, lon: f64, alt_m: f64, heading_rad: f64, speed_mps: f64) -> String {
         format!(
             "{lat:.6},{lon:.6},{:.1},{:.1},{:.1}",
-            alt_m * 3.28084,            // feet
-            heading_rad.to_degrees(),   // degrees
-            speed_mps * 1.94384,        // knots
+            alt_m * 3.28084,          // feet
+            heading_rad.to_degrees(), // degrees
+            speed_mps * 1.94384,      // knots
         )
     }
 
@@ -62,13 +69,12 @@ impl TelemetryBridge {
 impl Service for TelemetryBridge {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("telemetry")
-            .variable(
-                names::VAR_TELEMETRY,
-                DataType::Str,
+            .provides_var(
+                &self.telemetry,
                 ProtoDuration::from_millis(200),
                 ProtoDuration::from_secs(1),
             )
-            .subscribe_variable(names::VAR_POSITION, true)
+            .subscribe_to_var(&self.position, true)
             .build()
     }
 
@@ -79,13 +85,15 @@ impl Service for TelemetryBridge {
         value: &Value,
         _stamp: Micros,
     ) {
-        if name != names::VAR_POSITION {
+        if !self.position.matches(name) {
             return;
         }
-        let Some((lat, lon, alt, heading, speed)) = parse_position(value) else { return };
+        let Ok(Position { lat, lon, alt, heading, speed }) = self.position.decode(value) else {
+            return;
+        };
         let fg = Self::fg_line(lat, lon, alt, heading, speed);
         let nmea = Self::gpgga(lat, lon, alt);
-        ctx.publish(names::VAR_TELEMETRY, fg.clone());
+        ctx.publish_to(&self.telemetry, fg.clone());
         self.lines_emitted += 1;
         let mut sink = self.sink.lock();
         sink.push(fg);
@@ -99,7 +107,8 @@ mod tests {
 
     #[test]
     fn fg_line_uses_aviation_units() {
-        let line = TelemetryBridge::fg_line(41.275, 1.987, 100.0, std::f64::consts::FRAC_PI_2, 20.0);
+        let line =
+            TelemetryBridge::fg_line(41.275, 1.987, 100.0, std::f64::consts::FRAC_PI_2, 20.0);
         let parts: Vec<&str> = line.split(',').collect();
         assert_eq!(parts.len(), 5);
         assert_eq!(parts[0], "41.275000");

@@ -1,10 +1,10 @@
 //! The on-board video processing service.
 
-use marea_core::{FileEvent, Service, ServiceContext, ServiceDescriptor};
+use marea_core::{EventPort, FileEvent, Service, ServiceContext, ServiceDescriptor};
 use marea_flightsim::Frame;
 
 use crate::detect::detect_blobs;
-use crate::names::{self, detection_value};
+use crate::names::{self, Detection};
 
 /// Runs target detection on every photo revision it receives and emits
 /// `video/target-detected` when something is found.
@@ -18,13 +18,20 @@ pub struct VideoProcessingService {
     min_pixels: u32,
     frames_processed: u32,
     detections: u32,
+    target_detected: EventPort<Detection>,
 }
 
 impl VideoProcessingService {
     /// Creates a detector with the default tuning for the synthetic
     /// terrain's hot targets.
     pub fn new() -> Self {
-        VideoProcessingService { threshold: 200, min_pixels: 4, frames_processed: 0, detections: 0 }
+        VideoProcessingService {
+            threshold: 200,
+            min_pixels: 4,
+            frames_processed: 0,
+            detections: 0,
+            target_detected: names::target_detected_port(),
+        }
     }
 
     /// Overrides detection tuning (builder style).
@@ -50,7 +57,7 @@ impl Default for VideoProcessingService {
 impl Service for VideoProcessingService {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("video")
-            .event(names::EVT_TARGET_DETECTED, Some(names::detection_type()))
+            .provides_event(&self.target_detected)
             .subscribe_file(names::FILE_PHOTO)
             .build()
     }
@@ -63,16 +70,12 @@ impl Service for VideoProcessingService {
         };
         self.frames_processed += 1;
         let blobs = detect_blobs(&frame, self.threshold, self.min_pixels);
-        ctx.log(format!(
-            "video: rev {} processed, {} target(s) found",
-            revision,
-            blobs.len()
-        ));
+        ctx.log(format!("video: rev {} processed, {} target(s) found", revision, blobs.len()));
         if !blobs.is_empty() {
             self.detections += 1;
-            ctx.emit(
-                names::EVT_TARGET_DETECTED,
-                Some(detection_value(*revision, blobs.len() as u32)),
+            ctx.emit_to(
+                &self.target_detected,
+                Detection { revision: *revision, count: blobs.len() as u32 },
             );
         }
     }

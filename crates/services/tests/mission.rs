@@ -10,8 +10,8 @@ use marea_core::{ContainerConfig, NodeId, SimHarness};
 use marea_flightsim::{FlightPlan, GeoPoint, Terrain, Waypoint, World};
 use marea_netsim::{LinkConfig, NetConfig};
 use marea_services::{
-    CameraService, GpsService, GroundStationService, MemFs, MissionControlService,
-    StorageService, TelemetryBridge, VideoProcessingService,
+    CameraService, GpsService, GroundStationService, MemFs, MissionControlService, StorageService,
+    TelemetryBridge, VideoProcessingService,
 };
 
 const FCS_NODE: NodeId = NodeId(1);
@@ -40,9 +40,8 @@ fn build_mission(seed: u64, loss: f64) -> Mission {
     // Plan photo waypoints directly over the two targets closest to the
     // start, so detection ground truth is positive and the flight is short.
     let mut targets: Vec<_> = terrain.targets().to_vec();
-    targets.sort_by(|a, b| {
-        origin.distance_m(&a.position).total_cmp(&origin.distance_m(&b.position))
-    });
+    targets
+        .sort_by(|a, b| origin.distance_m(&a.position).total_cmp(&origin.distance_m(&b.position)));
     let t0 = targets[0].position.at_alt(120.0);
     let t1 = targets[1].position.at_alt(120.0);
     let plan = FlightPlan::new(vec![

@@ -101,9 +101,7 @@ mod tests {
         let net = SimNet::new(NetConfig::default());
         let mut a = SimLanTransport::attach(&net, 1);
         let _b = SimLanTransport::attach(&net, 2);
-        let err = a
-            .send(TransportDestination::Node(2), Bytes::from(vec![0u8; 4000]))
-            .unwrap_err();
+        let err = a.send(TransportDestination::Node(2), Bytes::from(vec![0u8; 4000])).unwrap_err();
         assert!(matches!(err, TransportError::PayloadTooLarge { mtu: 1500, .. }));
         assert_eq!(a.mtu(), 1500);
     }

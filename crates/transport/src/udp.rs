@@ -73,8 +73,7 @@ impl UdpTransport {
     ///
     /// [`TransportError::Io`] when binding fails.
     pub fn bind(config: UdpTransportConfig) -> Result<Self, TransportError> {
-        let socket =
-            UdpSocket::bind(config.bind).map_err(|e| TransportError::Io(e.to_string()))?;
+        let socket = UdpSocket::bind(config.bind).map_err(|e| TransportError::Io(e.to_string()))?;
         socket.set_nonblocking(true).map_err(|e| TransportError::Io(e.to_string()))?;
         let addr_to_node = config.peers.iter().map(|(n, a)| (*a, *n)).collect();
         Ok(UdpTransport {
@@ -127,9 +126,7 @@ impl Transport for UdpTransport {
             }
         };
         for addr in targets {
-            self.socket
-                .send_to(&frame, addr)
-                .map_err(|e| TransportError::Io(e.to_string()))?;
+            self.socket.send_to(&frame, addr).map_err(|e| TransportError::Io(e.to_string()))?;
         }
         Ok(())
     }
@@ -210,9 +207,8 @@ mod tests {
     #[test]
     fn mtu_enforced() {
         let mut a = UdpTransport::bind(UdpTransportConfig::new(1, "127.0.0.1:0")).unwrap();
-        let err = a
-            .send(TransportDestination::Broadcast, Bytes::from(vec![0u8; 5000]))
-            .unwrap_err();
+        let err =
+            a.send(TransportDestination::Broadcast, Bytes::from(vec![0u8; 5000])).unwrap_err();
         assert!(matches!(err, TransportError::PayloadTooLarge { .. }));
     }
 }

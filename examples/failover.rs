@@ -14,23 +14,30 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use marea::core::{
-    CallError, CallHandle, CallPolicy, ContainerConfig, NodeId, ProtoDuration, Service,
+    CallError, CallHandle, CallPolicy, ContainerConfig, FnPort, NodeId, ProtoDuration, Service,
     ServiceContext, ServiceDescriptor, SimHarness, TimerId,
 };
 use marea::netsim::NetConfig;
 use marea::prelude::*;
-use marea::services::{MemFs, StorageService};
+use marea::services::{names, MemFs, StorageService};
 
 type Outcomes = Arc<Mutex<Vec<(u64, Result<String, String>)>>>;
 
 struct PeriodicWriter {
     outcomes: Outcomes,
     n: u32,
+    store: FnPort<(String, Vec<u8>), bool>,
+}
+
+impl PeriodicWriter {
+    fn new(outcomes: Outcomes) -> Self {
+        PeriodicWriter { outcomes, n: 0, store: names::storage_store_port() }
+    }
 }
 
 impl Service for PeriodicWriter {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("writer").requires_function("storage/store").build()
+        ServiceDescriptor::builder("writer").requires_fn(&self.store).build()
     }
 
     fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
@@ -40,22 +47,25 @@ impl Service for PeriodicWriter {
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
         self.n += 1;
         // Prefer the primary node; the middleware falls back dynamically.
-        ctx.call_with_policy(
-            "storage/store",
-            vec![
-                Value::Str(format!("track/fix-{:03}", self.n)),
-                Value::Bytes(vec![0xAB; 64]),
-            ],
+        // The argument tuple is checked against the port's signature at
+        // compile time.
+        ctx.call_fn_with_policy(
+            &self.store,
+            (format!("track/fix-{:03}", self.n), vec![0xAB; 64]),
             CallPolicy::PreferNode(NodeId(2)),
         );
     }
 
-    fn on_reply(&mut self, ctx: &mut ServiceContext<'_>, handle: CallHandle, result: Result<Value, CallError>) {
+    fn on_reply(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        handle: CallHandle,
+        result: Result<Value, CallError>,
+    ) {
         let t = ctx.now().as_micros() / 1000;
-        self.outcomes.lock().push((
-            t,
-            result.map(|_| format!("ok (req {})", handle.0)).map_err(|e| e.to_string()),
-        ));
+        self.outcomes
+            .lock()
+            .push((t, result.map(|_| format!("ok (req {})", handle.0)).map_err(|e| e.to_string())));
     }
 }
 
@@ -66,7 +76,7 @@ fn main() {
     h.add_container(ContainerConfig::new("backup", NodeId(3)));
 
     let outcomes = Arc::new(Mutex::new(Vec::new()));
-    h.add_service(NodeId(1), Box::new(PeriodicWriter { outcomes: outcomes.clone(), n: 0 }));
+    h.add_service(NodeId(1), Box::new(PeriodicWriter::new(outcomes.clone())));
     let primary_fs = MemFs::new();
     h.add_service(NodeId(2), Box::new(StorageService::new(primary_fs.clone())));
     let backup_fs = MemFs::new();

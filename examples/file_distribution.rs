@@ -74,9 +74,8 @@ fn main() {
     const SUBSCRIBERS: u32 = 4;
     const SIZE: usize = 256 * 1024;
 
-    let net = NetConfig::default()
-        .with_seed(99)
-        .with_default_link(LinkConfig::default().with_loss(0.03));
+    let net =
+        NetConfig::default().with_seed(99).with_default_link(LinkConfig::default().with_loss(0.03));
     let mut h = SimHarness::new(net);
 
     h.add_container(ContainerConfig::new("publisher", NodeId(1)));

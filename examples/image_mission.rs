@@ -40,7 +40,8 @@ fn main() {
     let origin = GeoPoint::new(41.275, 1.987, 120.0);
     let terrain = Terrain::new(2007, origin, 2000.0, 30);
     let mut targets = terrain.targets().to_vec();
-    targets.sort_by(|a, b| origin.distance_m(&a.position).total_cmp(&origin.distance_m(&b.position)));
+    targets
+        .sort_by(|a, b| origin.distance_m(&a.position).total_cmp(&origin.distance_m(&b.position)));
     let plan = FlightPlan::new(vec![
         Waypoint::photo(targets[0].position.at_alt(120.0)).with_radius_m(40.0),
         Waypoint::photo(targets[1].position.at_alt(120.0)).with_radius_m(40.0),
@@ -102,7 +103,7 @@ fn main() {
         let c = h.container(NodeId(node)).unwrap();
         let s = c.stats();
         println!(
-            "{:<10} vars_pub={:<5} vars_rx={:<5} events_pub={:<3} events_rx={:<3} calls={}/{} files_pub={} files_rx={} retx={}",
+            "{:<10} vars_pub={:<5} vars_rx={:<5} events_pub={:<3} events_rx={:<3} calls={}/{} files_pub={} files_rx={} retx={} mismatches={}",
             c.name().as_str(),
             s.vars_published,
             s.var_samples_delivered,
@@ -113,7 +114,11 @@ fn main() {
             s.files_published,
             s.files_received,
             c.arq_stats().retransmitted,
+            s.type_mismatches.total(),
         );
+        // Every interaction goes through typed ports; the contract cannot
+        // be violated.
+        assert_eq!(s.type_mismatches.total(), 0);
     }
     assert!(done, "mission must complete");
     println!("\nmission complete ✔");

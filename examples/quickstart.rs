@@ -8,27 +8,44 @@
 //! LAN, so the output is identical on every machine.
 
 use marea::core::{
-    ContainerConfig, Micros, NodeId, ProtoDuration, Service, ServiceContext, ServiceDescriptor,
-    SimHarness, TimerId,
+    ContainerConfig, EventPort, Micros, NodeId, ProtoDuration, Service, ServiceContext,
+    ServiceDescriptor, SimHarness, TimerId, VarPort,
 };
 use marea::netsim::NetConfig;
 use marea::prelude::*;
 
+/// The example's shared vocabulary: both services build their ports from
+/// these constructors, so publisher and subscriber agree by construction.
+fn count_port() -> VarPort<u64> {
+    VarPort::new("beacon/count")
+}
+
+fn decade_port() -> EventPort<u64> {
+    EventPort::new("beacon/decade")
+}
+
 /// Publishes `beacon/count` and emits `beacon/decade` every 10 counts.
 struct Beacon {
     count: u64,
+    count_port: VarPort<u64>,
+    decade: EventPort<u64>,
+}
+
+impl Beacon {
+    fn new() -> Self {
+        Beacon { count: 0, count_port: count_port(), decade: decade_port() }
+    }
 }
 
 impl Service for Beacon {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("beacon")
-            .variable(
-                "beacon/count",
-                DataType::U64,
+            .provides_var(
+                &self.count_port,
                 ProtoDuration::from_millis(50),
                 ProtoDuration::from_millis(200),
             )
-            .event("beacon/decade", Some(DataType::U64))
+            .provides_event(&self.decade)
             .build()
     }
 
@@ -38,38 +55,60 @@ impl Service for Beacon {
 
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
         self.count += 1;
-        ctx.publish("beacon/count", self.count);
+        // Typed publish: only a u64 compiles here.
+        ctx.publish_to(&self.count_port, self.count);
         if self.count.is_multiple_of(10) {
-            ctx.emit("beacon/decade", Some(Value::U64(self.count)));
+            ctx.emit_to(&self.decade, self.count);
         }
     }
 }
 
 /// Prints what it receives.
-struct Display;
+struct Display {
+    count_port: VarPort<u64>,
+    decade: EventPort<u64>,
+}
+
+impl Display {
+    fn new() -> Self {
+        Display { count_port: count_port(), decade: decade_port() }
+    }
+}
 
 impl Service for Display {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("display")
-            .subscribe_variable("beacon/count", true)
-            .subscribe_event("beacon/decade")
+            .subscribe_to_var(&self.count_port, true)
+            .subscribe_to_event(&self.decade)
             .build()
     }
 
-    fn on_variable(&mut self, ctx: &mut ServiceContext<'_>, name: &Name, value: &Value, _stamp: Micros) {
-        if let Some(n) = value.as_u64() {
+    fn on_variable(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: &Value,
+        _stamp: Micros,
+    ) {
+        if let Ok(n) = self.count_port.decode(value) {
             if n % 5 == 0 {
                 println!("[{}] variable {name} = {n}", ctx.now());
             }
         }
     }
 
-    fn on_event(&mut self, ctx: &mut ServiceContext<'_>, name: &Name, value: Option<&Value>, stamp: Micros) {
+    fn on_event(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        value: Option<&Value>,
+        stamp: Micros,
+    ) {
         let latency_us = ctx.now().saturating_since(stamp).as_micros();
         println!(
             "[{}] EVENT {name} {:?} (delivered {latency_us} µs after production)",
             ctx.now(),
-            value.and_then(Value::as_u64)
+            self.decade.decode(value).ok()
         );
     }
 }
@@ -78,8 +117,8 @@ fn main() {
     let mut harness = SimHarness::new(NetConfig::default());
     harness.add_container(ContainerConfig::new("flight-node", NodeId(1)));
     harness.add_container(ContainerConfig::new("ground-node", NodeId(2)));
-    harness.add_service(NodeId(1), Box::new(Beacon { count: 0 }));
-    harness.add_service(NodeId(2), Box::new(Display));
+    harness.add_service(NodeId(1), Box::new(Beacon::new()));
+    harness.add_service(NodeId(2), Box::new(Display::new()));
 
     harness.start_all();
     harness.run_for_millis(2_000);
@@ -91,8 +130,5 @@ fn main() {
         "ground node received {} samples and {} events in 2 simulated seconds",
         stats.var_samples_delivered, stats.events_delivered
     );
-    println!(
-        "mean event delivery latency: {:.0} µs",
-        stats.event_latency_mean_us().unwrap_or(0.0)
-    );
+    println!("mean event delivery latency: {:.0} µs", stats.event_latency_mean_us().unwrap_or(0.0));
 }

@@ -21,12 +21,8 @@ fn main() {
 
     let origin = GeoPoint::new(41.275, 1.987, 120.0);
     let plan = FlightPlan::survey(origin.displaced_m(200.0, 200.0), 800.0, 400.0, 2);
-    let world = Arc::new(Mutex::new(World::new(
-        origin,
-        25.0,
-        plan,
-        Terrain::new(6, origin, 1500.0, 5),
-    )));
+    let world =
+        Arc::new(Mutex::new(World::new(origin, 25.0, plan, Terrain::new(6, origin, 1500.0, 5))));
 
     h.add_container(ContainerConfig::new("fcs", NodeId(1)));
     h.add_container(ContainerConfig::new("ground", NodeId(2)));

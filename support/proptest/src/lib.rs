@@ -1,0 +1,924 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the API subset MAREA's property tests use:
+//!
+//! * the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//!   [`prop_oneof!`] macros;
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_flat_map`, `prop_recursive` and `boxed`;
+//! * strategies for ranges, tuples, `Just`, `any::<T>()`, simple
+//!   `[class]{m,n}` string patterns, and [`collection`] helpers;
+//! * a deterministic [`TestRunner`](test_runner::TestRunner).
+//!
+//! Failing cases are reported with their generated inputs but are **not
+//! shrunk** — acceptable for CI-style regression testing; swap the path
+//! dependency for the upstream crate when networked builds are available.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic case runner and configuration.
+pub mod test_runner {
+    use std::fmt;
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure with a rendered message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// Drives strategy generation with a deterministic PRNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        state: u64,
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for `config`, seeded deterministically.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { state: 0x9E37_79B9_7F4A_7C15, config }
+        }
+
+        /// A runner with a fixed seed and default configuration.
+        pub fn deterministic() -> Self {
+            TestRunner::new(ProptestConfig::default())
+        }
+
+        /// The active configuration.
+        pub fn config(&self) -> &ProptestConfig {
+            &self.config
+        }
+
+        /// Next 64 random bits (xorshift64*).
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform `usize` in `[lo, hi]` (inclusive).
+        ///
+        /// # Panics
+        ///
+        /// Panics when `lo > hi`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo <= hi, "empty range");
+            let span = (hi - lo) as u64 + 1;
+            lo + (self.next_u64() % span) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRunner;
+
+    /// A generated value plus (vestigial) shrinking access.
+    ///
+    /// This stand-in does not shrink: `current` returns the generated
+    /// value as-is.
+    pub trait ValueTree {
+        /// The value type produced.
+        type Value;
+
+        /// The current (generated) value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// Trivial value tree holding one generated value.
+    #[derive(Debug, Clone)]
+    pub struct JustTree<T>(pub T);
+
+    impl<T: Clone> ValueTree for JustTree<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Clone + fmt::Debug;
+
+        /// Generates one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Generates one value wrapped in a [`ValueTree`] (proptest
+        /// API compatibility; never fails here).
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<JustTree<Self::Value>, String>
+        where
+            Self: Sized,
+        {
+            Ok(JustTree(self.generate(runner)))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Clone + fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` derives
+        /// from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, `recurse`
+        /// wraps an inner strategy into a branch, up to `depth` levels.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            let mut level: BoxedStrategy<Self::Value> = self.boxed();
+            for _ in 0..depth {
+                level = recurse(level).boxed();
+            }
+            level
+        }
+
+        /// Erases the strategy type (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe generation core, used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, runner: &mut TestRunner) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, runner: &mut TestRunner) -> S::Value {
+            self.generate(runner)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            self.0.generate_dyn(runner)
+        }
+    }
+
+    /// Strategy producing one constant value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Clone + fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, runner: &mut TestRunner) -> S2::Value {
+            (self.f)(self.inner.generate(runner)).generate(runner)
+        }
+    }
+
+    /// Uniform choice among same-valued strategies (built by
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let i = runner.usize_in(0, self.arms.len() - 1);
+            self.arms[i].generate(runner)
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, runner: &mut TestRunner) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        (self.start as i128 + (runner.next_u64() as u128 % span) as i128) as $t
+                    }
+                }
+
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, runner: &mut TestRunner) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        (lo as i128 + (runner.next_u64() as u128 % span) as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_strategy_float {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, runner: &mut TestRunner) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        self.start + (runner.unit_f64() as $t) * (self.end - self.start)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy_float!(f32, f64);
+
+    /// Simple `[class]{m,n}` pattern strings generate matching strings.
+    ///
+    /// Supported syntax: literal characters, `[...]` classes with ranges,
+    /// and `{n}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, runner: &mut TestRunner) -> String {
+            crate::string::generate_from_pattern(self, runner)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(runner),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// A `Vec` of strategies generates a `Vec` of values, element-wise.
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            self.iter().map(|s| s.generate(runner)).collect()
+        }
+    }
+
+    /// Strategy for [`Arbitrary`](crate::arbitrary::Arbitrary) types; build
+    /// with [`any`](crate::arbitrary::any).
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T> fmt::Debug for Any<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Any")
+        }
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait.
+pub mod arbitrary {
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    use crate::strategy::Any;
+    use crate::test_runner::TestRunner;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Clone + fmt::Debug + 'static {
+        /// Draws one arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    runner.next_u64() as $t
+                }
+            })*
+        };
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    // Floats are kept finite (no NaN/inf) so value equality and codec
+    // roundtrips stay well-defined, matching how the tests use them.
+    impl Arbitrary for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            let mantissa = (runner.next_u64() as i64 >> 12) as f64;
+            let exp = (runner.next_u64() % 61) as i32 - 30;
+            mantissa * (exp as f64).exp2()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            let mantissa = (runner.next_u64() as i32 >> 8) as f32;
+            let exp = (runner.next_u64() % 31) as i32 - 15;
+            mantissa * (exp as f32).exp2()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            loop {
+                // Bias towards ASCII but exercise wider scalars too.
+                let v = if runner.next_u64() & 3 == 0 {
+                    (runner.next_u64() % 0x11_0000) as u32
+                } else {
+                    0x20 + (runner.next_u64() % 0x5f) as u32
+                };
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            let len = runner.usize_in(0, 12);
+            (0..len).map(|_| char::arbitrary(runner)).collect()
+        }
+    }
+}
+
+/// `prop::sample` — index selection helpers.
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRunner;
+
+    /// An arbitrary position within a collection of then-unknown size.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Resolves the index against a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            Index(runner.next_u64() as usize)
+        }
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use std::collections::BTreeSet;
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// A size specification for generated collections (inclusive bounds).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec`s of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = runner.usize_in(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with `size` elements drawn from `element`.
+    ///
+    /// Duplicate draws are retried a bounded number of times, so the
+    /// resulting set may be smaller than requested when the element
+    /// domain is narrow (matching proptest's best-effort semantics).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let target = runner.usize_in(self.size.lo, self.size.hi);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 20 + 20 {
+                out.insert(self.element.generate(runner));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Pattern-string generation (the `Strategy for &str` backend).
+pub mod string {
+    use crate::test_runner::TestRunner;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = if c == '[' {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                while let Some(k) = chars.next() {
+                    if k == ']' {
+                        break;
+                    }
+                    if k == '-' {
+                        if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                            if hi != ']' {
+                                chars.next();
+                                ranges.pop();
+                                ranges.push((lo, hi));
+                                prev = None;
+                                continue;
+                            }
+                        }
+                        ranges.push(('-', '-'));
+                        prev = Some('-');
+                    } else {
+                        ranges.push((k, k));
+                        prev = Some(k);
+                    }
+                }
+                Atom::Class(ranges)
+            } else {
+                Atom::Literal(c)
+            };
+            // Optional quantifier.
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for k in chars.by_ref() {
+                        if k == '}' {
+                            break;
+                        }
+                        spec.push(k);
+                    }
+                    match spec.split_once(',') {
+                        Some((a, b)) => {
+                            (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(8))
+                        }
+                        None => {
+                            let n = spec.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            atoms.push((atom, lo, hi));
+        }
+        atoms
+    }
+
+    /// Generates a string matching a simple `[class]{m,n}` pattern.
+    pub fn generate_from_pattern(pattern: &str, runner: &mut TestRunner) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse(pattern) {
+            let count = runner.usize_in(lo, hi.max(lo));
+            for _ in 0..count {
+                match &atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        if ranges.is_empty() {
+                            continue;
+                        }
+                        let (lo_c, hi_c) = ranges[runner.usize_in(0, ranges.len() - 1)];
+                        let span = hi_c as u32 - lo_c as u32;
+                        let pick = lo_c as u32 + (runner.next_u64() % (u64::from(span) + 1)) as u32;
+                        out.push(char::from_u32(pick).unwrap_or(lo_c));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias for the crate root, matching proptest's prelude.
+    pub use crate as prop;
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, "assertion failed: `{:?}` != `{:?}`", left, right);
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property-test functions: each `pattern in strategy` argument
+/// is regenerated for every case and the body is run against it.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    (@impl $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let config = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config.clone());
+                for case in 0..config.cases {
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                        let ($($pat,)*) = ($(
+                            $crate::strategy::Strategy::generate(&($strategy), &mut runner),
+                        )*);
+                        (move || -> ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    };
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn patterns_match_shape(s in "[a-z][a-z0-9_]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9, "{s}");
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn combinators_compose(v in prop::collection::vec(any::<u8>(), 1..5)) {
+            prop_assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let s = prop_oneof![Just(1u8).prop_map(|x| x + 1), Just(9u8)];
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..50 {
+            let v = s.new_tree(&mut runner).unwrap().current();
+            assert!(v == 2 || v == 9);
+        }
+    }
+
+    #[test]
+    fn recursive_depth_is_bounded() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 1,
+                Tree::Node(k) => 1 + k.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
+            prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..100 {
+            let t = strat.new_tree(&mut runner).unwrap().current();
+            assert!(depth(&t) <= 4);
+        }
+    }
+
+    #[test]
+    fn sample_index_resolves() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..20 {
+            let idx =
+                crate::strategy::Strategy::generate(&any::<crate::sample::Index>(), &mut runner);
+            assert!(idx.index(7) < 7);
+        }
+    }
+}

@@ -8,29 +8,63 @@ use std::sync::{Arc, Mutex};
 
 use marea::core::{
     ContainerConfig, ContainerStats, Micros, NodeId, ProtoDuration, Service, ServiceContainer,
-    ServiceContext, ServiceDescriptor, TimerId,
+    ServiceContext, ServiceDescriptor, TimerId, VarPort,
 };
 use marea::encoding::CodecId;
 use marea::netsim::{NetConfig, SimNet};
 use marea::prelude::*;
+use marea::presentation::{FromValue, HasDataType, IntoValue, StructType, TypeMismatch};
 use marea::transport::{InProcHub, SimLanTransport, Transport};
+
+/// The test vocabulary: a struct record moved through a typed port.
+#[derive(Debug, Clone, PartialEq)]
+struct Sample {
+    n: u64,
+    label: String,
+}
+
+impl HasDataType for Sample {
+    fn data_type() -> DataType {
+        DataType::Struct(
+            StructType::new("Sample")
+                .with_field("n", DataType::U64)
+                .unwrap()
+                .with_field("label", DataType::Str)
+                .unwrap(),
+        )
+    }
+}
+
+impl IntoValue for Sample {
+    fn into_value(self) -> Value {
+        Value::struct_of("Sample").field("n", self.n).field("label", self.label).build().unwrap()
+    }
+}
+
+impl FromValue for Sample {
+    fn from_value(value: &Value) -> Result<Self, TypeMismatch> {
+        let mismatch = || TypeMismatch::new(Self::data_type(), value.kind());
+        Ok(Sample {
+            n: value.at("n").and_then(Value::as_u64).ok_or_else(mismatch)?,
+            label: value.at("label").and_then(Value::as_str).ok_or_else(mismatch)?.to_owned(),
+        })
+    }
+}
+
+fn sample_port() -> VarPort<Sample> {
+    VarPort::new("p/value")
+}
 
 struct Producer {
     n: u64,
+    port: VarPort<Sample>,
 }
 
 impl Service for Producer {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("producer")
-            .variable(
-                "p/value",
-                DataType::Struct(
-                    marea::presentation::StructType::new("Sample")
-                        .with_field("n", DataType::U64)
-                        .unwrap()
-                        .with_field("label", DataType::Str)
-                        .unwrap(),
-                ),
+            .provides_var(
+                &self.port,
                 ProtoDuration::from_millis(10),
                 ProtoDuration::from_millis(100),
             )
@@ -43,27 +77,29 @@ impl Service for Producer {
 
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
         self.n += 1;
-        let v = Value::struct_of("Sample")
-            .field("n", self.n)
-            .field("label", format!("s{}", self.n))
-            .build()
-            .unwrap();
-        ctx.publish("p/value", v);
+        ctx.publish_to(&self.port, Sample { n: self.n, label: format!("s{}", self.n) });
     }
 }
 
 struct Consumer {
     got: Arc<Mutex<Vec<u64>>>,
+    port: VarPort<Sample>,
 }
 
 impl Service for Consumer {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("consumer").subscribe_variable("p/value", false).build()
+        ServiceDescriptor::builder("consumer").subscribe_to_var(&self.port, false).build()
     }
 
-    fn on_variable(&mut self, _ctx: &mut ServiceContext<'_>, _name: &Name, value: &Value, _stamp: Micros) {
-        if let Some(n) = value.at("n").and_then(Value::as_u64) {
-            self.got.lock().unwrap().push(n);
+    fn on_variable(
+        &mut self,
+        _ctx: &mut ServiceContext<'_>,
+        _name: &Name,
+        value: &Value,
+        _stamp: Micros,
+    ) {
+        if let Ok(sample) = self.port.decode(value) {
+            self.got.lock().unwrap().push(sample.n);
         }
     }
 }
@@ -76,8 +112,8 @@ fn run_pair(
     advance: impl Fn(u64),
 ) -> (Vec<u64>, ContainerStats) {
     let got = Arc::new(Mutex::new(Vec::new()));
-    a.add_service(Box::new(Producer { n: 0 })).unwrap();
-    b.add_service(Box::new(Consumer { got: got.clone() })).unwrap();
+    a.add_service(Box::new(Producer { n: 0, port: sample_port() })).unwrap();
+    b.add_service(Box::new(Consumer { got: got.clone(), port: sample_port() })).unwrap();
     a.start(Micros(0));
     b.start(Micros(0));
     for ms in 1..=500u64 {

@@ -5,24 +5,32 @@
 use std::sync::{Arc, Mutex};
 
 use marea::core::{
-    ContainerConfig, Micros, NodeId, ProtoDuration, Service, ServiceContext, ServiceDescriptor,
-    SystemClock, Clock, TimerId,
+    Clock, ContainerConfig, EventPort, Micros, NodeId, ProtoDuration, Service, ServiceContext,
+    ServiceDescriptor, SystemClock, TimerId, VarPort,
 };
 use marea::prelude::*;
 use marea::transport::{UdpTransport, UdpTransportConfig};
 
-struct Pinger;
+struct Pinger {
+    seq: VarPort<u64>,
+    mark: EventPort<u64>,
+}
+
+impl Pinger {
+    fn new() -> Self {
+        Pinger { seq: VarPort::new("ping/seq"), mark: EventPort::new("ping/mark") }
+    }
+}
 
 impl Service for Pinger {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("pinger")
-            .variable(
-                "ping/seq",
-                DataType::U64,
+            .provides_var(
+                &self.seq,
                 ProtoDuration::from_millis(20),
                 ProtoDuration::from_millis(200),
             )
-            .event("ping/mark", Some(DataType::U64))
+            .provides_event(&self.mark)
             .build()
     }
 
@@ -32,9 +40,9 @@ impl Service for Pinger {
 
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
         let n = ctx.now().as_millis();
-        ctx.publish("ping/seq", n);
+        ctx.publish_to(&self.seq, n);
         if n % 100 < 20 {
-            ctx.emit("ping/mark", Some(Value::U64(n)));
+            ctx.emit_to(&self.mark, n);
         }
     }
 }
@@ -56,7 +64,13 @@ impl Service for Ponger {
         *self.vars.lock().unwrap() += 1;
     }
 
-    fn on_event(&mut self, _ctx: &mut ServiceContext<'_>, _n: &Name, _v: Option<&Value>, _s: Micros) {
+    fn on_event(
+        &mut self,
+        _ctx: &mut ServiceContext<'_>,
+        _n: &Name,
+        _v: Option<&Value>,
+        _s: Micros,
+    ) {
         *self.events.lock().unwrap() += 1;
     }
 }
@@ -73,15 +87,11 @@ fn two_containers_over_real_udp_loopback() {
     t1.add_peer(2, a2);
     t2.add_peer(1, a1);
 
-    let mut c1 = marea::core::ServiceContainer::new(
-        ContainerConfig::new("udp-a", NodeId(1)),
-        Box::new(t1),
-    );
-    let mut c2 = marea::core::ServiceContainer::new(
-        ContainerConfig::new("udp-b", NodeId(2)),
-        Box::new(t2),
-    );
-    c1.add_service(Box::new(Pinger)).unwrap();
+    let mut c1 =
+        marea::core::ServiceContainer::new(ContainerConfig::new("udp-a", NodeId(1)), Box::new(t1));
+    let mut c2 =
+        marea::core::ServiceContainer::new(ContainerConfig::new("udp-b", NodeId(2)), Box::new(t2));
+    c1.add_service(Box::new(Pinger::new())).unwrap();
     let vars = Arc::new(Mutex::new(0u64));
     let events = Arc::new(Mutex::new(0u64));
     c2.add_service(Box::new(Ponger { vars: vars.clone(), events: events.clone() })).unwrap();
