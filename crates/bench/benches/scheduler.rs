@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use marea_bench::{bench_discovery, bench_scheduler_latency};
+use marea_bench::{bench_discovery, bench_qos_priority, bench_scheduler_latency};
 use marea_core::{
     FifoScheduler, Priority, PriorityScheduler, Scheduler, SchedulerKind, Task, TaskPayload,
     TimerId,
@@ -23,6 +23,16 @@ fn bench_c5_scenarios(c: &mut Criterion) {
             b.iter(|| {
                 let r = bench_scheduler_latency(SchedulerKind::Fifo, bg, 10, 7);
                 assert!(r.count > 0);
+                r
+            })
+        });
+    }
+    // C5b: the per-subscription QoS contract against the default lanes.
+    for contract in [false, true] {
+        group.bench_function(BenchmarkId::new("qos_priority", contract), |b| {
+            b.iter(|| {
+                let r = bench_qos_priority(contract, 400, 10, 7);
+                assert!(r.critical.count > 0);
                 r
             })
         });

@@ -204,6 +204,25 @@ fn c5_scheduler() {
             f.max_us
         );
     }
+
+    println!(
+        "\n   C5b — per-subscription QoS contract (EventQos::bulk + bounded inbox)\n   \
+         {:<22} {:>16} {:>16} {:>14} {:>12}",
+        "bulk load", "critical mean µs", "critical max µs", "bulk delivered", "queue drops"
+    );
+    for bulk in [150u32, 400, 800] {
+        for contract in [false, true] {
+            let r = bench_qos_priority(contract, bulk, 50, 700);
+            println!(
+                "   {:<22} {:>16.0} {:>16} {:>14} {:>12}",
+                format!("{bulk}/tick {}", if contract { "(contract)" } else { "(default)" }),
+                r.critical.mean_us,
+                r.critical.max_us,
+                r.bulk_delivered,
+                r.queue_drops
+            );
+        }
+    }
 }
 
 fn c6_failover() {

@@ -21,9 +21,9 @@ use std::sync::{Arc, Mutex};
 use bytes::Bytes;
 
 use marea_core::{
-    CallError, CallHandle, ContainerConfig, EventPort, FileEvent, FnPort, Micros, NodeId,
-    ProtoDuration, SchedulerKind, Service, ServiceContext, ServiceDescriptor, SimHarness, TimerId,
-    TypedCallHandle, VarDistribution, VarPort,
+    CallError, CallHandle, CallOptions, ContainerConfig, EventPort, EventQos, FileEvent, FnPort,
+    Micros, NodeId, ProtoDuration, SchedulerKind, Service, ServiceContext, ServiceDescriptor,
+    SimHarness, TimerId, TypedCallHandle, VarDistribution, VarPort, VarQos,
 };
 use marea_netsim::tcpish::{TcpishConfig, TcpishEndpoint};
 use marea_netsim::{Destination, LinkConfig, NetConfig, SimNet};
@@ -107,7 +107,7 @@ struct EventSink;
 
 impl Service for EventSink {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("sink").subscribe_event("bench/ev").build()
+        ServiceDescriptor::builder("sink").subscribe_event("bench/ev", EventQos::default()).build()
     }
 }
 
@@ -256,7 +256,10 @@ impl VarBlaster {
 impl Service for VarBlaster {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("varpub")
-            .provides_var(&self.port, ProtoDuration::from_millis(5), ProtoDuration::from_millis(50))
+            .provides_var(
+                &self.port,
+                VarQos::periodic(ProtoDuration::from_millis(5), ProtoDuration::from_millis(50)),
+            )
             .build()
     }
     fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
@@ -274,7 +277,9 @@ struct VarSink;
 
 impl Service for VarSink {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("varsink").subscribe_variable("bench/var", false).build()
+        ServiceDescriptor::builder("varsink")
+            .subscribe_variable("bench/var", VarQos::default())
+            .build()
     }
 }
 
@@ -618,7 +623,7 @@ impl LoadedPublisher {
 impl Service for LoadedPublisher {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("loaded")
-            .provides_var(&self.bg, ProtoDuration::ZERO, ProtoDuration::from_secs(1))
+            .provides_var(&self.bg, VarQos::aperiodic(ProtoDuration::from_secs(1)))
             .provides_event(&self.prio)
             .build()
     }
@@ -643,8 +648,8 @@ struct LoadedSink;
 impl Service for LoadedSink {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("loadsink")
-            .subscribe_variable("bench/bg", false)
-            .subscribe_event("bench/prio")
+            .subscribe_variable("bench/bg", VarQos::default())
+            .subscribe_event("bench/prio", EventQos::default())
             .build()
     }
 }
@@ -674,6 +679,151 @@ pub fn bench_scheduler_latency(
         count: s.events_delivered,
         mean_us: s.event_latency_mean_us().unwrap_or(0.0),
         max_us: s.event_latency_max_us,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C5b: per-subscription QoS priority under bulk event load
+// ---------------------------------------------------------------------------
+
+/// Outcome of the C5b QoS-priority scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosPriorityResult {
+    /// Latency of the critical-event subscription (virtual time).
+    pub critical: LatencyResult,
+    /// Bulk events actually delivered to handlers.
+    pub bulk_delivered: u64,
+    /// Bulk deliveries dropped by the subscription's inbox bound.
+    pub queue_drops: u64,
+}
+
+fn bulk_event_port() -> EventPort<u32> {
+    EventPort::new("bench/bulk")
+}
+
+fn critical_event_port() -> EventPort<u64> {
+    EventPort::new("bench/critical")
+}
+
+/// Emits a storm of bulk events plus one latency-critical event per tick.
+struct QosLoadedPublisher {
+    bulk_per_tick: u32,
+    remaining_critical: u32,
+    bulk: EventPort<u32>,
+    critical: EventPort<u64>,
+}
+
+impl Service for QosLoadedPublisher {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("qos-loaded")
+            .provides_event(&self.bulk)
+            .provides_event(&self.critical)
+            .build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(ProtoDuration::from_millis(5), Some(ProtoDuration::from_millis(5)));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        for i in 0..self.bulk_per_tick {
+            ctx.emit_to(&self.bulk, i);
+        }
+        if self.remaining_critical > 0 {
+            self.remaining_critical -= 1;
+            ctx.emit_to(&self.critical, ctx.now().as_micros());
+        }
+    }
+}
+
+/// Subscribes to both channels; the bulk subscription's contract is the
+/// experiment variable.
+struct QosSink {
+    bulk_qos: EventQos,
+    critical_latencies: Arc<Mutex<Vec<u64>>>,
+    bulk_seen: Arc<Mutex<u64>>,
+    bulk: EventPort<u32>,
+    critical: EventPort<u64>,
+}
+
+impl Service for QosSink {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("qos-sink")
+            .subscribe_to_event(&self.bulk, self.bulk_qos)
+            .subscribe_to_event(&self.critical, EventQos::default())
+            .build()
+    }
+    fn on_event(
+        &mut self,
+        ctx: &mut ServiceContext<'_>,
+        name: &Name,
+        _value: Option<&Value>,
+        stamp: Micros,
+    ) {
+        if self.critical.matches(name) {
+            self.critical_latencies
+                .lock()
+                .unwrap()
+                .push(ctx.now().saturating_since(stamp).as_micros());
+        } else if self.bulk.matches(name) {
+            *self.bulk_seen.lock().unwrap() += 1;
+        }
+    }
+}
+
+/// C5b: a bulk event flood and a sparse critical stream share one
+/// consumer container whose tick budget is deliberately small, so the
+/// flood outruns the handler capacity and queued work spans ticks. With
+/// `contract = true` the bulk subscription declares the
+/// [`EventQos::bulk`] profile (background priority lane, bounded inbox);
+/// with `false` both subscriptions ride the default event lane — the
+/// pre-profile behaviour the contract is compared against.
+pub fn bench_qos_priority(
+    contract: bool,
+    bulk_per_tick: u32,
+    n_critical: u32,
+    seed: u64,
+) -> QosPriorityResult {
+    let bulk_qos =
+        if contract { EventQos::bulk().with_queue_bound(64) } else { EventQos::default() };
+    let mut h = SimHarness::new(NetConfig::default().with_seed(seed));
+    h.set_tick_us(500);
+    let mut cfg = ContainerConfig::new("solo", NodeId(1));
+    cfg.tick_budget = 64;
+    h.add_container(cfg);
+    h.add_service(
+        NodeId(1),
+        Box::new(QosLoadedPublisher {
+            bulk_per_tick,
+            remaining_critical: n_critical,
+            bulk: bulk_event_port(),
+            critical: critical_event_port(),
+        }),
+    );
+    let critical_latencies = Arc::new(Mutex::new(Vec::new()));
+    let bulk_seen = Arc::new(Mutex::new(0u64));
+    h.add_service(
+        NodeId(1),
+        Box::new(QosSink {
+            bulk_qos,
+            critical_latencies: critical_latencies.clone(),
+            bulk_seen: bulk_seen.clone(),
+            bulk: bulk_event_port(),
+            critical: critical_event_port(),
+        }),
+    );
+    h.start_all();
+    h.run_for_millis(u64::from(n_critical) * 5 + 500);
+    let latencies = critical_latencies.lock().unwrap().clone();
+    let bulk_delivered = *bulk_seen.lock().unwrap();
+    let drops = h
+        .container(NodeId(1))
+        .unwrap()
+        .event_qos_stats("bench/bulk")
+        .map(|s| s.queue_drops)
+        .unwrap_or(0);
+    QosPriorityResult {
+        critical: LatencyResult::from_samples(&latencies),
+        bulk_delivered,
+        queue_drops: drops,
     }
 }
 
@@ -714,7 +864,7 @@ impl Service for FailoverCaller {
         ctx.set_timer(ProtoDuration::from_millis(50), Some(ProtoDuration::from_millis(50)));
     }
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
-        ctx.call_fn_with_policy(&self.who, (), marea_core::CallPolicy::PreferNode(NodeId(2)));
+        ctx.call_fn_with(&self.who, (), CallOptions::default().pinned(NodeId(2)));
     }
     fn on_reply(
         &mut self,
@@ -916,6 +1066,22 @@ mod tests {
             prio.max_us,
             fifo.max_us
         );
+    }
+
+    #[test]
+    fn qos_priority_contract_caps_critical_latency() {
+        let with = bench_qos_priority(true, 400, 20, 5);
+        let without = bench_qos_priority(false, 400, 20, 5);
+        assert!(with.critical.count > 0 && without.critical.count > 0);
+        assert!(
+            with.critical.max_us * 2 < without.critical.max_us,
+            "C5b shape: contract max {}µs ≪ no-contract max {}µs",
+            with.critical.max_us,
+            without.critical.max_us
+        );
+        assert!(with.queue_drops > 0, "the bulk inbox bound engaged: {with:?}");
+        assert_eq!(without.queue_drops, 0, "no bound declared, nothing dropped: {without:?}");
+        assert!(with.bulk_delivered > 0, "bulk still flows, just later: {with:?}");
     }
 
     #[test]

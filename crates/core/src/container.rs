@@ -35,7 +35,7 @@ use marea_protocol::{
 use marea_transport::{Transport, TransportDestination};
 
 use crate::directory::Directory;
-use crate::engines::events::{EventEngine, PublishedEvent, SubscribedEvent};
+use crate::engines::events::{EventEngine, EventSubscriber, PublishedEvent, SubscribedEvent};
 use crate::engines::files::{FileEngine, OutgoingFile};
 use crate::engines::rpc::{
     decode_args, decode_result, encode_args, encode_result, LocalFunction, PendingCall, RpcEngine,
@@ -43,12 +43,13 @@ use crate::engines::rpc::{
 use crate::engines::vars::{PublishedVar, SubscribedVar, VarEngine};
 use crate::error::{CallError, ContainerError};
 use crate::link::ReliableLink;
+use crate::qos::{CallOptions, DropPolicy};
 use crate::scheduler::{Priority, Scheduler, SchedulerKind, Task, TaskPayload};
 use crate::service::{
     CallHandle, CallPolicy, Effect, FileEvent, ProviderNotice, Service, ServiceContext,
     ServiceDescriptor, TimerId,
 };
-use crate::stats::ContainerStats;
+use crate::stats::{ContainerStats, EventSubscriptionStats, QosStats, VarSubscriptionStats};
 
 /// Upper bound for one marshalled call argument.
 pub(crate) const MAX_ARG_BYTES: usize = 4 * 1024 * 1024;
@@ -224,7 +225,7 @@ impl ServiceContainer {
         &self.config.name
     }
 
-    /// Counter snapshot (merges the per-engine mismatch counters).
+    /// Counter snapshot (merges the per-engine mismatch and QoS counters).
     pub fn stats(&self) -> ContainerStats {
         let mut stats = self.stats;
         stats.type_mismatches = crate::stats::TypeMismatchStats {
@@ -233,7 +234,39 @@ impl ServiceContainer {
             calls: self.rpc.type_mismatches,
             files: self.files.type_mismatches,
         };
+        stats.qos = QosStats {
+            deadline_misses: self.vars.total_deadline_misses(),
+            stale_drops: self.vars.total_stale_drops(),
+            queue_drops: self.events.total_queue_drops(),
+            retries: self.rpc.retries,
+        };
         stats
+    }
+
+    /// QoS counters of a subscribed variable (the channel state shared by
+    /// this container's local subscribers of that name).
+    pub fn var_qos_stats(&self, name: &str) -> Option<VarSubscriptionStats> {
+        let name = Name::new(name).ok()?;
+        self.vars.subscribed.get(&name).map(|s| VarSubscriptionStats {
+            deadline_misses: s.deadline_misses,
+            stale_drops: s.stale_drops,
+            history_len: s.history.len(),
+        })
+    }
+
+    /// QoS counters of a subscribed event channel (summed over this
+    /// container's local subscribers of that name).
+    pub fn event_qos_stats(&self, name: &str) -> Option<EventSubscriptionStats> {
+        let name = Name::new(name).ok()?;
+        self.events.subscribed.get(&name).map(|s| EventSubscriptionStats {
+            queue_drops: s.total_drops(),
+            inbox_peak: s.inbox_peak(),
+        })
+    }
+
+    /// Transparent re-dispatches performed for calls to `name`.
+    pub fn fn_retries(&self, name: &str) -> u64 {
+        Name::new(name).ok().and_then(|n| self.rpc.retry_counts.get(&n)).copied().unwrap_or(0)
     }
 
     /// The name directory (read access for tests/tools).
@@ -335,17 +368,17 @@ impl ServiceContainer {
                 .vars
                 .subscribed
                 .entry(sub.name.clone())
-                .or_insert_with(|| SubscribedVar::new(sub.need_initial));
+                .or_insert_with(|| SubscribedVar::new(&sub.qos));
             entry.services.push(seq);
-            entry.need_initial |= sub.need_initial;
+            entry.merge_qos(&sub.qos);
         }
-        for name in descriptor.event_subscriptions() {
+        for sub in descriptor.event_subscriptions() {
             self.events
                 .subscribed
-                .entry(name.clone())
+                .entry(sub.name.clone())
                 .or_insert_with(SubscribedEvent::new)
-                .services
-                .push(seq);
+                .subscribers
+                .push(EventSubscriber::new(seq, sub.qos));
         }
         for name in descriptor.file_interests() {
             self.files.interests.entry(name.clone()).or_default().services.push(seq);
@@ -676,6 +709,7 @@ impl ServiceContainer {
             // Validity QoS: drop samples past their window (paper §4.1).
             if validity_us > 0 && now.saturating_since(Micros(stamp_us)).as_micros() > validity_us {
                 self.stats.stale_samples_dropped += 1;
+                sub.stale_drops += 1;
                 return;
             }
             if !sub.accept(seq, now) {
@@ -692,7 +726,10 @@ impl ServiceContainer {
                 }
                 _ => None,
             };
-            value.map(|v| (v, sub.services.clone()))
+            value.map(|v| {
+                sub.record(Micros(stamp_us), v.clone());
+                (v, sub.services.clone())
+            })
         };
         let Some((value, services)) = decoded else {
             // The sample passed filtering but its payload does not decode
@@ -739,9 +776,9 @@ impl ServiceContainer {
                     _ => None,
                 }
             };
-            (value, sub.services.clone())
+            (value, !sub.subscribers.is_empty())
         };
-        let (value, services) = decoded;
+        let (value, any_subscriber) = decoded;
         if value.is_none() && !payload.is_empty() {
             // A payload arrived but does not decode against the announced
             // schema; the event is still delivered bare so subscribers see
@@ -749,16 +786,69 @@ impl ServiceContainer {
             self.events.type_mismatches += 1;
             self.log_line(now, format!("event `{name}` payload violates announced schema"));
         }
-        for svc in services {
+        if any_subscriber {
+            self.push_event_deliveries(&name, value, seq, Micros(stamp_us));
+        }
+    }
+
+    /// Fans one event out to the local subscribers under their declared
+    /// [`EventQos`](crate::EventQos) contracts: each subscription's
+    /// deliveries ride its own priority lane, and bounded inboxes apply
+    /// their drop policy when full.
+    fn push_event_deliveries(
+        &mut self,
+        name: &Name,
+        value: Option<Value>,
+        seq: u64,
+        stamp: Micros,
+    ) {
+        enum Admission {
+            Push,
+            ReplaceOldest,
+            Refuse,
+        }
+        let decisions: Vec<(u32, Priority, Admission)> = {
+            let Some(sub) = self.events.subscribed.get_mut(name) else { return };
+            sub.subscribers
+                .iter_mut()
+                .map(|entry| {
+                    let admission = if entry.inbox >= entry.qos.queue_bound {
+                        entry.drops += 1;
+                        match entry.qos.drop_policy {
+                            DropPolicy::DropOldest => Admission::ReplaceOldest,
+                            DropPolicy::DropNewest => Admission::Refuse,
+                        }
+                    } else {
+                        entry.inbox += 1;
+                        entry.inbox_peak = entry.inbox_peak.max(entry.inbox);
+                        Admission::Push
+                    };
+                    (entry.seq, entry.qos.priority, admission)
+                })
+                .collect()
+        };
+        for (svc, priority, admission) in decisions {
+            match admission {
+                Admission::Refuse => continue,
+                Admission::ReplaceOldest => {
+                    // Retract this subscription's stalest queued delivery to
+                    // admit the fresh one; the inbox depth is unchanged
+                    // (one out, one in). If nothing was queued despite the
+                    // accounting (cannot happen: inboxes are decremented
+                    // exactly when deliveries leave the queue), the push
+                    // below still keeps the depth within one of the bound.
+                    let _ = self.scheduler.remove_matching(&mut |t| {
+                        t.service_seq == svc
+                            && matches!(&t.payload,
+                                TaskPayload::DeliverEvent { name: n, .. } if n == name)
+                    });
+                }
+                Admission::Push => {}
+            }
             self.push_task(
-                Priority::EVENT,
+                priority,
                 svc,
-                TaskPayload::DeliverEvent {
-                    name: name.clone(),
-                    value: value.clone(),
-                    seq,
-                    stamp: Micros(stamp_us),
-                },
+                TaskPayload::DeliverEvent { name: name.clone(), value: value.clone(), seq, stamp },
             );
         }
     }
@@ -865,6 +955,18 @@ impl ServiceContainer {
         let Message::FileAnnounce { transfer, ref resource, revision, size, .. } = msg else {
             return;
         };
+        if self.files.outgoing.contains_key(resource) {
+            // A remote publisher announced a resource this node already
+            // publishes: two writers behind one name violates the resource
+            // contract, the same class of disagreement the other engines
+            // count as type mismatches.
+            self.files.type_mismatches += 1;
+            self.log_line(
+                now,
+                format!("remote announce for locally published resource `{resource}` ignored"),
+            );
+            return;
+        }
         self.files.transfer_index.insert(transfer, resource.clone());
         self.files.seen_announces.insert(resource.clone(), (src, msg.clone()));
 
@@ -1119,7 +1221,7 @@ impl ServiceContainer {
                             sub.provider = Some(provider);
                             sub.ty = ty;
                             sub.subscribe_sent = true;
-                            Act::Bind { provider, services: sub.services.clone(), fresh }
+                            Act::Bind { provider, services: sub.service_seqs(), fresh }
                         } else {
                             Act::None
                         }
@@ -1127,7 +1229,7 @@ impl ServiceContainer {
                     None => {
                         if sub.subscribe_sent || sub.provider.is_some() {
                             sub.unbind();
-                            Act::Lost { services: sub.services.clone() }
+                            Act::Lost { services: sub.service_seqs() }
                         } else {
                             Act::None
                         }
@@ -1244,7 +1346,9 @@ impl ServiceContainer {
     /// situation and redirect requests to the redundant service."
     fn failover_call(&mut self, id: RequestId, now: Micros) {
         let Some(mut call) = self.rpc.pending.remove(&id) else { return };
-        if call.attempts >= self.config.max_call_attempts {
+        if call.attempts >= call.max_attempts {
+            // The caller's retry budget is exhausted (CallOptions
+            // contract; container default when unspecified).
             self.stats.call_errors += 1;
             self.push_task(
                 Priority::CALL,
@@ -1262,8 +1366,9 @@ impl ServiceContainer {
                 call.attempts += 1;
                 call.target = target;
                 call.returns = sig.returns.clone();
-                call.deadline = now + self.config.call_timeout;
+                call.deadline = now + call.attempt_timeout;
                 self.stats.call_failovers += 1;
+                self.rpc.count_retry(&call.function);
                 let codec = self.codecs.default_codec().clone();
                 match encode_args(&call.args, &sig, codec.as_ref()) {
                     Ok(payload) => {
@@ -1500,6 +1605,14 @@ impl ServiceContainer {
 
     fn execute_task(&mut self, task: Task, now: Micros) {
         self.stats.tasks_executed += 1;
+        // A DeliverEvent leaving the queue frees its subscription's inbox
+        // slot — even when the target service turns out to be unavailable
+        // below, so the bound accounting can never leak.
+        if let TaskPayload::DeliverEvent { name, .. } = &task.payload {
+            if let Some(sub) = self.events.subscribed.get_mut(name) {
+                sub.dec_inbox(task.service_seq);
+            }
+        }
         let idx = (task.service_seq as usize).wrapping_sub(1);
         let payload = task.payload;
         let lifecycle = matches!(payload, TaskPayload::Start | TaskPayload::Stop);
@@ -1530,6 +1643,7 @@ impl ServiceContainer {
                 effects: &mut effects,
                 next_request_id: &mut next_request_id,
                 next_timer_id: &mut next_timer_id,
+                var_state: Some(&self.vars.subscribed),
             };
             let unwind = catch_unwind(AssertUnwindSafe(|| match &payload {
                 TaskPayload::Start => {
@@ -1715,8 +1829,8 @@ impl ServiceContainer {
             match effect {
                 Effect::Publish { name, value } => self.effect_publish(seq, name, value, now),
                 Effect::Emit { name, value } => self.effect_emit(seq, name, value, now),
-                Effect::Call { handle, function, args, policy } => {
-                    self.effect_call(seq, handle, function, args, policy, now)
+                Effect::Call { handle, function, args, options } => {
+                    self.effect_call(seq, handle, function, args, options, now)
                 }
                 Effect::PublishFile { resource, data } => {
                     self.effect_publish_file(seq, resource, data, now)
@@ -1786,6 +1900,7 @@ impl ServiceContainer {
             match self.vars.subscribed.get_mut(&name) {
                 Some(sub) => {
                     if sub.accept(sample_seq, now) {
+                        sub.record(now, value.clone());
                         Some(sub.services.clone())
                     } else {
                         None
@@ -1865,22 +1980,8 @@ impl ServiceContainer {
         };
         self.stats.events_published += 1;
 
-        // Local delivery.
-        let local = self.events.subscribed.get(&name).map(|s| s.services.clone());
-        if let Some(services) = local {
-            for svc in services {
-                self.push_task(
-                    Priority::EVENT,
-                    svc,
-                    TaskPayload::DeliverEvent {
-                        name: name.clone(),
-                        value: value.clone(),
-                        seq: event_seq,
-                        stamp: now,
-                    },
-                );
-            }
-        }
+        // Local delivery, under each subscriber's declared contract.
+        self.push_event_deliveries(&name, value.clone(), event_seq, now);
         // Remote delivery over the reliable links.
         let msg = Message::EventData {
             name,
@@ -1900,10 +2001,16 @@ impl ServiceContainer {
         handle: CallHandle,
         function: Name,
         args: Vec<Value>,
-        policy: CallPolicy,
+        options: CallOptions,
         now: Micros,
     ) {
         self.stats.calls_made += 1;
+        // Resolve the caller's contract against the container defaults:
+        // the per-attempt deadline and the retry budget travel with the
+        // pending call from here on.
+        let attempt_timeout = options.deadline.unwrap_or(self.config.call_timeout);
+        let max_attempts = options.retry_budget.unwrap_or(self.config.max_call_attempts).max(1);
+        let policy = options.policy;
         let resolution = self
             .directory
             .resolve_function(function.as_str(), policy, None)
@@ -1940,8 +2047,10 @@ impl ServiceContainer {
             args,
             target,
             returns: sig.returns.clone(),
-            deadline: now + self.config.call_timeout,
+            deadline: now + attempt_timeout,
+            attempt_timeout,
             attempts: 1,
+            max_attempts,
             policy,
         };
         self.dispatch_call(handle.0, &call, payload, now);

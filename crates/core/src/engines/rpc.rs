@@ -7,7 +7,7 @@ use bytes::{Bytes, BytesMut};
 use marea_encoding::{Codec, WireReader, WireWriter};
 use marea_presentation::{Name, Value};
 use marea_protocol::messages::FunctionSig;
-use marea_protocol::{Micros, RequestId, ServiceId};
+use marea_protocol::{Micros, ProtoDuration, RequestId, ServiceId};
 
 use crate::error::CallError;
 use crate::service::CallPolicy;
@@ -21,7 +21,8 @@ pub(crate) struct LocalFunction {
     pub sig: FunctionSig,
 }
 
-/// An in-flight outgoing call.
+/// An in-flight outgoing call, carrying its resolved
+/// [`CallOptions`](crate::CallOptions) contract.
 #[derive(Debug)]
 pub(crate) struct PendingCall {
     /// Local service awaiting the reply.
@@ -34,10 +35,15 @@ pub(crate) struct PendingCall {
     pub target: ServiceId,
     /// Expected return type (from the provider's signature).
     pub returns: Option<marea_presentation::DataType>,
-    /// Reply deadline.
+    /// Reply deadline of the current attempt.
     pub deadline: Micros,
+    /// Per-attempt reply deadline from the caller's contract (container
+    /// default when the caller did not override it).
+    pub attempt_timeout: ProtoDuration,
     /// Providers tried so far (including current).
     pub attempts: u32,
+    /// Total providers the caller's retry budget allows.
+    pub max_attempts: u32,
     /// Provider selection policy.
     pub policy: CallPolicy,
 }
@@ -63,9 +69,21 @@ pub(crate) struct RpcEngine {
     /// Marshalling failures against declared signatures (see
     /// [`TypeMismatchStats::calls`](crate::stats::TypeMismatchStats)).
     pub type_mismatches: u64,
+    /// Transparent re-dispatches performed, total (feeds
+    /// [`QosStats::retries`](crate::QosStats::retries)).
+    pub retries: u64,
+    /// Re-dispatches per function name (the per-subscription breakdown
+    /// behind [`ServiceContainer::fn_retries`](crate::ServiceContainer::fn_retries)).
+    pub retry_counts: HashMap<Name, u64>,
 }
 
 impl RpcEngine {
+    /// Counts one transparent re-dispatch of `function`.
+    pub fn count_retry(&mut self, function: &Name) {
+        self.retries += 1;
+        *self.retry_counts.entry(function.clone()).or_default() += 1;
+    }
+
     /// Pending calls whose deadline has passed at `now`.
     pub fn expired(&self, now: Micros) -> Vec<RequestId> {
         let mut v: Vec<RequestId> =
@@ -224,7 +242,9 @@ mod tests {
                 target: ServiceId::new(NodeId(2), 1),
                 returns: None,
                 deadline: Micros(100),
+                attempt_timeout: ProtoDuration::from_millis(100),
                 attempts: 1,
+                max_attempts: 3,
                 policy: CallPolicy::Dynamic,
             },
         );
@@ -237,7 +257,9 @@ mod tests {
                 target: ServiceId::new(NodeId(3), 1),
                 returns: None,
                 deadline: Micros(500),
+                attempt_timeout: ProtoDuration::from_millis(500),
                 attempts: 1,
+                max_attempts: 3,
                 policy: CallPolicy::Dynamic,
             },
         );

@@ -1,11 +1,13 @@
 //! Variable primitive bookkeeping (paper §4.1).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use bytes::Bytes;
 
-use marea_presentation::{DataType, Name};
+use marea_presentation::{DataType, Name, Value};
 use marea_protocol::{Micros, NodeId, ServiceId};
+
+use crate::qos::VarQos;
 
 /// Publisher-side state of one declared variable.
 #[derive(Debug)]
@@ -37,13 +39,26 @@ impl PublishedVar {
     }
 }
 
-/// Subscriber-side state of one variable.
+/// Subscriber-side state of one variable, shaped by the merged
+/// [`VarQos`] contracts of every local subscriber.
 #[derive(Debug)]
 pub(crate) struct SubscribedVar {
     /// Local services subscribed (service sequences).
     pub services: Vec<u32>,
-    /// Whether an initial value was requested.
+    /// Whether any subscriber asked for the guaranteed initial value.
     pub need_initial: bool,
+    /// Loss deadline in nominal periods (tightest contract wins).
+    pub deadline_periods: u32,
+    /// History-ring capacity (deepest contract wins).
+    pub history_cap: usize,
+    /// The retained samples, oldest first (production stamp, decoded
+    /// value) — read through
+    /// [`ServiceContext::history`](crate::ServiceContext::history).
+    pub history: VecDeque<(Micros, Value)>,
+    /// Loss deadlines missed on this subscription.
+    pub deadline_misses: u64,
+    /// Stale samples dropped on this subscription.
+    pub stale_drops: u64,
     /// Resolved provider, if discovery succeeded.
     pub provider: Option<ServiceId>,
     /// Expected period learned from the provider's announcement (µs).
@@ -66,10 +81,15 @@ pub(crate) struct SubscribedVar {
 }
 
 impl SubscribedVar {
-    pub fn new(need_initial: bool) -> Self {
+    pub fn new(qos: &VarQos) -> Self {
         SubscribedVar {
             services: Vec::new(),
-            need_initial,
+            need_initial: qos.need_initial,
+            deadline_periods: qos.deadline_periods,
+            history_cap: qos.history.max(1),
+            history: VecDeque::new(),
+            deadline_misses: 0,
+            stale_drops: 0,
             provider: None,
             period_us: 0,
             validity_us: 0,
@@ -82,14 +102,23 @@ impl SubscribedVar {
         }
     }
 
-    /// Deadline used for the loss warning: three nominal periods without a
-    /// sample ("the service container will warn of this timeout
-    /// circumstance to the affected services", §4.1).
+    /// Merges another subscriber's contract into the channel state: any
+    /// initial-value request sticks, the tightest loss deadline wins, the
+    /// deepest history wins.
+    pub fn merge_qos(&mut self, qos: &VarQos) {
+        self.need_initial |= qos.need_initial;
+        self.deadline_periods = self.deadline_periods.min(qos.deadline_periods.max(1));
+        self.history_cap = self.history_cap.max(qos.history);
+    }
+
+    /// Deadline used for the loss warning: `deadline_periods` nominal
+    /// periods without a sample ("the service container will warn of this
+    /// timeout circumstance to the affected services", §4.1).
     pub fn deadline_us(&self) -> Option<u64> {
         if self.period_us == 0 {
             None // aperiodic variables have no deadline
         } else {
-            Some(self.period_us.saturating_mul(3))
+            Some(self.period_us.saturating_mul(u64::from(self.deadline_periods)))
         }
     }
 
@@ -121,6 +150,15 @@ impl SubscribedVar {
         true
     }
 
+    /// Retains an accepted sample in the history ring (oldest evicted at
+    /// capacity).
+    pub fn record(&mut self, stamp: Micros, value: Value) {
+        while self.history.len() >= self.history_cap {
+            self.history.pop_front();
+        }
+        self.history.push_back((stamp, value));
+    }
+
     /// Resets provider binding (provider lost); subscription will be
     /// re-resolved against the directory.
     pub fn unbind(&mut self) {
@@ -128,7 +166,9 @@ impl SubscribedVar {
         self.subscribe_sent = false;
         self.ty = None;
         // Do not clear last_seq: a *new* provider instance restarts
-        // numbering, so clear it after rebinding instead.
+        // numbering, so clear it after rebinding instead. The history ring
+        // survives rebinds on purpose — retained samples stay readable
+        // while the provider fails over.
     }
 
     /// Binds to a (new) provider.
@@ -165,17 +205,28 @@ pub(crate) struct VarEngine {
 
 impl VarEngine {
     /// Variables whose deadline has been missed at `now` (marks them
-    /// warned).
+    /// warned and counts the miss against the subscription's contract).
     pub fn sweep_deadlines(&mut self, now: Micros) -> Vec<Name> {
         let mut out = Vec::new();
         for (name, sub) in self.subscribed.iter_mut() {
             if sub.deadline_missed(now) {
                 sub.timed_out = true;
+                sub.deadline_misses += 1;
                 out.push(name.clone());
             }
         }
         out.sort();
         out
+    }
+
+    /// Total stale drops over every subscription.
+    pub fn total_stale_drops(&self) -> u64 {
+        self.subscribed.values().map(|s| s.stale_drops).sum()
+    }
+
+    /// Total deadline misses over every subscription.
+    pub fn total_deadline_misses(&self) -> u64 {
+        self.subscribed.values().map(|s| s.deadline_misses).sum()
     }
 }
 
@@ -184,7 +235,7 @@ mod tests {
     use super::*;
 
     fn sub() -> SubscribedVar {
-        let mut s = SubscribedVar::new(true);
+        let mut s = SubscribedVar::new(&VarQos::default().with_initial());
         s.bind(ServiceId::new(NodeId(2), 1), 50_000, 200_000, DataType::F64, Micros::ZERO);
         s
     }
@@ -199,7 +250,7 @@ mod tests {
     }
 
     #[test]
-    fn deadline_uses_three_periods() {
+    fn deadline_uses_contract_periods() {
         let mut s = sub();
         assert!(!s.deadline_missed(Micros(100_000)), "2 periods: fine");
         assert!(s.deadline_missed(Micros(200_000)), "4 periods: missed");
@@ -208,14 +259,44 @@ mod tests {
         // A new sample resets the warning.
         assert!(s.accept(1, Micros(300_000)));
         assert!(!s.timed_out);
+
+        // A tighter contract shortens the deadline.
+        let mut tight = SubscribedVar::new(&VarQos::default().with_deadline_periods(1));
+        tight.bind(ServiceId::new(NodeId(2), 1), 50_000, 200_000, DataType::F64, Micros::ZERO);
+        assert_eq!(tight.deadline_us(), Some(50_000));
+        assert!(tight.deadline_missed(Micros(60_000)), "1 period + slack: missed");
     }
 
     #[test]
     fn aperiodic_has_no_deadline() {
-        let mut s = SubscribedVar::new(false);
+        let mut s = SubscribedVar::new(&VarQos::default());
         s.bind(ServiceId::new(NodeId(2), 1), 0, 0, DataType::Bool, Micros::ZERO);
         assert_eq!(s.deadline_us(), None);
         assert!(!s.deadline_missed(Micros::from_secs(100)));
+    }
+
+    #[test]
+    fn merged_qos_takes_strictest_contract() {
+        let mut s = SubscribedVar::new(&VarQos::default());
+        assert!(!s.need_initial);
+        s.merge_qos(&VarQos::default().with_initial().with_history(8).with_deadline_periods(2));
+        assert!(s.need_initial, "any initial request sticks");
+        assert_eq!(s.deadline_periods, 2, "tightest deadline wins");
+        assert_eq!(s.history_cap, 8, "deepest history wins");
+        s.merge_qos(&VarQos::default().with_history(2).with_deadline_periods(5));
+        assert_eq!(s.deadline_periods, 2);
+        assert_eq!(s.history_cap, 8);
+    }
+
+    #[test]
+    fn history_ring_evicts_oldest() {
+        let mut s = SubscribedVar::new(&VarQos::default().with_history(3));
+        for i in 0..5u64 {
+            s.record(Micros(i), Value::U64(i));
+        }
+        let kept: Vec<u64> = s.history.iter().filter_map(|(_, v)| v.as_u64()).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest evicted, order preserved");
+        assert_eq!(s.history.len(), 3);
     }
 
     #[test]
@@ -244,7 +325,7 @@ mod tests {
     }
 
     #[test]
-    fn sweep_marks_and_sorts() {
+    fn sweep_marks_counts_and_sorts() {
         let mut e = VarEngine::default();
         let mut a = sub();
         a.since = Some(Micros::ZERO);
@@ -256,5 +337,6 @@ mod tests {
         assert_eq!(warned.len(), 2);
         assert!(warned[0] < warned[1]);
         assert!(e.sweep_deadlines(Micros::from_secs(2)).is_empty(), "warn once");
+        assert_eq!(e.total_deadline_misses(), 2, "misses counted per subscription");
     }
 }

@@ -154,6 +154,45 @@ impl SimHarness {
         let target = self.now_us + d.as_micros();
         self.run_until_us(target);
     }
+
+    /// Steps the simulation until `pred` holds or `timeout` of virtual
+    /// time has elapsed; returns whether the predicate was satisfied.
+    ///
+    /// This is the convergence-driven alternative to open-loop
+    /// [`run_for_millis`](Self::run_for_millis) waits: tests state *what*
+    /// they wait for instead of padding *how long*, so they neither flake
+    /// under slowed convergence nor sleep past it.
+    ///
+    /// ```
+    /// use marea_core::{ContainerConfig, SimHarness};
+    /// use marea_netsim::NetConfig;
+    /// use marea_protocol::{NodeId, ProtoDuration};
+    ///
+    /// let mut h = SimHarness::new(NetConfig::default());
+    /// h.add_container(ContainerConfig::new("a", NodeId(1)));
+    /// h.add_container(ContainerConfig::new("b", NodeId(2)));
+    /// h.start_all();
+    /// let discovered = h.run_until(
+    ///     |h| h.container(NodeId(1)).unwrap().directory().node_alive(NodeId(2)),
+    ///     ProtoDuration::from_secs(2),
+    /// );
+    /// assert!(discovered);
+    /// ```
+    pub fn run_until<F>(&mut self, mut pred: F, timeout: ProtoDuration) -> bool
+    where
+        F: FnMut(&SimHarness) -> bool,
+    {
+        let deadline = self.now_us + timeout.as_micros();
+        loop {
+            if pred(self) {
+                return true;
+            }
+            if self.now_us >= deadline {
+                return false;
+            }
+            self.step();
+        }
+    }
 }
 
 /// Drives one container against the wall clock (for the UDP transport and

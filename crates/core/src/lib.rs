@@ -28,13 +28,16 @@
 //! derives each provision's wire schema from a Rust type and returns a
 //! *port* ([`VarPort`], [`EventPort`], [`FnPort`]) that the service stores
 //! and publishes/emits/calls through — a payload that disagrees with the
-//! declared schema is a compile error, not a runtime drop.
+//! declared schema is a compile error, not a runtime drop. Every
+//! declaration also carries its **QoS contract** as a typed profile
+//! ([`VarQos`], [`EventQos`], [`CallOptions`]); the [`qos`] module
+//! documents what each field makes the container enforce.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use marea_core::{
-//!     ContainerConfig, Service, ServiceContext, ServiceDescriptor, SimHarness, VarPort,
+//!     ContainerConfig, Service, ServiceContext, ServiceDescriptor, SimHarness, VarPort, VarQos,
 //! };
 //! use marea_netsim::NetConfig;
 //! use marea_protocol::{NodeId, ProtoDuration};
@@ -54,8 +57,8 @@
 //! impl Service for Beacon {
 //!     fn descriptor(&self) -> ServiceDescriptor {
 //!         ServiceDescriptor::builder("beacon")
-//!             .provides_var(&self.count,
-//!                 ProtoDuration::from_millis(10), ProtoDuration::from_millis(100))
+//!             .provides_var(&self.count, VarQos::periodic(
+//!                 ProtoDuration::from_millis(10), ProtoDuration::from_millis(100)))
 //!             .build()
 //!     }
 //!     fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
@@ -88,6 +91,7 @@ mod error;
 mod harness;
 mod link;
 mod ports;
+pub mod qos;
 mod scheduler;
 mod service;
 mod stats;
@@ -99,14 +103,17 @@ pub use error::{CallError, ContainerError};
 pub use harness::{RealtimeDriver, SimHarness};
 pub use link::ReliableLink;
 pub use ports::{EventPort, FnPort, TypedCallHandle, VarPort};
+pub use qos::{CallOptions, DropPolicy, EventQos, QosError, VarQos};
 pub use scheduler::{
     FifoScheduler, Priority, PriorityScheduler, Scheduler, SchedulerKind, Task, TaskPayload,
 };
 pub use service::{
-    CallHandle, CallPolicy, FileEvent, ProviderNotice, Service, ServiceContext, ServiceDescriptor,
-    ServiceDescriptorBuilder, TimerId, VarSubscription,
+    CallHandle, CallPolicy, EventSubscription, FileEvent, ProviderNotice, Service, ServiceContext,
+    ServiceDescriptor, ServiceDescriptorBuilder, TimerId, VarSubscription,
 };
-pub use stats::{ContainerStats, TypeMismatchStats};
+pub use stats::{
+    ContainerStats, EventSubscriptionStats, QosStats, TypeMismatchStats, VarSubscriptionStats,
+};
 
 // Re-exports that appear in this crate's public API, for downstream
 // convenience.

@@ -42,6 +42,10 @@ impl Priority {
     pub const VARIABLE: Priority = Priority(4);
     /// File transfer progress/completion notifications.
     pub const FILE: Priority = Priority(5);
+    /// Background work that must never crowd out any primitive — the lane
+    /// event subscriptions opt into via
+    /// [`EventQos::bulk`](crate::EventQos::bulk).
+    pub const BULK: Priority = Priority(6);
 }
 
 /// One queued handler invocation.
@@ -141,6 +145,15 @@ pub trait Scheduler: Send + fmt::Debug {
     /// Removes the next task to run.
     fn pop(&mut self) -> Option<Task>;
 
+    /// Removes and returns the *oldest* queued task matching `pred`
+    /// (lowest admission order), or `None` when nothing matches.
+    ///
+    /// The container uses this to enforce
+    /// [`DropPolicy::DropOldest`](crate::DropPolicy::DropOldest) on
+    /// bounded event inboxes: the stalest queued delivery of an
+    /// overflowing subscription is retracted to admit the fresh one.
+    fn remove_matching(&mut self, pred: &mut dyn FnMut(&Task) -> bool) -> Option<Task>;
+
     /// Queued task count.
     fn len(&self) -> usize;
 
@@ -190,6 +203,23 @@ impl Scheduler for PriorityScheduler {
         None
     }
 
+    fn remove_matching(&mut self, pred: &mut dyn FnMut(&Task) -> bool) -> Option<Task> {
+        // Within a lane tasks are FIFO, so the first match per lane is that
+        // lane's oldest; the globally oldest is the one with the lowest
+        // admission sequence across lanes.
+        let mut best: Option<(usize, usize, u64)> = None;
+        for (li, (_, lane)) in self.lanes.iter().enumerate() {
+            if let Some((i, t)) = lane.iter().enumerate().find(|(_, t)| pred(t)) {
+                if best.is_none_or(|(_, _, seq)| t.enqueued_seq < seq) {
+                    best = Some((li, i, t.enqueued_seq));
+                }
+            }
+        }
+        let (li, i, _) = best?;
+        self.len -= 1;
+        self.lanes[li].1.remove(i)
+    }
+
     fn len(&self) -> usize {
         self.len
     }
@@ -216,6 +246,11 @@ impl Scheduler for FifoScheduler {
 
     fn pop(&mut self) -> Option<Task> {
         self.queue.pop_front()
+    }
+
+    fn remove_matching(&mut self, pred: &mut dyn FnMut(&Task) -> bool) -> Option<Task> {
+        let i = self.queue.iter().position(pred)?;
+        self.queue.remove(i)
     }
 
     fn len(&self) -> usize {
@@ -290,6 +325,28 @@ mod tests {
     }
 
     #[test]
+    fn remove_matching_takes_the_oldest_match() {
+        let mut s = PriorityScheduler::new();
+        s.push(task(Priority::EVENT, 1));
+        s.push(task(Priority::BULK, 2));
+        s.push(task(Priority::BULK, 3));
+        // Oldest BULK task is seq 2, even though EVENT pops first.
+        let t = s.remove_matching(&mut |t| t.priority == Priority::BULK).unwrap();
+        assert_eq!(t.enqueued_seq, 2);
+        assert_eq!(s.len(), 2);
+        assert!(s.remove_matching(&mut |t| t.priority == Priority::FILE).is_none());
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|t| t.enqueued_seq).collect();
+        assert_eq!(order, vec![1, 3]);
+
+        let mut f = FifoScheduler::new();
+        f.push(task(Priority::EVENT, 1));
+        f.push(task(Priority::EVENT, 2));
+        let t = f.remove_matching(&mut |_| true).unwrap();
+        assert_eq!(t.enqueued_seq, 1, "fifo: front is oldest");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
     fn kind_builds_both() {
         assert!(format!("{:?}", SchedulerKind::Priority.build()).contains("Priority"));
         assert!(format!("{:?}", SchedulerKind::Fifo.build()).contains("Fifo"));
@@ -302,5 +359,6 @@ mod tests {
         assert!(Priority::CALL < Priority::TIMER);
         assert!(Priority::TIMER < Priority::VARIABLE);
         assert!(Priority::VARIABLE < Priority::FILE);
+        assert!(Priority::FILE < Priority::BULK);
     }
 }

@@ -11,7 +11,14 @@
 //! passes into each hook. Context methods queue **effects** that the
 //! container applies after the handler returns — a service can never
 //! re-enter the middleware or touch a socket.
+//!
+//! Every declaration carries a typed QoS profile ([`VarQos`] /
+//! [`EventQos`]) and every remote invocation carries [`CallOptions`]: the
+//! contract a service states here is exactly what the container, the
+//! engines and the scheduler enforce below (see the [`qos`](crate::qos)
+//! module docs).
 
+use std::collections::HashMap;
 use std::fmt;
 
 use bytes::Bytes;
@@ -20,10 +27,12 @@ use marea_presentation::{ArgsCodec, DataType, EventPayload, FnRet, Name, Value, 
 use marea_protocol::messages::{FunctionSig, Provision};
 use marea_protocol::{Micros, NodeId, ProtoDuration, RequestId};
 
+use crate::engines::vars::SubscribedVar;
 use crate::error::CallError;
 use crate::ports::{EventPort, FnPort, TypedCallHandle, VarPort};
+use crate::qos::{CallOptions, EventQos, VarQos};
 
-/// Handle correlating a [`ServiceContext::call`] with its later
+/// Handle correlating a [`ServiceContext::call_fn`] with its later
 /// [`Service::on_reply`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CallHandle(pub RequestId);
@@ -34,6 +43,8 @@ pub struct TimerId(pub u64);
 
 /// Provider-selection policy for remote invocations (paper §4.3: static
 /// allocation for critical services, dynamic load balancing otherwise).
+///
+/// Carried by [`CallOptions`] together with the deadline/retry contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CallPolicy {
     /// Pick the available provider with the lowest advertised load
@@ -96,15 +107,25 @@ pub enum ProviderNotice {
     EventUnavailable(Name),
 }
 
-/// A variable subscription request in a [`ServiceDescriptor`].
+/// A variable subscription in a [`ServiceDescriptor`]: the name plus the
+/// subscriber's declared [`VarQos`] contract.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VarSubscription {
     /// Variable name.
     pub name: Name,
-    /// Ask the provider for the current value immediately (paper §4.1:
-    /// "a mechanism that guarantees an initial exact value for the services
-    /// that need it").
-    pub need_initial: bool,
+    /// The declared contract (`deadline_periods`, `history` and
+    /// `need_initial` are the subscriber-side fields).
+    pub qos: VarQos,
+}
+
+/// An event subscription in a [`ServiceDescriptor`]: the channel name plus
+/// the subscriber's declared [`EventQos`] contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSubscription {
+    /// Channel name.
+    pub name: Name,
+    /// The declared contract (priority lane, inbox bound, drop policy).
+    pub qos: EventQos,
 }
 
 /// Static declaration of everything a service provides and consumes.
@@ -118,7 +139,7 @@ pub struct ServiceDescriptor {
     pub(crate) name: Name,
     pub(crate) provides: Vec<Provision>,
     pub(crate) var_subscriptions: Vec<VarSubscription>,
-    pub(crate) event_subscriptions: Vec<Name>,
+    pub(crate) event_subscriptions: Vec<EventSubscription>,
     pub(crate) file_interests: Vec<Name>,
     pub(crate) required_functions: Vec<Name>,
 }
@@ -158,7 +179,7 @@ impl ServiceDescriptor {
     }
 
     /// Declared event subscriptions.
-    pub fn event_subscriptions(&self) -> &[Name] {
+    pub fn event_subscriptions(&self) -> &[EventSubscription] {
         &self.event_subscriptions
     }
 
@@ -186,7 +207,10 @@ impl ServiceDescriptor {
 /// passes to the typed [`ServiceContext`] methods. Ports shared through a
 /// vocabulary module (one port constructor used by producer and consumers
 /// alike) are declared with the `provides_*` / `subscribe_to_*` /
-/// [`requires_fn`](Self::requires_fn) methods instead.
+/// [`requires_fn`](Self::requires_fn) methods instead. Every variable and
+/// event declaration takes its QoS contract as a typed profile
+/// ([`VarQos`] / [`EventQos`]); `Default` profiles reproduce the
+/// historical behaviour.
 ///
 /// The `*_dynamic` methods keep the old stringly-typed declarations
 /// compiling; they skip the compile-time check, so a value/descriptor
@@ -195,9 +219,10 @@ impl ServiceDescriptor {
 ///
 /// # Panics
 ///
-/// All builder methods panic on invalid name literals — descriptors are
-/// static declarations and a bad name is a programming error caught at
-/// service registration, not a runtime condition.
+/// All builder methods panic on invalid name literals *and* on invalid
+/// QoS profiles (see [`QosError`](crate::QosError)) — descriptors are
+/// static declarations and a bad contract is a programming error caught
+/// at service registration, not a runtime condition.
 #[derive(Debug, Clone)]
 pub struct ServiceDescriptorBuilder {
     inner: ServiceDescriptor,
@@ -208,32 +233,40 @@ impl ServiceDescriptorBuilder {
         Name::new(s).expect("name must be a valid name literal")
     }
 
+    fn checked_var_qos(name: &Name, qos: VarQos) -> VarQos {
+        if let Err(e) = qos.validate() {
+            panic!("invalid VarQos for `{name}`: {e}");
+        }
+        qos
+    }
+
+    fn checked_event_qos(name: &Name, qos: EventQos) -> EventQos {
+        if let Err(e) = qos.validate() {
+            panic!("invalid EventQos for `{name}`: {e}");
+        }
+        qos
+    }
+
     // ---- typed declarations (the primary API) ---------------------------
 
     /// Declares a published variable whose schema derives from `T`,
     /// returning the typed port to publish through.
     ///
     /// ```
-    /// # use marea_core::ServiceDescriptor;
+    /// # use marea_core::{ServiceDescriptor, VarQos};
     /// # use marea_protocol::ProtoDuration;
     /// let mut b = ServiceDescriptor::builder("beacon");
     /// let count = b.variable::<u64>(
     ///     "beacon/count",
-    ///     ProtoDuration::from_millis(10),
-    ///     ProtoDuration::from_millis(100),
+    ///     VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(100)),
     /// );
     /// let descriptor = b.build();
     /// # assert_eq!(count.name(), "beacon/count");
     /// # assert_eq!(descriptor.provides().len(), 1);
     /// ```
-    pub fn variable<T: ValueCodec>(
-        &mut self,
-        name: &str,
-        period: ProtoDuration,
-        validity: ProtoDuration,
-    ) -> VarPort<T> {
+    pub fn variable<T: ValueCodec>(&mut self, name: &str, qos: VarQos) -> VarPort<T> {
         let port = VarPort::new(name);
-        self.provides_var(&port, period, validity);
+        self.provides_var(&port, qos);
         port
     }
 
@@ -255,18 +288,15 @@ impl ServiceDescriptorBuilder {
         port
     }
 
-    /// Declares a published variable through an existing (shared) port.
-    pub fn provides_var<T: ValueCodec>(
-        &mut self,
-        port: &VarPort<T>,
-        period: ProtoDuration,
-        validity: ProtoDuration,
-    ) -> &mut Self {
+    /// Declares a published variable through an existing (shared) port;
+    /// `qos.period` and `qos.validity` are announced on the wire.
+    pub fn provides_var<T: ValueCodec>(&mut self, port: &VarPort<T>, qos: VarQos) -> &mut Self {
+        let qos = Self::checked_var_qos(port.name(), qos);
         self.inner.provides.push(Provision::Variable {
             name: port.name().clone(),
             ty: port.data_type(),
-            period_us: period.as_micros(),
-            validity_us: validity.as_micros(),
+            period_us: qos.period.as_micros(),
+            validity_us: qos.validity.as_micros(),
         });
         self
     }
@@ -287,22 +317,25 @@ impl ServiceDescriptorBuilder {
         self
     }
 
-    /// Subscribes to the variable behind a typed port; incoming samples
-    /// are decoded with [`VarPort::decode`].
-    pub fn subscribe_to_var<T: ValueCodec>(
-        &mut self,
-        port: &VarPort<T>,
-        need_initial: bool,
-    ) -> &mut Self {
-        self.inner
-            .var_subscriptions
-            .push(VarSubscription { name: port.name().clone(), need_initial });
+    /// Subscribes to the variable behind a typed port under the
+    /// subscriber-side contract of `qos` (`deadline_periods`, `history`,
+    /// `need_initial`); incoming samples are decoded with
+    /// [`VarPort::decode`].
+    pub fn subscribe_to_var<T: ValueCodec>(&mut self, port: &VarPort<T>, qos: VarQos) -> &mut Self {
+        let qos = Self::checked_var_qos(port.name(), qos);
+        self.inner.var_subscriptions.push(VarSubscription { name: port.name().clone(), qos });
         self
     }
 
-    /// Subscribes to the event channel behind a typed port.
-    pub fn subscribe_to_event<P: EventPayload>(&mut self, port: &EventPort<P>) -> &mut Self {
-        self.inner.event_subscriptions.push(port.name().clone());
+    /// Subscribes to the event channel behind a typed port under the
+    /// contract of `qos` (priority lane, inbox bound, drop policy).
+    pub fn subscribe_to_event<P: EventPayload>(
+        &mut self,
+        port: &EventPort<P>,
+        qos: EventQos,
+    ) -> &mut Self {
+        let qos = Self::checked_event_qos(port.name(), qos);
+        self.inner.event_subscriptions.push(EventSubscription { name: port.name().clone(), qos });
         self
     }
 
@@ -317,8 +350,7 @@ impl ServiceDescriptorBuilder {
 
     /// Declares a published variable from an explicit [`DataType`].
     ///
-    /// **Deprecated in favour of [`variable`](Self::variable)** — the
-    /// dynamic declaration cannot check at compile time that published
+    /// The dynamic declaration cannot check at compile time that published
     /// values match `ty`; mismatches surface only at runtime as counted
     /// [`type_mismatches`](crate::ContainerStats::type_mismatches).
     /// Migration:
@@ -326,9 +358,13 @@ impl ServiceDescriptorBuilder {
     /// ```text
     /// // before                                        // after
     /// .variable_dynamic("beacon/count",                let count = b.variable::<u64>(
-    ///     DataType::U64, period, validity)                 "beacon/count", period, validity);
+    ///     DataType::U64, period, validity)                 "beacon/count", VarQos::periodic(period, validity));
     /// ctx.publish("beacon/count", 7u64);               ctx.publish_to(&count, 7u64);
     /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `variable::<T>` (or `provides_var` with a shared port) and a `VarQos` profile"
+    )]
     pub fn variable_dynamic(
         &mut self,
         name: &str,
@@ -347,9 +383,12 @@ impl ServiceDescriptorBuilder {
 
     /// Declares a published event channel from an explicit payload type.
     ///
-    /// **Deprecated in favour of [`event`](Self::event)** — see
-    /// [`variable_dynamic`](Self::variable_dynamic) for the migration
+    /// See [`variable_dynamic`](Self::variable_dynamic) for the migration
     /// pattern.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `event::<P>` (or `provides_event` with a shared port)"
+    )]
     pub fn event_dynamic(&mut self, name: &str, ty: Option<DataType>) -> &mut Self {
         self.inner.provides.push(Provision::Event { name: Self::name(name), ty });
         self
@@ -357,9 +396,12 @@ impl ServiceDescriptorBuilder {
 
     /// Declares a callable function from an explicit signature.
     ///
-    /// **Deprecated in favour of [`function`](Self::function)** — see
-    /// [`variable_dynamic`](Self::variable_dynamic) for the migration
+    /// See [`variable_dynamic`](Self::variable_dynamic) for the migration
     /// pattern.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `function::<A, R>` (or `provides_fn` with a shared port)"
+    )]
     pub fn function_dynamic(
         &mut self,
         name: &str,
@@ -381,17 +423,22 @@ impl ServiceDescriptorBuilder {
         self
     }
 
-    /// Subscribes to a variable by name (schema checked at runtime only;
-    /// prefer [`subscribe_to_var`](Self::subscribe_to_var)).
-    pub fn subscribe_variable(&mut self, name: &str, need_initial: bool) -> &mut Self {
-        self.inner.var_subscriptions.push(VarSubscription { name: Self::name(name), need_initial });
+    /// Subscribes to a variable by name under the contract of `qos`
+    /// (schema checked at runtime only; prefer
+    /// [`subscribe_to_var`](Self::subscribe_to_var)).
+    pub fn subscribe_variable(&mut self, name: &str, qos: VarQos) -> &mut Self {
+        let name = Self::name(name);
+        let qos = Self::checked_var_qos(&name, qos);
+        self.inner.var_subscriptions.push(VarSubscription { name, qos });
         self
     }
 
-    /// Subscribes to an event channel by name (prefer
-    /// [`subscribe_to_event`](Self::subscribe_to_event)).
-    pub fn subscribe_event(&mut self, name: &str) -> &mut Self {
-        self.inner.event_subscriptions.push(Self::name(name));
+    /// Subscribes to an event channel by name under the contract of `qos`
+    /// (prefer [`subscribe_to_event`](Self::subscribe_to_event)).
+    pub fn subscribe_event(&mut self, name: &str, qos: EventQos) -> &mut Self {
+        let name = Self::name(name);
+        let qos = Self::checked_event_qos(&name, qos);
+        self.inner.event_subscriptions.push(EventSubscription { name, qos });
         self
     }
 
@@ -420,7 +467,7 @@ impl ServiceDescriptorBuilder {
 pub(crate) enum Effect {
     Publish { name: Name, value: Value },
     Emit { name: Name, value: Option<Value> },
-    Call { handle: CallHandle, function: Name, args: Vec<Value>, policy: CallPolicy },
+    Call { handle: CallHandle, function: Name, args: Vec<Value>, options: CallOptions },
     PublishFile { resource: Name, data: Bytes },
     SubscribeFile { resource: Name },
     SetTimer { id: TimerId, after: ProtoDuration, period: Option<ProtoDuration> },
@@ -445,6 +492,9 @@ pub struct ServiceContext<'a> {
     pub(crate) effects: &'a mut Vec<Effect>,
     pub(crate) next_request_id: &'a mut u64,
     pub(crate) next_timer_id: &'a mut u64,
+    /// Subscribed-variable state, for [`history`](Self::history) reads
+    /// (`None` in contexts built outside a container tick).
+    pub(crate) var_state: Option<&'a HashMap<Name, SubscribedVar>>,
 }
 
 impl<'a> ServiceContext<'a> {
@@ -484,40 +534,84 @@ impl<'a> ServiceContext<'a> {
             .push(Effect::Emit { name: port.name().clone(), value: payload.into_payload() });
     }
 
-    /// Starts a remote invocation through a typed port; the outcome
-    /// arrives via [`Service::on_reply`] and is decoded with
-    /// [`TypedCallHandle::decode`].
+    /// The retained samples of a subscribed variable, oldest first, as
+    /// deep as the subscription's declared
+    /// [`VarQos::history`](crate::VarQos::history).
+    ///
+    /// Samples that do not decode as `T` are skipped (impossible when the
+    /// subscription itself was declared through `port`). Outside a
+    /// container — or for a variable this service never subscribed to —
+    /// the history is empty.
+    pub fn history<T: ValueCodec>(&self, port: &VarPort<T>) -> Vec<(Micros, T)> {
+        match self.var_state.and_then(|vars| vars.get(port.name())) {
+            Some(sub) => sub
+                .history
+                .iter()
+                .filter_map(|(stamp, v)| port.decode(v).ok().map(|x| (*stamp, x)))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Starts a remote invocation through a typed port under the default
+    /// [`CallOptions`] (container deadline/retry defaults, dynamic
+    /// provider selection); the outcome arrives via [`Service::on_reply`]
+    /// and is decoded with [`TypedCallHandle::decode`].
     pub fn call_fn<A: ArgsCodec, R: FnRet>(
         &mut self,
         port: &FnPort<A, R>,
         args: A,
     ) -> TypedCallHandle<R> {
-        self.call_fn_with_policy(port, args, CallPolicy::Dynamic)
+        self.call_fn_with(port, args, CallOptions::default())
     }
 
-    /// [`ServiceContext::call_fn`] with an explicit provider policy.
-    pub fn call_fn_with_policy<A: ArgsCodec, R: FnRet>(
+    /// [`call_fn`](Self::call_fn) under an explicit caller contract:
+    /// per-attempt deadline, retry budget and provider policy travel with
+    /// the call and override the container defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`CallOptions`] profile (zero deadline or
+    /// zero retry budget) — the contract is part of the program, not a
+    /// runtime input.
+    pub fn call_fn_with<A: ArgsCodec, R: FnRet>(
         &mut self,
         port: &FnPort<A, R>,
         args: A,
-        policy: CallPolicy,
+        options: CallOptions,
     ) -> TypedCallHandle<R> {
+        if let Err(e) = options.validate() {
+            panic!("invalid CallOptions for `{}`: {e}", port.name());
+        }
         *self.next_request_id += 1;
         let handle = CallHandle(RequestId(*self.next_request_id));
         self.effects.push(Effect::Call {
             handle,
             function: port.name().clone(),
             args: args.into_args(),
-            policy,
+            options,
         });
         TypedCallHandle::new(handle)
+    }
+
+    /// [`call_fn`](Self::call_fn) with an explicit provider policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `call_fn_with` with `CallOptions::default().with_policy(policy)`"
+    )]
+    pub fn call_fn_with_policy<A: ArgsCodec, R: FnRet>(
+        &mut self,
+        port: &FnPort<A, R>,
+        args: A,
+        policy: CallPolicy,
+    ) -> TypedCallHandle<R> {
+        self.call_fn_with(port, args, CallOptions::default().with_policy(policy))
     }
 
     /// Publishes a sample of a declared variable by name (best-effort,
     /// §4.1).
     ///
-    /// **Deprecated in favour of [`publish_to`](Self::publish_to)** — this
-    /// compat method cannot check the value against the descriptor at
+    /// This compat method cannot check the value against the descriptor at
     /// compile time; a disagreement is dropped at runtime and counted in
     /// [`ContainerStats::type_mismatches`](crate::ContainerStats).
     /// Migration:
@@ -526,6 +620,7 @@ impl<'a> ServiceContext<'a> {
     /// // before                               // after (port from the builder)
     /// ctx.publish("beacon/count", count);     ctx.publish_to(&self.count_port, count);
     /// ```
+    #[deprecated(since = "0.2.0", note = "use `publish_to` with a typed `VarPort`")]
     pub fn publish(&mut self, name: &str, value: impl Into<Value>) {
         if let Ok(name) = Name::new(name) {
             self.effects.push(Effect::Publish { name, value: value.into() });
@@ -534,39 +629,21 @@ impl<'a> ServiceContext<'a> {
 
     /// Emits an event on a declared channel by name (reliable, §4.2).
     ///
-    /// **Deprecated in favour of [`emit_to`](Self::emit_to)** — see
-    /// [`publish`](Self::publish) for the migration pattern.
+    /// See [`publish`](Self::publish) for the migration pattern.
+    #[deprecated(since = "0.2.0", note = "use `emit_to` with a typed `EventPort`")]
     pub fn emit(&mut self, name: &str, value: Option<Value>) {
         if let Ok(name) = Name::new(name) {
             self.effects.push(Effect::Emit { name, value });
         }
     }
 
-    /// Starts a remote invocation by name; the outcome arrives via
-    /// [`Service::on_reply`] with the returned handle.
-    ///
-    /// **Deprecated in favour of [`call_fn`](Self::call_fn)** — the typed
-    /// call marshals arguments from a tuple checked against the port's
-    /// signature and decodes the reply through [`TypedCallHandle::decode`].
-    pub fn call(&mut self, function: &str, args: Vec<Value>) -> CallHandle {
-        self.call_with_policy(function, args, CallPolicy::Dynamic)
-    }
-
-    /// [`ServiceContext::call`] with an explicit provider policy.
-    ///
-    /// **Deprecated in favour of
-    /// [`call_fn_with_policy`](Self::call_fn_with_policy).**
-    pub fn call_with_policy(
-        &mut self,
-        function: &str,
-        args: Vec<Value>,
-        policy: CallPolicy,
-    ) -> CallHandle {
+    fn call_dynamic(&mut self, function: &str, args: Vec<Value>, policy: CallPolicy) -> CallHandle {
         *self.next_request_id += 1;
         let handle = CallHandle(RequestId(*self.next_request_id));
+        let options = CallOptions::default().with_policy(policy);
         match Name::new(function) {
             Ok(function) => {
-                self.effects.push(Effect::Call { handle, function, args, policy });
+                self.effects.push(Effect::Call { handle, function, args, options });
             }
             Err(_) => {
                 // Invalid name: surface as an immediate NoProvider reply.
@@ -577,11 +654,36 @@ impl<'a> ServiceContext<'a> {
                     handle,
                     function: Name::new("invalid").expect("literal"),
                     args,
-                    policy,
+                    options,
                 });
             }
         }
         handle
+    }
+
+    /// Starts a remote invocation by name; the outcome arrives via
+    /// [`Service::on_reply`] with the returned handle.
+    ///
+    /// The typed [`call_fn`](Self::call_fn) marshals arguments from a
+    /// tuple checked against the port's signature and decodes the reply
+    /// through [`TypedCallHandle::decode`].
+    #[deprecated(since = "0.2.0", note = "use `call_fn` with a typed `FnPort`")]
+    pub fn call(&mut self, function: &str, args: Vec<Value>) -> CallHandle {
+        self.call_dynamic(function, args, CallPolicy::Dynamic)
+    }
+
+    /// [`call`](Self::call) with an explicit provider policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `call_fn_with` with a typed `FnPort` and `CallOptions`"
+    )]
+    pub fn call_with_policy(
+        &mut self,
+        function: &str,
+        args: Vec<Value>,
+        policy: CallPolicy,
+    ) -> CallHandle {
+        self.call_dynamic(function, args, policy)
     }
 
     /// Publishes (or revises) a declared file resource to all interested
@@ -657,7 +759,8 @@ pub trait Service: Send {
     ) {
     }
 
-    /// A subscribed variable stopped arriving within its expected deadline.
+    /// A subscribed variable stopped arriving within its declared loss
+    /// deadline ([`VarQos::deadline_periods`](crate::VarQos)).
     fn on_variable_timeout(&mut self, ctx: &mut ServiceContext<'_>, name: &Name) {}
 
     /// A subscribed event arrived (guaranteed delivery, in order per
@@ -685,7 +788,7 @@ pub trait Service: Send {
         Err(format!("function `{function}` not implemented"))
     }
 
-    /// The outcome of an earlier [`ServiceContext::call`] arrived.
+    /// The outcome of an earlier [`ServiceContext::call_fn`] arrived.
     fn on_reply(
         &mut self,
         ctx: &mut ServiceContext<'_>,
@@ -713,28 +816,47 @@ impl fmt::Debug for dyn Service {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qos::DropPolicy;
+
+    fn test_ctx<'a>(
+        effects: &'a mut Vec<Effect>,
+        req: &'a mut u64,
+        tim: &'a mut u64,
+        name: &'a Name,
+    ) -> ServiceContext<'a> {
+        ServiceContext {
+            now: Micros(5),
+            node: NodeId(1),
+            service_name: name,
+            service_seq: 3,
+            effects,
+            next_request_id: req,
+            next_timer_id: tim,
+            var_state: None,
+        }
+    }
 
     #[test]
     fn descriptor_builder_collects_declarations() {
         let mut b = ServiceDescriptor::builder("camera");
         let status = b.variable::<u8>(
             "camera/status",
-            ProtoDuration::from_millis(100),
-            ProtoDuration::from_millis(500),
+            VarQos::periodic(ProtoDuration::from_millis(100), ProtoDuration::from_millis(500)),
         );
         let taken = b.event::<u32>("camera/photo-taken");
         let prepare = b.function::<(String,), bool>("camera/prepare");
         b.file_resource("camera/image")
-            .subscribe_variable("gps/position", true)
-            .subscribe_event("mc/photo-now")
+            .subscribe_variable("gps/position", VarQos::default().with_initial())
+            .subscribe_event("mc/photo-now", EventQos::default())
             .subscribe_file("mc/flight-plan")
             .requires_function("storage/store");
         let d = b.build();
         assert_eq!(d.name(), "camera");
         assert_eq!(d.provides().len(), 4);
         assert_eq!(d.var_subscriptions().len(), 1);
-        assert!(d.var_subscriptions()[0].need_initial);
+        assert!(d.var_subscriptions()[0].qos.need_initial);
         assert_eq!(d.event_subscriptions().len(), 1);
+        assert_eq!(d.event_subscriptions()[0].name, "mc/photo-now");
         assert_eq!(d.file_interests().len(), 1);
         assert_eq!(d.required_functions().len(), 1);
         assert!(d.find_provision("camera/prepare").is_some());
@@ -752,9 +874,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn typed_and_dynamic_declarations_agree() {
         let mut typed = ServiceDescriptor::builder("a");
-        typed.variable::<u64>("v", ProtoDuration::from_millis(10), ProtoDuration::from_millis(50));
+        typed.variable::<u64>(
+            "v",
+            VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(50)),
+        );
         let mut dynamic = ServiceDescriptor::builder("a");
         dynamic.variable_dynamic(
             "v",
@@ -771,34 +897,50 @@ mod tests {
         let alert = EventPort::<u32>::new("mc/alert");
         let store = FnPort::<(String, Vec<u8>), bool>::new("storage/store");
         let mut b = ServiceDescriptor::builder("consumer");
-        b.subscribe_to_var(&position, true).subscribe_to_event(&alert).requires_fn(&store);
+        b.subscribe_to_var(&position, VarQos::default().with_initial().with_history(4))
+            .subscribe_to_event(&alert, EventQos::bulk().with_queue_bound(16))
+            .requires_fn(&store);
         let d = b.build();
         assert_eq!(d.var_subscriptions()[0].name, "gps/position");
-        assert_eq!(d.event_subscriptions()[0], "mc/alert");
+        assert_eq!(d.var_subscriptions()[0].qos.history, 4);
+        assert_eq!(d.event_subscriptions()[0].name, "mc/alert");
+        assert_eq!(d.event_subscriptions()[0].qos.queue_bound, 16);
+        assert_eq!(d.event_subscriptions()[0].qos.drop_policy, DropPolicy::DropOldest);
         assert_eq!(d.required_functions()[0], "storage/store");
 
         let mut p = ServiceDescriptor::builder("producer");
-        p.provides_var(&position, ProtoDuration::from_millis(50), ProtoDuration::from_millis(200))
-            .provides_event(&alert)
-            .provides_fn(&store);
+        p.provides_var(
+            &position,
+            VarQos::periodic(ProtoDuration::from_millis(50), ProtoDuration::from_millis(200)),
+        )
+        .provides_event(&alert)
+        .provides_fn(&store);
         assert_eq!(p.build().provides().len(), 3);
     }
 
     #[test]
+    #[should_panic(expected = "invalid VarQos")]
+    fn builder_rejects_zero_validity() {
+        let mut b = ServiceDescriptor::builder("bad");
+        b.variable::<u64>("bad/v", VarQos::default().with_validity(ProtoDuration::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid EventQos")]
+    fn builder_rejects_zero_queue_bound() {
+        let mut b = ServiceDescriptor::builder("bad");
+        let e = EventPort::<u32>::new("bad/e");
+        b.subscribe_to_event(&e, EventQos::default().with_queue_bound(0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn context_queues_effects() {
         let name = Name::new("svc").unwrap();
         let mut effects = Vec::new();
         let mut req = 0u64;
         let mut tim = 0u64;
-        let mut ctx = ServiceContext {
-            now: Micros(5),
-            node: NodeId(1),
-            service_name: &name,
-            service_seq: 3,
-            effects: &mut effects,
-            next_request_id: &mut req,
-            next_timer_id: &mut tim,
-        };
+        let mut ctx = test_ctx(&mut effects, &mut req, &mut tim, &name);
         assert_eq!(ctx.now(), Micros(5));
         assert_eq!(ctx.local_node(), NodeId(1));
         assert_eq!(ctx.service_seq(), 3);
@@ -825,15 +967,7 @@ mod tests {
         let mut effects = Vec::new();
         let mut req = 0u64;
         let mut tim = 0u64;
-        let mut ctx = ServiceContext {
-            now: Micros(5),
-            node: NodeId(1),
-            service_name: &name,
-            service_seq: 3,
-            effects: &mut effects,
-            next_request_id: &mut req,
-            next_timer_id: &mut tim,
-        };
+        let mut ctx = test_ctx(&mut effects, &mut req, &mut tim, &name);
         let var = VarPort::<u64>::new("v");
         let bare = EventPort::<()>::new("e");
         let payload = EventPort::<u32>::new("p");
@@ -843,6 +977,14 @@ mod tests {
         ctx.emit_to(&payload, 7);
         let handle = ctx.call_fn(&func, ("x".to_owned(), 1));
         assert_eq!(handle.handle().0, RequestId(1));
+        let handle2 = ctx.call_fn_with(
+            &func,
+            ("y".to_owned(), 2),
+            CallOptions::default()
+                .with_deadline(ProtoDuration::from_millis(50))
+                .with_retry_budget(1),
+        );
+        assert_eq!(handle2.handle().0, RequestId(2));
 
         match &effects[0] {
             Effect::Publish { name, value } => {
@@ -860,12 +1002,43 @@ mod tests {
             other => panic!("unexpected effect {other:?}"),
         }
         match &effects[3] {
-            Effect::Call { function, args, .. } => {
+            Effect::Call { function, args, options, .. } => {
                 assert_eq!(function, "f");
                 assert_eq!(args, &vec![Value::Str("x".into()), Value::U32(1)]);
+                assert_eq!(options, &CallOptions::default());
             }
             other => panic!("unexpected effect {other:?}"),
         }
+        match &effects[4] {
+            Effect::Call { options, .. } => {
+                assert_eq!(options.deadline, Some(ProtoDuration::from_millis(50)));
+                assert_eq!(options.retry_budget, Some(1));
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CallOptions")]
+    fn call_fn_with_rejects_zero_retry_budget() {
+        let name = Name::new("svc").unwrap();
+        let mut effects = Vec::new();
+        let mut req = 0u64;
+        let mut tim = 0u64;
+        let mut ctx = test_ctx(&mut effects, &mut req, &mut tim, &name);
+        let func = FnPort::<(), bool>::new("f");
+        ctx.call_fn_with(&func, (), CallOptions::default().with_retry_budget(0));
+    }
+
+    #[test]
+    fn history_is_empty_outside_a_container() {
+        let name = Name::new("svc").unwrap();
+        let mut effects = Vec::new();
+        let mut req = 0u64;
+        let mut tim = 0u64;
+        let ctx = test_ctx(&mut effects, &mut req, &mut tim, &name);
+        let var = VarPort::<u64>::new("v");
+        assert!(ctx.history(&var).is_empty());
     }
 
     #[test]
@@ -881,15 +1054,7 @@ mod tests {
         let f = Name::new("f").unwrap();
         let mut effects = Vec::new();
         let (mut a, mut b) = (0u64, 0u64);
-        let mut ctx = ServiceContext {
-            now: Micros(0),
-            node: NodeId(0),
-            service_name: &name,
-            service_seq: 0,
-            effects: &mut effects,
-            next_request_id: &mut a,
-            next_timer_id: &mut b,
-        };
+        let mut ctx = test_ctx(&mut effects, &mut a, &mut b, &name);
         assert!(n.on_call(&mut ctx, &f, &[]).is_err());
     }
 }

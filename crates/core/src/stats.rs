@@ -58,6 +58,65 @@ pub struct ContainerStats {
     /// methods with a value that disagrees with its descriptor, or a peer
     /// node announced one schema and sent another.
     pub type_mismatches: TypeMismatchStats,
+    /// QoS-contract enforcement actions, aggregated over every
+    /// subscription and call (per-subscription breakdowns are read through
+    /// [`ServiceContainer::var_qos_stats`] /
+    /// [`event_qos_stats`](crate::ServiceContainer::event_qos_stats) /
+    /// [`fn_retries`](crate::ServiceContainer::fn_retries)).
+    ///
+    /// [`ServiceContainer::var_qos_stats`]: crate::ServiceContainer::var_qos_stats
+    pub qos: QosStats,
+}
+
+/// Aggregate counters of QoS-contract enforcement (see
+/// [`VarQos`](crate::VarQos) / [`EventQos`](crate::EventQos) /
+/// [`CallOptions`](crate::CallOptions)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QosStats {
+    /// Variable loss deadlines missed (`deadline_periods` × the nominal
+    /// period elapsed without a sample).
+    pub deadline_misses: u64,
+    /// Variable samples dropped because they outlived their declared
+    /// validity window in transit.
+    pub stale_drops: u64,
+    /// Event deliveries dropped by bounded inboxes (both
+    /// [`DropOldest`](crate::DropPolicy::DropOldest) retractions and
+    /// [`DropNewest`](crate::DropPolicy::DropNewest) refusals).
+    pub queue_drops: u64,
+    /// Remote invocations transparently re-dispatched to another provider
+    /// (deadline expiry, provider refusal or provider death).
+    pub retries: u64,
+}
+
+impl QosStats {
+    /// Sum over all enforcement counters.
+    pub fn total(&self) -> u64 {
+        self.deadline_misses + self.stale_drops + self.queue_drops + self.retries
+    }
+}
+
+/// QoS counters of one subscribed variable — the channel state a
+/// container keeps for all its local subscribers of that name (read via
+/// [`ServiceContainer::var_qos_stats`](crate::ServiceContainer::var_qos_stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VarSubscriptionStats {
+    /// Loss deadlines missed on this subscription.
+    pub deadline_misses: u64,
+    /// Stale samples dropped on this subscription.
+    pub stale_drops: u64,
+    /// Samples currently retained in the history ring.
+    pub history_len: usize,
+}
+
+/// Per-channel QoS counters of one subscribed event channel (read via
+/// [`ServiceContainer::event_qos_stats`](crate::ServiceContainer::event_qos_stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventSubscriptionStats {
+    /// Deliveries dropped by bounded inboxes, summed over the channel's
+    /// local subscribers.
+    pub queue_drops: u64,
+    /// Highest queued-delivery depth observed on any one subscriber.
+    pub inbox_peak: usize,
 }
 
 /// Per-engine counters of descriptor/value disagreements.
@@ -100,6 +159,13 @@ impl ContainerStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn qos_total_sums_all_counters() {
+        let q = QosStats { deadline_misses: 1, stale_drops: 2, queue_drops: 3, retries: 4 };
+        assert_eq!(q.total(), 10);
+        assert_eq!(QosStats::default().total(), 0);
+    }
 
     #[test]
     fn latency_mean() {

@@ -6,8 +6,8 @@ mod common;
 use bytes::Bytes;
 use common::{obs_log, observations, Obs, Recorder, Scripted};
 use marea_core::{
-    CallPolicy, ContainerConfig, Micros, NodeId, ProtoDuration, SchedulerKind, ServiceDescriptor,
-    SimHarness, VarDistribution,
+    CallOptions, CallPolicy, ContainerConfig, EventPort, EventQos, FnPort, Micros, NodeId,
+    ProtoDuration, SchedulerKind, ServiceDescriptor, SimHarness, VarDistribution, VarPort, VarQos,
 };
 use marea_netsim::{LinkConfig, NetConfig};
 use marea_presentation::{DataType, Value};
@@ -26,11 +26,15 @@ fn containers_discover_each_other() {
     h.add_container(ContainerConfig::new("alpha", NodeId(1)));
     h.add_container(ContainerConfig::new("beta", NodeId(2)));
     h.start_all();
-    h.run_for_millis(20);
+    let discovered = h.run_until(
+        |h| {
+            h.container(NodeId(1)).unwrap().directory().node_alive(NodeId(2))
+                && h.container(NodeId(2)).unwrap().directory().node_alive(NodeId(1))
+        },
+        ProtoDuration::from_secs(2),
+    );
+    assert!(discovered, "mutual discovery within budget");
     let a = h.container(NodeId(1)).unwrap();
-    let b = h.container(NodeId(2)).unwrap();
-    assert!(a.directory().node_alive(NodeId(2)));
-    assert!(b.directory().node_alive(NodeId(1)));
     assert_eq!(a.directory().node(NodeId(2)).unwrap().container.as_str(), "beta");
 }
 
@@ -40,24 +44,22 @@ fn variables_flow_across_nodes_with_schema() {
     h.add_container(ContainerConfig::new("pub", NodeId(1)));
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
-    // Publisher: counter at 10 ms period.
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("counter")
-            .variable_dynamic(
-                "counter/value",
-                DataType::U64,
-                ProtoDuration::from_millis(10),
-                ProtoDuration::from_millis(100),
-            )
-            .build(),
+    // Publisher: counter at 10 ms period, declared through a typed port.
+    let counter = VarPort::<u64>::new("counter/value");
+    let mut b = ServiceDescriptor::builder("counter");
+    b.provides_var(
+        &counter,
+        VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(100)),
     );
+    let mut publisher = Scripted::new(b.build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
     }));
     let mut n = 0u64;
+    let port = counter.clone();
     publisher.on_timer = Some(Box::new(move |ctx, _| {
         n += 1;
-        ctx.publish("counter/value", n);
+        ctx.publish_to(&port, n);
     }));
     h.add_service(NodeId(1), Box::new(publisher));
 
@@ -66,7 +68,7 @@ fn variables_flow_across_nodes_with_schema() {
         NodeId(2),
         Box::new(Recorder::new(
             ServiceDescriptor::builder("display")
-                .subscribe_variable("counter/value", false)
+                .subscribe_variable("counter/value", VarQos::default())
                 .build(),
             log.clone(),
         )),
@@ -98,17 +100,12 @@ fn initial_value_is_guaranteed_to_late_subscribers() {
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
     // Publishes exactly once at start, then stays silent. Long validity.
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("oneshot")
-            .variable_dynamic(
-                "oneshot/value",
-                DataType::U32,
-                ProtoDuration::ZERO, // aperiodic
-                ProtoDuration::from_secs(60),
-            )
-            .build(),
-    );
-    publisher.on_start = Some(Box::new(|ctx| ctx.publish("oneshot/value", 42u32)));
+    let oneshot = VarPort::<u32>::new("oneshot/value");
+    let mut b = ServiceDescriptor::builder("oneshot");
+    b.provides_var(&oneshot, VarQos::aperiodic(ProtoDuration::from_secs(60)));
+    let mut publisher = Scripted::new(b.build());
+    let port = oneshot.clone();
+    publisher.on_start = Some(Box::new(move |ctx| ctx.publish_to(&port, 42u32)));
     h.add_service(NodeId(1), Box::new(publisher));
     h.start_all();
     h.run_for_millis(100);
@@ -119,7 +116,9 @@ fn initial_value_is_guaranteed_to_late_subscribers() {
     h.container_mut(NodeId(2))
         .unwrap()
         .add_service(Box::new(Recorder::new(
-            ServiceDescriptor::builder("late").subscribe_variable("oneshot/value", true).build(),
+            ServiceDescriptor::builder("late")
+                .subscribe_variable("oneshot/value", VarQos::default().with_initial())
+                .build(),
             log.clone(),
         )))
         .unwrap();
@@ -142,24 +141,22 @@ fn variable_timeout_warns_subscribers() {
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
     // Publishes at 10 ms for 100 ms, then goes silent (sensor failure).
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("sensor")
-            .variable_dynamic(
-                "sensor/reading",
-                DataType::F32,
-                ProtoDuration::from_millis(10),
-                ProtoDuration::from_millis(50),
-            )
-            .build(),
+    let reading = VarPort::<f32>::new("sensor/reading");
+    let mut b = ServiceDescriptor::builder("sensor");
+    b.provides_var(
+        &reading,
+        VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(50)),
     );
+    let mut publisher = Scripted::new(b.build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
     }));
     let mut count = 0;
+    let port = reading.clone();
     publisher.on_timer = Some(Box::new(move |ctx, _| {
         count += 1;
         if count <= 10 {
-            ctx.publish("sensor/reading", 1.5f32);
+            ctx.publish_to(&port, 1.5f32);
         }
     }));
     h.add_service(NodeId(1), Box::new(publisher));
@@ -169,7 +166,7 @@ fn variable_timeout_warns_subscribers() {
         NodeId(2),
         Box::new(Recorder::new(
             ServiceDescriptor::builder("monitor")
-                .subscribe_variable("sensor/reading", false)
+                .subscribe_variable("sensor/reading", VarQos::default())
                 .build(),
             log.clone(),
         )),
@@ -190,6 +187,10 @@ fn variable_timeout_warns_subscribers() {
     let last_sample =
         obs.iter().filter(|(_, o)| matches!(o, Obs::Var(..))).map(|(t, _)| *t).max().unwrap();
     assert!(*timeouts[0] > last_sample);
+    // The miss is accounted against the subscription's QoS contract.
+    let sub = h.container(NodeId(2)).unwrap();
+    assert_eq!(sub.stats().qos.deadline_misses, 1);
+    assert_eq!(sub.var_qos_stats("sensor/reading").unwrap().deadline_misses, 1);
 }
 
 #[test]
@@ -200,27 +201,28 @@ fn stale_samples_are_dropped_by_validity() {
     h.add_container(ContainerConfig::new("pub", NodeId(1)));
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("fast")
-            .variable_dynamic(
-                "fast/v",
-                DataType::U8,
-                ProtoDuration::from_millis(10),
-                ProtoDuration::from_millis(5), // validity < link latency
-            )
-            .build(),
+    let fast = VarPort::<u8>::new("fast/v");
+    let mut b = ServiceDescriptor::builder("fast");
+    b.provides_var(
+        &fast,
+        // validity < link latency
+        VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(5)),
     );
+    let mut publisher = Scripted::new(b.build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
     }));
-    publisher.on_timer = Some(Box::new(|ctx, _| ctx.publish("fast/v", 1u8)));
+    let port = fast.clone();
+    publisher.on_timer = Some(Box::new(move |ctx, _| ctx.publish_to(&port, 1u8)));
     h.add_service(NodeId(1), Box::new(publisher));
 
     let log = obs_log();
     h.add_service(
         NodeId(2),
         Box::new(Recorder::new(
-            ServiceDescriptor::builder("mon").subscribe_variable("fast/v", false).build(),
+            ServiceDescriptor::builder("mon")
+                .subscribe_variable("fast/v", VarQos::default())
+                .build(),
             log.clone(),
         )),
     );
@@ -231,6 +233,10 @@ fn stale_samples_are_dropped_by_validity() {
     assert_eq!(delivered, 0, "every sample arrived stale");
     let stats = h.container(NodeId(2)).unwrap().stats();
     assert!(stats.stale_samples_dropped > 5, "{stats:?}");
+    // Stale drops are part of the QoS ledger, per subscription and total.
+    assert_eq!(stats.qos.stale_drops, stats.stale_samples_dropped);
+    let per_sub = h.container(NodeId(2)).unwrap().var_qos_stats("fast/v").unwrap();
+    assert_eq!(per_sub.stale_drops, stats.stale_samples_dropped);
 }
 
 #[test]
@@ -239,11 +245,10 @@ fn events_are_delivered_exactly_once_in_order_under_loss() {
     h.add_container(ContainerConfig::new("pub", NodeId(1)));
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("alerter")
-            .event_dynamic("alerter/tick", Some(DataType::U64))
-            .build(),
-    );
+    let tick = EventPort::<u64>::new("alerter/tick");
+    let mut b = ServiceDescriptor::builder("alerter");
+    b.provides_event(&tick);
+    let mut publisher = Scripted::new(b.build());
     publisher.on_start = Some(Box::new(|ctx| {
         // First emission waits out subscription wiring (even under loss the
         // reliable control plane settles within a few RTOs); pub/sub has no
@@ -251,9 +256,10 @@ fn events_are_delivered_exactly_once_in_order_under_loss() {
         ctx.set_timer(ProtoDuration::from_millis(300), Some(ProtoDuration::from_millis(5)));
     }));
     let mut i = 0u64;
+    let port = tick.clone();
     publisher.on_timer = Some(Box::new(move |ctx, _| {
         if i < 50 {
-            ctx.emit("alerter/tick", Some(Value::U64(i)));
+            ctx.emit_to(&port, i);
             i += 1;
         }
     }));
@@ -263,12 +269,18 @@ fn events_are_delivered_exactly_once_in_order_under_loss() {
     h.add_service(
         NodeId(2),
         Box::new(Recorder::new(
-            ServiceDescriptor::builder("watcher").subscribe_event("alerter/tick").build(),
+            ServiceDescriptor::builder("watcher")
+                .subscribe_event("alerter/tick", EventQos::default())
+                .build(),
             log.clone(),
         )),
     );
     h.start_all();
-    h.run_for_millis(2_000);
+    let all_arrived = h.run_until(
+        |h| h.container(NodeId(2)).unwrap().stats().events_delivered >= 50,
+        ProtoDuration::from_secs(2),
+    );
+    assert!(all_arrived, "all 50 events within the loss budget");
 
     let got: Vec<u64> = observations(&log)
         .into_iter()
@@ -290,19 +302,24 @@ fn bare_events_carry_no_payload() {
     h.add_container(ContainerConfig::new("pub", NodeId(1)));
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
-    let mut publisher =
-        Scripted::new(ServiceDescriptor::builder("bare").event_dynamic("bare/ping", None).build());
+    let ping = EventPort::<()>::new("bare/ping");
+    let mut b = ServiceDescriptor::builder("bare");
+    b.provides_event(&ping);
+    let mut publisher = Scripted::new(b.build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(20), None);
     }));
-    publisher.on_timer = Some(Box::new(|ctx, _| ctx.emit("bare/ping", None)));
+    let port = ping.clone();
+    publisher.on_timer = Some(Box::new(move |ctx, _| ctx.emit_to(&port, ())));
     h.add_service(NodeId(1), Box::new(publisher));
 
     let log = obs_log();
     h.add_service(
         NodeId(2),
         Box::new(Recorder::new(
-            ServiceDescriptor::builder("w").subscribe_event("bare/ping").build(),
+            ServiceDescriptor::builder("w")
+                .subscribe_event("bare/ping", EventQos::default())
+                .build(),
             log.clone(),
         )),
     );
@@ -322,15 +339,15 @@ fn remote_invocation_roundtrip() {
     h.add_container(ContainerConfig::new("client", NodeId(1)));
     h.add_container(ContainerConfig::new("server", NodeId(2)));
 
-    let mut server = Scripted::new(
-        ServiceDescriptor::builder("math")
-            .function_dynamic("math/double", vec![DataType::U32], Some(DataType::U32))
-            .build(),
-    );
-    server.on_call = Some(Box::new(|_ctx, function, args| {
+    let double = FnPort::<(u32,), u32>::new("math/double");
+    let mut b = ServiceDescriptor::builder("math");
+    b.provides_fn(&double);
+    let mut server = Scripted::new(b.build());
+    let sport = double.clone();
+    server.on_call = Some(Box::new(move |_ctx, function, args| {
         assert_eq!(function.as_str(), "math/double");
-        let x = args[0].as_u64().unwrap() as u32;
-        Ok(Value::U32(x * 2))
+        let (x,) = sport.decode_args(args).map_err(|e| e.to_string())?;
+        Ok(sport.encode_ret(x * 2))
     }));
     h.add_service(NodeId(2), Box::new(server));
 
@@ -341,8 +358,9 @@ fn remote_invocation_roundtrip() {
     client.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(30), None);
     }));
-    client.on_timer = Some(Box::new(|ctx, _| {
-        ctx.call("math/double", vec![Value::U32(21)]);
+    let cport = double.clone();
+    client.on_timer = Some(Box::new(move |ctx, _| {
+        ctx.call_fn(&cport, (21,));
     }));
     let reply_log = log.clone();
     client.on_reply = Some(Box::new(move |ctx, handle, result| {
@@ -370,13 +388,15 @@ fn local_calls_bypass_the_network() {
     let mut h = SimHarness::new(lan(9));
     h.add_container(ContainerConfig::new("solo", NodeId(1)));
 
-    let mut server = Scripted::new(
-        ServiceDescriptor::builder("math")
-            .function_dynamic("math/neg", vec![DataType::I32], Some(DataType::I32))
-            .build(),
-    );
-    server.on_call =
-        Some(Box::new(|_ctx, _f, args| Ok(Value::I32(-(args[0].as_i64().unwrap() as i32)))));
+    let neg = FnPort::<(i32,), i32>::new("math/neg");
+    let mut b = ServiceDescriptor::builder("math");
+    b.provides_fn(&neg);
+    let mut server = Scripted::new(b.build());
+    let sport = neg.clone();
+    server.on_call = Some(Box::new(move |_ctx, _f, args| {
+        let (x,) = sport.decode_args(args).map_err(|e| e.to_string())?;
+        Ok(sport.encode_ret(-x))
+    }));
     h.add_service(NodeId(1), Box::new(server));
 
     let log = obs_log();
@@ -384,8 +404,9 @@ fn local_calls_bypass_the_network() {
     client.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(10), None);
     }));
-    client.on_timer = Some(Box::new(|ctx, _| {
-        ctx.call("math/neg", vec![Value::I32(7)]);
+    let cport = neg.clone();
+    client.on_timer = Some(Box::new(move |ctx, _| {
+        ctx.call_fn(&cport, (7,));
     }));
     let reply_log = log.clone();
     client.on_reply = Some(Box::new(move |ctx, handle, result| {
@@ -415,11 +436,11 @@ fn call_errors_propagate() {
     h.add_container(ContainerConfig::new("client", NodeId(1)));
     h.add_container(ContainerConfig::new("server", NodeId(2)));
 
-    let mut server = Scripted::new(
-        ServiceDescriptor::builder("fragile")
-            .function_dynamic("fragile/work", vec![], Some(DataType::Bool))
-            .build(),
-    );
+    let work = FnPort::<(), bool>::new("fragile/work");
+    let missing = FnPort::<(), bool>::new("no/such-function");
+    let mut b = ServiceDescriptor::builder("fragile");
+    b.provides_fn(&work);
+    let mut server = Scripted::new(b.build());
     server.on_call = Some(Box::new(|_ctx, _f, _a| Err("out of film".into())));
     h.add_service(NodeId(2), Box::new(server));
 
@@ -428,9 +449,9 @@ fn call_errors_propagate() {
     client.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(30), None);
     }));
-    client.on_timer = Some(Box::new(|ctx, _| {
-        ctx.call("fragile/work", vec![]);
-        ctx.call("no/such-function", vec![]);
+    client.on_timer = Some(Box::new(move |ctx, _| {
+        ctx.call_fn(&work, ());
+        ctx.call_fn(&missing, ());
     }));
     let reply_log = log.clone();
     client.on_reply = Some(Box::new(move |ctx, handle, result| {
@@ -464,12 +485,11 @@ fn calls_fail_over_to_redundant_provider() {
     h.add_container(ContainerConfig::new("primary", NodeId(2)));
     h.add_container(ContainerConfig::new("backup", NodeId(3)));
 
+    let where_fn = FnPort::<(), u32>::new("storage/where");
     for node in [NodeId(2), NodeId(3)] {
-        let mut server = Scripted::new(
-            ServiceDescriptor::builder("storage")
-                .function_dynamic("storage/where", vec![], Some(DataType::U32))
-                .build(),
-        );
+        let mut b = ServiceDescriptor::builder("storage");
+        b.provides_fn(&where_fn);
+        let mut server = Scripted::new(b.build());
         let who = node.0;
         server.on_call = Some(Box::new(move |_ctx, _f, _a| Ok(Value::U32(who))));
         h.add_service(node, Box::new(server));
@@ -481,8 +501,9 @@ fn calls_fail_over_to_redundant_provider() {
         // Call every 100 ms, pinned to node 2 while it lives.
         ctx.set_timer(ProtoDuration::from_millis(100), Some(ProtoDuration::from_millis(100)));
     }));
-    client.on_timer = Some(Box::new(|ctx, _| {
-        ctx.call_with_policy("storage/where", vec![], CallPolicy::PreferNode(NodeId(2)));
+    let cport = where_fn.clone();
+    client.on_timer = Some(Box::new(move |ctx, _| {
+        ctx.call_fn_with(&cport, (), CallOptions::default().pinned(NodeId(2)));
     }));
     let reply_log = log.clone();
     client.on_reply = Some(Box::new(move |ctx, handle, result| {
@@ -514,7 +535,13 @@ fn calls_fail_over_to_redundant_provider() {
     // in-flight ones during the blackout window report an error.
     let errors = replies.iter().filter(|(_, r)| r.is_err()).count();
     assert!(errors <= 2, "at most the in-flight calls error: {replies:?}");
-    assert!(h.container(NodeId(1)).unwrap().stats().call_failovers >= 1);
+    let client = h.container(NodeId(1)).unwrap();
+    assert!(client.stats().call_failovers >= 1);
+    // The transparent re-dispatches are part of the QoS ledger, total and
+    // per function.
+    assert!(client.stats().qos.retries >= 1, "{:?}", client.stats().qos);
+    assert!(client.fn_retries("storage/where") >= 1);
+    assert_eq!(client.fn_retries("no/such"), 0);
 }
 
 #[test]
@@ -550,7 +577,15 @@ fn file_distribution_to_multiple_nodes_is_bit_exact() {
         )),
     );
     h.start_all();
-    h.run_for_millis(3_000);
+    let both_done = h.run_until(
+        |h| {
+            [NodeId(2), NodeId(3)]
+                .iter()
+                .all(|n| h.container(*n).unwrap().stats().files_received >= 1)
+        },
+        ProtoDuration::from_secs(5),
+    );
+    assert!(both_done, "both subscribers completed within the loss budget");
 
     for (node, log) in [(NodeId(2), &log2), (NodeId(3), &log3)] {
         let data: Vec<Bytes> = observations(log)
@@ -647,14 +682,54 @@ fn file_revision_update_reaches_subscribers() {
 }
 
 #[test]
+fn file_schema_violations_are_counted_per_engine() {
+    let mut h = SimHarness::new(lan(44));
+    h.add_container(ContainerConfig::new("a", NodeId(1)));
+    h.add_container(ContainerConfig::new("b", NodeId(2)));
+
+    // Node 1: publishes an *undeclared* resource (dropped + counted) and a
+    // declared one.
+    let mut rogue =
+        Scripted::new(ServiceDescriptor::builder("rogue").file_resource("shared/img").build());
+    rogue.on_start = Some(Box::new(|ctx| {
+        ctx.publish_file("rogue/undeclared", Bytes::from_static(b"x"));
+        ctx.publish_file("shared/img", Bytes::from_static(b"from-node-1"));
+    }));
+    h.add_service(NodeId(1), Box::new(rogue));
+
+    // Node 2: publishes the *same* resource name — a fleet-level contract
+    // violation (two writers behind one name) each side must refuse.
+    let mut twin =
+        Scripted::new(ServiceDescriptor::builder("twin").file_resource("shared/img").build());
+    twin.on_start = Some(Box::new(|ctx| {
+        ctx.publish_file("shared/img", Bytes::from_static(b"from-node-2"));
+    }));
+    h.add_service(NodeId(2), Box::new(twin));
+
+    h.start_all();
+    h.run_for_millis(500);
+
+    let a = h.container(NodeId(1)).unwrap();
+    assert!(
+        a.stats().type_mismatches.files >= 2,
+        "undeclared publish + colliding announce both counted: {:?}",
+        a.stats().type_mismatches
+    );
+    assert!(a.log_lines().any(|(_, l)| l.contains("undeclared file resource")));
+    assert!(a.log_lines().any(|(_, l)| l.contains("locally published resource")));
+    let b = h.container(NodeId(2)).unwrap();
+    assert_eq!(b.stats().type_mismatches.files, 1, "node 2 refused node 1's announce");
+}
+
+#[test]
 fn panicking_service_is_quarantined_and_fleet_notified() {
     let mut h = SimHarness::new(lan(15));
     h.add_container(ContainerConfig::new("a", NodeId(1)));
     h.add_container(ContainerConfig::new("b", NodeId(2)));
 
-    let mut bomb = Scripted::new(
-        ServiceDescriptor::builder("bomb").function_dynamic("bomb/arm", vec![], None).build(),
-    );
+    let mut bomb_b = ServiceDescriptor::builder("bomb");
+    bomb_b.function::<(), ()>("bomb/arm");
+    let mut bomb = Scripted::new(bomb_b.build());
     bomb.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(50), None);
     }));
@@ -681,12 +756,9 @@ fn graceful_bye_purges_remote_caches_immediately() {
     let mut h = SimHarness::new(lan(16));
     h.add_container(ContainerConfig::new("a", NodeId(1)));
     h.add_container(ContainerConfig::new("b", NodeId(2)));
-    h.add_service(
-        NodeId(2),
-        Box::new(Scripted::new(
-            ServiceDescriptor::builder("x").function_dynamic("x/f", vec![], None).build(),
-        )),
-    );
+    let mut xb = ServiceDescriptor::builder("x");
+    xb.function::<(), ()>("x/f");
+    h.add_service(NodeId(2), Box::new(Scripted::new(xb.build())));
     h.start_all();
     h.run_for_millis(50);
     assert!(h
@@ -710,27 +782,25 @@ fn unicast_fanout_mode_still_delivers() {
     h.add_container(cfg);
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("p")
-            .variable_dynamic(
-                "p/v",
-                DataType::U32,
-                ProtoDuration::from_millis(10),
-                ProtoDuration::from_millis(100),
-            )
-            .build(),
+    let pv = VarPort::<u32>::new("p/v");
+    let mut b = ServiceDescriptor::builder("p");
+    b.provides_var(
+        &pv,
+        VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(100)),
     );
+    let mut publisher = Scripted::new(b.build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
     }));
-    publisher.on_timer = Some(Box::new(|ctx, _| ctx.publish("p/v", 5u32)));
+    let port = pv.clone();
+    publisher.on_timer = Some(Box::new(move |ctx, _| ctx.publish_to(&port, 5u32)));
     h.add_service(NodeId(1), Box::new(publisher));
 
     let log = obs_log();
     h.add_service(
         NodeId(2),
         Box::new(Recorder::new(
-            ServiceDescriptor::builder("s").subscribe_variable("p/v", false).build(),
+            ServiceDescriptor::builder("s").subscribe_variable("p/v", VarQos::default()).build(),
             log.clone(),
         )),
     );
@@ -746,26 +816,25 @@ fn identical_seeds_reproduce_identical_runs() {
         let mut h = SimHarness::new(lossy(seed, 0.05));
         h.add_container(ContainerConfig::new("pub", NodeId(1)));
         h.add_container(ContainerConfig::new("sub", NodeId(2)));
-        let mut publisher = Scripted::new(
-            ServiceDescriptor::builder("p")
-                .variable_dynamic(
-                    "p/v",
-                    DataType::U64,
-                    ProtoDuration::from_millis(5),
-                    ProtoDuration::from_millis(50),
-                )
-                .event_dynamic("p/e", Some(DataType::U64))
-                .build(),
-        );
+        let pv = VarPort::<u64>::new("p/v");
+        let pe = EventPort::<u64>::new("p/e");
+        let mut b = ServiceDescriptor::builder("p");
+        b.provides_var(
+            &pv,
+            VarQos::periodic(ProtoDuration::from_millis(5), ProtoDuration::from_millis(50)),
+        )
+        .provides_event(&pe);
+        let mut publisher = Scripted::new(b.build());
         publisher.on_start = Some(Box::new(|ctx| {
             ctx.set_timer(ProtoDuration::from_millis(5), Some(ProtoDuration::from_millis(5)));
         }));
         let mut k = 0u64;
+        let (vp, ep) = (pv.clone(), pe.clone());
         publisher.on_timer = Some(Box::new(move |ctx, _| {
             k += 1;
-            ctx.publish("p/v", k);
+            ctx.publish_to(&vp, k);
             if k.is_multiple_of(7) {
-                ctx.emit("p/e", Some(Value::U64(k)));
+                ctx.emit_to(&ep, k);
             }
         }));
         h.add_service(NodeId(1), Box::new(publisher));
@@ -774,8 +843,8 @@ fn identical_seeds_reproduce_identical_runs() {
             NodeId(2),
             Box::new(Recorder::new(
                 ServiceDescriptor::builder("s")
-                    .subscribe_variable("p/v", false)
-                    .subscribe_event("p/e")
+                    .subscribe_variable("p/v", VarQos::default())
+                    .subscribe_event("p/e", EventQos::default())
                     .build(),
                 log.clone(),
             )),
@@ -810,25 +879,20 @@ fn priority_scheduler_runs_events_before_variable_backlog() {
         cfg.tick_budget = 512;
         h.add_container(cfg);
 
-        let mut blaster = Scripted::new(
-            ServiceDescriptor::builder("blaster")
-                .variable_dynamic(
-                    "b/v",
-                    DataType::U32,
-                    ProtoDuration::ZERO,
-                    ProtoDuration::from_secs(1),
-                )
-                .event_dynamic("b/e", None)
-                .build(),
-        );
+        let bv = VarPort::<u32>::new("b/v");
+        let be = EventPort::<()>::new("b/e");
+        let mut b = ServiceDescriptor::builder("blaster");
+        b.provides_var(&bv, VarQos::aperiodic(ProtoDuration::from_secs(1))).provides_event(&be);
+        let mut blaster = Scripted::new(b.build());
         blaster.on_start = Some(Box::new(|ctx| {
             ctx.set_timer(ProtoDuration::from_millis(10), None);
         }));
-        blaster.on_timer = Some(Box::new(|ctx, _| {
+        let (vp, ep) = (bv.clone(), be.clone());
+        blaster.on_timer = Some(Box::new(move |ctx, _| {
             for i in 0..200u32 {
-                ctx.publish("b/v", i);
+                ctx.publish_to(&vp, i);
             }
-            ctx.emit("b/e", None);
+            ctx.emit_to(&ep, ());
         }));
         h.add_service(NodeId(1), Box::new(blaster));
 
@@ -837,8 +901,8 @@ fn priority_scheduler_runs_events_before_variable_backlog() {
             NodeId(1),
             Box::new(Recorder::new(
                 ServiceDescriptor::builder("listener")
-                    .subscribe_variable("b/v", false)
-                    .subscribe_event("b/e")
+                    .subscribe_variable("b/v", VarQos::default())
+                    .subscribe_event("b/e", EventQos::default())
                     .build(),
                 log.clone(),
             )),
@@ -882,11 +946,11 @@ fn required_function_availability_notices() {
         .any(|(_, o)| matches!(o, Obs::Provider(p) if p.contains("FunctionUnavailable"))));
 
     // Provider appears later.
+    let mut late_b = ServiceDescriptor::builder("late");
+    late_b.function::<(), ()>("late/fn");
     h.container_mut(NodeId(2))
         .unwrap()
-        .add_service(Box::new(Scripted::new(
-            ServiceDescriptor::builder("late").function_dynamic("late/fn", vec![], None).build(),
-        )))
+        .add_service(Box::new(Scripted::new(late_b.build())))
         .unwrap();
     h.run_for_millis(200);
     assert!(observations(&log)
@@ -932,8 +996,7 @@ mod typed {
             let mut b = ServiceDescriptor::builder("typed-beacon");
             b.provides_var(
                 &self.count,
-                ProtoDuration::from_millis(10),
-                ProtoDuration::from_millis(100),
+                VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(100)),
             )
             .provides_event(&self.decade)
             .provides_fn(&self.double);
@@ -997,8 +1060,8 @@ mod typed {
     impl Service for TypedObserver {
         fn descriptor(&self) -> ServiceDescriptor {
             let mut b = ServiceDescriptor::builder("typed-observer");
-            b.subscribe_to_var(&self.count, true)
-                .subscribe_to_event(&self.decade)
+            b.subscribe_to_var(&self.count, VarQos::default().with_initial().with_history(8))
+                .subscribe_to_event(&self.decade, EventQos::default())
                 .requires_fn(&self.double);
             b.build()
         }
@@ -1071,6 +1134,9 @@ mod typed {
         assert!(seen.counts.windows(2).all(|w| w[0] < w[1]));
         assert!(!seen.decades.is_empty(), "typed events flow");
         assert_eq!(seen.doubled, Some(Ok(42)), "typed call round-trips");
+        // The declared history contract keeps the ring at its depth.
+        let hist = h.container(NodeId(2)).unwrap().var_qos_stats("typed/count").unwrap();
+        assert_eq!(hist.history_len, 8, "ring filled to the declared depth");
 
         // No contract can be violated through typed ports.
         for node in [NodeId(1), NodeId(2)] {
@@ -1080,6 +1146,7 @@ mod typed {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the dynamic compat layer on purpose
     fn compat_publish_type_mismatch_is_counted() {
         let mut h = SimHarness::new(lan(42));
         h.add_container(ContainerConfig::new("pub", NodeId(1)));
@@ -1107,7 +1174,7 @@ mod typed {
             NodeId(2),
             Box::new(Recorder::new(
                 ServiceDescriptor::builder("watcher")
-                    .subscribe_variable("bad/value", false)
+                    .subscribe_variable("bad/value", VarQos::default())
                     .build(),
                 log.clone(),
             )),
@@ -1129,6 +1196,7 @@ mod typed {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the dynamic compat layer on purpose
     fn compat_event_and_call_mismatches_are_counted() {
         let mut h = SimHarness::new(lan(43));
         h.add_container(ContainerConfig::new("a", NodeId(1)));

@@ -5,9 +5,12 @@ mod common;
 
 use bytes::Bytes;
 use common::{obs_log, observations, Obs, Recorder, Scripted};
-use marea_core::{ContainerConfig, NodeId, ProtoDuration, ServiceDescriptor, SimHarness};
+use marea_core::{
+    ContainerConfig, EventPort, EventQos, FnPort, NodeId, ProtoDuration, ServiceDescriptor,
+    SimHarness, VarPort, VarQos,
+};
 use marea_netsim::{LinkConfig, NetConfig};
-use marea_presentation::{DataType, Value};
+use marea_presentation::Value;
 
 fn lan(seed: u64) -> NetConfig {
     NetConfig::default().with_seed(seed)
@@ -21,15 +24,17 @@ fn events_larger_than_the_mtu_are_fragmented_and_delivered() {
     h.add_container(ContainerConfig::new("pub", NodeId(1)));
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("big").event_dynamic("big/blob", Some(DataType::Bytes)).build(),
-    );
+    let blob = EventPort::<Vec<u8>>::new("big/blob");
+    let mut b = ServiceDescriptor::builder("big");
+    b.provides_event(&blob);
+    let mut publisher = Scripted::new(b.build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(50), None);
     }));
-    publisher.on_timer = Some(Box::new(|ctx, _| {
+    let port = blob.clone();
+    publisher.on_timer = Some(Box::new(move |ctx, _| {
         let payload: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
-        ctx.emit("big/blob", Some(Value::Bytes(payload)));
+        ctx.emit_to(&port, payload);
     }));
     h.add_service(NodeId(1), Box::new(publisher));
 
@@ -37,7 +42,9 @@ fn events_larger_than_the_mtu_are_fragmented_and_delivered() {
     h.add_service(
         NodeId(2),
         Box::new(Recorder::new(
-            ServiceDescriptor::builder("sink").subscribe_event("big/blob").build(),
+            ServiceDescriptor::builder("sink")
+                .subscribe_event("big/blob", EventQos::default())
+                .build(),
             log.clone(),
         )),
     );
@@ -67,17 +74,19 @@ fn oversized_events_survive_loss() {
     h.add_container(ContainerConfig::new("pub", NodeId(1)));
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("big").event_dynamic("big/blob", Some(DataType::Bytes)).build(),
-    );
+    let blob = EventPort::<Vec<u8>>::new("big/blob");
+    let mut b = ServiceDescriptor::builder("big");
+    b.provides_event(&blob);
+    let mut publisher = Scripted::new(b.build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(100), Some(ProtoDuration::from_millis(100)));
     }));
     let mut sent = 0u32;
+    let port = blob.clone();
     publisher.on_timer = Some(Box::new(move |ctx, _| {
         if sent < 10 {
             sent += 1;
-            ctx.emit("big/blob", Some(Value::Bytes(vec![sent as u8; 4000])));
+            ctx.emit_to(&port, vec![sent as u8; 4000]);
         }
     }));
     h.add_service(NodeId(1), Box::new(publisher));
@@ -86,7 +95,9 @@ fn oversized_events_survive_loss() {
     h.add_service(
         NodeId(2),
         Box::new(Recorder::new(
-            ServiceDescriptor::builder("sink").subscribe_event("big/blob").build(),
+            ServiceDescriptor::builder("sink")
+                .subscribe_event("big/blob", EventQos::default())
+                .build(),
             log.clone(),
         )),
     );
@@ -109,23 +120,21 @@ fn partition_heals_and_traffic_resumes() {
     h.add_container(ContainerConfig::new("pub", NodeId(1)));
     h.add_container(ContainerConfig::new("sub", NodeId(2)));
 
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("p")
-            .variable_dynamic(
-                "p/v",
-                DataType::U64,
-                ProtoDuration::from_millis(20),
-                ProtoDuration::from_millis(100),
-            )
-            .build(),
+    let pv = VarPort::<u64>::new("p/v");
+    let mut b = ServiceDescriptor::builder("p");
+    b.provides_var(
+        &pv,
+        VarQos::periodic(ProtoDuration::from_millis(20), ProtoDuration::from_millis(100)),
     );
+    let mut publisher = Scripted::new(b.build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(20), Some(ProtoDuration::from_millis(20)));
     }));
     let mut k = 0u64;
+    let port = pv.clone();
     publisher.on_timer = Some(Box::new(move |ctx, _| {
         k += 1;
-        ctx.publish("p/v", k);
+        ctx.publish_to(&port, k);
     }));
     h.add_service(NodeId(1), Box::new(publisher));
 
@@ -133,7 +142,7 @@ fn partition_heals_and_traffic_resumes() {
     h.add_service(
         NodeId(2),
         Box::new(Recorder::new(
-            ServiceDescriptor::builder("s").subscribe_variable("p/v", false).build(),
+            ServiceDescriptor::builder("s").subscribe_variable("p/v", VarQos::default()).build(),
             log.clone(),
         )),
     );
@@ -181,27 +190,27 @@ fn sustained_10_percent_loss_mission_keeps_its_guarantees() {
     h.add_container(ContainerConfig::new("a", NodeId(1)));
     h.add_container(ContainerConfig::new("b", NodeId(2)));
 
-    let mut worker = Scripted::new(
-        ServiceDescriptor::builder("worker")
-            .variable_dynamic(
-                "w/v",
-                DataType::U64,
-                ProtoDuration::from_millis(10),
-                ProtoDuration::from_millis(50),
-            )
-            .event_dynamic("w/e", Some(DataType::U64))
-            .function_dynamic("w/ping", vec![DataType::U64], Some(DataType::U64))
-            .build(),
-    );
+    let wv = VarPort::<u64>::new("w/v");
+    let we = EventPort::<u64>::new("w/e");
+    let wping = FnPort::<(u64,), u64>::new("w/ping");
+    let mut b = ServiceDescriptor::builder("worker");
+    b.provides_var(
+        &wv,
+        VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(50)),
+    )
+    .provides_event(&we)
+    .provides_fn(&wping);
+    let mut worker = Scripted::new(b.build());
     worker.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
     }));
     let mut k = 0u64;
+    let (vp, ep) = (wv.clone(), we.clone());
     worker.on_timer = Some(Box::new(move |ctx, _| {
         k += 1;
-        ctx.publish("w/v", k);
+        ctx.publish_to(&vp, k);
         if k.is_multiple_of(10) {
-            ctx.emit("w/e", Some(Value::U64(k / 10)));
+            ctx.emit_to(&ep, k / 10);
         }
     }));
     worker.on_call = Some(Box::new(|_ctx, _f, args| Ok(Value::U64(args[0].as_u64().unwrap() + 1))));
@@ -210,8 +219,8 @@ fn sustained_10_percent_loss_mission_keeps_its_guarantees() {
     let log = obs_log();
     let mut client = Scripted::new(
         ServiceDescriptor::builder("client")
-            .subscribe_variable("w/v", false)
-            .subscribe_event("w/e")
+            .subscribe_variable("w/v", VarQos::default())
+            .subscribe_event("w/e", EventQos::default())
             .requires_function("w/ping")
             .build(),
     );
@@ -225,9 +234,10 @@ fn sustained_10_percent_loss_mission_keeps_its_guarantees() {
         }
     }));
     let mut c = 0u64;
+    let cport = wping.clone();
     client.on_timer = Some(Box::new(move |ctx, _| {
         c += 1;
-        ctx.call("w/ping", vec![Value::U64(c)]);
+        ctx.call_fn(&cport, (c,));
     }));
     let vlog = log.clone();
     client.on_variable = Some(Box::new(move |ctx, name, value| {
@@ -315,27 +325,27 @@ fn service_added_and_stopped_at_runtime() {
     h.run_for_millis(50);
 
     // Hot-add a publisher on a running container.
-    let mut publisher = Scripted::new(
-        ServiceDescriptor::builder("hot")
-            .variable_dynamic(
-                "hot/v",
-                DataType::U8,
-                ProtoDuration::from_millis(10),
-                ProtoDuration::from_millis(100),
-            )
-            .build(),
+    let hot = VarPort::<u8>::new("hot/v");
+    let mut b = ServiceDescriptor::builder("hot");
+    b.provides_var(
+        &hot,
+        VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(100)),
     );
+    let mut publisher = Scripted::new(b.build());
     publisher.on_start = Some(Box::new(|ctx| {
         ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
     }));
-    publisher.on_timer = Some(Box::new(|ctx, _| ctx.publish("hot/v", 1u8)));
+    let port = hot.clone();
+    publisher.on_timer = Some(Box::new(move |ctx, _| ctx.publish_to(&port, 1u8)));
     h.container_mut(NodeId(1)).unwrap().add_service(Box::new(publisher)).unwrap();
 
     let log = obs_log();
     h.container_mut(NodeId(2))
         .unwrap()
         .add_service(Box::new(Recorder::new(
-            ServiceDescriptor::builder("watch").subscribe_variable("hot/v", false).build(),
+            ServiceDescriptor::builder("watch")
+                .subscribe_variable("hot/v", VarQos::default())
+                .build(),
             log.clone(),
         )))
         .unwrap();

@@ -52,6 +52,11 @@ impl ProtoDuration {
     /// The zero duration.
     pub const ZERO: ProtoDuration = ProtoDuration(0);
 
+    /// Constructs from raw microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        ProtoDuration(us)
+    }
+
     /// Constructs from whole milliseconds.
     pub fn from_millis(ms: u64) -> Self {
         ProtoDuration(ms * 1_000)

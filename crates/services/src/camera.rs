@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 
-use marea_core::{EventPort, FnPort, Micros, Service, ServiceContext, ServiceDescriptor};
+use marea_core::{EventPort, EventQos, FnPort, Micros, Service, ServiceContext, ServiceDescriptor};
 use marea_presentation::{Name, Value};
 
 use crate::gps::SharedWorld;
@@ -64,7 +64,7 @@ impl Service for CameraService {
             .provides_fn(&self.prepare)
             .file_resource(names::FILE_PHOTO)
             .provides_event(&self.photo_taken)
-            .subscribe_to_event(&self.photo_request)
+            .subscribe_to_event(&self.photo_request, EventQos::default())
             .build()
     }
 
@@ -135,7 +135,7 @@ mod tests {
         let d = cam.descriptor();
         assert!(d.provides().iter().any(|p| p.name() == names::FN_CAMERA_PREPARE));
         assert!(d.provides().iter().any(|p| p.name() == names::FILE_PHOTO));
-        assert!(d.event_subscriptions().iter().any(|e| e == names::EVT_PHOTO_REQUEST));
+        assert!(d.event_subscriptions().iter().any(|e| e.name == names::EVT_PHOTO_REQUEST));
         assert_eq!(cam.shots(), 0);
     }
 }

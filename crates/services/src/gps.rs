@@ -5,7 +5,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use marea_core::{
-    EventPort, ProtoDuration, Service, ServiceContext, ServiceDescriptor, TimerId, VarPort,
+    EventPort, ProtoDuration, Service, ServiceContext, ServiceDescriptor, TimerId, VarPort, VarQos,
 };
 use marea_flightsim::sensors::GpsSensor;
 use marea_flightsim::World;
@@ -63,7 +63,7 @@ impl GpsService {
 impl Service for GpsService {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("gps")
-            .provides_var(&self.position, self.period, self.validity)
+            .provides_var(&self.position, VarQos::periodic(self.period, self.validity))
             .provides_event(&self.fix_lost)
             .build()
     }

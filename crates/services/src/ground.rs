@@ -4,7 +4,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use marea_core::{EventPort, Micros, Service, ServiceContext, ServiceDescriptor, VarPort};
+use marea_core::{
+    EventPort, EventQos, Micros, Service, ServiceContext, ServiceDescriptor, VarPort, VarQos,
+};
 use marea_presentation::{Name, Value};
 
 use crate::names::{self, Detection, McStatus, Position};
@@ -69,13 +71,13 @@ impl GroundStationService {
 impl Service for GroundStationService {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("ground-station")
-            .subscribe_to_var(&self.position, false)
-            .subscribe_to_var(&self.mc_status, true)
-            .subscribe_to_event(&self.photo_request)
-            .subscribe_to_event(&self.photo_taken)
-            .subscribe_to_event(&self.mission_complete)
-            .subscribe_to_event(&self.target_alert)
-            .subscribe_to_event(&self.fix_lost)
+            .subscribe_to_var(&self.position, VarQos::default())
+            .subscribe_to_var(&self.mc_status, VarQos::default().with_initial())
+            .subscribe_to_event(&self.photo_request, EventQos::default())
+            .subscribe_to_event(&self.photo_taken, EventQos::default())
+            .subscribe_to_event(&self.mission_complete, EventQos::default())
+            .subscribe_to_event(&self.target_alert, EventQos::default())
+            .subscribe_to_event(&self.fix_lost, EventQos::default())
             .build()
     }
 

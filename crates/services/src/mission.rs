@@ -1,8 +1,8 @@
 //! Mission control: the orchestrator of the Fig. 3 scenario.
 
 use marea_core::{
-    CallError, CallHandle, EventPort, FnPort, Micros, ProtoDuration, Service, ServiceContext,
-    ServiceDescriptor, TypedCallHandle, VarPort,
+    CallError, CallHandle, EventPort, EventQos, FnPort, Micros, ProtoDuration, Service,
+    ServiceContext, ServiceDescriptor, TypedCallHandle, VarPort, VarQos,
 };
 use marea_flightsim::{FlightPlan, GeoPoint, WaypointAction};
 use marea_presentation::{Name, Value};
@@ -81,12 +81,12 @@ impl MissionControlService {
 impl Service for MissionControlService {
     fn descriptor(&self) -> ServiceDescriptor {
         let mut b = ServiceDescriptor::builder("mission-control");
-        b.provides_var(&self.status, ProtoDuration::ZERO, ProtoDuration::from_secs(5))
+        b.provides_var(&self.status, VarQos::aperiodic(ProtoDuration::from_secs(5)))
             .provides_event(&self.photo_request)
             .provides_event(&self.mission_complete)
             .provides_event(&self.target_alert)
-            .subscribe_to_var(&self.position, true)
-            .subscribe_to_event(&self.target_detected)
+            .subscribe_to_var(&self.position, VarQos::default().with_initial())
+            .subscribe_to_event(&self.target_detected, EventQos::default())
             .requires_fn(&self.camera_prepare)
             .requires_fn(&self.storage_store);
         b.build()
@@ -222,6 +222,6 @@ mod tests {
         assert!(d.provides().iter().any(|p| p.name() == names::EVT_PHOTO_REQUEST));
         assert!(d.var_subscriptions().iter().any(|s| s.name == names::VAR_POSITION));
         assert!(d.required_functions().iter().any(|f| f == names::FN_CAMERA_PREPARE));
-        assert!(d.event_subscriptions().iter().any(|e| e == names::EVT_TARGET_DETECTED));
+        assert!(d.event_subscriptions().iter().any(|e| e.name == names::EVT_TARGET_DETECTED));
     }
 }

@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use marea_core::{Micros, ProtoDuration, Service, ServiceContext, ServiceDescriptor, VarPort};
+use marea_core::{
+    Micros, ProtoDuration, Service, ServiceContext, ServiceDescriptor, VarPort, VarQos,
+};
 use marea_presentation::{Name, Value};
 
 use crate::names::{self, Position};
@@ -71,10 +73,9 @@ impl Service for TelemetryBridge {
         ServiceDescriptor::builder("telemetry")
             .provides_var(
                 &self.telemetry,
-                ProtoDuration::from_millis(200),
-                ProtoDuration::from_secs(1),
+                VarQos::periodic(ProtoDuration::from_millis(200), ProtoDuration::from_secs(1)),
             )
-            .subscribe_to_var(&self.position, true)
+            .subscribe_to_var(&self.position, VarQos::default().with_initial())
             .build()
     }
 

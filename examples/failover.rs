@@ -14,7 +14,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use marea::core::{
-    CallError, CallHandle, CallPolicy, ContainerConfig, FnPort, NodeId, ProtoDuration, Service,
+    CallError, CallHandle, CallOptions, ContainerConfig, FnPort, NodeId, ProtoDuration, Service,
     ServiceContext, ServiceDescriptor, SimHarness, TimerId,
 };
 use marea::netsim::NetConfig;
@@ -47,12 +47,16 @@ impl Service for PeriodicWriter {
     fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
         self.n += 1;
         // Prefer the primary node; the middleware falls back dynamically.
-        // The argument tuple is checked against the port's signature at
-        // compile time.
-        ctx.call_fn_with_policy(
+        // The caller-visible contract travels with the call: a 600 ms
+        // per-attempt deadline, up to 3 providers tried. The argument
+        // tuple is checked against the port's signature at compile time.
+        ctx.call_fn_with(
             &self.store,
             (format!("track/fix-{:03}", self.n), vec![0xAB; 64]),
-            CallPolicy::PreferNode(NodeId(2)),
+            CallOptions::default()
+                .pinned(NodeId(2))
+                .with_deadline(ProtoDuration::from_millis(600))
+                .with_retry_budget(3),
         );
     }
 

@@ -8,8 +8,8 @@
 //! LAN, so the output is identical on every machine.
 
 use marea::core::{
-    ContainerConfig, EventPort, Micros, NodeId, ProtoDuration, Service, ServiceContext,
-    ServiceDescriptor, SimHarness, TimerId, VarPort,
+    ContainerConfig, EventPort, EventQos, Micros, NodeId, ProtoDuration, Service, ServiceContext,
+    ServiceDescriptor, SimHarness, TimerId, VarPort, VarQos,
 };
 use marea::netsim::NetConfig;
 use marea::prelude::*;
@@ -42,8 +42,7 @@ impl Service for Beacon {
         ServiceDescriptor::builder("beacon")
             .provides_var(
                 &self.count_port,
-                ProtoDuration::from_millis(50),
-                ProtoDuration::from_millis(200),
+                VarQos::periodic(ProtoDuration::from_millis(50), ProtoDuration::from_millis(200)),
             )
             .provides_event(&self.decade)
             .build()
@@ -78,8 +77,10 @@ impl Display {
 impl Service for Display {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("display")
-            .subscribe_to_var(&self.count_port, true)
-            .subscribe_to_event(&self.decade)
+            // The subscription contract: guaranteed initial value and a
+            // short history ring readable via ctx.history().
+            .subscribe_to_var(&self.count_port, VarQos::default().with_initial().with_history(5))
+            .subscribe_to_event(&self.decade, EventQos::default())
             .build()
     }
 
@@ -105,8 +106,11 @@ impl Service for Display {
         stamp: Micros,
     ) {
         let latency_us = ctx.now().saturating_since(stamp).as_micros();
+        // The declared history contract keeps the last few samples
+        // readable without storing them in the service.
+        let recent: Vec<u64> = ctx.history(&self.count_port).into_iter().map(|(_, n)| n).collect();
         println!(
-            "[{}] EVENT {name} {:?} (delivered {latency_us} µs after production)",
+            "[{}] EVENT {name} {:?} (delivered {latency_us} µs after production; recent counts {recent:?})",
             ctx.now(),
             self.decade.decode(value).ok()
         );

@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex};
 
 use marea::core::{
     ContainerConfig, ContainerStats, Micros, NodeId, ProtoDuration, Service, ServiceContainer,
-    ServiceContext, ServiceDescriptor, TimerId, VarPort,
+    ServiceContext, ServiceDescriptor, TimerId, VarPort, VarQos,
 };
 use marea::encoding::CodecId;
 use marea::netsim::{NetConfig, SimNet};
@@ -65,8 +65,7 @@ impl Service for Producer {
         ServiceDescriptor::builder("producer")
             .provides_var(
                 &self.port,
-                ProtoDuration::from_millis(10),
-                ProtoDuration::from_millis(100),
+                VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(100)),
             )
             .build()
     }
@@ -88,7 +87,9 @@ struct Consumer {
 
 impl Service for Consumer {
     fn descriptor(&self) -> ServiceDescriptor {
-        ServiceDescriptor::builder("consumer").subscribe_to_var(&self.port, false).build()
+        ServiceDescriptor::builder("consumer")
+            .subscribe_to_var(&self.port, VarQos::default())
+            .build()
     }
 
     fn on_variable(

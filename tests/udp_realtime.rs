@@ -5,8 +5,8 @@
 use std::sync::{Arc, Mutex};
 
 use marea::core::{
-    Clock, ContainerConfig, EventPort, Micros, NodeId, ProtoDuration, Service, ServiceContext,
-    ServiceDescriptor, SystemClock, TimerId, VarPort,
+    Clock, ContainerConfig, EventPort, EventQos, Micros, NodeId, ProtoDuration, Service,
+    ServiceContext, ServiceDescriptor, SystemClock, TimerId, VarPort, VarQos,
 };
 use marea::prelude::*;
 use marea::transport::{UdpTransport, UdpTransportConfig};
@@ -27,8 +27,7 @@ impl Service for Pinger {
         ServiceDescriptor::builder("pinger")
             .provides_var(
                 &self.seq,
-                ProtoDuration::from_millis(20),
-                ProtoDuration::from_millis(200),
+                VarQos::periodic(ProtoDuration::from_millis(20), ProtoDuration::from_millis(200)),
             )
             .provides_event(&self.mark)
             .build()
@@ -55,8 +54,8 @@ struct Ponger {
 impl Service for Ponger {
     fn descriptor(&self) -> ServiceDescriptor {
         ServiceDescriptor::builder("ponger")
-            .subscribe_variable("ping/seq", false)
-            .subscribe_event("ping/mark")
+            .subscribe_variable("ping/seq", VarQos::default())
+            .subscribe_event("ping/mark", EventQos::default())
             .build()
     }
 
