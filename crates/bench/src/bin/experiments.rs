@@ -1,7 +1,7 @@
 //! Regenerates every figure/claim table recorded in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run -p marea-bench --release --bin experiments [-- <id>...]`
-//! where `<id>` is one of `f1 f2 f3 f4 c1 c2 c3 c4 c5 c6 c7 c9` or `all`
+//! where `<id>` is one of `f1 f2 f3 f4 c1 c2 c3 c4 c5 c6 c7 c8 c9` or `all`
 //! (default). All numbers are virtual-time/deterministic: identical on
 //! every machine.
 
@@ -39,6 +39,9 @@ fn main() {
     }
     if want("c7") {
         c7_bypass();
+    }
+    if want("c8") {
+        c8_scenario_failover();
     }
 }
 
@@ -235,6 +238,25 @@ fn c6_failover() {
     for seed in [800u64, 801, 802] {
         let r = bench_failover(seed);
         println!("   {:<8} {:>16} {:>14} {:>12}", seed, r.blackout_ms, r.errors, r.failovers);
+    }
+}
+
+fn c8_scenario_failover() {
+    banner(
+        "C8",
+        "chaos scenario: publisher failover recovery time",
+        "§4.3 — crash detection + transparent failover, measured by the RTO invariant",
+    );
+    println!(
+        "   {:<8} {:>16} {:>12} {:>12} {:>12}",
+        "seed", "recovery (ms)", "violations", "calls ok", "faults"
+    );
+    for seed in [810u64, 811, 812] {
+        let r = bench_scenario_failover(seed);
+        println!(
+            "   {:<8} {:>16} {:>12} {:>12} {:>12}",
+            seed, r.recovery_ms, r.violations, r.calls_ok, r.events_applied
+        );
     }
 }
 

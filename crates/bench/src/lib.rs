@@ -933,6 +933,43 @@ pub fn bench_failover(seed: u64) -> FailoverResult {
 }
 
 // ---------------------------------------------------------------------------
+// C8: chaos-scenario failover (recovery-time objective)
+// ---------------------------------------------------------------------------
+
+/// Outcome of the chaos corpus' `publisher_failover` scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioFailoverResult {
+    /// Virtual ms between the scripted crash and the first successful
+    /// call strictly after it (the invariant-measured recovery time).
+    pub recovery_ms: u64,
+    /// Invariant violations recorded over the whole run (0 = pass).
+    pub violations: u32,
+    /// Successful call replies over the run.
+    pub calls_ok: u64,
+    /// Faults injected by the schedule.
+    pub events_applied: u32,
+}
+
+/// C8: runs the chaos corpus' `publisher_failover` scenario with the
+/// container-default ("full") timing profile and reports the recovery
+/// time its [`RtoRecovery`](marea_core::scenario::RtoRecovery) invariant
+/// measured — crash detection + transparent call failover, end to end,
+/// followed by a clean rejoin of the restarted primary.
+pub fn bench_scenario_failover(seed: u64) -> ScenarioFailoverResult {
+    use marea_core::scenario::corpus;
+    let cfg = corpus::ScenarioConfig::full(seed);
+    let mut chaos = corpus::build("publisher_failover", &cfg).expect("corpus scenario");
+    let report = chaos.run();
+    let recoveries = chaos.probes.recoveries_us.lock().expect("rto sink").clone();
+    ScenarioFailoverResult {
+        recovery_ms: recoveries.first().map(|us| us / 1000).unwrap_or(u64::MAX),
+        violations: report.violations.len() as u32,
+        calls_ok: chaos.probes.calls_ok.load(std::sync::atomic::Ordering::Relaxed),
+        events_applied: report.events_applied as u32,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // F2: local vs remote delivery through the container
 // ---------------------------------------------------------------------------
 
@@ -1039,6 +1076,15 @@ mod tests {
             arq.latency.max_us,
             tcp.latency.max_us
         );
+    }
+
+    #[test]
+    fn scenario_failover_recovers_within_objective() {
+        let r = bench_scenario_failover(808);
+        assert_eq!(r.violations, 0, "no invariant violations: {r:?}");
+        assert_eq!(r.events_applied, 2, "crash + restart were injected");
+        assert!(r.recovery_ms < 4_000, "C8 shape: recovery {}ms < 4s objective", r.recovery_ms);
+        assert!(r.calls_ok > 20, "client kept being served: {r:?}");
     }
 
     #[test]

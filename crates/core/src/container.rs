@@ -225,6 +225,25 @@ impl ServiceContainer {
         &self.config.name
     }
 
+    /// This container's incarnation (restart counter carried in `Hello`
+    /// and heartbeats; peers purge cached provisions from older lives).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Sets the incarnation a restarted container announces itself with.
+    /// Must exceed the previous life's incarnation or peers will discard
+    /// the new announcements as stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is already running — the incarnation is
+    /// part of the identity the `Hello` broadcast establishes.
+    pub fn set_incarnation(&mut self, incarnation: u64) {
+        assert!(!self.running, "incarnation must be set before start");
+        self.incarnation = incarnation;
+    }
+
     /// Counter snapshot (merges the per-engine mismatch and QoS counters).
     pub fn stats(&self) -> ContainerStats {
         let mut stats = self.stats;
@@ -267,6 +286,34 @@ impl ServiceContainer {
     /// Transparent re-dispatches performed for calls to `name`.
     pub fn fn_retries(&self, name: &str) -> u64 {
         Name::new(name).ok().and_then(|n| self.rpc.retry_counts.get(&n)).copied().unwrap_or(0)
+    }
+
+    /// Freshness snapshot of every subscribed variable channel, in name
+    /// order — the observability surface the chaos invariants check
+    /// (a bound channel must either deliver within its validity window or
+    /// raise the timeout warning; silent staleness is a middleware bug).
+    pub fn var_channels(&self) -> Vec<(Name, crate::stats::VarChannelView)> {
+        let mut out: Vec<(Name, crate::stats::VarChannelView)> = self
+            .vars
+            .subscribed
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    crate::stats::VarChannelView {
+                        bound: s.provider.is_some(),
+                        period_us: s.period_us,
+                        validity_us: s.validity_us,
+                        deadline_us: s.deadline_us(),
+                        last_rx: s.last_rx,
+                        last_stamp: s.history.back().map(|(stamp, _)| *stamp),
+                        timed_out: s.timed_out,
+                    },
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// The name directory (read access for tests/tools).
@@ -1108,8 +1155,12 @@ impl ServiceContainer {
     }
 
     fn maintain_subscriptions(&mut self, now: Micros) {
+        // Every sweep below walks a HashMap but may send subscription
+        // wiring or enqueue notices, so the walk order is sorted to keep
+        // runs seed-reproducible.
         // Variables.
-        let names: Vec<Name> = self.vars.subscribed.keys().cloned().collect();
+        let mut names: Vec<Name> = self.vars.subscribed.keys().cloned().collect();
+        names.sort();
         for name in names {
             let resolution = self.directory.resolve_variable(name.as_str()).map(|p| {
                 let (period, validity, ty) = match &p.provision {
@@ -1198,7 +1249,8 @@ impl ServiceContainer {
             }
         }
         // Events.
-        let names: Vec<Name> = self.events.subscribed.keys().cloned().collect();
+        let mut names: Vec<Name> = self.events.subscribed.keys().cloned().collect();
+        names.sort();
         for name in names {
             let resolution = self.directory.resolve_event(name.as_str()).map(|p| {
                 let ty = match &p.provision {
@@ -1270,7 +1322,8 @@ impl ServiceContainer {
         // Required functions ("during middleware initialization, the
         // services check that all the functions they need ... are
         // provided", §4.3).
-        let names: Vec<Name> = self.rpc.required.keys().cloned().collect();
+        let mut names: Vec<Name> = self.rpc.required.keys().cloned().collect();
+        names.sort();
         for name in names {
             let available =
                 self.directory.resolve_function(name.as_str(), CallPolicy::Dynamic, None).is_some();
@@ -1300,13 +1353,14 @@ impl ServiceContainer {
             }
         }
         // File interests that heard an announce before subscribing.
-        let resources: Vec<Name> = self
+        let mut resources: Vec<Name> = self
             .files
             .interests
             .iter()
             .filter(|(_, i)| i.receiver.is_none() && !i.services.is_empty())
             .map(|(n, _)| n.clone())
             .collect();
+        resources.sort();
         for resource in resources {
             if self.files.outgoing.contains_key(&resource) {
                 continue; // local publisher: bypass path handles delivery
@@ -1436,7 +1490,11 @@ impl ServiceContainer {
     // ---- periodic output ---------------------------------------------------
 
     fn poll_links(&mut self, now: Micros) {
-        let peers: Vec<NodeId> = self.links.keys().copied().collect();
+        // Sorted sweep: the per-peer send order decides how the simulated
+        // network's RNG stream maps onto datagrams, so it must not depend
+        // on HashMap iteration order (same seed ⇒ same trace).
+        let mut peers: Vec<NodeId> = self.links.keys().copied().collect();
+        peers.sort();
         for peer in peers {
             let (out, failed) = self.links.get_mut(&peer).expect("present").poll(now);
             for m in out {
@@ -1452,7 +1510,8 @@ impl ServiceContainer {
     }
 
     fn pump_files(&mut self, now: Micros) {
-        let resources: Vec<Name> = self.files.outgoing.keys().cloned().collect();
+        let mut resources: Vec<Name> = self.files.outgoing.keys().cloned().collect();
+        resources.sort(); // stable send order (determinism)
         for resource in resources {
             let group = file_group(&resource);
             let mut to_control: Vec<Message> = Vec::new();

@@ -159,12 +159,15 @@ impl Directory {
     /// provisions were purged ("the containers are able to clear and update
     /// their caches").
     pub fn expire(&mut self, now: Micros, timeout: ProtoDuration) -> Vec<NodeId> {
-        let dead: Vec<NodeId> = self
+        let mut dead: Vec<NodeId> = self
             .nodes
             .iter()
             .filter(|(_, info)| now.saturating_since(info.last_seen) >= timeout)
             .map(|(id, _)| *id)
             .collect();
+        // Stable order: callers react to each death with sends/failovers,
+        // which must not depend on HashMap iteration order.
+        dead.sort();
         for node in &dead {
             self.purge_node(*node);
         }

@@ -1,6 +1,7 @@
 //! Drivers: the deterministic simulation harness and the wall-clock driver.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use marea_netsim::{NetConfig, SimNet};
 use marea_protocol::{Micros, NodeId, ProtoDuration};
@@ -9,6 +10,64 @@ use marea_transport::SimLanTransport;
 use crate::clock::{Clock, SystemClock};
 use crate::container::{ContainerConfig, ServiceContainer};
 use crate::service::Service;
+
+/// Recreates a service instance for a restarted container.
+///
+/// [`SimHarness::restart_node`] rebuilds a crashed (or stopped) node from
+/// its blueprint: the original [`ContainerConfig`] plus one factory per
+/// service registered through
+/// [`add_service_factory`](SimHarness::add_service_factory). Closures work
+/// directly:
+///
+/// ```
+/// use marea_core::{ContainerConfig, Service, SimHarness};
+/// use marea_netsim::NetConfig;
+/// use marea_protocol::NodeId;
+/// # struct Noop;
+/// # impl Service for Noop {
+/// #     fn descriptor(&self) -> marea_core::ServiceDescriptor {
+/// #         marea_core::ServiceDescriptor::builder("noop").build()
+/// #     }
+/// # }
+///
+/// let mut h = SimHarness::new(NetConfig::default());
+/// h.add_container(ContainerConfig::new("fcs", NodeId(1)));
+/// h.add_service_factory(NodeId(1), || Box::new(Noop) as Box<dyn Service>);
+/// h.start_all();
+/// h.crash_node(NodeId(1));
+/// assert!(h.restart_node(NodeId(1)), "rebuilt from the blueprint");
+/// ```
+pub trait ServiceFactory: Send {
+    /// Builds a fresh service instance.
+    fn create(&self) -> Box<dyn Service>;
+}
+
+impl<F> ServiceFactory for F
+where
+    F: Fn() -> Box<dyn Service> + Send,
+{
+    fn create(&self) -> Box<dyn Service> {
+        self()
+    }
+}
+
+/// Per-node clock-skew state: a piecewise-linear local clock that drifts
+/// against virtual time by `ppm` parts per million from `base_real` on.
+#[derive(Debug, Clone, Copy)]
+struct Skew {
+    base_real: u64,
+    base_local: u64,
+    ppm: i64,
+}
+
+impl Skew {
+    fn local(&self, now_us: u64) -> u64 {
+        let delta = now_us.saturating_sub(self.base_real) as i128;
+        let drift = delta * self.ppm as i128 / 1_000_000;
+        let local = self.base_local as i128 + delta + drift;
+        local.max(0) as u64
+    }
+}
 
 /// Drives a fleet of containers over a simulated LAN on virtual time.
 ///
@@ -30,13 +89,31 @@ use crate::service::Service;
 /// h.run_for_millis(50);
 /// assert!(h.container(NodeId(1)).unwrap().directory().node_alive(NodeId(2)));
 /// ```
-#[derive(Debug)]
 pub struct SimHarness {
     net: SimNet,
     containers: HashMap<NodeId, ServiceContainer>,
     order: Vec<NodeId>,
+    /// Restart blueprints: the config every container was created with.
+    configs: HashMap<NodeId, ContainerConfig>,
+    /// Restart blueprints: service factories per node (only services added
+    /// through [`SimHarness::add_service_factory`] survive a restart).
+    factories: HashMap<NodeId, Vec<Box<dyn ServiceFactory>>>,
+    /// Lives per node: the incarnation the *next* restart announces.
+    incarnations: HashMap<NodeId, u64>,
+    /// Per-node clock skew (chaos: drifting avionics clocks).
+    skews: HashMap<NodeId, Skew>,
     tick_us: u64,
     now_us: u64,
+}
+
+impl fmt::Debug for SimHarness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimHarness")
+            .field("now_us", &self.now_us)
+            .field("tick_us", &self.tick_us)
+            .field("nodes", &self.order)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SimHarness {
@@ -46,6 +123,10 @@ impl SimHarness {
             net: SimNet::new(net_config),
             containers: HashMap::new(),
             order: Vec::new(),
+            configs: HashMap::new(),
+            factories: HashMap::new(),
+            incarnations: HashMap::new(),
+            skews: HashMap::new(),
             tick_us: 1_000,
             now_us: 0,
         }
@@ -66,11 +147,15 @@ impl SimHarness {
         Micros(self.now_us)
     }
 
-    /// Adds a container attached to the simulated LAN.
+    /// Adds a container attached to the simulated LAN. The config is kept
+    /// as the node's restart blueprint (see
+    /// [`restart_node`](Self::restart_node)).
     pub fn add_container(&mut self, config: ContainerConfig) -> NodeId {
         let node = config.node;
         let transport = SimLanTransport::attach(&self.net, node.0);
-        let container = ServiceContainer::new(config, Box::new(transport));
+        let container = ServiceContainer::new(config.clone(), Box::new(transport));
+        self.configs.insert(node, config);
+        self.incarnations.entry(node).or_insert(1);
         self.containers.insert(node, container);
         self.order.push(node);
         node
@@ -90,11 +175,53 @@ impl SimHarness {
             .expect("service registration");
     }
 
+    /// Adds a service *and* remembers how to rebuild it: the factory is
+    /// invoked once now and again on every
+    /// [`restart_node`](Self::restart_node). Services added with the plain
+    /// [`add_service`](Self::add_service) do not come back after a restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`add_service`](Self::add_service) on wiring errors.
+    pub fn add_service_factory<F>(&mut self, node: NodeId, factory: F)
+    where
+        F: ServiceFactory + 'static,
+    {
+        self.add_service(node, factory.create());
+        self.factories.entry(node).or_default().push(Box::new(factory));
+    }
+
     /// Starts every container at the current virtual time.
     pub fn start_all(&mut self) {
-        let now = Micros(self.now_us);
-        for node in &self.order {
-            self.containers.get_mut(node).expect("present").start(now);
+        for i in 0..self.order.len() {
+            let node = self.order[i];
+            let now = Micros(self.local_time(node));
+            self.containers.get_mut(&node).expect("present").start(now);
+        }
+    }
+
+    /// Live container nodes, in id order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.containers.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Installs (or changes) a clock skew on `node`: its container is
+    /// ticked with a local clock drifting `ppm` parts-per-million against
+    /// virtual time from this moment on. The local clock stays monotonic
+    /// across changes for any `ppm > -1_000_000`.
+    pub fn set_clock_skew_ppm(&mut self, node: NodeId, ppm: i64) {
+        let base_local = self.local_time(node);
+        self.skews.insert(node, Skew { base_real: self.now_us, base_local, ppm });
+    }
+
+    /// The local (possibly skewed) clock of `node` at the current virtual
+    /// time.
+    pub fn local_time(&self, node: NodeId) -> u64 {
+        match self.skews.get(&node) {
+            Some(s) => s.local(self.now_us),
+            None => self.now_us,
         }
     }
 
@@ -109,28 +236,72 @@ impl SimHarness {
     }
 
     /// Crashes a node: the container disappears without a `Bye` and its
-    /// network endpoint is removed (failover experiments, C6).
+    /// network endpoint is removed (failover experiments, C6) — a crashed
+    /// box must stop receiving, not accumulate an unread inbox. The
+    /// restart blueprint survives, so [`restart_node`](Self::restart_node)
+    /// can bring the node back later.
     pub fn crash_node(&mut self, node: NodeId) {
         self.containers.remove(&node);
         self.order.retain(|n| *n != node);
         self.net.remove_node(node.0);
     }
 
-    /// Gracefully stops one node (emits `Bye`).
+    /// Rebuilds a node from its blueprint: re-attaches the network socket,
+    /// recreates the container with a bumped incarnation, re-registers
+    /// every factory-built service and starts it — which re-announces the
+    /// catalogue so peers purge the previous life and re-converge.
+    ///
+    /// Returns `false` when the node was never added through
+    /// [`add_container`](Self::add_container). A still-running container
+    /// is crashed first (abrupt restart, no `Bye`).
+    pub fn restart_node(&mut self, node: NodeId) -> bool {
+        let Some(config) = self.configs.get(&node).cloned() else {
+            return false;
+        };
+        if self.containers.contains_key(&node) {
+            self.crash_node(node);
+        }
+        let incarnation = {
+            let life = self.incarnations.entry(node).or_insert(1);
+            *life += 1;
+            *life
+        };
+        // Socket rebind: `SimNet::socket` re-registers the removed node
+        // with a fresh, empty inbox.
+        let transport = SimLanTransport::attach(&self.net, node.0);
+        let mut container = ServiceContainer::new(config, Box::new(transport));
+        container.set_incarnation(incarnation);
+        if let Some(factories) = self.factories.get(&node) {
+            for factory in factories {
+                container.add_service(factory.create()).expect("factory service registration");
+            }
+        }
+        container.start(Micros(self.local_time(node)));
+        self.containers.insert(node, container);
+        self.order.push(node);
+        true
+    }
+
+    /// Gracefully stops one node (emits `Bye`) and detaches it from the
+    /// network — a stopped box must not keep accumulating datagrams.
     pub fn stop_node(&mut self, node: NodeId) {
+        let now = Micros(self.local_time(node));
         if let Some(c) = self.containers.get_mut(&node) {
-            c.stop(Micros(self.now_us));
+            c.stop(now);
+            self.net.remove_node(node.0);
         }
     }
 
     /// Advances virtual time by one tick: delivers due datagrams, then
-    /// ticks every container in registration order.
+    /// ticks every container in registration order (each at its own —
+    /// possibly skewed — local clock).
     pub fn step(&mut self) {
         self.now_us += self.tick_us;
         self.net.advance_to(self.now_us);
-        let now = Micros(self.now_us);
-        for node in &self.order {
-            if let Some(c) = self.containers.get_mut(node) {
+        for i in 0..self.order.len() {
+            let node = self.order[i];
+            let now = Micros(self.local_time(node));
+            if let Some(c) = self.containers.get_mut(&node) {
                 c.tick(now);
             }
         }

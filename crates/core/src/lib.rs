@@ -92,6 +92,7 @@ mod harness;
 mod link;
 mod ports;
 pub mod qos;
+pub mod scenario;
 mod scheduler;
 mod service;
 mod stats;
@@ -100,7 +101,7 @@ pub use clock::{Clock, ManualClock, SystemClock};
 pub use container::{ContainerConfig, ServiceContainer, VarDistribution};
 pub use directory::{Directory, NodeInfo, ProviderInfo};
 pub use error::{CallError, ContainerError};
-pub use harness::{RealtimeDriver, SimHarness};
+pub use harness::{RealtimeDriver, ServiceFactory, SimHarness};
 pub use link::ReliableLink;
 pub use ports::{EventPort, FnPort, TypedCallHandle, VarPort};
 pub use qos::{CallOptions, DropPolicy, EventQos, QosError, VarQos};
@@ -112,7 +113,8 @@ pub use service::{
     ServiceDescriptor, ServiceDescriptorBuilder, TimerId, VarSubscription,
 };
 pub use stats::{
-    ContainerStats, EventSubscriptionStats, QosStats, TypeMismatchStats, VarSubscriptionStats,
+    ContainerStats, EventSubscriptionStats, QosStats, TypeMismatchStats, VarChannelView,
+    VarSubscriptionStats,
 };
 
 // Re-exports that appear in this crate's public API, for downstream

@@ -1,0 +1,282 @@
+//! Invariant checkers: what must *stay true* while faults are injected.
+//!
+//! An [`Invariant`] is evaluated on a cadence while a scenario runs. It is
+//! told about every fault the runner injects (so it can gate itself on
+//! quiescence or arm a recovery deadline) and returns a violation message
+//! when the middleware breaks its contract.
+
+use marea_protocol::{Micros, ProtoDuration};
+
+use crate::harness::SimHarness;
+use crate::scenario::schedule::FaultEvent;
+
+/// What an invariant sees at each check.
+pub struct InvariantCtx<'a> {
+    /// The harness under chaos.
+    pub harness: &'a SimHarness,
+    /// Current virtual time.
+    pub now: Micros,
+    /// Virtual time since the last fault injection (ramps count as one
+    /// continuous event until their window closes).
+    pub since_last_event: ProtoDuration,
+    /// At least one scripted partition is currently active.
+    pub partitioned: bool,
+}
+
+impl InvariantCtx<'_> {
+    /// `true` once the fleet has had `grace` of calm to converge: no
+    /// active partition and no fault injected for at least that long.
+    pub fn quiescent_for(&self, grace: ProtoDuration) -> bool {
+        !self.partitioned && self.since_last_event >= grace
+    }
+}
+
+/// One violated invariant occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Virtual time of the failed check.
+    pub at: Micros,
+    /// Name of the invariant that failed.
+    pub invariant: String,
+    /// Human-readable account of the violation.
+    pub detail: String,
+}
+
+/// A property checked on a cadence while a scenario runs.
+pub trait Invariant: Send {
+    /// Stable name (appears in [`Violation`]s and reports).
+    fn name(&self) -> &str;
+
+    /// Notification of a fault the runner just injected.
+    fn on_event(&mut self, _now: Micros, _event: &FaultEvent) {}
+
+    /// One check; `Err` is recorded as a [`Violation`].
+    ///
+    /// # Errors
+    ///
+    /// The violation message.
+    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), String>;
+}
+
+/// After every topology change settles, all live nodes must agree on who
+/// is alive — and nobody may still believe a crashed node lives.
+///
+/// The grace period must cover failure detection plus re-announce (node
+/// timeout + announce period + margin); with the container defaults that
+/// is ≈4–5 s of virtual time.
+#[derive(Debug)]
+pub struct DirectoryConvergence {
+    grace: ProtoDuration,
+}
+
+impl DirectoryConvergence {
+    /// Convergence checker with the given calm-period grace.
+    pub fn new(grace: ProtoDuration) -> Self {
+        DirectoryConvergence { grace }
+    }
+}
+
+impl Invariant for DirectoryConvergence {
+    fn name(&self) -> &str {
+        "directory-convergence"
+    }
+
+    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), String> {
+        if !ctx.quiescent_for(self.grace) {
+            return Ok(());
+        }
+        // Only *running* containers count as live: a gracefully stopped
+        // node said `Bye`, so peers are right to have purged it.
+        let live: Vec<_> = ctx
+            .harness
+            .nodes()
+            .into_iter()
+            .filter(|n| ctx.harness.container(*n).is_some_and(|c| c.is_running()))
+            .collect();
+        for a in &live {
+            let c = ctx.harness.container(*a).expect("listed");
+            for b in &live {
+                if !c.directory().node_alive(*b) {
+                    return Err(format!("node {a} does not see live node {b} after calm period"));
+                }
+            }
+            for dead in c.directory().nodes() {
+                if !live.contains(&dead) {
+                    return Err(format!("node {a} still believes crashed node {dead} is alive"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// No silent staleness: a bound variable channel that has been silent past
+/// its declared loss deadline (`deadline_periods` × period, the contract
+/// the vars engine enforces) must have raised the timeout warning —
+/// subscribers are never left acting on stale data unwarned (§4.1).
+#[derive(Debug)]
+pub struct NoSilentStaleness {
+    /// Extra tolerance past the declared deadline before silence counts
+    /// (covers the sweep cadence and delivery latency).
+    slack: ProtoDuration,
+}
+
+impl NoSilentStaleness {
+    /// Checker with the given sweep-tolerance slack.
+    pub fn new(slack: ProtoDuration) -> Self {
+        NoSilentStaleness { slack }
+    }
+}
+
+impl Invariant for NoSilentStaleness {
+    fn name(&self) -> &str {
+        "no-silent-staleness"
+    }
+
+    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), String> {
+        for node in ctx.harness.nodes() {
+            let c = ctx.harness.container(node).expect("listed");
+            // last_rx is stamped with the node's (possibly skewed) local
+            // clock, so the age must be measured in the same domain.
+            let local_now = Micros(ctx.harness.local_time(node));
+            for (name, ch) in c.var_channels() {
+                if !ch.bound {
+                    continue;
+                }
+                // Aperiodic channels declare no loss deadline — silence
+                // is not a contract violation there.
+                let Some(deadline_us) = ch.deadline_us else { continue };
+                let Some(last_rx) = ch.last_rx else { continue };
+                let age = local_now.saturating_since(last_rx).as_micros();
+                if age > deadline_us.saturating_add(self.slack.as_micros()) && !ch.timed_out {
+                    return Err(format!(
+                        "node {node} channel `{name}`: last sample {age}µs old \
+                         (declared deadline {deadline_us}µs) with no timeout warning"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The handler queue of every container stays bounded — chaos must not
+/// make work pile up without limit (resource management, §3).
+#[derive(Debug)]
+pub struct QueueBound {
+    max: usize,
+}
+
+impl QueueBound {
+    /// Bound checker for the given maximum queued handler invocations.
+    pub fn new(max: usize) -> Self {
+        QueueBound { max }
+    }
+}
+
+impl Invariant for QueueBound {
+    fn name(&self) -> &str {
+        "event-queue-bound"
+    }
+
+    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), String> {
+        for node in ctx.harness.nodes() {
+            let c = ctx.harness.container(node).expect("listed");
+            let len = c.scheduler_len();
+            if len > self.max {
+                return Err(format!(
+                    "node {node} scheduler queue {len} exceeds bound {}",
+                    self.max
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Recovery-time objective: after a triggering fault, a caller-supplied
+/// predicate must become true within `rto` of virtual time.
+///
+/// Every measured recovery (µs from trigger to predicate) is pushed into
+/// the shared `recoveries` sink, so tests and benches can assert on and
+/// report the distribution.
+pub struct RtoRecovery {
+    label: String,
+    rto: ProtoDuration,
+    trigger: TriggerFn,
+    recovered: RecoveredFn,
+    armed_at: Option<Micros>,
+    recoveries: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+}
+
+/// Matcher deciding which injected fault arms the RTO clock.
+type TriggerFn = Box<dyn Fn(&FaultEvent) -> bool + Send>;
+/// Predicate over (harness, trigger time) deciding recovery.
+type RecoveredFn = Box<dyn Fn(&SimHarness, Micros) -> bool + Send>;
+
+impl RtoRecovery {
+    /// RTO checker: when `trigger` matches an injected fault, `recovered`
+    /// must hold within `rto`. The predicate receives the harness and the
+    /// virtual time the trigger fired (so "a reply arrived strictly after
+    /// the crash" is expressible).
+    pub fn new(
+        label: impl Into<String>,
+        rto: ProtoDuration,
+        trigger: impl Fn(&FaultEvent) -> bool + Send + 'static,
+        recovered: impl Fn(&SimHarness, Micros) -> bool + Send + 'static,
+    ) -> Self {
+        RtoRecovery {
+            label: label.into(),
+            rto,
+            trigger: Box::new(trigger),
+            recovered: Box::new(recovered),
+            armed_at: None,
+            recoveries: Default::default(),
+        }
+    }
+
+    /// Shared sink of measured recovery times (µs), one per trigger.
+    pub fn recoveries(&self) -> std::sync::Arc<std::sync::Mutex<Vec<u64>>> {
+        self.recoveries.clone()
+    }
+}
+
+impl std::fmt::Debug for RtoRecovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtoRecovery")
+            .field("label", &self.label)
+            .field("rto", &self.rto)
+            .field("armed_at", &self.armed_at)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Invariant for RtoRecovery {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn on_event(&mut self, now: Micros, event: &FaultEvent) {
+        if (self.trigger)(event) {
+            self.armed_at = Some(now);
+        }
+    }
+
+    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), String> {
+        let Some(armed) = self.armed_at else { return Ok(()) };
+        if (self.recovered)(ctx.harness, armed) {
+            let took = ctx.now.saturating_since(armed).as_micros();
+            self.recoveries.lock().expect("rto sink").push(took);
+            self.armed_at = None;
+            return Ok(());
+        }
+        if ctx.now.saturating_since(armed) > self.rto {
+            self.armed_at = None; // report once per trigger
+            return Err(format!(
+                "recovery objective {}ms exceeded after fault at {armed:?}",
+                self.rto.as_millis()
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,177 @@
+//! Scripted fault schedules: *what* goes wrong and *when*.
+//!
+//! A [`FaultSchedule`] is a time-ordered script of [`FaultEvent`]s relative
+//! to scenario start. Schedules are plain data — building one performs no
+//! side effects; the [`ScenarioRunner`](crate::scenario::ScenarioRunner)
+//! interprets it against a [`SimHarness`](crate::SimHarness) tick by tick,
+//! which is what keeps chaos runs seed-reproducible.
+
+use marea_netsim::LinkConfig;
+use marea_protocol::{NodeId, ProtoDuration};
+
+/// One scripted fault (or repair) action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Abrupt node death: no `Bye`, the network endpoint vanishes.
+    Crash(NodeId),
+    /// Rebuild a crashed (or running) node from its harness blueprint:
+    /// socket rebind, bumped incarnation, factory-recreated services,
+    /// catalogue re-announce.
+    Restart(NodeId),
+    /// Block traffic between two nodes in both directions.
+    Partition(NodeId, NodeId),
+    /// Unblock traffic between two nodes.
+    Heal(NodeId, NodeId),
+    /// Ramp the link character linearly from `from` to `to` over `window`
+    /// (radio degradation profiles). `pair: None` ramps the network-wide
+    /// default link; `Some((a, b))` ramps the symmetric pair override.
+    LinkRamp {
+        /// Affected pair, or `None` for the default link.
+        pair: Option<(NodeId, NodeId)>,
+        /// Character at the start of the window.
+        from: LinkConfig,
+        /// Character at the end of the window.
+        to: LinkConfig,
+        /// Ramp duration.
+        window: ProtoDuration,
+    },
+    /// Let `node`'s local clock drift `ppm` parts-per-million against
+    /// virtual time from this moment on (`0` removes the drift going
+    /// forward; the accumulated offset remains).
+    ClockSkew {
+        /// Affected node.
+        node: NodeId,
+        /// Drift rate in parts per million.
+        ppm: i64,
+    },
+}
+
+/// A fault event bound to its offset from scenario start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledFault {
+    /// Offset from scenario start.
+    pub at: ProtoDuration,
+    /// The action.
+    pub event: FaultEvent,
+}
+
+/// A time-ordered script of fault events.
+///
+/// # Examples
+///
+/// ```
+/// use marea_core::scenario::FaultSchedule;
+/// use marea_protocol::{NodeId, ProtoDuration};
+///
+/// let s = FaultSchedule::new()
+///     .crash(ProtoDuration::from_secs(2), NodeId(3))
+///     .restart(ProtoDuration::from_secs(6), NodeId(3));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Adds an arbitrary event at `at` (builder style).
+    #[must_use]
+    pub fn at(mut self, at: ProtoDuration, event: FaultEvent) -> Self {
+        self.events.push(ScheduledFault { at, event });
+        // Stable sort keeps insertion order among same-time events, so a
+        // schedule is executed exactly as written.
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Schedules a crash.
+    #[must_use]
+    pub fn crash(self, at: ProtoDuration, node: NodeId) -> Self {
+        self.at(at, FaultEvent::Crash(node))
+    }
+
+    /// Schedules a restart.
+    #[must_use]
+    pub fn restart(self, at: ProtoDuration, node: NodeId) -> Self {
+        self.at(at, FaultEvent::Restart(node))
+    }
+
+    /// Schedules a partition between two nodes.
+    #[must_use]
+    pub fn partition(self, at: ProtoDuration, a: NodeId, b: NodeId) -> Self {
+        self.at(at, FaultEvent::Partition(a, b))
+    }
+
+    /// Schedules the heal of a partition.
+    #[must_use]
+    pub fn heal(self, at: ProtoDuration, a: NodeId, b: NodeId) -> Self {
+        self.at(at, FaultEvent::Heal(a, b))
+    }
+
+    /// Schedules a default-link ramp.
+    #[must_use]
+    pub fn link_ramp(
+        self,
+        at: ProtoDuration,
+        from: LinkConfig,
+        to: LinkConfig,
+        window: ProtoDuration,
+    ) -> Self {
+        self.at(at, FaultEvent::LinkRamp { pair: None, from, to, window })
+    }
+
+    /// Schedules a clock-skew change.
+    #[must_use]
+    pub fn clock_skew(self, at: ProtoDuration, node: NodeId, ppm: i64) -> Self {
+        self.at(at, FaultEvent::ClockSkew { node, ppm })
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in execution order.
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// Offset of the last scheduled event (zero for an empty schedule).
+    pub fn last_event_at(&self) -> ProtoDuration {
+        self.events.last().map(|e| e.at).unwrap_or(ProtoDuration::from_micros(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_by_time_stably() {
+        let s = FaultSchedule::new()
+            .restart(ProtoDuration::from_secs(5), NodeId(1))
+            .crash(ProtoDuration::from_secs(1), NodeId(1))
+            .partition(ProtoDuration::from_secs(1), NodeId(2), NodeId(3));
+        let order: Vec<_> = s.events().iter().map(|e| e.event.clone()).collect();
+        assert_eq!(
+            order,
+            vec![
+                FaultEvent::Crash(NodeId(1)),
+                FaultEvent::Partition(NodeId(2), NodeId(3)),
+                FaultEvent::Restart(NodeId(1)),
+            ],
+            "time-sorted, insertion order preserved among equals"
+        );
+        assert_eq!(s.last_event_at(), ProtoDuration::from_secs(5));
+    }
+}

@@ -108,6 +108,31 @@ pub struct VarSubscriptionStats {
     pub history_len: usize,
 }
 
+/// Freshness snapshot of one subscribed variable channel (read via
+/// [`ServiceContainer::var_channels`](crate::ServiceContainer::var_channels)),
+/// the observability surface the chaos invariants check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VarChannelView {
+    /// A provider is currently resolved for the channel.
+    pub bound: bool,
+    /// Nominal publication period learned from the announcement (µs; 0 =
+    /// aperiodic).
+    pub period_us: u64,
+    /// Validity window learned from the announcement (µs; 0 = unbounded).
+    pub validity_us: u64,
+    /// Loss-warning deadline from the merged subscriber contract
+    /// (`deadline_periods` × nominal period, µs); `None` for aperiodic
+    /// channels, which have no deadline.
+    pub deadline_us: Option<u64>,
+    /// Receive time of the last accepted sample (the *subscribing node's*
+    /// local clock — compare against it, not global virtual time).
+    pub last_rx: Option<crate::Micros>,
+    /// Production stamp of the newest retained sample.
+    pub last_stamp: Option<crate::Micros>,
+    /// A loss-deadline warning is outstanding (raised, no sample since).
+    pub timed_out: bool,
+}
+
 /// Per-channel QoS counters of one subscribed event channel (read via
 /// [`ServiceContainer::event_qos_stats`](crate::ServiceContainer::event_qos_stats)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

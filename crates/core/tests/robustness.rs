@@ -317,6 +317,136 @@ fn node_crash_mid_file_transfer_leaves_receiver_consistent() {
 }
 
 #[test]
+fn crashed_node_is_deregistered_from_the_netsim() {
+    // Regression guard: `crash_node` must remove the netsim endpoint —
+    // a crashed box that keeps receiving (and buffering) datagrams would
+    // silently absorb multicast traffic and distort every stats-based
+    // experiment.
+    let mut h = SimHarness::new(lan(27));
+    h.add_container(ContainerConfig::new("a", NodeId(1)));
+    h.add_container(ContainerConfig::new("b", NodeId(2)));
+
+    let pv = VarPort::<u64>::new("c/v");
+    let mut b = ServiceDescriptor::builder("c");
+    b.provides_var(
+        &pv,
+        VarQos::periodic(ProtoDuration::from_millis(10), ProtoDuration::from_millis(100)),
+    );
+    let mut publisher = Scripted::new(b.build());
+    publisher.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
+    }));
+    let port = pv.clone();
+    publisher.on_timer = Some(Box::new(move |ctx, _| ctx.publish_to(&port, 1)));
+    h.add_service(NodeId(1), Box::new(publisher));
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("s").subscribe_variable("c/v", VarQos::default()).build(),
+            obs_log(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(500);
+    assert!(h.network().has_node(2));
+    let before = h.network().stats().node(2).delivered;
+    assert!(before > 0, "traffic flowed to node 2 first");
+
+    h.crash_node(NodeId(2));
+    assert!(!h.network().has_node(2), "crash must deregister the netsim node");
+    h.run_for_millis(1_000);
+    let after = h.network().stats().node(2).delivered;
+    assert_eq!(after, before, "a crashed node receives nothing more");
+}
+
+#[test]
+fn publisher_restart_resumes_fresh_samples_within_rto() {
+    // Crash a publisher, restart it from its factory blueprint, and
+    // assert the subscriber resumes *fresh* (non-stale) values and the
+    // directory re-converges within the recovery-time objective.
+    let mut h = SimHarness::new(lan(28));
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+
+    let pv = VarPort::<u64>::new("r/v");
+    let make_publisher = {
+        let pv = pv.clone();
+        move || {
+            let mut b = ServiceDescriptor::builder("r");
+            b.provides_var(
+                &pv,
+                VarQos::periodic(ProtoDuration::from_millis(20), ProtoDuration::from_millis(100)),
+            );
+            let mut publisher = Scripted::new(b.build());
+            publisher.on_start = Some(Box::new(|ctx| {
+                ctx.set_timer(ProtoDuration::from_millis(20), Some(ProtoDuration::from_millis(20)));
+            }));
+            let mut k = 0u64;
+            let port = pv.clone();
+            publisher.on_timer = Some(Box::new(move |ctx, _| {
+                k += 1;
+                ctx.publish_to(&port, k);
+            }));
+            Box::new(publisher) as Box<dyn marea_core::Service>
+        }
+    };
+    h.add_service_factory(NodeId(1), make_publisher);
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("s").subscribe_variable("r/v", VarQos::default()).build(),
+            log.clone(),
+        )),
+    );
+    h.start_all();
+    h.run_for_millis(1_000);
+    let before = observations(&log).iter().filter(|(_, o)| matches!(o, Obs::Var(..))).count();
+    assert!(before > 30, "flowing before the crash: {before}");
+
+    h.crash_node(NodeId(1));
+    h.run_for_millis(3_000); // node timeout passes; subscriber unbinds
+    assert!(!h.container(NodeId(2)).unwrap().directory().node_alive(NodeId(1)));
+    let during = observations(&log).iter().filter(|(_, o)| matches!(o, Obs::Var(..))).count();
+
+    assert!(h.restart_node(NodeId(1)), "blueprint restart");
+    let restarted_at = h.now();
+    let rto = ProtoDuration::from_secs(4);
+    let recovered = h.run_until(
+        |h| {
+            h.container(NodeId(2)).unwrap().directory().node_alive(NodeId(1))
+                && h.container(NodeId(1)).unwrap().directory().node_alive(NodeId(2))
+        },
+        rto,
+    );
+    assert!(recovered, "directory re-converged within the RTO");
+    let convergence = h.now().saturating_since(restarted_at);
+    assert!(convergence <= rto, "took {}ms", convergence.as_millis());
+
+    // Fresh samples resume: every post-restart sample was produced by the
+    // new incarnation (its stamp is newer than the restart), i.e. nothing
+    // stale from the first life is replayed.
+    h.run_for_millis(1_000);
+    let obs = observations(&log);
+    let fresh: Vec<_> =
+        obs.iter().filter(|(t, o)| matches!(o, Obs::Var(..)) && *t > restarted_at).collect();
+    assert!(fresh.len() > 20, "samples resumed after restart: {}", fresh.len());
+    let total = obs.iter().filter(|(_, o)| matches!(o, Obs::Var(..))).count();
+    assert_eq!(total, during + fresh.len(), "no samples from the dead window surfaced late");
+    // And the subscriber saw the provider go and come back.
+    let notices: Vec<String> = obs
+        .iter()
+        .filter_map(|(_, o)| match o {
+            Obs::Provider(p) => Some(p.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(notices.iter().any(|p| p.contains("VariableUnavailable")), "{notices:?}");
+    assert!(notices.iter().filter(|p| p.contains("VariableAvailable")).count() >= 2, "{notices:?}");
+}
+
+#[test]
 fn service_added_and_stopped_at_runtime() {
     let mut h = SimHarness::new(lan(26));
     h.add_container(ContainerConfig::new("a", NodeId(1)));

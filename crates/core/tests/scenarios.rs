@@ -1,0 +1,195 @@
+//! Chaos-scenario corpus tests: every named scenario must hold its
+//! invariants in quick mode, runs must be seed-reproducible, and the
+//! failover scenario must meet its recovery-time objective.
+
+use std::sync::atomic::Ordering;
+
+use marea_core::scenario::{corpus, ScenarioReport};
+use marea_core::{ContainerStats, NodeId};
+
+fn quick(seed: u64) -> corpus::ScenarioConfig {
+    corpus::ScenarioConfig::quick(seed)
+}
+
+fn run(name: &str, seed: u64) -> ScenarioReport {
+    corpus::run_named(name, &quick(seed)).expect("known corpus scenario")
+}
+
+#[test]
+fn corpus_quick_mode_holds_every_invariant() {
+    for (i, name) in corpus::NAMES.iter().enumerate() {
+        let report = run(name, 0xC0DE + i as u64);
+        assert!(report.passed(), "scenario `{name}` violated invariants: {:#?}", report.violations);
+        assert!(report.events_applied > 0, "`{name}` injected no faults");
+        assert!(report.checks_run > 0, "`{name}` never checked its invariants");
+    }
+}
+
+#[test]
+fn corpus_covers_the_advertised_scenarios() {
+    for name in [
+        "ground_link_flap",
+        "split_brain_heal",
+        "rolling_restart_swarm16",
+        "radio_degradation_ramp",
+        "publisher_failover",
+        "bulk_flood_under_partition",
+    ] {
+        assert!(corpus::NAMES.contains(&name), "missing corpus entry `{name}`");
+        assert!(corpus::build(name, &quick(1)).is_some());
+    }
+    assert!(corpus::build("no_such_scenario", &quick(1)).is_none());
+}
+
+/// The acceptance bar for the whole engine: a chaos run is a pure function
+/// of its seed. Two runs with the same seed must produce bit-identical
+/// network traces *and* container counters; the lossy ramp scenario makes
+/// this sensitive to any hidden iteration-order nondeterminism.
+#[test]
+fn same_seed_reproduces_identical_stats() {
+    for name in ["radio_degradation_ramp", "publisher_failover", "rolling_restart_swarm16"] {
+        let run_once = |seed: u64| -> (ScenarioReport, Vec<(NodeId, ContainerStats)>) {
+            let mut chaos = corpus::build(name, &quick(seed)).expect("known");
+            let report = chaos.run();
+            let h = chaos.runner.into_harness();
+            let stats = h
+                .nodes()
+                .into_iter()
+                .map(|n| (n, h.container(n).expect("listed").stats()))
+                .collect();
+            (report, stats)
+        };
+        let (r1, s1) = run_once(42);
+        let (r2, s2) = run_once(42);
+        assert_eq!(r1.net_stats, r2.net_stats, "`{name}`: same seed, same packet trace");
+        assert_eq!(s1, s2, "`{name}`: same seed, same container counters (incl. QosStats)");
+        assert_eq!(r1.events_applied, r2.events_applied);
+    }
+}
+
+#[test]
+fn publisher_failover_measures_and_meets_its_rto() {
+    let cfg = quick(7);
+    let mut chaos = corpus::build("publisher_failover", &cfg).expect("known");
+    let report = chaos.run();
+    assert!(report.passed(), "{:#?}", report.violations);
+
+    // The RTO invariant armed on the crash and measured the recovery.
+    let recoveries = chaos.probes.recoveries_us.lock().unwrap().clone();
+    assert_eq!(recoveries.len(), 1, "exactly one crash was scripted");
+    assert!(
+        recoveries[0] <= cfg.rto.as_micros(),
+        "recovery took {}µs, objective {}µs",
+        recoveries[0],
+        cfg.rto.as_micros()
+    );
+
+    // The client kept getting answers (failover to the backup) and the
+    // telemetry subscription kept delivering samples.
+    assert!(chaos.probes.calls_ok.load(Ordering::Relaxed) > 10);
+    assert!(chaos.probes.var_samples.load(Ordering::Relaxed) > 50);
+
+    // The restarted primary rejoined: everyone sees all three nodes.
+    let h = chaos.runner.into_harness();
+    assert_eq!(h.nodes(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+    for n in h.nodes() {
+        let c = h.container(n).unwrap();
+        assert!(c.directory().node_alive(NodeId(2)), "restarted primary visible from {n}");
+    }
+    // The primary's second life announces a higher incarnation.
+    assert!(h.container(NodeId(2)).unwrap().incarnation() >= 2);
+}
+
+#[test]
+fn bulk_flood_applies_bounded_inbox_drops() {
+    let mut chaos = corpus::build("bulk_flood_under_partition", &quick(3)).expect("known");
+    let report = chaos.run();
+    assert!(report.passed(), "{:#?}", report.violations);
+    assert!(chaos.probes.events_seen.load(Ordering::Relaxed) > 100, "bulk stream was delivered");
+    // The flood outpaces the sink's bounded bulk inbox at some point, so
+    // the declared drop policy must have acted (and the scheduler stayed
+    // within the QueueBound invariant for the whole run).
+    let h = chaos.runner.into_harness();
+    let sink = h.container(NodeId(1)).unwrap();
+    let bulk = sink.event_qos_stats("chaos/bulk").expect("subscribed channel");
+    assert!(bulk.inbox_peak <= 32, "bound respected: peak {}", bulk.inbox_peak);
+}
+
+#[test]
+fn clock_skew_event_drifts_the_local_clock() {
+    use marea_core::scenario::{FaultSchedule, Scenario, ScenarioRunner};
+    use marea_core::{ContainerConfig, ProtoDuration, SimHarness};
+    use marea_netsim::NetConfig;
+
+    let mut h = SimHarness::new(NetConfig::default());
+    h.add_container(ContainerConfig::new("a", NodeId(1)));
+    h.add_container(ContainerConfig::new("b", NodeId(2)));
+    h.start_all();
+    let schedule = FaultSchedule::new().clock_skew(
+        ProtoDuration::from_millis(100),
+        NodeId(2),
+        200_000, // +20% fast clock
+    );
+    let mut runner = ScenarioRunner::new(h);
+    let report = runner.run(&Scenario::new("skew", schedule, ProtoDuration::from_millis(1_100)));
+    assert_eq!(report.events_applied, 1);
+    let h = runner.into_harness();
+    // 1.1s elapsed; the skewed node ran 1s of drifted time on top of the
+    // first 100ms: local ≈ 100ms + 1000ms * 1.2 = 1300ms.
+    let local = h.local_time(NodeId(2));
+    assert!((1_290_000..=1_310_000).contains(&local), "drifted clock: {local}");
+    assert_eq!(h.local_time(NodeId(1)), 1_100_000, "unskewed node follows virtual time");
+    // Despite the skew, the fleet stays mutually alive (timestamps are
+    // node-local; liveness rides message arrival).
+    for n in [NodeId(1), NodeId(2)] {
+        for m in [NodeId(1), NodeId(2)] {
+            assert!(h.container(n).unwrap().directory().node_alive(m));
+        }
+    }
+}
+
+/// Regression guard: the staleness invariant must measure sample age in
+/// the *subscribing node's* clock domain. A slow local clock makes
+/// `last_rx` fall ever further behind global virtual time; comparing
+/// across domains would report silent staleness on a perfectly healthy
+/// 20 ms sample stream.
+#[test]
+fn staleness_invariant_is_clock_domain_correct_under_skew() {
+    use marea_core::scenario::corpus::{self, ScenarioConfig};
+    use marea_core::ProtoDuration;
+
+    let cfg = ScenarioConfig::quick(5);
+    let mut chaos = corpus::build("ground_link_flap", &cfg).expect("known");
+    // Slow the subscriber's clock by 10% from the start; the flap script
+    // then runs as usual. ~6 virtual seconds ⇒ ~600 ms of divergence,
+    // comfortably past the declared deadline + slack if the invariant
+    // compared clock domains incorrectly.
+    let mut scenario = chaos.scenario.clone();
+    scenario.schedule =
+        scenario.schedule.clock_skew(ProtoDuration::from_millis(10), NodeId(1), -100_000);
+    chaos.scenario = scenario;
+    let report = chaos.run();
+    assert!(report.passed(), "healthy skewed stream flagged: {:#?}", report.violations);
+    assert!(chaos.probes.var_samples.load(Ordering::Relaxed) > 50, "stream actually flowed");
+}
+
+/// A scripted restart of a node that was never added is a script error:
+/// it must surface as a `schedule` violation, not arm RTO invariants or
+/// count as an applied fault.
+#[test]
+fn restart_of_unknown_node_is_reported_as_schedule_violation() {
+    use marea_core::scenario::{FaultSchedule, Scenario, ScenarioRunner};
+    use marea_core::{ContainerConfig, ProtoDuration, SimHarness};
+    use marea_netsim::NetConfig;
+
+    let mut h = SimHarness::new(NetConfig::default());
+    h.add_container(ContainerConfig::new("a", NodeId(1)));
+    h.start_all();
+    let schedule = FaultSchedule::new().restart(ProtoDuration::from_millis(50), NodeId(99));
+    let mut runner = ScenarioRunner::new(h);
+    let report = runner.run(&Scenario::new("typo", schedule, ProtoDuration::from_millis(200)));
+    assert_eq!(report.events_applied, 0, "a failed restart is not an applied fault");
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].invariant, "schedule");
+    assert!(report.violations[0].detail.contains("node99"), "{}", report.violations[0].detail);
+}

@@ -80,6 +80,40 @@ impl LinkConfig {
             _ => 0,
         }
     }
+
+    /// Linear interpolation between two link characters at `t ∈ [0, 1]` —
+    /// the ramp hook behind `LinkRamp` chaos events (radio degradation
+    /// profiles: latency/jitter/loss ramp continuously, bandwidth ramps
+    /// when both endpoints define it, and the MTU steps at the end of the
+    /// window since a fractional MTU is meaningless).
+    #[must_use]
+    pub fn lerp(&self, to: &LinkConfig, t: f64) -> LinkConfig {
+        let t = t.clamp(0.0, 1.0);
+        let mix_u64 = |a: u64, b: u64| -> u64 {
+            let v = a as f64 + (b as f64 - a as f64) * t;
+            if v <= 0.0 {
+                0
+            } else {
+                v.round() as u64
+            }
+        };
+        LinkConfig {
+            latency_us: mix_u64(self.latency_us, to.latency_us),
+            jitter_us: mix_u64(self.jitter_us, to.jitter_us),
+            loss: (self.loss + (to.loss - self.loss) * t).clamp(0.0, 1.0),
+            bandwidth_bps: match (self.bandwidth_bps, to.bandwidth_bps) {
+                (Some(a), Some(b)) => Some(mix_u64(a, b)),
+                (a, b) => {
+                    if t >= 1.0 {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            },
+            mtu: if t >= 1.0 { to.mtu } else { self.mtu },
+        }
+    }
 }
 
 /// Whole-network configuration.
@@ -129,6 +163,26 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn loss_range_checked() {
         let _ = LinkConfig::default().with_loss(1.5);
+    }
+
+    #[test]
+    fn lerp_ramps_continuously_and_steps_mtu_last() {
+        let calm = LinkConfig::default();
+        let storm = LinkConfig::default()
+            .with_latency_us(20_100)
+            .with_jitter_us(5_000)
+            .with_loss(0.4)
+            .with_bandwidth_bps(Some(50_000_000))
+            .with_mtu(576);
+        let mid = calm.lerp(&storm, 0.5);
+        assert_eq!(mid.latency_us, 10_100);
+        assert_eq!(mid.jitter_us, 2_500);
+        assert!((mid.loss - 0.2).abs() < 1e-9);
+        assert_eq!(mid.bandwidth_bps, Some(75_000_000));
+        assert_eq!(mid.mtu, 1500, "mtu steps only at the end of the window");
+        assert_eq!(calm.lerp(&storm, 0.0), calm);
+        assert_eq!(calm.lerp(&storm, 1.0), storm);
+        assert_eq!(calm.lerp(&storm, 7.5), storm, "t clamps to [0,1]");
     }
 
     #[test]

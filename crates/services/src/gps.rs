@@ -54,6 +54,14 @@ impl GpsService {
         self
     }
 
+    /// A restart factory over the same shared world, for
+    /// [`SimHarness::add_service_factory`](marea_core::SimHarness::add_service_factory):
+    /// a chaos `Restart` rebuilds the GPS against the world where the
+    /// airframe kept flying while the node was down.
+    pub fn factory(world: SharedWorld, seed: u64) -> impl Fn() -> Box<dyn Service> + Send {
+        move || Box::new(GpsService::new(world.clone(), seed)) as Box<dyn Service>
+    }
+
     /// Direct sensor access (tests inject outages).
     pub fn sensor_mut(&mut self) -> &mut GpsSensor {
         &mut self.sensor

@@ -52,6 +52,12 @@ impl GroundStationService {
         }
     }
 
+    /// A restart factory over the same display log: a chaos `Restart`
+    /// resumes the terminal feed where the operator left off.
+    pub fn factory(display: Display) -> impl Fn() -> Box<dyn Service> + Send {
+        move || Box::new(GroundStationService::new(display.clone())) as Box<dyn Service>
+    }
+
     /// Shows every n-th position (builder style).
     #[must_use]
     pub fn with_decimation(mut self, decimate: u64) -> Self {

@@ -33,6 +33,13 @@ impl StorageService {
             list: names::storage_list_port(),
         }
     }
+
+    /// A restart factory over the same shared filesystem: a chaos
+    /// `Restart` brings storage back with its namespace intact (the
+    /// persistent-disk model), so clients re-resolve and keep writing.
+    pub fn factory(fs: MemFs) -> impl Fn() -> Box<dyn Service> + Send {
+        move || Box::new(StorageService::new(fs.clone())) as Box<dyn Service>
+    }
 }
 
 impl Service for StorageService {
