@@ -4,12 +4,32 @@
 //! where `<id>` is one of `f1 f2 f3 f4 c1 c2 c3 c4 c5 c6 c7 c8 c9` or `all`
 //! (default). All numbers are virtual-time/deterministic: identical on
 //! every machine.
+//!
+//! `--json <path>` additionally writes the full suite's numbers as a
+//! machine-readable document; `BENCH_experiments.json` at the repo root
+//! is the checked-in copy (regenerate with
+//! `cargo run -p marea-bench --release --bin experiments -- --json BENCH_experiments.json`).
 
 use marea_bench::*;
 use marea_core::SchedulerKind;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if a == "--json" {
+            match raw.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("error: --json needs an output path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(a);
+        }
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| all || args.iter().any(|a| a == id);
 
@@ -43,6 +63,192 @@ fn main() {
     if want("c8") {
         c8_scenario_failover();
     }
+
+    if let Some(path) = json_path {
+        // The JSON document always covers the full suite so the
+        // checked-in copy never depends on which ids were requested.
+        match std::fs::write(&path, json_document()) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The full suite as JSON. Runs every experiment with the same
+/// parameters the tables use — all virtual-time, so the output is
+/// byte-identical on every machine and safe to check in.
+fn json_document() -> String {
+    fn section(out: &mut String, last: bool, id: &str, rows: Vec<String>) {
+        out.push_str(&format!("  \"{id}\": [\n"));
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]");
+        out.push_str(if last { "\n" } else { ",\n" });
+    }
+
+    let mut out = String::from("{\n");
+
+    let f1 = [2u32, 4, 8, 16]
+        .iter()
+        .map(|&n| {
+            let ms = bench_discovery(n, 100 + u64::from(n));
+            format!("    {{\"nodes\": {n}, \"full_mesh_ms\": {ms}}}")
+        })
+        .collect();
+    section(&mut out, false, "f1_discovery", f1);
+
+    let (local, remote) = bench_local_vs_remote_event(100, 200);
+    let f2 = vec![
+        format!(
+            "    {{\"path\": \"same container\", \"mean_us\": {:.3}, \"max_us\": {}}}",
+            local.mean_us, local.max_us
+        ),
+        format!(
+            "    {{\"path\": \"across the LAN\", \"mean_us\": {:.3}, \"max_us\": {}}}",
+            remote.mean_us, remote.max_us
+        ),
+    ];
+    section(&mut out, false, "f2_local_vs_remote", f2);
+
+    let c1 = [8usize, 64, 512]
+        .iter()
+        .map(|&payload| {
+            let ev = bench_event_latency(payload, 100, 0.0, 300);
+            let rpc = bench_rpc_rtt(payload, 100, 0.0, 300);
+            format!(
+                "    {{\"payload_bytes\": {payload}, \"event_mean_us\": {:.3}, \
+                 \"rpc_mean_us\": {:.3}}}",
+                ev.mean_us, rpc.mean_us
+            )
+        })
+        .collect();
+    section(&mut out, false, "c1_event_vs_rpc", c1);
+
+    let c2 = [1u32, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&subs| {
+            let m = bench_var_fanout(subs, 100, true, 400);
+            let u = bench_var_fanout(subs, 100, false, 400);
+            format!(
+                "    {{\"subscribers\": {subs}, \"multicast_datagrams\": {}, \
+                 \"unicast_datagrams\": {}, \"unicast_bytes\": {}}}",
+                m.publisher_datagrams, u.publisher_datagrams, u.publisher_bytes
+            )
+        })
+        .collect();
+    section(&mut out, false, "c2_fanout", c2);
+
+    let c3 = [0.0, 0.001, 0.01, 0.05, 0.10]
+        .iter()
+        .map(|&loss| {
+            let arq = bench_arq_under_loss(loss, 100, 64, 20_000, 500);
+            let tcp = bench_tcp_under_loss(loss, 100, 64, 20_000, 500);
+            format!(
+                "    {{\"loss\": {loss}, \"arq_mean_us\": {:.3}, \"tcp_mean_us\": {:.3}, \
+                 \"arq_max_us\": {}, \"tcp_max_us\": {}, \"arq_bytes\": {}, \"tcp_bytes\": {}}}",
+                arq.latency.mean_us,
+                tcp.latency.mean_us,
+                arq.latency.max_us,
+                tcp.latency.max_us,
+                arq.wire_bytes,
+                tcp.wire_bytes
+            )
+        })
+        .collect();
+    section(&mut out, false, "c3_arq_vs_tcp", c3);
+
+    let c4 = [
+        (64 * 1024usize, 4u32, 0.0),
+        (64 * 1024, 16, 0.0),
+        (1024 * 1024, 4, 0.0),
+        (1024 * 1024, 16, 0.0),
+        (1024 * 1024, 8, 0.02),
+        (4 * 1024 * 1024, 8, 0.0),
+    ]
+    .iter()
+    .map(|&(size, subs, loss)| {
+        let m = bench_file_multicast(size, subs, loss, 600);
+        let u = bench_file_unicast_equivalent(size, subs, loss, 600);
+        format!(
+            "    {{\"size_bytes\": {size}, \"subscribers\": {subs}, \"loss\": {loss}, \
+             \"multicast_bytes\": {}, \"unicast_bytes\": {}, \"multicast_completion_ms\": {}}}",
+            m.publisher_bytes, u.publisher_bytes, m.completion_ms
+        )
+    })
+    .collect();
+    section(&mut out, false, "c4_file_distribution", c4);
+
+    let c5 = [0u32, 50, 150, 400]
+        .iter()
+        .map(|&bg| {
+            let p = bench_scheduler_latency(SchedulerKind::Priority, bg, 50, 700);
+            let f = bench_scheduler_latency(SchedulerKind::Fifo, bg, 50, 700);
+            format!(
+                "    {{\"background_per_tick\": {bg}, \"priority_mean_us\": {:.3}, \
+                 \"fifo_mean_us\": {:.3}, \"priority_max_us\": {}, \"fifo_max_us\": {}}}",
+                p.mean_us, f.mean_us, p.max_us, f.max_us
+            )
+        })
+        .collect();
+    section(&mut out, false, "c5_scheduler", c5);
+
+    let mut c5b = Vec::new();
+    for bulk in [150u32, 400, 800] {
+        for contract in [false, true] {
+            let r = bench_qos_priority(contract, bulk, 50, 700);
+            c5b.push(format!(
+                "    {{\"bulk_per_tick\": {bulk}, \"contract\": {contract}, \
+                 \"critical_mean_us\": {:.3}, \"critical_max_us\": {}, \
+                 \"bulk_delivered\": {}, \"queue_drops\": {}}}",
+                r.critical.mean_us, r.critical.max_us, r.bulk_delivered, r.queue_drops
+            ));
+        }
+    }
+    section(&mut out, false, "c5b_qos_contract", c5b);
+
+    let c6 = [800u64, 801, 802]
+        .iter()
+        .map(|&seed| {
+            let r = bench_failover(seed);
+            format!(
+                "    {{\"seed\": {seed}, \"blackout_ms\": {}, \"app_errors\": {}, \
+                 \"failovers\": {}}}",
+                r.blackout_ms, r.errors, r.failovers
+            )
+        })
+        .collect();
+    section(&mut out, false, "c6_failover", c6);
+
+    let c7 = [64 * 1024usize, 1024 * 1024, 8 * 1024 * 1024]
+        .iter()
+        .map(|&size| {
+            let (deliveries, wire) = bench_file_bypass(size, 900);
+            format!(
+                "    {{\"size_bytes\": {size}, \"bypass_deliveries\": {deliveries}, \
+                 \"control_wire_bytes\": {wire}}}"
+            )
+        })
+        .collect();
+    section(&mut out, false, "c7_bypass", c7);
+
+    let c8 = [810u64, 811, 812]
+        .iter()
+        .map(|&seed| {
+            let r = bench_scenario_failover(seed);
+            format!(
+                "    {{\"seed\": {seed}, \"recovery_ms\": {}, \"violations\": {}, \
+                 \"calls_ok\": {}, \"faults_applied\": {}}}",
+                r.recovery_ms, r.violations, r.calls_ok, r.events_applied
+            )
+        })
+        .collect();
+    section(&mut out, true, "c8_scenario_failover", c8);
+
+    out.push('}');
+    out.push('\n');
+    out
 }
 
 fn banner(id: &str, title: &str, anchor: &str) {

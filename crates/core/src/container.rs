@@ -50,6 +50,7 @@ use crate::service::{
     ServiceDescriptor, TimerId,
 };
 use crate::stats::{ContainerStats, EventSubscriptionStats, QosStats, VarSubscriptionStats};
+use crate::sweep::sorted_keys;
 
 /// Upper bound for one marshalled call argument.
 pub(crate) const MAX_ARG_BYTES: usize = 4 * 1024 * 1024;
@@ -112,6 +113,7 @@ impl ContainerConfig {
     /// Panics if `name` is not a valid [`Name`] literal.
     pub fn new(name: &str, node: NodeId) -> Self {
         ContainerConfig {
+            // marea-lint: allow(R1): construction-time check of a code literal (documented "# Panics"); never runs on the tick path
             name: Name::new(name).expect("container name must be a valid name literal"),
             node,
             heartbeat_period: ProtoDuration::from_millis(500),
@@ -293,27 +295,22 @@ impl ServiceContainer {
     /// (a bound channel must either deliver within its validity window or
     /// raise the timeout warning; silent staleness is a middleware bug).
     pub fn var_channels(&self) -> Vec<(Name, crate::stats::VarChannelView)> {
-        let mut out: Vec<(Name, crate::stats::VarChannelView)> = self
-            .vars
-            .subscribed
-            .iter()
-            .map(|(name, s)| {
-                (
-                    name.clone(),
-                    crate::stats::VarChannelView {
-                        bound: s.provider.is_some(),
-                        period_us: s.period_us,
-                        validity_us: s.validity_us,
-                        deadline_us: s.deadline_us(),
-                        last_rx: s.last_rx,
-                        last_stamp: s.history.back().map(|(stamp, _)| *stamp),
-                        timed_out: s.timed_out,
-                    },
-                )
+        sorted_keys(&self.vars.subscribed)
+            .into_iter()
+            .map(|name| {
+                let s = &self.vars.subscribed[&name];
+                let view = crate::stats::VarChannelView {
+                    bound: s.provider.is_some(),
+                    period_us: s.period_us,
+                    validity_us: s.validity_us,
+                    deadline_us: s.deadline_us(),
+                    last_rx: s.last_rx,
+                    last_stamp: s.history.back().map(|(stamp, _)| *stamp),
+                    timed_out: s.timed_out,
+                };
+                (name, view)
             })
-            .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        out
+            .collect()
     }
 
     /// The name directory (read access for tests/tools).
@@ -334,6 +331,7 @@ impl ServiceContainer {
     /// Aggregated ARQ statistics over all reliable links.
     pub fn arq_stats(&self) -> marea_protocol::arq::ArqStats {
         let mut total = marea_protocol::arq::ArqStats::default();
+        // marea-lint: allow(D1): commutative counter sums; no sends, order cannot reach the wire
         for link in self.links.values() {
             let s = link.stats();
             total.sent += s.sent;
@@ -578,17 +576,10 @@ impl ServiceContainer {
                 self.directory.apply_status(src, service_seq, state);
                 if !state.is_available() {
                     let failed = ServiceId::new(src, service_seq);
-                    let affected: Vec<RequestId> = {
-                        let mut v: Vec<RequestId> = self
-                            .rpc
-                            .pending
-                            .iter()
-                            .filter(|(_, c)| c.target == failed)
-                            .map(|(id, _)| *id)
-                            .collect();
-                        v.sort();
-                        v
-                    };
+                    let affected: Vec<RequestId> = sorted_keys(&self.rpc.pending)
+                        .into_iter()
+                        .filter(|id| self.rpc.pending[id].target == failed)
+                        .collect();
                     for id in affected {
                         self.failover_call(id, now);
                     }
@@ -718,11 +709,11 @@ impl ServiceContainer {
         let initial = {
             let Some(pv) = self.vars.published.get_mut(&name) else { return };
             pv.remote_subscribers.insert(subscriber);
-            if need_initial && pv.last_is_valid(now) {
-                let (payload, stamp) = pv.last.clone().expect("valid implies present");
-                Some((payload, stamp, pv.seq, pv.validity_us))
-            } else {
-                None
+            match pv.last.clone() {
+                Some((payload, stamp)) if need_initial && pv.last_is_valid(now) => {
+                    Some((payload, stamp, pv.seq, pv.validity_us))
+                }
+                _ => None,
             }
         };
         if let Some((payload, stamp, seq, validity_us)) = initial {
@@ -1088,13 +1079,13 @@ impl ServiceContainer {
         let completion = {
             let Some(name) = self.files.resource_of(transfer).cloned() else { return };
             let Some(interest) = self.files.interests.get_mut(&name) else { return };
-            let Some(rx) = &mut interest.receiver else { return };
+            let Some(mut rx) = interest.receiver.take() else { return };
             if rx.on_chunk(revision, index, &payload) {
-                let rx = interest.receiver.take().expect("present");
                 let data = rx.into_data();
                 interest.completed_revision = Some(revision);
                 Some((name, data, interest.services.clone(), interest.publisher))
             } else {
+                interest.receiver = Some(rx);
                 None
             }
         };
@@ -1145,6 +1136,7 @@ impl ServiceContainer {
         for id in self.rpc.targeting_node(node) {
             self.failover_call(id, now);
         }
+        // marea-lint: allow(D1): order-independent in-place reset of receive wiring; nothing sends here
         for interest in self.files.interests.values_mut() {
             if interest.publisher == Some(node) {
                 interest.receiver = None;
@@ -1156,12 +1148,10 @@ impl ServiceContainer {
 
     fn maintain_subscriptions(&mut self, now: Micros) {
         // Every sweep below walks a HashMap but may send subscription
-        // wiring or enqueue notices, so the walk order is sorted to keep
-        // runs seed-reproducible.
+        // wiring or enqueue notices, so each walk goes through
+        // `sweep::sorted_keys` to keep runs seed-reproducible (lint D1).
         // Variables.
-        let mut names: Vec<Name> = self.vars.subscribed.keys().cloned().collect();
-        names.sort();
-        for name in names {
+        for name in sorted_keys(&self.vars.subscribed) {
             let resolution = self.directory.resolve_variable(name.as_str()).map(|p| {
                 let (period, validity, ty) = match &p.provision {
                     Provision::Variable { period_us, validity_us, ty, .. } => {
@@ -1176,33 +1166,31 @@ impl ServiceContainer {
                 Lost { services: Vec<u32> },
                 None,
             }
-            let act = {
-                let sub = self.vars.subscribed.get_mut(&name).expect("present");
-                match resolution {
-                    Some((provider, period, validity, ty)) => {
-                        if sub.provider != Some(provider) || !sub.subscribe_sent {
-                            let fresh = sub.provider.is_none();
-                            sub.bind(provider, period, validity, ty, now);
-                            sub.subscribe_sent = true;
-                            Act::Bind {
-                                provider,
-                                need_initial: sub.need_initial,
-                                services: sub.services.clone(),
-                                fresh,
-                            }
-                        } else {
-                            Act::None
+            let Some(sub) = self.vars.subscribed.get_mut(&name) else { continue };
+            let act = match resolution {
+                Some((provider, period, validity, ty)) => {
+                    if sub.provider != Some(provider) || !sub.subscribe_sent {
+                        let fresh = sub.provider.is_none();
+                        sub.bind(provider, period, validity, ty, now);
+                        sub.subscribe_sent = true;
+                        Act::Bind {
+                            provider,
+                            need_initial: sub.need_initial,
+                            services: sub.services.clone(),
+                            fresh,
                         }
+                    } else {
+                        Act::None
                     }
-                    None => {
-                        if sub.subscribe_sent || sub.provider.is_some() {
-                            sub.unbind();
-                            sub.subscribe_sent = false;
-                            // Only notify on the transition away from bound.
-                            Act::Lost { services: sub.services.clone() }
-                        } else {
-                            Act::None
-                        }
+                }
+                None => {
+                    if sub.subscribe_sent || sub.provider.is_some() {
+                        sub.unbind();
+                        sub.subscribe_sent = false;
+                        // Only notify on the transition away from bound.
+                        Act::Lost { services: sub.services.clone() }
+                    } else {
+                        Act::None
                     }
                 }
             };
@@ -1249,9 +1237,7 @@ impl ServiceContainer {
             }
         }
         // Events.
-        let mut names: Vec<Name> = self.events.subscribed.keys().cloned().collect();
-        names.sort();
-        for name in names {
+        for name in sorted_keys(&self.events.subscribed) {
             let resolution = self.directory.resolve_event(name.as_str()).map(|p| {
                 let ty = match &p.provision {
                     Provision::Event { ty, .. } => ty.clone(),
@@ -1264,27 +1250,25 @@ impl ServiceContainer {
                 Lost { services: Vec<u32> },
                 None,
             }
-            let act = {
-                let sub = self.events.subscribed.get_mut(&name).expect("present");
-                match resolution {
-                    Some((provider, ty)) => {
-                        if sub.provider != Some(provider) || !sub.subscribe_sent {
-                            let fresh = sub.provider.is_none();
-                            sub.provider = Some(provider);
-                            sub.ty = ty;
-                            sub.subscribe_sent = true;
-                            Act::Bind { provider, services: sub.service_seqs(), fresh }
-                        } else {
-                            Act::None
-                        }
+            let Some(sub) = self.events.subscribed.get_mut(&name) else { continue };
+            let act = match resolution {
+                Some((provider, ty)) => {
+                    if sub.provider != Some(provider) || !sub.subscribe_sent {
+                        let fresh = sub.provider.is_none();
+                        sub.provider = Some(provider);
+                        sub.ty = ty;
+                        sub.subscribe_sent = true;
+                        Act::Bind { provider, services: sub.service_seqs(), fresh }
+                    } else {
+                        Act::None
                     }
-                    None => {
-                        if sub.subscribe_sent || sub.provider.is_some() {
-                            sub.unbind();
-                            Act::Lost { services: sub.service_seqs() }
-                        } else {
-                            Act::None
-                        }
+                }
+                None => {
+                    if sub.subscribe_sent || sub.provider.is_some() {
+                        sub.unbind();
+                        Act::Lost { services: sub.service_seqs() }
+                    } else {
+                        Act::None
                     }
                 }
             };
@@ -1322,13 +1306,11 @@ impl ServiceContainer {
         // Required functions ("during middleware initialization, the
         // services check that all the functions they need ... are
         // provided", §4.3).
-        let mut names: Vec<Name> = self.rpc.required.keys().cloned().collect();
-        names.sort();
-        for name in names {
+        for name in sorted_keys(&self.rpc.required) {
             let available =
                 self.directory.resolve_function(name.as_str(), CallPolicy::Dynamic, None).is_some();
+            let Some(req) = self.rpc.required.get_mut(&name) else { continue };
             let action = {
-                let req = self.rpc.required.get_mut(&name).expect("present");
                 let first_check = !req.checked;
                 req.checked = true;
                 if available != req.available || (first_check && !available) {
@@ -1353,15 +1335,15 @@ impl ServiceContainer {
             }
         }
         // File interests that heard an announce before subscribing.
-        let mut resources: Vec<Name> = self
-            .files
-            .interests
-            .iter()
-            .filter(|(_, i)| i.receiver.is_none() && !i.services.is_empty())
-            .map(|(n, _)| n.clone())
-            .collect();
-        resources.sort();
-        for resource in resources {
+        for resource in sorted_keys(&self.files.interests) {
+            let waiting = self
+                .files
+                .interests
+                .get(&resource)
+                .is_some_and(|i| i.receiver.is_none() && !i.services.is_empty());
+            if !waiting {
+                continue;
+            }
             if self.files.outgoing.contains_key(&resource) {
                 continue; // local publisher: bypass path handles delivery
             }
@@ -1493,10 +1475,9 @@ impl ServiceContainer {
         // Sorted sweep: the per-peer send order decides how the simulated
         // network's RNG stream maps onto datagrams, so it must not depend
         // on HashMap iteration order (same seed ⇒ same trace).
-        let mut peers: Vec<NodeId> = self.links.keys().copied().collect();
-        peers.sort();
-        for peer in peers {
-            let (out, failed) = self.links.get_mut(&peer).expect("present").poll(now);
+        for peer in sorted_keys(&self.links) {
+            let Some(link) = self.links.get_mut(&peer) else { continue };
+            let (out, failed) = link.poll(now);
             for m in out {
                 self.send_message(TransportDestination::Node(peer.0), &m);
             }
@@ -1510,14 +1491,13 @@ impl ServiceContainer {
     }
 
     fn pump_files(&mut self, now: Micros) {
-        let mut resources: Vec<Name> = self.files.outgoing.keys().cloned().collect();
-        resources.sort(); // stable send order (determinism)
-        for resource in resources {
+        // Stable send order (determinism).
+        for resource in sorted_keys(&self.files.outgoing) {
             let group = file_group(&resource);
             let mut to_control: Vec<Message> = Vec::new();
             let mut to_group: Vec<Message> = Vec::new();
             {
-                let out = self.files.outgoing.get_mut(&resource).expect("present");
+                let Some(out) = self.files.outgoing.get_mut(&resource) else { continue };
                 if out.sender.is_complete() {
                     continue;
                 }
@@ -2032,11 +2012,10 @@ impl ServiceContainer {
             }
             _ => Bytes::new(),
         };
-        let (event_seq, remote) = {
-            let pe = self.events.published.get_mut(&name).expect("checked above");
-            pe.seq += 1;
-            (pe.seq, pe.remote_subscribers.iter().copied().collect::<Vec<NodeId>>())
-        };
+        let Some(pe) = self.events.published.get_mut(&name) else { return };
+        pe.seq += 1;
+        let (event_seq, remote) =
+            (pe.seq, pe.remote_subscribers.iter().copied().collect::<Vec<NodeId>>());
         self.stats.events_published += 1;
 
         // Local delivery, under each subscriber's declared contract.

@@ -22,6 +22,7 @@ use marea_protocol::messages::{AnnounceEntry, Provision, ServiceState};
 use marea_protocol::{Micros, NodeId, ProtoDuration, ServiceId};
 
 use crate::service::CallPolicy;
+use crate::sweep::sorted_keys;
 
 /// One provider of a named provision.
 #[derive(Debug, Clone)]
@@ -159,15 +160,12 @@ impl Directory {
     /// provisions were purged ("the containers are able to clear and update
     /// their caches").
     pub fn expire(&mut self, now: Micros, timeout: ProtoDuration) -> Vec<NodeId> {
-        let mut dead: Vec<NodeId> = self
-            .nodes
-            .iter()
-            .filter(|(_, info)| now.saturating_since(info.last_seen) >= timeout)
-            .map(|(id, _)| *id)
-            .collect();
         // Stable order: callers react to each death with sends/failovers,
         // which must not depend on HashMap iteration order.
-        dead.sort();
+        let dead: Vec<NodeId> = sorted_keys(&self.nodes)
+            .into_iter()
+            .filter(|id| now.saturating_since(self.nodes[id].last_seen) >= timeout)
+            .collect();
         for node in &dead {
             self.purge_node(*node);
         }
@@ -198,9 +196,7 @@ impl Directory {
 
     /// All known nodes in id order.
     pub fn nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.nodes.keys().copied().collect();
-        v.sort();
-        v
+        sorted_keys(&self.nodes)
     }
 
     /// Every *available* provider of `name` (any provision kind), in

@@ -389,9 +389,12 @@ impl RealtimeDriver {
 
     /// Runs the tick loop for `duration`, sleeping between ticks.
     pub fn run_for(&mut self, duration: std::time::Duration) {
+        // marea-lint: allow(D2): RealtimeDriver is the wall-clock driver; sim paths never run this
         let deadline = std::time::Instant::now() + duration;
+        // marea-lint: allow(D2): RealtimeDriver is the wall-clock driver; sim paths never run this
         while std::time::Instant::now() < deadline {
             self.container.tick(self.clock.now());
+            // marea-lint: allow(D2): paces the wall-clock tick loop of the real-time driver
             std::thread::sleep(self.tick);
         }
     }

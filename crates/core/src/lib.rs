@@ -96,6 +96,7 @@ pub mod scenario;
 mod scheduler;
 mod service;
 mod stats;
+pub mod sweep;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use container::{ContainerConfig, ServiceContainer, VarDistribution};

@@ -1146,7 +1146,8 @@ mod typed {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the dynamic compat layer on purpose
+    // marea-lint: allow(Q1): compat test exercises the deprecated dynamic layer on purpose
+    #[allow(deprecated)]
     fn compat_publish_type_mismatch_is_counted() {
         let mut h = SimHarness::new(lan(42));
         h.add_container(ContainerConfig::new("pub", NodeId(1)));
@@ -1155,6 +1156,7 @@ mod typed {
         // Descriptor declares U64; the dynamic compat publish sends F64.
         let mut publisher = Scripted::new(
             ServiceDescriptor::builder("badpub")
+                // marea-lint: allow(Q1): compat test declares through the deprecated string API
                 .variable_dynamic(
                     "bad/value",
                     DataType::U64,
@@ -1166,6 +1168,7 @@ mod typed {
         publisher.on_start = Some(Box::new(|ctx| {
             ctx.set_timer(ProtoDuration::from_millis(10), Some(ProtoDuration::from_millis(10)));
         }));
+        // marea-lint: allow(Q1): compat test publishes through the deprecated string API
         publisher.on_timer = Some(Box::new(|ctx, _| ctx.publish("bad/value", 1.5f64)));
         h.add_service(NodeId(1), Box::new(publisher));
 
@@ -1196,7 +1199,8 @@ mod typed {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the dynamic compat layer on purpose
+    // marea-lint: allow(Q1): compat test exercises the deprecated dynamic layer on purpose
+    #[allow(deprecated)]
     fn compat_event_and_call_mismatches_are_counted() {
         let mut h = SimHarness::new(lan(43));
         h.add_container(ContainerConfig::new("a", NodeId(1)));
@@ -1205,7 +1209,9 @@ mod typed {
         // Provider: event channel declared U32, function (U32) -> U32.
         let provider = Scripted::new(
             ServiceDescriptor::builder("provider")
+                // marea-lint: allow(Q1): compat test declares through the deprecated string API
                 .event_dynamic("p/ev", Some(DataType::U32))
+                // marea-lint: allow(Q1): compat test declares through the deprecated string API
                 .function_dynamic("p/fn", vec![DataType::U32], Some(DataType::U32))
                 .build(),
         );
@@ -1215,6 +1221,7 @@ mod typed {
         // argument, and publishes an undeclared file resource.
         let mut abuser = Scripted::new(
             ServiceDescriptor::builder("abuser")
+                // marea-lint: allow(Q1): compat test declares through the deprecated string API
                 .event_dynamic("a/ev", Some(DataType::U32))
                 .requires_function("p/fn")
                 .build(),
@@ -1223,7 +1230,9 @@ mod typed {
             ctx.set_timer(ProtoDuration::from_millis(50), None);
         }));
         abuser.on_timer = Some(Box::new(|ctx, _| {
+            // marea-lint: allow(Q1): compat test abuses the deprecated emit/call paths on purpose
             ctx.emit("a/ev", Some(Value::Str("wrong".into())));
+            // marea-lint: allow(Q1): compat test abuses the deprecated call path on purpose
             ctx.call("p/fn", vec![Value::Bool(true)]);
             ctx.publish_file("a/undeclared", Bytes::from_static(b"x"));
         }));

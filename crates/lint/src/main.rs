@@ -1,0 +1,119 @@
+//! `marea-lint` CLI.
+//!
+//! ```text
+//! marea-lint --workspace [--json] [--deny-warnings] [--disable RULE]...
+//! marea-lint [OPTIONS] <path>...
+//! ```
+//!
+//! Exit codes (machine-readable, CI gates on them):
+//!   0  clean — no unwaived findings (and, under `--deny-warnings`,
+//!      no unused waivers)
+//!   1  findings present
+//!   2  usage or I/O error
+
+use marea_lint::{explicit_files, lint_files, rules::RULES, workspace_files, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+marea-lint: determinism, QoS-contract and hot-path robustness rules
+
+USAGE:
+    marea-lint --workspace [OPTIONS]
+    marea-lint [OPTIONS] <path>...
+
+OPTIONS:
+    --workspace        lint every .rs file under the current directory
+                       (skips target/, support/ stand-ins and fixtures)
+    --json             emit a machine-readable JSON report
+    --deny-warnings    unused waivers become errors (exit 1)
+    --disable <RULE>   turn one rule off (repeatable; for liveness tests)
+    --list-rules       print the rule table and exit
+    -h, --help         this text
+
+WAIVERS:
+    // marea-lint: allow(D1[, R1]): <reason>   (reason is mandatory)
+    applies to its own line and the line directly below; every waiver
+    is reported in the summary table.
+";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut disabled = std::collections::BTreeSet::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--disable" => match args.next() {
+                Some(rule) => {
+                    disabled.insert(rule.to_ascii_uppercase());
+                }
+                None => {
+                    eprintln!("error: --disable needs a rule id\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{}  {}", r.id, r.title);
+                    println!("      hint: {}", r.hint);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag `{flag}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    if !workspace && paths.is_empty() {
+        eprintln!("error: pass --workspace or at least one path\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let files = if workspace {
+        if !root.join("Cargo.toml").is_file() {
+            eprintln!("error: --workspace must run from the repo root (no ./Cargo.toml here)");
+            return ExitCode::from(2);
+        }
+        workspace_files(&root)
+    } else {
+        explicit_files(&paths)
+    };
+    let files = match files {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: walking sources: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let opts = Options { disabled, deny_warnings };
+    match lint_files(&root, &files, &opts) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            ExitCode::from(report.exit_code(deny_warnings) as u8)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Source scrubbing: the first lexer pass.
+//!
+//! `scrub` walks a Rust source file character by character and returns a
+//! copy in which every comment and every string/char-literal *content* is
+//! replaced by spaces, preserving the exact line/column layout of the
+//! original. Rule matching then runs over the scrubbed text, so a
+//! `.unwrap()` inside a doc comment or a `"Instant::now"` inside a log
+//! string can never produce a finding. Comments are captured separately
+//! (with their position) because waivers and pragmas live in them.
+//!
+//! The scrubber understands the lexical shapes that trip up naive
+//! scanners: nested block comments, escaped quotes, multi-line strings,
+//! raw strings (`r#"…"#` with any number of hashes), byte strings, char
+//! literals, and the char-vs-lifetime ambiguity of `'`.
+
+/// A comment lifted out of the source, `//`/`/*` markers included.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// 1-based column (in chars) of the comment's first character.
+    pub col: usize,
+}
+
+/// The result of scrubbing one file.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// Source with comments and literal contents blanked to spaces.
+    /// Newlines are preserved, so (line, col) positions agree with the
+    /// original file.
+    pub code: String,
+    /// Every comment in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+    out: String,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Emits `c` verbatim and advances.
+    fn keep(&mut self, c: char) {
+        self.out.push(c);
+        self.advance(c);
+    }
+
+    /// Emits a space (or the newline itself) and advances.
+    fn blank(&mut self, c: char) {
+        self.out.push(if c == '\n' { '\n' } else { ' ' });
+        self.advance(c);
+    }
+
+    fn advance(&mut self, c: char) {
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Scrubs `src`; see the module docs.
+pub fn scrub(src: &str) -> Scrubbed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: String::with_capacity(src.len()),
+    };
+    let mut comments = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        match c {
+            '/' if cur.peek(1) == Some('/') => line_comment(&mut cur, &mut comments),
+            '/' if cur.peek(1) == Some('*') => block_comment(&mut cur, &mut comments),
+            '"' => string_literal(&mut cur),
+            '\'' => char_or_lifetime(&mut cur),
+            c if is_ident_start(c) => identifier(&mut cur),
+            c => cur.keep(c),
+        }
+    }
+
+    Scrubbed { code: cur.out, comments }
+}
+
+fn line_comment(cur: &mut Cursor, comments: &mut Vec<Comment>) {
+    let (line, col) = (cur.line, cur.col);
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.blank(c);
+    }
+    comments.push(Comment { text, line, col });
+}
+
+fn block_comment(cur: &mut Cursor, comments: &mut Vec<Comment>) {
+    let (line, col) = (cur.line, cur.col);
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.blank('/');
+            cur.blank('*');
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            cur.blank('*');
+            cur.blank('/');
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.blank(c);
+        }
+    }
+    comments.push(Comment { text, line, col });
+}
+
+/// A plain (or byte) string body, opening quote already at the cursor.
+/// The quotes are kept so the token stream still sees a literal; the
+/// contents are blanked.
+fn string_literal(cur: &mut Cursor) {
+    cur.keep('"');
+    while let Some(c) = cur.peek(0) {
+        match c {
+            '\\' => {
+                // Blank the escape introducer and whatever it escapes
+                // (covers \" and \\; multi-char escapes like \u{..} are
+                // blanked by the ordinary loop below).
+                cur.blank('\\');
+                if let Some(next) = cur.peek(0) {
+                    cur.blank(next);
+                }
+            }
+            '"' => {
+                cur.keep('"');
+                return;
+            }
+            c => cur.blank(c),
+        }
+    }
+}
+
+/// A raw (or raw byte) string: `n` hashes seen after `r`/`br`, opening
+/// quote at the cursor. No escapes; ends at `"` followed by `n` hashes.
+fn raw_string(cur: &mut Cursor, hashes: usize) {
+    cur.keep('"');
+    while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            let mut all = true;
+            for k in 0..hashes {
+                if cur.peek(1 + k) != Some('#') {
+                    all = false;
+                    break;
+                }
+            }
+            if all {
+                cur.keep('"');
+                for _ in 0..hashes {
+                    cur.keep('#');
+                }
+                return;
+            }
+        }
+        cur.blank(c);
+    }
+}
+
+/// Disambiguates `'c'` (char literal, blanked) from `'a` (lifetime,
+/// kept: the quote is dropped to a space and the identifier flows on).
+fn char_or_lifetime(cur: &mut Cursor) {
+    let one = cur.peek(1);
+    let two = cur.peek(2);
+    let is_char = match one {
+        Some('\\') => true,
+        Some(c) if is_ident_start(c) => two == Some('\''),
+        Some(_) => two == Some('\''),
+        None => false,
+    };
+    if !is_char {
+        // Lifetime: blank just the quote; `'a` becomes ` a`.
+        cur.blank('\'');
+        return;
+    }
+    cur.keep('\'');
+    if cur.peek(0) == Some('\\') {
+        // Escaped char: blank through the closing quote.
+        while let Some(c) = cur.peek(0) {
+            if c == '\'' {
+                cur.keep('\'');
+                return;
+            }
+            cur.blank(c);
+        }
+    } else {
+        if let Some(c) = cur.peek(0) {
+            cur.blank(c);
+        }
+        if cur.peek(0) == Some('\'') {
+            cur.keep('\'');
+        }
+    }
+}
+
+/// An identifier — with the twist that `r`, `b` and `br` may prefix a
+/// string literal, switching the scrubber into the right string mode.
+fn identifier(cur: &mut Cursor) {
+    let mut ident = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        ident.push(c);
+        cur.keep(c);
+    }
+    match ident.as_str() {
+        "r" | "br" => {
+            // Count hashes; a following quote means raw string.
+            let mut hashes = 0usize;
+            while cur.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(hashes) == Some('"') {
+                for _ in 0..hashes {
+                    cur.keep('#');
+                }
+                raw_string(cur, hashes);
+            }
+        }
+        "b" if cur.peek(0) == Some('"') => {
+            string_literal(cur);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> String {
+        scrub(src).code
+    }
+
+    #[test]
+    fn blanks_line_and_doc_comments() {
+        let s = scrub("let x = 1; // call .unwrap() here\n/// Instant::now\nfn f() {}\n");
+        assert!(!s.code.contains("unwrap"));
+        assert!(!s.code.contains("Instant"));
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[1].line, 2);
+        assert!(s.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn blanks_nested_block_comments() {
+        let out = code("a /* x /* .unwrap() */ y */ b");
+        assert!(!out.contains("unwrap"));
+        assert!(out.starts_with('a') && out.ends_with('b'));
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let out = code(r#"let s = "map.keys() \" Instant::now";"#);
+        assert!(!out.contains("keys"));
+        assert!(!out.contains("Instant"));
+        assert_eq!(out.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_end_only_at_matching_hashes() {
+        let out = code("let s = r#\"has \" quote and .unwrap()\"#; x.keys()");
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("keys"), "code after the raw string survives");
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let out = code("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(out.contains(" a str"), "lifetime ident kept: {out}");
+        assert!(!out.contains('x') || !out.contains("'x'"), "char contents blanked");
+    }
+
+    #[test]
+    fn preserves_line_columns() {
+        let src = "ab /* c\nc */ d.unwrap()\n";
+        let out = code(src);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // `d` keeps its column on line 2.
+        assert_eq!(lines[1].find("d.unwrap").unwrap(), 5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Second lexer pass: scrubbed text → a flat token stream.
+//!
+//! Rules never look at raw text; they pattern-match over these tokens,
+//! which carry exact 1-based (line, col) spans into the original file
+//! (the scrubber preserves layout).
+
+/// What a token is. The lint only needs identifiers, numbers and
+/// single-character punctuation; multi-char operators stay split
+/// (`::` is two `:` tokens) and matchers skip the fillers they do not
+/// care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Number,
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Tok {
+    pub fn is(&self, p: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(p)
+    }
+
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes scrubbed source.
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = code.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c == '\n' {
+            chars.next();
+            line += 1;
+            col = 1;
+        } else if c.is_whitespace() {
+            chars.next();
+            col += 1;
+        } else if is_ident_start(c) {
+            let (l, s) = (line, col);
+            let mut text = String::new();
+            while let Some(&c) = chars.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                chars.next();
+                col += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text, line: l, col: s });
+        } else if c.is_ascii_digit() {
+            let (l, s) = (line, col);
+            let mut text = String::new();
+            // Numbers are consumed greedily (including `_`, type
+            // suffixes and hex letters) so `1.max(2)` does not read the
+            // digit as an identifier head; precision here is irrelevant
+            // to every rule.
+            while let Some(&c) = chars.peek() {
+                if !(c.is_ascii_alphanumeric() || c == '_') {
+                    break;
+                }
+                text.push(c);
+                chars.next();
+                col += 1;
+            }
+            toks.push(Tok { kind: TokKind::Number, text, line: l, col: s });
+        } else {
+            toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line, col });
+            chars.next();
+            col += 1;
+        }
+    }
+    toks
+}
+
+/// Scans token `open_idx` (which must be `{`) to its matching `}`;
+/// returns the index of the closing brace, or the last token if the
+/// file is unbalanced.
+pub fn matching_brace(toks: &[Tok], open_idx: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is('{') {
+            depth += 1;
+        } else if t.is('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts_carry_spans() {
+        let toks = tokenize("self.links\n  .keys()");
+        let keys = toks.iter().find(|t| t.is_ident("keys")).unwrap();
+        assert_eq!((keys.line, keys.col), (2, 4));
+        assert!(toks.iter().any(|t| t.is('.')));
+    }
+
+    #[test]
+    fn numbers_do_not_split_into_idents() {
+        let toks = tokenize("let x = 0x1f_u32;");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Number && t.text == "0x1f_u32"));
+    }
+
+    #[test]
+    fn brace_matching_nests() {
+        let toks = tokenize("fn f() { if x { y } else { z } } fn g() {}");
+        let open = toks.iter().position(|t| t.is('{')).unwrap();
+        let close = matching_brace(&toks, open);
+        assert!(toks[close + 1].is_ident("fn"));
+    }
+}

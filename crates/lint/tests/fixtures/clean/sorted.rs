@@ -1,0 +1,18 @@
+// marea-lint: scope(d1)
+//! Clean fixture: hash iteration routed through a sorted-walk helper.
+
+use std::collections::HashMap;
+
+fn sorted_ids(map: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut ids: Vec<u32> = map.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn send_all(map: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for id in sorted_ids(map) {
+        out.push(map[&id]);
+    }
+    out
+}

@@ -1,0 +1,17 @@
+// marea-lint: scope(d1, r1)
+//! Clean fixture: violation-shaped text that must NOT fire.
+//!
+//! `list.unwrap()` in a doc comment, `Instant::now()` in prose.
+
+use std::collections::HashMap;
+
+const HELP: &str = "call .unwrap() or panic!(\"boom\") or map.keys()";
+const RAW: &str = r#"thread::sleep and for x in &map and .expect("hi")"#;
+
+/* nested /* block */ with Instant::now() inside */
+fn lifetimes<'a>(s: &'a str) -> &'a str {
+    let _map: HashMap<u32, u32> = HashMap::new();
+    let _c = 'x';
+    let _ = (HELP, RAW);
+    s
+}

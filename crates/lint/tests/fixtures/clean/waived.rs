@@ -1,0 +1,9 @@
+// marea-lint: scope(d1)
+//! Clean fixture: a correctly waived finding is suppressed and recorded.
+
+use std::collections::HashMap;
+
+fn count(m: &HashMap<u32, u32>) -> usize {
+    // marea-lint: allow(D1): order-free cardinality count
+    m.keys().count()
+}

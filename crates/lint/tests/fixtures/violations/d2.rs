@@ -1,0 +1,12 @@
+//! D2 fixture: wall-clock, sleeps and ambient RNG outside the transport.
+
+use std::time::{Instant, SystemTime};
+
+fn naughty() -> u32 {
+    let a = Instant::now();
+    let b = SystemTime::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let r = rand::thread_rng();
+    drop((a, b, r));
+    0
+}

@@ -1,0 +1,12 @@
+//! Q1 fixture: calls into the deprecated dynamic string API.
+
+#![allow(deprecated)]
+
+fn build(ctx: &mut Ctx) {
+    let d = Descriptor::builder("svc")
+        .variable_dynamic("v", 1, 2, 3)
+        .build();
+    ctx.publish("v", 42u64);
+    ctx.emit("e", None);
+    drop(d);
+}

@@ -1,0 +1,11 @@
+// marea-lint: scope(r1)
+//! R1 fixture: panic paths in protocol-grade code.
+
+fn decode(buf: &[u8]) -> u32 {
+    let first = buf.first().unwrap();
+    let second = buf.get(1).expect("length checked");
+    if *first == 0 {
+        panic!("zero tag");
+    }
+    u32::from(*first) + u32::from(*second)
+}

@@ -1,0 +1,9 @@
+// marea-lint: scope(d1)
+//! W0 fixture: a malformed waiver (missing reason) does not suppress.
+
+use std::collections::HashMap;
+
+fn sums(m: &HashMap<u32, u32>) -> u32 {
+    // marea-lint: allow(D1)
+    m.values().sum()
+}

@@ -88,6 +88,16 @@ impl Ord for InFlight {
     }
 }
 
+/// Node ids in ascending order: the sanctioned deterministic walk for
+/// broadcast/multicast replication (lint rule D1 bans raw hash-map
+/// iteration on send paths; `fn sorted_*` bodies are the one place the
+/// raw walk may live).
+fn sorted_node_ids(nodes: &HashMap<u32, NodeState>) -> Vec<u32> {
+    let mut ids: Vec<u32> = nodes.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
 #[derive(Debug)]
 struct SimNetInner {
     now_us: u64,
@@ -161,21 +171,24 @@ impl SimNetInner {
                     Vec::new()
                 }
             }
-            Destination::Multicast(group) => self
-                .nodes
-                .iter()
-                .filter(|(id, st)| **id != src && st.groups.contains(&group))
-                .map(|(id, _)| *id)
+            Destination::Multicast(group) => sorted_node_ids(&self.nodes)
+                .into_iter()
+                .filter(|id| {
+                    *id != src && self.nodes.get(id).is_some_and(|st| st.groups.contains(&group))
+                })
                 .collect(),
-            Destination::Broadcast => self.nodes.keys().copied().filter(|id| *id != src).collect(),
+            Destination::Broadcast => {
+                sorted_node_ids(&self.nodes).into_iter().filter(|id| *id != src).collect()
+            }
         };
         if targets.is_empty() {
             self.stats.no_receiver += 1;
             return Ok(());
         }
-        let mut sorted = targets;
-        sorted.sort_unstable(); // determinism regardless of hash order
-        for dst in sorted {
+        // `targets` is already sorted: replica order decides how the RNG
+        // stream maps onto datagrams (determinism regardless of hash
+        // order).
+        for dst in targets {
             self.enqueue_replica(src, dst, &payload, depart_at);
         }
         Ok(())

@@ -118,16 +118,17 @@ impl Reassembler {
         }
         let key = (src, msg_id);
         if !self.pending.contains_key(&key) {
+            // marea-lint: allow(D1): cardinality count; iteration order cannot affect the result
             let per_source = self.pending.keys().filter(|(s, _)| *s == src).count();
             if per_source >= MAX_PENDING_PER_SOURCE {
                 return Err(ProtocolError::BadFragment("too many pending messages from source"));
             }
-            self.pending.insert(
-                key,
-                Pending { parts: vec![None; count as usize], received: 0, first_seen: now },
-            );
         }
-        let entry = self.pending.get_mut(&key).expect("just inserted");
+        let entry = self.pending.entry(key).or_insert_with(|| Pending {
+            parts: vec![None; count as usize],
+            received: 0,
+            first_seen: now,
+        });
         if entry.parts.len() != count as usize {
             // A mismatched count means the stream is corrupt; drop the set.
             self.pending.remove(&key);
@@ -139,10 +140,12 @@ impl Reassembler {
             entry.received += 1;
         }
         if entry.received == count {
-            let entry = self.pending.remove(&key).expect("present");
+            let Some(entry) = self.pending.remove(&key) else { return Ok(None) };
             let mut full = BytesMut::new();
-            for part in entry.parts {
-                full.extend_from_slice(&part.expect("all parts received"));
+            // `received == count` means every slot is filled; `flatten`
+            // states that without a panic path.
+            for part in entry.parts.into_iter().flatten() {
+                full.extend_from_slice(&part);
             }
             return Ok(Some(full.freeze()));
         }
