@@ -9,20 +9,25 @@
 //! machine-readable document; `BENCH_experiments.json` at the repo root
 //! is the checked-in copy (regenerate with
 //! `cargo run -p marea-bench --release --bin experiments -- --json BENCH_experiments.json`).
+//! `--json-fec <path>` writes just the C9 FEC loss sweep;
+//! `BENCH_fec_loss.json` is its checked-in copy (regenerate with
+//! `cargo run -p marea-bench --release --bin experiments -- c9 --json-fec BENCH_fec_loss.json`).
 
 use marea_bench::*;
 use marea_core::SchedulerKind;
 
 fn main() {
     let mut json_path: Option<String> = None;
+    let mut json_fec_path: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
-        if a == "--json" {
+        if a == "--json" || a == "--json-fec" {
             match raw.next() {
-                Some(p) => json_path = Some(p),
+                Some(p) if a == "--json" => json_path = Some(p),
+                Some(p) => json_fec_path = Some(p),
                 None => {
-                    eprintln!("error: --json needs an output path");
+                    eprintln!("error: {a} needs an output path");
                     std::process::exit(2);
                 }
             }
@@ -63,11 +68,23 @@ fn main() {
     if want("c8") {
         c8_scenario_failover();
     }
+    if want("c9") {
+        c9_fec_loss();
+    }
 
     if let Some(path) = json_path {
         // The JSON document always covers the full suite so the
         // checked-in copy never depends on which ids were requested.
         match std::fs::write(&path, json_document()) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = json_fec_path {
+        match std::fs::write(&path, fec_json_document()) {
             Ok(()) => println!("\nwrote {path}"),
             Err(e) => {
                 eprintln!("error: writing {path}: {e}");
@@ -249,6 +266,74 @@ fn json_document() -> String {
     out.push('}');
     out.push('\n');
     out
+}
+
+/// C9 parameters shared by the table, the JSON document and the CI
+/// smoke gate in `marea_bench::tests` — bulk mode (back-to-back sends)
+/// so goodput, not the send interval, is what the sweep measures.
+const C9_N: u32 = 200;
+const C9_MSG_LEN: usize = 64;
+const C9_SEED: u64 = 9;
+
+/// The C9 loss sweep as JSON. Everything is virtual-time and the
+/// goodput division is integer, so the document is byte-identical on
+/// every machine and safe to check in.
+fn fec_json_document() -> String {
+    let mut out = String::from("{\n  \"c9_fec_loss\": [\n");
+    let rows = bench_fec_loss_sweep(C9_N, C9_MSG_LEN, C9_SEED);
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"loss_permille\": {}, \"payload_bytes\": {}, \
+                 \"arq_goodput_bps\": {}, \"arq_fec_goodput_bps\": {}, \
+                 \"tcp_goodput_bps\": {}, \"arq_completion_us\": {}, \
+                 \"arq_fec_completion_us\": {}, \"arq_wire_bytes\": {}, \
+                 \"arq_fec_wire_bytes\": {}, \"arq_retransmissions\": {}, \
+                 \"arq_fec_retransmissions\": {}}}",
+                r.loss_permille,
+                r.payload_bytes,
+                r.arq.goodput_bps(r.payload_bytes),
+                r.arq_fec.goodput_bps(r.payload_bytes),
+                r.tcp.goodput_bps(r.payload_bytes),
+                r.arq.completion_us,
+                r.arq_fec.completion_us,
+                r.arq.wire_bytes,
+                r.arq_fec.wire_bytes,
+                r.arq.retransmissions,
+                r.arq_fec.retransmissions,
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn c9_fec_loss() {
+    banner(
+        "C9",
+        "bulk goodput under radio loss: plain ARQ vs ARQ+FEC vs TCP",
+        "§4.2 — repair data reconstructs erased frames without paying the retransmission RTT",
+    );
+    println!(
+        "   {:<8} {:>14} {:>16} {:>14} {:>10} {:>12} {:>12}",
+        "loss", "arq bps", "arq+fec bps", "tcp bps", "fec gain", "arq retx", "fec retx"
+    );
+    for r in bench_fec_loss_sweep(C9_N, C9_MSG_LEN, C9_SEED) {
+        let arq = r.arq.goodput_bps(r.payload_bytes);
+        let fec = r.arq_fec.goodput_bps(r.payload_bytes);
+        println!(
+            "   {:<8} {:>14} {:>16} {:>14} {:>9.1}x {:>12} {:>12}",
+            format!("{:.0}%", r.loss_permille as f64 / 10.0),
+            arq,
+            fec,
+            r.tcp.goodput_bps(r.payload_bytes),
+            fec as f64 / arq.max(1) as f64,
+            r.arq.retransmissions,
+            r.arq_fec.retransmissions,
+        );
+    }
 }
 
 fn banner(id: &str, title: &str, anchor: &str) {

@@ -26,6 +26,7 @@ use bytes::Bytes;
 use marea_encoding::{CodecId, CodecRegistry, SelfDescribingCodec};
 use marea_presentation::{Name, Value};
 use marea_protocol::arq::ArqConfig;
+use marea_protocol::fec::{FecConfig, FecRate, PARITY_INDEX_BIT};
 use marea_protocol::fragment::{fragment_payload, Reassembler};
 use marea_protocol::messages::{AnnounceEntry, CallStatus, Provision, ServiceState};
 use marea_protocol::mftp::{AnnounceOutcome, FileReceiver, FileSender, RevisionPolicy};
@@ -87,6 +88,10 @@ pub struct ContainerConfig {
     pub tick_budget: usize,
     /// Reliable-channel tuning.
     pub arq: ArqConfig,
+    /// Forward-error-correction layer below the reliable channel
+    /// (enabled by default; each link runs the weaker of the two ends'
+    /// advertised capabilities).
+    pub fec: FecConfig,
     /// Remote invocation reply deadline per attempt.
     pub call_timeout: ProtoDuration,
     /// Providers tried before a call fails.
@@ -122,6 +127,7 @@ impl ContainerConfig {
             scheduler: SchedulerKind::Priority,
             tick_budget: 256,
             arq: ArqConfig::default(),
+            fec: FecConfig::default(),
             call_timeout: ProtoDuration::from_millis(800),
             max_call_attempts: 3,
             chunk_size: 1024,
@@ -343,6 +349,33 @@ impl ServiceContainer {
         total
     }
 
+    /// Aggregated FEC statistics over all *live* reliable links.
+    ///
+    /// Unlike [`ServiceContainer::stats`] (whose FEC counters accumulate per event
+    /// and survive link teardown), this sums the current links' endpoint
+    /// counters — useful for inspecting a single link's behaviour in tests.
+    pub fn fec_link_stats(
+        &self,
+    ) -> (marea_protocol::fec::FecTxStats, marea_protocol::fec::FecRxStats) {
+        let mut tx = marea_protocol::fec::FecTxStats::default();
+        let mut rx = marea_protocol::fec::FecRxStats::default();
+        // marea-lint: allow(D1): commutative counter sums; no sends, order cannot reach the wire
+        for link in self.links.values() {
+            let t = link.fec_tx_stats();
+            tx.data_shards += t.data_shards;
+            tx.parity_shards += t.parity_shards;
+            tx.bypassed += t.bypassed;
+            tx.groups += t.groups;
+            let r = link.fec_rx_stats();
+            rx.data_shards += r.data_shards;
+            rx.parity_shards += r.parity_shards;
+            rx.recovered += r.recovered;
+            rx.unrecoverable_groups += r.unrecoverable_groups;
+            rx.discarded += r.discarded;
+        }
+        (tx, rx)
+    }
+
     /// Recent container log lines (oldest first).
     pub fn log_lines(&self) -> impl Iterator<Item = &(Micros, String)> {
         self.log.iter()
@@ -459,13 +492,18 @@ impl ServiceContainer {
             self.config.node,
             self.config.name.clone(),
             self.incarnation,
+            self.config.fec.advertised_cap().wire_tag(),
             now,
         );
         let entries = self.announce_entries();
         self.directory.apply_announce(self.config.node, &entries, now);
         self.send_message(
             TransportDestination::Group(GroupId::CONTROL.0),
-            &Message::Hello { container: self.config.name.clone(), incarnation: self.incarnation },
+            &Message::Hello {
+                container: self.config.name.clone(),
+                incarnation: self.incarnation,
+                fec_cap: self.config.fec.advertised_cap().wire_tag(),
+            },
         );
         self.broadcast_announce(now);
         let seqs: Vec<u32> = self.slots.iter().map(|s| s.seq).collect();
@@ -505,6 +543,7 @@ impl ServiceContainer {
             self.config.node,
             self.incarnation,
             self.load_permille(),
+            self.config.fec.advertised_cap().wire_tag(),
             now,
         );
 
@@ -546,13 +585,26 @@ impl ServiceContainer {
 
     fn handle_message(&mut self, src: NodeId, msg: Message, now: Micros) {
         match msg {
-            Message::Hello { container, incarnation } => {
-                self.directory.apply_hello(src, container, incarnation, now);
+            Message::Hello { container, incarnation, fec_cap } => {
+                self.directory.apply_hello(src, container, incarnation, fec_cap, now);
+                // A Hello can upgrade (or downgrade) the code rate of an
+                // already-established link: renegotiate in place.
+                let negotiated = self.fec_cap_for(src);
+                if let Some(link) = self.links.get_mut(&src) {
+                    link.negotiate_fec(negotiated);
+                }
                 self.last_announce = None;
             }
-            Message::Heartbeat { incarnation, load_permille, .. } => {
+            Message::Heartbeat { incarnation, load_permille, fec_cap, .. } => {
                 let known = self.directory.node(src).is_some();
-                self.directory.apply_heartbeat(src, incarnation, load_permille, now);
+                self.directory.apply_heartbeat(src, incarnation, load_permille, fec_cap, now);
+                // The refreshed capability may upgrade a link negotiated
+                // before the peer's Hello was seen (late attach, lossy
+                // bring-up): renegotiate in place, exactly as `Hello` does.
+                let negotiated = self.fec_cap_for(src);
+                if let Some(link) = self.links.get_mut(&src) {
+                    link.negotiate_fec(negotiated);
+                }
                 if !known {
                     // A node we have no catalogue for (its Hello/Announce was
                     // lost): introduce ourselves unicast, which makes it
@@ -560,6 +612,7 @@ impl ServiceContainer {
                     let hello = Message::Hello {
                         container: self.config.name.clone(),
                         incarnation: self.incarnation,
+                        fec_cap: self.config.fec.advertised_cap().wire_tag(),
                     };
                     self.send_message(TransportDestination::Node(src.0), &hello);
                     self.last_announce = None;
@@ -607,11 +660,13 @@ impl ServiceContainer {
                 self.handle_var_sample(name, seq, stamp_us, validity_us, codec, payload, now);
             }
             Message::RelData { seq, payload, .. } => {
+                let fec = self.fec_cap_for(src);
                 let deliverables = {
-                    let link = self
-                        .links
-                        .entry(src)
-                        .or_insert_with(|| ReliableLink::new(src, self.config.arq));
+                    let link = self.links.entry(src).or_insert_with(|| {
+                        let mut l = ReliableLink::new(src, self.config.arq);
+                        l.negotiate_fec(fec);
+                        l
+                    });
                     link.on_data(seq, payload)
                 };
                 for inner in deliverables {
@@ -620,13 +675,34 @@ impl ServiceContainer {
                     }
                 }
             }
-            Message::RelAck { cumulative, sack, .. } => {
+            Message::RelAck { cumulative, sack, loss_permille, .. } => {
                 let out = match self.links.get_mut(&src) {
-                    Some(link) => link.on_ack(cumulative, sack, now),
+                    Some(link) => link.on_ack(cumulative, sack, loss_permille, now),
                     None => Vec::new(),
                 };
-                for m in out {
-                    self.send_message(TransportDestination::Node(src.0), &m);
+                self.send_link_messages(src, out);
+            }
+            Message::FecShard { group, index, k, r, payload, .. } => {
+                // With FEC on, the first message of a reliable conversation
+                // arrives as a shard, so this must create the link exactly
+                // like the `RelData` arm does.
+                let fec = self.fec_cap_for(src);
+                let recovered = {
+                    let link = self.links.entry(src).or_insert_with(|| {
+                        let mut l = ReliableLink::new(src, self.config.arq);
+                        l.negotiate_fec(fec);
+                        l
+                    });
+                    let before = link.fec_rx_stats().recovered;
+                    let inners = link.on_fec_shard(group, index, k, r, &payload);
+                    self.stats.fec.shards_in += 1;
+                    self.stats.fec.recovered += link.fec_rx_stats().recovered - before;
+                    inners
+                };
+                for inner in recovered {
+                    if let Ok(inner_msg) = Message::decode_tagged(&inner) {
+                        self.handle_message(src, inner_msg, now);
+                    }
                 }
             }
             Message::EventData { name, seq, stamp_us, codec, payload } => {
@@ -1118,6 +1194,7 @@ impl ServiceContainer {
                     self.config.node,
                     self.incarnation,
                     self.load_permille(),
+                    self.config.fec.advertised_cap().wire_tag(),
                     now,
                 );
                 continue;
@@ -1475,12 +1552,15 @@ impl ServiceContainer {
         // Sorted sweep: the per-peer send order decides how the simulated
         // network's RNG stream maps onto datagrams, so it must not depend
         // on HashMap iteration order (same seed ⇒ same trace).
+        let mut rate_max = 0u8;
         for peer in sorted_keys(&self.links) {
             let Some(link) = self.links.get_mut(&peer) else { continue };
-            let (out, failed) = link.poll(now);
-            for m in out {
-                self.send_message(TransportDestination::Node(peer.0), &m);
+            let tag = link.fec_rate().wire_tag();
+            if tag > rate_max {
+                rate_max = tag;
             }
+            let (out, failed) = link.poll(now);
+            self.send_link_messages(peer, out);
             if !failed.is_empty() {
                 self.log_line(
                     now,
@@ -1488,6 +1568,9 @@ impl ServiceContainer {
                 );
             }
         }
+        // Links die with their peers, so the max is re-derived each sweep
+        // rather than tracked incrementally.
+        self.stats.fec.negotiated_rate_max = rate_max;
     }
 
     fn pump_files(&mut self, now: Micros) {
@@ -1561,6 +1644,7 @@ impl ServiceContainer {
                 incarnation: self.incarnation,
                 uptime_us: now.saturating_since(self.started_at).as_micros(),
                 load_permille: self.load_permille(),
+                fec_cap: self.config.fec.advertised_cap().wire_tag(),
             };
             self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &msg);
         }
@@ -2187,12 +2271,45 @@ impl ServiceContainer {
 
     fn send_reliable(&mut self, peer: NodeId, msg: &Message, now: Micros) {
         let tagged = msg.encode_tagged();
+        let fec = self.fec_cap_for(peer);
         let out = {
-            let link =
-                self.links.entry(peer).or_insert_with(|| ReliableLink::new(peer, self.config.arq));
+            let link = self.links.entry(peer).or_insert_with(|| {
+                let mut l = ReliableLink::new(peer, self.config.arq);
+                l.negotiate_fec(fec);
+                l
+            });
             link.send(tagged, now)
         };
-        for m in out {
+        self.send_link_messages(peer, out);
+    }
+
+    /// The code rate a link to `peer` should run: the weaker of our
+    /// configured capability and what the peer advertised in its `Hello`.
+    fn fec_cap_for(&self, peer: NodeId) -> FecRate {
+        if !self.config.fec.enabled {
+            return FecRate::Off;
+        }
+        let theirs = self
+            .directory
+            .node(peer)
+            .map(|n| FecRate::from_wire_tag(n.fec_cap))
+            .unwrap_or(FecRate::Off);
+        self.config.fec.advertised_cap().negotiate(theirs)
+    }
+
+    /// Sends link wire messages to `peer`, counting outgoing FEC shards.
+    ///
+    /// Counted per event rather than recomputed from links because links
+    /// are dropped when their peer dies and the counters must survive that.
+    fn send_link_messages(&mut self, peer: NodeId, msgs: Vec<Message>) {
+        for m in msgs {
+            if let Message::FecShard { index, .. } = m {
+                if index & PARITY_INDEX_BIT != 0 {
+                    self.stats.fec.parity_shards_out += 1;
+                } else {
+                    self.stats.fec.data_shards_out += 1;
+                }
+            }
             self.send_message(TransportDestination::Node(peer.0), &m);
         }
     }

@@ -48,6 +48,8 @@ pub struct NodeInfo {
     pub last_seen: Micros,
     /// Advertised scheduler load (permille).
     pub load_permille: u16,
+    /// FEC capability wire tag advertised in `Hello` (0 = FEC off).
+    pub fec_cap: u8,
 }
 
 /// The per-container name directory / proxy cache.
@@ -67,27 +69,41 @@ impl Directory {
     ///
     /// A higher incarnation than previously known wipes the node's cached
     /// provisions: they belong to the previous life.
-    pub fn apply_hello(&mut self, node: NodeId, container: Name, incarnation: u64, now: Micros) {
+    pub fn apply_hello(
+        &mut self,
+        node: NodeId,
+        container: Name,
+        incarnation: u64,
+        fec_cap: u8,
+        now: Micros,
+    ) {
         let stale = self.nodes.get(&node).map(|n| n.incarnation < incarnation).unwrap_or(false);
         if stale {
             self.purge_node(node);
         }
-        self.nodes
-            .insert(node, NodeInfo { container, incarnation, last_seen: now, load_permille: 0 });
+        self.nodes.insert(
+            node,
+            NodeInfo { container, incarnation, last_seen: now, load_permille: 0, fec_cap },
+        );
     }
 
-    /// Records a heartbeat.
+    /// Records a heartbeat. Heartbeats refresh the FEC capability too
+    /// (they carry the same claim as `Hello`), so a node that missed the
+    /// peer's `Hello` — attached late, lossy bring-up — converges on the
+    /// advertised cap within one heartbeat period.
     pub fn apply_heartbeat(
         &mut self,
         node: NodeId,
         incarnation: u64,
         load_permille: u16,
+        fec_cap: u8,
         now: Micros,
     ) {
         match self.nodes.get_mut(&node) {
             Some(info) if info.incarnation == incarnation => {
                 info.last_seen = now;
                 info.load_permille = load_permille;
+                info.fec_cap = fec_cap;
             }
             Some(info) if info.incarnation < incarnation => {
                 // Missed the Hello of a reboot: resync.
@@ -95,7 +111,7 @@ impl Directory {
                 self.purge_node(node);
                 self.nodes.insert(
                     node,
-                    NodeInfo { container, incarnation, last_seen: now, load_permille },
+                    NodeInfo { container, incarnation, last_seen: now, load_permille, fec_cap },
                 );
             }
             Some(_) => {} // stale heartbeat from an old incarnation
@@ -109,6 +125,7 @@ impl Directory {
                         incarnation,
                         last_seen: now,
                         load_permille,
+                        fec_cap,
                     },
                 );
             }
@@ -291,8 +308,8 @@ mod tests {
 
     fn dir_with_two_storages() -> Directory {
         let mut d = Directory::new();
-        d.apply_hello(NodeId(2), name("n2"), 1, Micros(0));
-        d.apply_hello(NodeId(3), name("n3"), 1, Micros(0));
+        d.apply_hello(NodeId(2), name("n2"), 1, 4, Micros(0));
+        d.apply_hello(NodeId(3), name("n3"), 1, 4, Micros(0));
         d.apply_announce(NodeId(2), &[announce_storage(1)], Micros(0));
         d.apply_announce(NodeId(3), &[announce_storage(1)], Micros(0));
         d
@@ -301,8 +318,8 @@ mod tests {
     #[test]
     fn resolve_prefers_low_load() {
         let mut d = dir_with_two_storages();
-        d.apply_heartbeat(NodeId(2), 1, 800, Micros(1));
-        d.apply_heartbeat(NodeId(3), 1, 100, Micros(1));
+        d.apply_heartbeat(NodeId(2), 1, 800, 4, Micros(1));
+        d.apply_heartbeat(NodeId(3), 1, 100, 4, Micros(1));
         let p = d.resolve_function("storage/store", CallPolicy::Dynamic, None).unwrap();
         assert_eq!(p.service.node, NodeId(3), "lower load wins");
     }
@@ -332,7 +349,7 @@ mod tests {
     #[test]
     fn heartbeat_timeout_purges_cache() {
         let mut d = dir_with_two_storages();
-        d.apply_heartbeat(NodeId(2), 1, 0, Micros::from_millis(900));
+        d.apply_heartbeat(NodeId(2), 1, 0, 4, Micros::from_millis(900));
         // Node 3 silent since t=0; node 2 heartbeated at 900ms.
         let dead = d.expire(Micros::from_millis(2100), ProtoDuration::from_secs(2));
         assert_eq!(dead, vec![NodeId(3)]);
@@ -367,7 +384,7 @@ mod tests {
         let mut d = dir_with_two_storages();
         assert_eq!(d.providers("storage/store").len(), 2);
         // Node 2 reboots with incarnation 2 and announces nothing yet.
-        d.apply_hello(NodeId(2), name("n2"), 2, Micros(100));
+        d.apply_hello(NodeId(2), name("n2"), 2, 4, Micros(100));
         assert_eq!(d.providers("storage/store").len(), 1);
         assert!(d.node_alive(NodeId(2)));
     }
@@ -375,15 +392,28 @@ mod tests {
     #[test]
     fn heartbeat_before_hello_creates_record() {
         let mut d = Directory::new();
-        d.apply_heartbeat(NodeId(9), 1, 250, Micros(5));
+        d.apply_heartbeat(NodeId(9), 1, 250, 3, Micros(5));
         assert!(d.node_alive(NodeId(9)));
         assert_eq!(d.node(NodeId(9)).unwrap().load_permille, 250);
+        // The heartbeat carries the FEC capability, so a missed Hello
+        // does not leave the link stuck uncoded.
+        assert_eq!(d.node(NodeId(9)).unwrap().fec_cap, 3);
+    }
+
+    #[test]
+    fn heartbeat_refreshes_fec_cap() {
+        let mut d = Directory::new();
+        d.apply_hello(NodeId(2), name("n2"), 1, 4, Micros(0));
+        d.apply_heartbeat(NodeId(2), 1, 0, 2, Micros(1));
+        assert_eq!(d.node(NodeId(2)).unwrap().fec_cap, 2, "heartbeat downgrades");
+        d.apply_heartbeat(NodeId(2), 1, 0, 4, Micros(2));
+        assert_eq!(d.node(NodeId(2)).unwrap().fec_cap, 4, "heartbeat upgrades");
     }
 
     #[test]
     fn re_announce_replaces_not_duplicates() {
         let mut d = Directory::new();
-        d.apply_hello(NodeId(2), name("n2"), 1, Micros(0));
+        d.apply_hello(NodeId(2), name("n2"), 1, 4, Micros(0));
         d.apply_announce(NodeId(2), &[announce_storage(1)], Micros(0));
         d.apply_announce(NodeId(2), &[announce_storage(1)], Micros(1));
         assert_eq!(d.providers("storage/store").len(), 1);
@@ -392,7 +422,7 @@ mod tests {
     #[test]
     fn kind_filters_apply() {
         let mut d = Directory::new();
-        d.apply_hello(NodeId(2), name("n2"), 1, Micros(0));
+        d.apply_hello(NodeId(2), name("n2"), 1, 4, Micros(0));
         d.apply_announce(
             NodeId(2),
             &[AnnounceEntry {

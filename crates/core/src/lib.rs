@@ -114,7 +114,7 @@ pub use service::{
     ServiceDescriptor, ServiceDescriptorBuilder, TimerId, VarSubscription,
 };
 pub use stats::{
-    ContainerStats, EventSubscriptionStats, QosStats, TypeMismatchStats, VarChannelView,
+    ContainerStats, EventSubscriptionStats, FecStats, QosStats, TypeMismatchStats, VarChannelView,
     VarSubscriptionStats,
 };
 

@@ -13,7 +13,24 @@ use std::collections::VecDeque;
 use bytes::Bytes;
 
 use marea_protocol::arq::{ArqConfig, ArqReceiver, ArqSender, ArqStats};
-use marea_protocol::{Message, Micros, NodeId};
+use marea_protocol::fec::{FecRate, FecReceiver, FecRxStats, FecSender, FecTxStats};
+use marea_protocol::{Message, Micros, NodeId, ProtoDuration};
+
+/// Partial FEC groups older than this are flushed (parity emitted) so
+/// sparse reliable traffic still gets repair shards with bounded delay.
+const FEC_FLUSH_AFTER: ProtoDuration = ProtoDuration(5_000);
+
+/// The FEC endpoint of one link: coder pair plus the flush timer.
+///
+/// The receiver half is always live (shards decode statelessly), the
+/// sender half only wraps once a peer capability above `Off` has been
+/// negotiated.
+#[derive(Debug)]
+struct LinkFec {
+    tx: FecSender,
+    rx: FecReceiver,
+    group_opened_at: Option<Micros>,
+}
 
 /// Reliable, ordered, exactly-once message channel to one peer node.
 #[derive(Debug)]
@@ -23,10 +40,12 @@ pub struct ReliableLink {
     rx: ArqReceiver,
     backlog: VecDeque<Bytes>,
     ack_due: bool,
+    fec: LinkFec,
 }
 
 impl ReliableLink {
-    /// Creates the link to `peer`.
+    /// Creates the link to `peer`. FEC starts at [`FecRate::Off`] until
+    /// [`ReliableLink::negotiate_fec`] learns the peer's capability.
     pub fn new(peer: NodeId, config: ArqConfig) -> Self {
         ReliableLink {
             peer,
@@ -34,6 +53,11 @@ impl ReliableLink {
             rx: ArqReceiver::new(0, 256),
             backlog: VecDeque::new(),
             ack_due: false,
+            fec: LinkFec {
+                tx: FecSender::new(0, FecRate::Off),
+                rx: FecReceiver::new(),
+                group_opened_at: None,
+            },
         }
     }
 
@@ -42,11 +66,39 @@ impl ReliableLink {
         self.peer
     }
 
+    /// Applies the negotiated FEC ceiling (the weaker of both ends'
+    /// advertised capabilities). Idempotent; raising or lowering the cap
+    /// rebuilds the sender's controller but keeps group ids monotonic so
+    /// the peer's decoder ring stays coherent.
+    pub fn negotiate_fec(&mut self, cap: FecRate) {
+        if self.fec.tx.cap() == cap {
+            return;
+        }
+        self.fec.tx.set_cap(cap);
+        self.fec.group_opened_at = None;
+    }
+
+    /// The code rate currently in force on the send side.
+    pub fn fec_rate(&self) -> FecRate {
+        self.fec.tx.rate()
+    }
+
+    /// Sender-side FEC counters.
+    pub fn fec_tx_stats(&self) -> FecTxStats {
+        self.fec.tx.stats()
+    }
+
+    /// Receiver-side FEC counters.
+    pub fn fec_rx_stats(&self) -> FecRxStats {
+        self.fec.rx.stats()
+    }
+
     /// Queues a tagged message payload for reliable delivery; returns wire
     /// messages ready to send now (possibly none if the window is full).
     pub fn send(&mut self, payload: Bytes, now: Micros) -> Vec<Message> {
         self.backlog.push_back(payload);
-        self.drain_backlog(now)
+        let out = self.drain_backlog(now);
+        self.code_out(out, now)
     }
 
     fn drain_backlog(&mut self, now: Micros) -> Vec<Message> {
@@ -58,6 +110,47 @@ impl ReliableLink {
         out
     }
 
+    /// Routes freshly produced ARQ wire messages through the FEC sender:
+    /// `RelData` (first transmissions *and* retransmissions) become data
+    /// shards, everything else passes through bare.
+    fn code_out(&mut self, msgs: Vec<Message>, now: Micros) -> Vec<Message> {
+        if self.fec.tx.rate() == FecRate::Off {
+            return msgs;
+        }
+        let mut out = Vec::with_capacity(msgs.len() + 1);
+        for m in msgs {
+            match m {
+                data @ Message::RelData { .. } => {
+                    let had_open = self.fec.tx.has_open_group();
+                    self.fec.tx.wrap(data, &mut out);
+                    if !had_open && self.fec.tx.has_open_group() {
+                        self.fec.group_opened_at = Some(now);
+                    } else if !self.fec.tx.has_open_group() {
+                        self.fec.group_opened_at = None;
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        out
+    }
+
+    /// Processes an incoming `FecShard`; returns the tagged inner wire
+    /// messages now available — the shard's own payload when it is a
+    /// fresh data shard, plus anything parity recovery rebuilt.
+    pub fn on_fec_shard(
+        &mut self,
+        group: u64,
+        index: u8,
+        k: u8,
+        r: u8,
+        payload: &Bytes,
+    ) -> Vec<Bytes> {
+        let mut inner = Vec::new();
+        self.fec.rx.on_shard(group, index, k, r, payload, &mut inner);
+        inner
+    }
+
     /// Processes an incoming `RelData`; returns payloads now deliverable in
     /// order.
     pub fn on_data(&mut self, seq: u64, payload: Bytes) -> Vec<Bytes> {
@@ -65,22 +158,41 @@ impl ReliableLink {
         self.rx.on_data(seq, payload)
     }
 
-    /// Processes an incoming `RelAck`.
-    pub fn on_ack(&mut self, cumulative: u64, sack: u64, now: Micros) -> Vec<Message> {
+    /// Processes an incoming `RelAck` (with its piggybacked FEC loss
+    /// report, which drives the adaptive code-rate controller).
+    pub fn on_ack(
+        &mut self,
+        cumulative: u64,
+        sack: u64,
+        loss_permille: u16,
+        now: Micros,
+    ) -> Vec<Message> {
+        self.fec.tx.on_loss_report(loss_permille);
         self.tx.on_ack(cumulative, sack);
         // Window may have opened.
-        self.drain_backlog(now)
+        let out = self.drain_backlog(now);
+        self.code_out(out, now)
     }
 
-    /// Tick: retransmissions due, failures, and at most one pending ack.
+    /// Tick: retransmissions due, failures, at most one pending ack, and
+    /// the FEC flush of any partial group past its age budget.
     ///
     /// Returns `(wire_messages, failed_payload_count)`.
     pub fn poll(&mut self, now: Micros) -> (Vec<Message>, Vec<u64>) {
-        let (mut out, failed) = self.tx.poll(now);
-        out.extend(self.drain_backlog(now));
+        let (fresh, failed) = self.tx.poll(now);
+        let mut out = Vec::new();
+        out.extend(self.code_out(fresh, now));
+        let drained = self.drain_backlog(now);
+        out.extend(self.code_out(drained, now));
+        if let Some(opened) = self.fec.group_opened_at {
+            if now.saturating_since(opened) >= FEC_FLUSH_AFTER {
+                self.fec.tx.flush(&mut out);
+                self.fec.group_opened_at = None;
+            }
+        }
         if self.ack_due {
             self.ack_due = false;
-            out.push(self.rx.make_ack());
+            out.push(self.rx.make_ack_with_loss(self.fec.rx.loss_permille()));
         }
         (out, failed)
     }
@@ -133,7 +245,7 @@ mod tests {
         assert_eq!(sent.len(), 4, "window of 4");
         assert_eq!(l.backlog_len(), 2);
         // Ack the first two: backlog drains.
-        let more = l.on_ack(2, 0, Micros(1));
+        let more = l.on_ack(2, 0, 0, Micros(1));
         assert_eq!(more.len(), 2);
         assert_eq!(l.backlog_len(), 0);
     }
@@ -155,7 +267,110 @@ mod tests {
         assert!(l.is_quiescent());
         l.send(Bytes::from_static(b"x"), Micros::ZERO);
         assert!(!l.is_quiescent());
-        l.on_ack(1, 0, Micros(1));
+        l.on_ack(1, 0, 0, Micros(1));
         assert!(l.is_quiescent());
+    }
+
+    #[test]
+    fn without_negotiation_the_wire_stays_bare() {
+        let mut l = link(2);
+        let out = l.send(Bytes::from_static(b"x"), Micros::ZERO);
+        assert!(out.iter().all(|m| matches!(m, Message::RelData { .. })));
+        assert_eq!(l.fec_rate(), FecRate::Off);
+    }
+
+    #[test]
+    fn negotiated_link_wraps_reldata_into_shards() {
+        let mut l = link(2);
+        l.negotiate_fec(FecRate::Medium);
+        // The controller starts at the Light floor (8,1); a loss report
+        // above 20‰ tightens it to the Medium cap's (4,1) geometry.
+        l.on_ack(0, 0, 50, Micros::ZERO);
+        assert_eq!(l.fec_rate(), FecRate::Medium);
+        let mut out = Vec::new();
+        for i in 0..4u8 {
+            out.extend(l.send(Bytes::from(vec![i]), Micros::ZERO));
+        }
+        let data = out
+            .iter()
+            .filter(|m| matches!(m, Message::FecShard { index, .. } if index & 0x80 == 0))
+            .count();
+        let parity = out
+            .iter()
+            .filter(|m| matches!(m, Message::FecShard { index, .. } if index & 0x80 != 0))
+            .count();
+        assert_eq!(data, 4, "every RelData coded: {out:?}");
+        assert_eq!(parity, 1, "Medium closes the (4,1) group with one parity shard");
+        assert_eq!(l.fec_tx_stats().data_shards, 4);
+    }
+
+    #[test]
+    fn partial_group_flushes_after_the_age_budget() {
+        let mut l = link(2);
+        l.negotiate_fec(FecRate::Medium);
+        let out = l.send(Bytes::from_static(b"solo"), Micros::ZERO);
+        assert_eq!(out.len(), 1, "one data shard, group still open");
+        let (early, _) = l.poll(Micros(1_000));
+        assert!(
+            !early
+                .iter()
+                .any(|m| matches!(m, Message::FecShard { index, .. } if index & 0x80 != 0)),
+            "no parity before the flush budget: {early:?}"
+        );
+        let (late, _) = l.poll(Micros(10_000));
+        assert!(
+            late.iter().any(|m| matches!(m, Message::FecShard { index, .. } if index & 0x80 != 0)),
+            "aged partial group must flush parity: {late:?}"
+        );
+    }
+
+    #[test]
+    fn erased_shard_is_rebuilt_and_delivered_in_order() {
+        let mut a = link(2);
+        let mut b = link(1);
+        a.negotiate_fec(FecRate::Medium);
+        b.negotiate_fec(FecRate::Medium);
+        a.on_ack(0, 0, 50, Micros::ZERO); // tighten Light → Medium (4,1)
+        let mut wire = Vec::new();
+        for i in 0..4u8 {
+            wire.extend(a.send(Bytes::from(vec![i; 3]), Micros::ZERO));
+        }
+        assert_eq!(wire.len(), 5);
+        // Erase the third data shard; b must still deliver all four in order.
+        let mut delivered = Vec::new();
+        for (i, m) in wire.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let Message::FecShard { group, index, k, r, payload, .. } = m else {
+                panic!("coded wire expected: {m:?}");
+            };
+            for inner in b.on_fec_shard(*group, *index, *k, *r, payload) {
+                let Ok(Message::RelData { seq, payload, .. }) = Message::decode_tagged(&inner)
+                else {
+                    panic!("inner must be RelData");
+                };
+                delivered.extend(b.on_data(seq, payload));
+            }
+        }
+        assert_eq!(delivered.len(), 4, "erasure repaired without any retransmit");
+        assert_eq!(b.fec_rx_stats().recovered, 1);
+        for (i, p) in delivered.iter().enumerate() {
+            assert_eq!(p.as_ref(), &[i as u8; 3]);
+        }
+    }
+
+    #[test]
+    fn acks_carry_the_receiver_loss_estimate() {
+        let mut l = link(2);
+        l.negotiate_fec(FecRate::Medium);
+        let delivered = l.on_data(0, Bytes::from_static(b"x"));
+        assert_eq!(delivered.len(), 1);
+        let (out, _) = l.poll(Micros(1));
+        let ack = out.iter().find(|m| matches!(m, Message::RelAck { .. }));
+        assert!(
+            matches!(ack, Some(Message::RelAck { loss_permille: 0, .. })),
+            "clean link reports 0 loss: {ack:?}"
+        );
     }
 }

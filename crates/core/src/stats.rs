@@ -66,6 +66,27 @@ pub struct ContainerStats {
     ///
     /// [`ServiceContainer::var_qos_stats`]: crate::ServiceContainer::var_qos_stats
     pub qos: QosStats,
+    /// Forward-error-correction activity below the reliable channel.
+    ///
+    /// Counted per event as shards cross the container boundary (links are
+    /// dropped when their peer dies, so these outlive individual links).
+    pub fec: FecStats,
+}
+
+/// FEC-layer counters aggregated over every reliable link, alive or dead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FecStats {
+    /// Data shards sent (reliable-channel frames wrapped for coding).
+    pub data_shards_out: u64,
+    /// Parity shards sent (pure overhead buying retransmit-free repair).
+    pub parity_shards_out: u64,
+    /// Shards received (data and parity).
+    pub shards_in: u64,
+    /// Erased frames rebuilt from parity without a retransmission RTT.
+    pub recovered: u64,
+    /// Strongest code rate negotiated on any live link this tick
+    /// ([`FecRate`](marea_protocol::fec::FecRate) wire tag; 0 = all off).
+    pub negotiated_rate_max: u8,
 }
 
 /// Aggregate counters of QoS-contract enforcement (see

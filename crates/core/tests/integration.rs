@@ -242,8 +242,15 @@ fn stale_samples_are_dropped_by_validity() {
 #[test]
 fn events_are_delivered_exactly_once_in_order_under_loss() {
     let mut h = SimHarness::new(lossy(6, 0.10));
-    h.add_container(ContainerConfig::new("pub", NodeId(1)));
-    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+    // FEC off: this test exercises the ARQ retransmission machinery, which
+    // the erasure-coding layer otherwise short-circuits at this loss rate
+    // (see fec_repairs_erasures_without_retransmit below).
+    let mut pub_cfg = ContainerConfig::new("pub", NodeId(1));
+    pub_cfg.fec.enabled = false;
+    let mut sub_cfg = ContainerConfig::new("sub", NodeId(2));
+    sub_cfg.fec.enabled = false;
+    h.add_container(pub_cfg);
+    h.add_container(sub_cfg);
 
     let tick = EventPort::<u64>::new("alerter/tick");
     let mut b = ServiceDescriptor::builder("alerter");
@@ -294,6 +301,72 @@ fn events_are_delivered_exactly_once_in_order_under_loss() {
     let arq = h.container(NodeId(1)).unwrap().arq_stats();
     assert!(arq.retransmitted > 0, "{arq:?}");
     assert_eq!(arq.failed, 0);
+}
+
+#[test]
+fn fec_repairs_erasures_without_retransmit() {
+    // Same shape as the test above but with FEC left on (the default):
+    // the erasure-coding layer below ARQ must rebuild lost frames from
+    // parity, and every event still arrives exactly once in order.
+    let mut h = SimHarness::new(lossy(6, 0.10));
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    h.add_container(ContainerConfig::new("sub", NodeId(2)));
+
+    let tick = EventPort::<u64>::new("alerter/tick");
+    let mut b = ServiceDescriptor::builder("alerter");
+    b.provides_event(&tick);
+    let mut publisher = Scripted::new(b.build());
+    publisher.on_start = Some(Box::new(|ctx| {
+        ctx.set_timer(ProtoDuration::from_millis(300), Some(ProtoDuration::from_millis(5)));
+    }));
+    let mut i = 0u64;
+    let port = tick.clone();
+    publisher.on_timer = Some(Box::new(move |ctx, _| {
+        if i < 50 {
+            ctx.emit_to(&port, i);
+            i += 1;
+        }
+    }));
+    h.add_service(NodeId(1), Box::new(publisher));
+
+    let log = obs_log();
+    h.add_service(
+        NodeId(2),
+        Box::new(Recorder::new(
+            ServiceDescriptor::builder("watcher")
+                .subscribe_event("alerter/tick", EventQos::default())
+                .build(),
+            log.clone(),
+        )),
+    );
+    h.start_all();
+    let all_arrived = h.run_until(
+        |h| h.container(NodeId(2)).unwrap().stats().events_delivered >= 50,
+        ProtoDuration::from_secs(2),
+    );
+    assert!(all_arrived, "all 50 events within the loss budget");
+
+    let got: Vec<u64> = observations(&log)
+        .into_iter()
+        .filter_map(|(_, o)| match o {
+            Obs::Event(name, Some(v)) if name == "alerter/tick" => v.as_u64(),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(got, (0..50).collect::<Vec<u64>>(), "reliable, ordered, exactly once");
+
+    let tx = h.container(NodeId(1)).unwrap().stats().fec;
+    assert!(tx.data_shards_out > 0, "link traffic was coded: {tx:?}");
+    assert!(tx.parity_shards_out > 0, "groups closed with parity: {tx:?}");
+    let rx = h.container(NodeId(2)).unwrap().stats().fec;
+    assert!(rx.recovered > 0, "at 10% loss some erasure must be parity-repaired: {rx:?}");
+
+    // Negotiation must converge on BOTH ends, even though the subscriber
+    // attached after the publisher's startup Hello had already been
+    // broadcast (the heartbeat-borne capability refresh covers that) —
+    // a one-sided cap would leave the late node sending uncoded forever.
+    assert!(tx.negotiated_rate_max >= 1, "publisher negotiated a live rate: {tx:?}");
+    assert!(rx.negotiated_rate_max >= 1, "subscriber negotiated a live rate: {rx:?}");
 }
 
 #[test]

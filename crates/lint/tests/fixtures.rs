@@ -66,6 +66,49 @@ fn r1_fires_on_exact_lines_and_dies_when_disabled() {
 }
 
 #[test]
+fn d1_fires_on_fec_shaped_shard_fanout() {
+    // The fec module sits on `crates/protocol/src/` and is therefore
+    // inside D1's scope automatically; this fixture proves the rule
+    // recognises the module's characteristic shape (per-group repair
+    // shard fan-out driven by a hash map).
+    let on = lint_fixture("violations/fec_d1.rs", &[]);
+    assert_eq!(lines_of(&on, "D1"), vec![15, 20], "findings: {:?}", on.findings);
+    assert_eq!(on.findings.len(), 2, "only D1 should fire: {:?}", on.findings);
+    let off = lint_fixture("violations/fec_d1.rs", &["D1"]);
+    assert!(off.findings.is_empty(), "disabled rule must go silent: {:?}", off.findings);
+}
+
+#[test]
+fn r1_fires_on_fec_shaped_decode_panics() {
+    let on = lint_fixture("violations/fec_r1.rs", &[]);
+    assert_eq!(lines_of(&on, "R1"), vec![6, 7, 9], "findings: {:?}", on.findings);
+    assert_eq!(on.findings.len(), 3, "only R1 should fire: {:?}", on.findings);
+    let off = lint_fixture("violations/fec_r1.rs", &["R1"]);
+    assert!(off.findings.is_empty(), "disabled rule must go silent: {:?}", off.findings);
+}
+
+#[test]
+fn fec_module_is_inside_the_hot_path_scopes() {
+    // Scope is path-derived, so linting the real fec sources exercises
+    // the same `crates/protocol/src/` prefix the rules key on: a module
+    // moved out of the hot-path set would silently lose both rules.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    let fec = root.join("crates/protocol/src/fec");
+    let files = explicit_files(&[
+        fec.join("mod.rs"),
+        fec.join("block.rs"),
+        fec.join("rate.rs"),
+        fec.join("adapt.rs"),
+    ])
+    .expect("fec sources exist");
+    let report = lint_files(root, &files, &Options::default()).expect("lint runs");
+    assert!(report.findings.is_empty(), "fec must lint clean:\n{}", report.render_text());
+}
+
+#[test]
 fn malformed_waiver_reports_w0_and_does_not_suppress() {
     let report = lint_fixture("violations/w0.rs", &[]);
     assert_eq!(lines_of(&report, "W0"), vec![7], "findings: {:?}", report.findings);
@@ -74,7 +117,14 @@ fn malformed_waiver_reports_w0_and_does_not_suppress() {
 
 #[test]
 fn every_finding_carries_a_span_and_a_hint() {
-    for name in ["violations/d1.rs", "violations/d2.rs", "violations/q1.rs", "violations/r1.rs"] {
+    for name in [
+        "violations/d1.rs",
+        "violations/d2.rs",
+        "violations/q1.rs",
+        "violations/r1.rs",
+        "violations/fec_d1.rs",
+        "violations/fec_r1.rs",
+    ] {
         for f in &lint_fixture(name, &[]).findings {
             assert!(f.line > 0 && f.col > 0, "zero span in {name}: {f:?}");
             assert!(!f.hint.is_empty(), "missing hint in {name}: {f:?}");

@@ -1,0 +1,23 @@
+// marea-lint: scope(d1)
+//! D1 fixture, FEC-shaped: raw hash-map iteration while fanning repair
+//! shards out to the wire — exactly the nondeterminism the rule exists
+//! to keep off send paths (shard order decides the RNG/trace mapping).
+
+use std::collections::HashMap;
+
+struct FecFanout {
+    groups: HashMap<u64, Vec<u8>>,
+}
+
+impl FecFanout {
+    fn send_parity(&self) -> Vec<(u64, u8)> {
+        let mut wire = Vec::new();
+        for (group, lanes) in &self.groups {
+            for lane in lanes {
+                wire.push((*group, *lane));
+            }
+        }
+        wire.extend(self.groups.keys().map(|g| (*g, 0)));
+        wire
+    }
+}

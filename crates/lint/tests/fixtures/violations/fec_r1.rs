@@ -1,0 +1,12 @@
+// marea-lint: scope(r1)
+//! R1 fixture, FEC-shaped: panic paths in shard decode/recovery — code
+//! that must instead degrade to bare ARQ delivery on malformed input.
+
+fn decode_shard(header: &[u8]) -> (u64, u8) {
+    let group = header.first().unwrap();
+    let index = header.get(1).expect("shard header length checked");
+    if *index & 0x80 != 0 && *group == 0 {
+        panic!("parity shard for the zero group");
+    }
+    (u64::from(*group), *index)
+}

@@ -48,4 +48,4 @@ pub mod tcpish;
 
 pub use config::{LinkConfig, NetConfig};
 pub use sim::{Destination, SendError, SimNet, SimSocket};
-pub use stats::{NetStats, NodeStats};
+pub use stats::{LinkObserved, NetStats, NodeStats};

@@ -126,7 +126,10 @@ impl SimNetInner {
             return;
         }
         let link = self.link(src, dst);
+        let observed = self.stats.per_link.entry((src, dst)).or_default();
+        observed.attempts += 1;
         if self.rng.gen::<f64>() < link.loss {
+            observed.lost += 1;
             self.stats.dropped_loss += 1;
             return;
         }
@@ -417,6 +420,7 @@ impl SimSocket {
 mod tests {
     use super::*;
     use crate::config::{LinkConfig, NetConfig};
+    use crate::stats::LinkObserved;
 
     fn quiet_net(seed: u64) -> SimNet {
         SimNet::new(NetConfig::default().with_seed(seed))
@@ -502,6 +506,44 @@ mod tests {
         assert_eq!(d1, d2, "same seed, same trace");
         assert!(d1 > 20 && d1 < 80, "loss of ~50% observed ({d1}/100)");
         assert!(d1 != d3 || run(13) != d1, "different seeds eventually differ");
+    }
+
+    #[test]
+    fn per_link_observed_loss_converges_on_the_configured_rate() {
+        let net = SimNet::new(
+            NetConfig::default()
+                .with_seed(21)
+                .with_default_link(LinkConfig::default().with_loss(0.2)),
+        );
+        let a = net.socket(1);
+        let _b = net.socket(2);
+        for _ in 0..2000 {
+            a.send(Destination::Unicast(2), Bytes::from_static(b"p")).unwrap();
+        }
+        net.run_until_idle();
+        let observed = net.stats().link_observed(1, 2);
+        assert_eq!(observed.attempts, 2000);
+        let permille = observed.loss_permille();
+        assert!(
+            (160..=240).contains(&permille),
+            "measured {permille}‰ should converge on the configured 200‰"
+        );
+        // The reverse direction carried nothing.
+        assert_eq!(net.stats().link_observed(2, 1), LinkObserved::default());
+    }
+
+    #[test]
+    fn partition_drops_do_not_count_as_loss_attempts() {
+        let net = quiet_net(22);
+        let a = net.socket(1);
+        let _b = net.socket(2);
+        net.set_partition(1, 2, true);
+        a.send(Destination::Unicast(2), Bytes::from_static(b"p")).unwrap();
+        net.run_until_idle();
+        // A partition is a topology fact, not link-quality signal: it must
+        // not pollute the loss ground truth the FEC estimator is judged by.
+        assert_eq!(net.stats().link_observed(1, 2), LinkObserved::default());
+        assert_eq!(net.stats().dropped_partition, 1);
     }
 
     #[test]

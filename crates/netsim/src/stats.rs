@@ -3,6 +3,27 @@
 
 use std::collections::BTreeMap;
 
+/// Per-directed-link replica counters, the ground truth the FEC layer's
+/// in-band loss estimator is judged against (it must converge on
+/// `lost / attempts` without ever seeing these numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkObserved {
+    /// Replicas that reached the loss roll (post-partition-check).
+    pub attempts: u64,
+    /// Replicas the loss roll dropped.
+    pub lost: u64,
+}
+
+impl LinkObserved {
+    /// Measured loss rate in permille (0 with no traffic).
+    pub fn loss_permille(&self) -> u16 {
+        if self.attempts == 0 {
+            return 0;
+        }
+        ((self.lost * 1000 / self.attempts).min(1000)) as u16
+    }
+}
+
 /// Per-node counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeStats {
@@ -37,6 +58,8 @@ pub struct NetStats {
     pub no_receiver: u64,
     /// Per-node breakdown.
     pub per_node: BTreeMap<u32, NodeStats>,
+    /// Per-directed-link `(src, dst)` loss accounting.
+    pub per_link: BTreeMap<(u32, u32), LinkObserved>,
 }
 
 impl NetStats {
@@ -49,6 +72,12 @@ impl NetStats {
     pub fn total_dropped(&self) -> u64 {
         self.dropped_loss + self.dropped_mtu + self.dropped_partition
     }
+
+    /// Loss accounting of the directed link `src → dst` (zero if never
+    /// used).
+    pub fn link_observed(&self, src: u32, dst: u32) -> LinkObserved {
+        self.per_link.get(&(src, dst)).copied().unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -59,6 +88,14 @@ mod tests {
     fn node_lookup_defaults_to_zero() {
         let s = NetStats::default();
         assert_eq!(s.node(7), NodeStats::default());
+        assert_eq!(s.link_observed(1, 2), LinkObserved::default());
         assert_eq!(s.total_dropped(), 0);
+    }
+
+    #[test]
+    fn link_observed_loss_permille() {
+        assert_eq!(LinkObserved::default().loss_permille(), 0);
+        assert_eq!(LinkObserved { attempts: 10, lost: 1 }.loss_permille(), 100);
+        assert_eq!(LinkObserved { attempts: 3, lost: 3 }.loss_permille(), 1000);
     }
 }

@@ -265,7 +265,18 @@ impl ArqReceiver {
     }
 
     /// Builds the current acknowledgement message.
+    ///
+    /// `loss_permille` is not ARQ state: it is the FEC receiver's
+    /// smoothed shard-loss estimate, piggybacked here so the peer's
+    /// adaptive code-rate controller gets feedback for free (0 when the
+    /// link runs no FEC).
     pub fn make_ack(&self) -> Message {
+        self.make_ack_with_loss(0)
+    }
+
+    /// [`ArqReceiver::make_ack`] with an explicit piggybacked loss
+    /// estimate.
+    pub fn make_ack_with_loss(&self, loss_permille: u16) -> Message {
         let mut sack = 0u64;
         for &seq in self.buffered.keys() {
             let offset = seq - self.next_expected;
@@ -275,7 +286,12 @@ impl ArqReceiver {
                 sack |= 1 << bit;
             }
         }
-        Message::RelAck { channel: self.channel, cumulative: self.next_expected, sack }
+        Message::RelAck {
+            channel: self.channel,
+            cumulative: self.next_expected,
+            sack,
+            loss_permille,
+        }
     }
 }
 

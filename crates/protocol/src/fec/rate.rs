@@ -1,0 +1,162 @@
+//! The code-rate table: the discrete operating points the adaptive
+//! controller moves between.
+//!
+//! Each rate names an interleaved systematic `(k, r)` geometry: groups of
+//! up to `k` data shards protected by `r` parity lanes (see
+//! [`block`](crate::fec::block)). Stronger rates spend more redundant
+//! bandwidth to survive more erasures per group — the classic goodput
+//! trade the paper's degraded-radio regime cares about.
+
+/// One operating point of the erasure code.
+///
+/// Ordered weakest-to-strongest so negotiation is a plain `min` and the
+/// controller can step with `stronger`/`weaker`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum FecRate {
+    /// No FEC: data travels bare (the negotiation result with a peer that
+    /// advertises no FEC capability, and the disabled-config state).
+    #[default]
+    Off,
+    /// 8 data shards, 1 parity lane — 12.5% overhead, survives 1 erasure
+    /// per group.
+    Light,
+    /// 4 data shards, 1 parity lane — 25% overhead.
+    Medium,
+    /// 4 data shards, 2 parity lanes — 50% overhead, survives 1 erasure
+    /// per lane (2 per group when they fall in different lanes).
+    Strong,
+    /// 2 data shards, 2 parity lanes — 100% overhead, the retry-storm
+    /// escape hatch for the worst of the loss ramp.
+    Max,
+}
+
+impl FecRate {
+    /// Every rate, weakest first.
+    pub const ALL: &'static [FecRate] =
+        &[FecRate::Off, FecRate::Light, FecRate::Medium, FecRate::Strong, FecRate::Max];
+
+    /// `(k, r)`: data shards per group, parity lanes per group. `(0, 0)`
+    /// for [`FecRate::Off`].
+    pub fn params(self) -> (u8, u8) {
+        match self {
+            FecRate::Off => (0, 0),
+            FecRate::Light => (8, 1),
+            FecRate::Medium => (4, 1),
+            FecRate::Strong => (4, 2),
+            FecRate::Max => (2, 2),
+        }
+    }
+
+    /// Stable wire tag (carried as the `fec_cap` capability in `Hello`).
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            FecRate::Off => 0,
+            FecRate::Light => 1,
+            FecRate::Medium => 2,
+            FecRate::Strong => 3,
+            FecRate::Max => 4,
+        }
+    }
+
+    /// Inverse of [`FecRate::wire_tag`]. Unknown tags collapse to `Off`
+    /// (a peer advertising a capability we do not know is treated as
+    /// FEC-incapable rather than rejected — forward compatible).
+    pub fn from_wire_tag(tag: u8) -> FecRate {
+        match tag {
+            1 => FecRate::Light,
+            2 => FecRate::Medium,
+            3 => FecRate::Strong,
+            4 => FecRate::Max,
+            _ => FecRate::Off,
+        }
+    }
+
+    /// Parity overhead in permille (`r / k`), 0 for `Off`.
+    pub fn overhead_permille(self) -> u32 {
+        let (k, r) = self.params();
+        if k == 0 {
+            0
+        } else {
+            u32::from(r) * 1000 / u32::from(k)
+        }
+    }
+
+    /// The next stronger rate (saturates at [`FecRate::Max`]).
+    pub fn stronger(self) -> FecRate {
+        match self {
+            FecRate::Off => FecRate::Light,
+            FecRate::Light => FecRate::Medium,
+            FecRate::Medium => FecRate::Strong,
+            FecRate::Strong | FecRate::Max => FecRate::Max,
+        }
+    }
+
+    /// The next weaker rate; never drops below [`FecRate::Light`] — once a
+    /// link runs FEC, the lightest geometry stays on so the loss signal
+    /// keeps flowing (`Off` is a negotiation outcome, not a controller
+    /// state).
+    pub fn weaker(self) -> FecRate {
+        match self {
+            FecRate::Off | FecRate::Light | FecRate::Medium => FecRate::Light,
+            FecRate::Strong => FecRate::Medium,
+            FecRate::Max => FecRate::Strong,
+        }
+    }
+
+    /// The rate both ends can run: the weaker of the two capabilities.
+    pub fn negotiate(self, peer: FecRate) -> FecRate {
+        self.min(peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for &r in FecRate::ALL {
+            assert_eq!(FecRate::from_wire_tag(r.wire_tag()), r);
+        }
+        assert_eq!(FecRate::from_wire_tag(200), FecRate::Off);
+    }
+
+    #[test]
+    fn params_are_sane() {
+        for &rate in FecRate::ALL {
+            let (k, r) = rate.params();
+            if rate == FecRate::Off {
+                assert_eq!((k, r), (0, 0));
+            } else {
+                assert!(k >= 1 && r >= 1 && r <= k, "{rate:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_strength() {
+        assert!(FecRate::Off < FecRate::Light);
+        assert!(FecRate::Light < FecRate::Medium);
+        assert!(FecRate::Medium < FecRate::Strong);
+        assert!(FecRate::Strong < FecRate::Max);
+        // Overhead grows with strength.
+        let mut last = 0;
+        for &rate in FecRate::ALL {
+            assert!(rate.overhead_permille() >= last);
+            last = rate.overhead_permille();
+        }
+    }
+
+    #[test]
+    fn negotiate_takes_the_weaker_end() {
+        assert_eq!(FecRate::Max.negotiate(FecRate::Medium), FecRate::Medium);
+        assert_eq!(FecRate::Off.negotiate(FecRate::Max), FecRate::Off);
+    }
+
+    #[test]
+    fn stepping_saturates() {
+        assert_eq!(FecRate::Max.stronger(), FecRate::Max);
+        assert_eq!(FecRate::Light.weaker(), FecRate::Light);
+        assert_eq!(FecRate::Off.stronger(), FecRate::Light);
+    }
+}

@@ -21,7 +21,11 @@
 //!   event messages than the generic case provided by the TCP stack");
 //! * [`mftp`] — announce/transfer/completion file distribution loosely based
 //!   on Starburst MFTP (paper §4.4), with NACK chunk-run compression,
-//!   revisions and late join.
+//!   revisions and late join;
+//! * [`fec`] — adaptive-rate erasure coding *below* ARQ: interleaved
+//!   systematic XOR parity groups that let the receiver rebuild erased
+//!   reliable-channel frames without a retransmission round-trip, with a
+//!   loss-driven code-rate controller for degraded radio links.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,7 @@
 pub mod arq;
 mod crc;
 mod error;
+pub mod fec;
 pub mod fragment;
 mod frame;
 mod ids;
@@ -38,6 +43,7 @@ mod time;
 
 pub use crc::crc32;
 pub use error::{FrameError, ProtocolError};
+pub use fec::{FecConfig, FecRate};
 pub use frame::{Frame, FrameHeader, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION};
 pub use ids::{GroupId, NodeId, RequestId, ServiceId, TransferId};
 pub use messages::{Message, MessageKind};

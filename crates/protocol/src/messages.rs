@@ -95,6 +95,8 @@ message_kinds! {
     SubscribeEvent = 21,
     /// Event unsubscription (unicast to provider).
     UnsubscribeEvent = 22,
+    /// FEC shard: a coded slice of the reliable channel (below ARQ).
+    FecShard = 23,
 }
 
 /// Lifecycle state of a service instance as broadcast to other containers.
@@ -277,6 +279,10 @@ pub enum Message {
         container: Name,
         /// Monotonic restart counter, used to detect node reboots.
         incarnation: u64,
+        /// Strongest FEC code rate this node can run on its reliable
+        /// links ([`FecRate`](crate::fec::FecRate) wire tag; 0 = none).
+        /// Each link runs the weaker of the two ends' capabilities.
+        fec_cap: u8,
     },
     /// Periodic liveness beacon.
     Heartbeat {
@@ -287,6 +293,11 @@ pub enum Message {
         /// Scheduler load in permille (0-1000), used for dynamic remote
         /// invocation load balancing (paper §4.3).
         load_permille: u16,
+        /// FEC capability refresh (same encoding as `Hello::fec_cap`): a
+        /// node that missed the peer's `Hello` — attached late, lossy
+        /// bring-up — still converges on the advertised cap within one
+        /// heartbeat period instead of running uncoded forever.
+        fec_cap: u8,
     },
     /// Graceful shutdown notice.
     Bye,
@@ -473,6 +484,10 @@ pub enum Message {
         /// Selective-acknowledgement bitmap: bit `i` set means sequence
         /// `cumulative + 1 + i` was received out of order.
         sack: u64,
+        /// Receiver's smoothed FEC shard-loss estimate in permille —
+        /// the piggybacked feedback that drives the sender's adaptive
+        /// code-rate controller (0 when the receiver runs no FEC).
+        loss_permille: u16,
     },
     /// Event subscription request.
     SubscribeEvent {
@@ -487,6 +502,26 @@ pub enum Message {
         name: Name,
         /// Unsubscribing node.
         subscriber: NodeId,
+    },
+    /// One shard of an FEC group protecting the reliable channel (sits
+    /// *below* ARQ: the payload of a data shard is a complete serialized
+    /// `RelData`/`RelAck` message, parity shards carry XOR lane content).
+    FecShard {
+        /// Reliable-channel id the group belongs to.
+        channel: u16,
+        /// Group id, strictly increasing per link sender.
+        group: u64,
+        /// Shard index: `0..k` for data shards;
+        /// [`PARITY_INDEX_BIT`](crate::fec::PARITY_INDEX_BIT)` | lane`
+        /// for parity shards.
+        index: u8,
+        /// Data-shard count: the geometry ceiling on data shards, the
+        /// group's final count on parity shards (groups may flush short).
+        k: u8,
+        /// Parity lane count of the group.
+        r: u8,
+        /// Tagged inner message (data) or XOR lane payload (parity).
+        payload: Bytes,
     },
 }
 
@@ -517,6 +552,7 @@ impl Message {
             Message::RelAck { .. } => MessageKind::RelAck,
             Message::SubscribeEvent { .. } => MessageKind::SubscribeEvent,
             Message::UnsubscribeEvent { .. } => MessageKind::UnsubscribeEvent,
+            Message::FecShard { .. } => MessageKind::FecShard,
         }
     }
 
@@ -584,14 +620,16 @@ impl Message {
 
     fn write_body(&self, w: &mut WireWriter<'_>) {
         match self {
-            Message::Hello { container, incarnation } => {
+            Message::Hello { container, incarnation, fec_cap } => {
                 w.put_str(container.as_str());
                 w.put_varint(*incarnation);
+                w.put_u8(*fec_cap);
             }
-            Message::Heartbeat { incarnation, uptime_us, load_permille } => {
+            Message::Heartbeat { incarnation, uptime_us, load_permille, fec_cap } => {
                 w.put_varint(*incarnation);
                 w.put_varint(*uptime_us);
                 w.put_u16_le(*load_permille);
+                w.put_u8(*fec_cap);
             }
             Message::Bye => {}
             Message::Announce { incarnation, entries } => {
@@ -729,28 +767,40 @@ impl Message {
                 w.put_varint(*seq);
                 w.put_len_prefixed(payload);
             }
-            Message::RelAck { channel, cumulative, sack } => {
+            Message::RelAck { channel, cumulative, sack, loss_permille } => {
                 w.put_u16_le(*channel);
                 w.put_u64_le(*cumulative);
                 w.put_u64_le(*sack);
+                w.put_u16_le(*loss_permille);
             }
             Message::SubscribeEvent { name, subscriber }
             | Message::UnsubscribeEvent { name, subscriber } => {
                 w.put_str(name.as_str());
                 w.put_u32_le(subscriber.0);
             }
+            Message::FecShard { channel, group, index, k, r, payload } => {
+                w.put_u16_le(*channel);
+                w.put_varint(*group);
+                w.put_u8(*index);
+                w.put_u8(*k);
+                w.put_u8(*r);
+                w.put_len_prefixed(payload);
+            }
         }
     }
 
     fn read_body(kind: MessageKind, r: &mut WireReader<'_>) -> Result<Message, DecodeError> {
         Ok(match kind {
-            MessageKind::Hello => {
-                Message::Hello { container: read_name(r)?, incarnation: r.get_varint()? }
-            }
+            MessageKind::Hello => Message::Hello {
+                container: read_name(r)?,
+                incarnation: r.get_varint()?,
+                fec_cap: r.get_u8()?,
+            },
             MessageKind::Heartbeat => Message::Heartbeat {
                 incarnation: r.get_varint()?,
                 uptime_us: r.get_varint()?,
                 load_permille: r.get_u16_le()?,
+                fec_cap: r.get_u8()?,
             },
             MessageKind::Bye => Message::Bye,
             MessageKind::Announce => {
@@ -898,6 +948,7 @@ impl Message {
                 channel: r.get_u16_le()?,
                 cumulative: r.get_u64_le()?,
                 sack: r.get_u64_le()?,
+                loss_permille: r.get_u16_le()?,
             },
             MessageKind::SubscribeEvent => {
                 Message::SubscribeEvent { name: read_name(r)?, subscriber: NodeId(r.get_u32_le()?) }
@@ -905,6 +956,14 @@ impl Message {
             MessageKind::UnsubscribeEvent => Message::UnsubscribeEvent {
                 name: read_name(r)?,
                 subscriber: NodeId(r.get_u32_le()?),
+            },
+            MessageKind::FecShard => Message::FecShard {
+                channel: r.get_u16_le()?,
+                group: r.get_varint()?,
+                index: r.get_u8()?,
+                k: r.get_u8()?,
+                r: r.get_u8()?,
+                payload: read_blob(r)?,
             },
         })
     }
@@ -958,8 +1017,13 @@ mod tests {
                 .unwrap(),
         );
         vec![
-            Message::Hello { container: name("fcs-node"), incarnation: 3 },
-            Message::Heartbeat { incarnation: 3, uptime_us: 1_000_000, load_permille: 250 },
+            Message::Hello { container: name("fcs-node"), incarnation: 3, fec_cap: 4 },
+            Message::Heartbeat {
+                incarnation: 3,
+                uptime_us: 1_000_000,
+                load_permille: 250,
+                fec_cap: 4,
+            },
             Message::Bye,
             Message::Announce {
                 incarnation: 3,
@@ -1061,9 +1125,17 @@ mod tests {
                 payload: Bytes::from_static(b"frag"),
             },
             Message::RelData { channel: 2, seq: 10, payload: Bytes::from_static(b"inner") },
-            Message::RelAck { channel: 2, cumulative: 9, sack: 0b101 },
+            Message::RelAck { channel: 2, cumulative: 9, sack: 0b101, loss_permille: 125 },
             Message::SubscribeEvent { name: name("mc/photo-now"), subscriber: NodeId(3) },
             Message::UnsubscribeEvent { name: name("mc/photo-now"), subscriber: NodeId(3) },
+            Message::FecShard {
+                channel: 2,
+                group: 40,
+                index: 0x80,
+                k: 4,
+                r: 1,
+                payload: Bytes::from_static(b"xor-lane"),
+            },
         ]
     }
 

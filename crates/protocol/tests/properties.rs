@@ -10,6 +10,7 @@ use proptest::prelude::*;
 
 use marea_presentation::Name;
 use marea_protocol::arq::{ArqConfig, ArqReceiver, ArqSender};
+use marea_protocol::fec::{FecRate, FecReceiver, FecSender};
 use marea_protocol::fragment::{fragment_payload, Reassembler};
 use marea_protocol::mftp::{FileReceiver, FileSender, RevisionPolicy};
 use marea_protocol::{Frame, GroupId, Message, Micros, NodeId, ProtoDuration, TransferId};
@@ -257,6 +258,152 @@ proptest! {
             prop_assert!(rx.is_complete());
             let got = rx.into_data();
             prop_assert_eq!(got.as_ref(), data.as_slice(), "bit-exact after chaos");
+        }
+    }
+
+    /// FEC encode→erase→decode roundtrip: with at most one data shard
+    /// erased per parity lane and the parity delivered, every wrapped
+    /// message comes back bit-exact without any retransmission — the
+    /// repair the layer exists to buy.
+    #[test]
+    fn fec_roundtrip_recovers_in_budget_erasures(
+        group_count in 1usize..12,
+        erase_seed in any::<u64>(),
+        rate_loss in 0u16..400,
+    ) {
+        let mut tx = FecSender::new(1, FecRate::Max);
+        tx.on_loss_report(rate_loss); // pick a geometry from the table
+        let (k, r) = tx.rate().params();
+        prop_assert!(r >= 1);
+
+        let mut state = erase_seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+
+        let mut rx = FecReceiver::new();
+        let mut sent: Vec<Bytes> = Vec::new();
+        let mut delivered: Vec<Bytes> = Vec::new();
+        let mut recovered_groups = 0u64;
+        for g in 0..group_count {
+            let mut wire = Vec::new();
+            for i in 0..k {
+                let payload = Bytes::from(vec![(g * 16 + usize::from(i)) as u8; 4]);
+                let inner = Message::RelData { channel: 1, seq: sent.len() as u64, payload };
+                sent.push(inner.encode_tagged());
+                tx.wrap(inner, &mut wire);
+            }
+            // One erased data shard per group, on a seeded index (a lane
+            // never loses more than one member when r divides the picks).
+            let erase_all_parity = next() % 4 == 0 && r == 1;
+            let victim = if erase_all_parity { None } else { Some((next() % u32::from(k)) as u8) };
+            if victim.is_some() {
+                recovered_groups += 1;
+            }
+            for m in wire {
+                let Message::FecShard { group, index, k, r, payload, .. } = m else {
+                    panic!("coded wire expected: {m:?}");
+                };
+                if Some(index) == victim {
+                    continue; // erased by the radio
+                }
+                if erase_all_parity && index & 0x80 != 0 {
+                    continue; // lost parity: group closes with no repair due
+                }
+                rx.on_shard(group, index, k, r, &payload, &mut delivered);
+            }
+        }
+        prop_assert_eq!(delivered.len(), sent.len(), "one erasure per group is always repaired");
+        let mut got = delivered.clone();
+        got.sort();
+        let mut want = sent.clone();
+        want.sort();
+        prop_assert_eq!(got, want, "recovered frames must be bit-exact");
+        prop_assert_eq!(rx.stats().recovered, recovered_groups);
+    }
+
+    /// The full reliable stack — ARQ above, FEC below — delivers exactly
+    /// once, in order, when the shard stream is adversarial: seeded
+    /// erasure, per-round reordering and duplicated shards. Losses beyond
+    /// the parity budget fall through to ARQ's retransmit timers cleanly,
+    /// so the property holds at loss rates FEC alone cannot absorb.
+    #[test]
+    fn fec_below_arq_survives_loss_reorder_and_duplication(
+        payload_count in 1usize..30,
+        chaos_seed in any::<u64>(),
+        loss_permille in 0u32..500,
+    ) {
+        let cfg = ArqConfig {
+            window: 16,
+            initial_rto: ProtoDuration::from_millis(20),
+            max_rto: ProtoDuration::from_millis(200),
+            max_attempts: 40,
+        };
+        let mut arq_tx = ArqSender::new(1, cfg);
+        let mut arq_rx = ArqReceiver::new(1, 64);
+        let mut fec_tx = FecSender::new(1, FecRate::Max);
+        let mut fec_rx = FecReceiver::new();
+
+        let mut state = chaos_seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+
+        let mut to_send: Vec<Bytes> =
+            (0..payload_count).map(|i| Bytes::from(vec![i as u8; 8])).collect();
+        to_send.reverse();
+        let mut delivered: Vec<Bytes> = Vec::new();
+        let mut now = Micros::ZERO;
+        let mut rounds = 0;
+        while delivered.len() < payload_count {
+            // Produce this round's coded wire traffic.
+            let mut wire: Vec<Message> = Vec::new();
+            while arq_tx.can_send() {
+                let Some(p) = to_send.pop() else { break };
+                fec_tx.wrap(arq_tx.send(p, now).unwrap(), &mut wire);
+            }
+            let (retx, failed) = arq_tx.poll(now);
+            prop_assert!(failed.is_empty(), "retry budget must suffice");
+            for m in retx {
+                fec_tx.wrap(m, &mut wire);
+            }
+            fec_tx.flush(&mut wire); // tick boundary: close the partial group
+            // Adversarial channel: seeded loss, rotation, one duplicate.
+            let mut channel: Vec<&Message> =
+                wire.iter().filter(|_| next() % 1000 >= loss_permille).collect();
+            if !channel.is_empty() {
+                let rot = next() as usize % channel.len();
+                channel.rotate_left(rot);
+                channel.push(channel[next() as usize % channel.len()]);
+            }
+            for m in channel {
+                let Message::FecShard { group, index, k, r, payload, .. } = m else {
+                    panic!("all link traffic is coded here: {m:?}");
+                };
+                let mut inner = Vec::new();
+                fec_rx.on_shard(*group, *index, *k, *r, payload, &mut inner);
+                for tagged in inner {
+                    if let Ok(Message::RelData { seq, payload, .. }) =
+                        Message::decode_tagged(&tagged)
+                    {
+                        delivered.extend(arq_rx.on_data(seq, payload));
+                    }
+                }
+            }
+            // Lossless ack path: the lossy-ack case is ARQ's own property.
+            if let Message::RelAck { cumulative, sack, .. } = arq_rx.make_ack() {
+                arq_tx.on_ack(cumulative, sack);
+            }
+            now += ProtoDuration::from_millis(25);
+            rounds += 1;
+            prop_assert!(rounds < 4000, "must converge (FEC repair or ARQ fallback)");
+        }
+        prop_assert_eq!(delivered.len(), payload_count);
+        for (i, p) in delivered.iter().enumerate() {
+            let expected = vec![i as u8; 8];
+            prop_assert_eq!(p.as_ref(), expected.as_slice(), "exactly once, in order");
         }
     }
 
