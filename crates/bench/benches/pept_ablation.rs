@@ -102,6 +102,7 @@ fn bench_message_vocabulary(c: &mut Criterion) {
         seq: 991,
         stamp_us: 123_456,
         validity_us: 200_000,
+        trace: (1 << 32) | 991,
         codec: 0,
         payload: Bytes::from(vec![1u8; 40]),
     };

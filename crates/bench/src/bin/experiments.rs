@@ -1,9 +1,9 @@
 //! Regenerates every figure/claim table recorded in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run -p marea-bench --release --bin experiments [-- <id>...]`
-//! where `<id>` is one of `f1 f2 f3 f4 c1 c2 c3 c4 c5 c6 c7 c8 c9` or `all`
-//! (default). All numbers are virtual-time/deterministic: identical on
-//! every machine.
+//! where `<id>` is one of `f1 f2 f3 f4 c1 c2 c3 c4 c5 c6 c7 c8 c9 c10`
+//! or `all` (default). All numbers are virtual-time/deterministic:
+//! identical on every machine.
 //!
 //! `--json <path>` additionally writes the full suite's numbers as a
 //! machine-readable document; `BENCH_experiments.json` at the repo root
@@ -12,6 +12,10 @@
 //! `--json-fec <path>` writes just the C9 FEC loss sweep;
 //! `BENCH_fec_loss.json` is its checked-in copy (regenerate with
 //! `cargo run -p marea-bench --release --bin experiments -- c9 --json-fec BENCH_fec_loss.json`).
+//! `--json-trace <path>` writes just the C10 flight-recorder overhead
+//! comparison; `BENCH_trace_overhead.json` is its checked-in copy
+//! (regenerate with
+//! `cargo run -p marea-bench --release --bin experiments -- c10 --json-trace BENCH_trace_overhead.json`).
 
 use marea_bench::*;
 use marea_core::SchedulerKind;
@@ -19,13 +23,15 @@ use marea_core::SchedulerKind;
 fn main() {
     let mut json_path: Option<String> = None;
     let mut json_fec_path: Option<String> = None;
+    let mut json_trace_path: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
-        if a == "--json" || a == "--json-fec" {
+        if a == "--json" || a == "--json-fec" || a == "--json-trace" {
             match raw.next() {
                 Some(p) if a == "--json" => json_path = Some(p),
-                Some(p) => json_fec_path = Some(p),
+                Some(p) if a == "--json-fec" => json_fec_path = Some(p),
+                Some(p) => json_trace_path = Some(p),
                 None => {
                     eprintln!("error: {a} needs an output path");
                     std::process::exit(2);
@@ -71,6 +77,9 @@ fn main() {
     if want("c9") {
         c9_fec_loss();
     }
+    if want("c10") {
+        c10_trace_overhead();
+    }
 
     if let Some(path) = json_path {
         // The JSON document always covers the full suite so the
@@ -85,6 +94,15 @@ fn main() {
     }
     if let Some(path) = json_fec_path {
         match std::fs::write(&path, fec_json_document()) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = json_trace_path {
+        match std::fs::write(&path, trace_json_document()) {
             Ok(()) => println!("\nwrote {path}"),
             Err(e) => {
                 eprintln!("error: writing {path}: {e}");
@@ -261,7 +279,9 @@ fn json_document() -> String {
             )
         })
         .collect();
-    section(&mut out, true, "c8_scenario_failover", c8);
+    section(&mut out, false, "c8_scenario_failover", c8);
+
+    section(&mut out, true, "c10_trace_overhead", c10_rows());
 
     out.push('}');
     out.push('\n');
@@ -562,4 +582,90 @@ fn c7_bypass() {
         let (deliveries, wire) = bench_file_bypass(size, 900);
         println!("   {:<10} {:>20} {:>22}", format!("{}KiB", size / 1024), deliveries, wire);
     }
+}
+
+/// C10 parameters shared by the table, the JSON document and the CI
+/// regeneration gate: the same worst-case flood the wall-clock gate in
+/// `marea_bench::tests::trace_overhead_stays_within_five_percent` times
+/// (every sample is tiny, so tracing cost has nowhere to hide).
+const C10_BG_PER_TICK: u32 = 800;
+const C10_EVENTS: u32 = 100;
+const C10_SEED: u64 = 710;
+
+fn c10_rows() -> Vec<String> {
+    [true, false]
+        .iter()
+        .map(|&traced| {
+            let r = bench_trace_overhead_run(traced, C10_BG_PER_TICK, C10_EVENTS, C10_SEED);
+            format!(
+                "    {{\"traced\": {traced}, \"vars_delivered\": {}, \
+                 \"critical_events\": {}, \"critical_mean_us\": {:.1}, \
+                 \"critical_max_us\": {}, \"trace_events\": {}, \
+                 \"histogram_count\": {}, \"wire_bytes\": {}}}",
+                r.vars_delivered,
+                r.critical.count,
+                r.critical.mean_us,
+                r.critical.max_us,
+                r.trace_events,
+                r.histogram_count,
+                r.wire_bytes,
+            )
+        })
+        .collect()
+}
+
+/// The C10 flight-recorder overhead comparison as JSON. Only
+/// virtual-time quantities appear (latencies, wire bytes, recorder
+/// counts) so the document is byte-identical on every machine; the
+/// wall-clock side of the claim is the ignored release-mode gate test
+/// named in `wall_clock_gate`, which CI runs alongside the diff.
+fn trace_json_document() -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"bg_per_tick\": {C10_BG_PER_TICK}, \
+         \"critical_events\": {C10_EVENTS}, \"seed\": {C10_SEED}}},\n"
+    ));
+    out.push_str("  \"c10_trace_overhead\": [\n");
+    out.push_str(&c10_rows().join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str(
+        "  \"wall_clock_gate\": \"trace_overhead_stays_within_five_percent: \
+         traced wall-clock <= 1.05x untraced, release mode\"\n",
+    );
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn c10_trace_overhead() {
+    banner(
+        "C10",
+        "flight-recorder overhead: traced vs untraced worst-case flood",
+        "DESIGN.md §8 — the recorder must be cheap enough to leave on in flight",
+    );
+    println!(
+        "   {:<10} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "recorder", "vars", "criticals", "mean us", "max us", "trace evts", "wire bytes"
+    );
+    let mut wire = [0u64; 2];
+    for (i, traced) in [true, false].into_iter().enumerate() {
+        let r = bench_trace_overhead_run(traced, C10_BG_PER_TICK, C10_EVENTS, C10_SEED);
+        wire[i] = r.wire_bytes;
+        println!(
+            "   {:<10} {:>10} {:>10} {:>12.1} {:>12} {:>12} {:>12}",
+            if traced { "on" } else { "off" },
+            r.vars_delivered,
+            r.critical.count,
+            r.critical.mean_us,
+            r.critical.max_us,
+            r.trace_events,
+            r.wire_bytes,
+        );
+    }
+    println!(
+        "   wire overhead of trace ids: {:.2}% ({} extra bytes)",
+        (wire[0] as f64 / wire[1] as f64 - 1.0) * 100.0,
+        wire[0] - wire[1],
+    );
+    println!("   wall-clock gate: tests::trace_overhead_stays_within_five_percent (release, <=5%)");
 }

@@ -52,6 +52,7 @@ use crate::service::{
 };
 use crate::stats::{ContainerStats, EventSubscriptionStats, QosStats, VarSubscriptionStats};
 use crate::sweep::sorted_keys;
+use crate::trace::{TraceConfig, TraceId, TraceKind, TraceRing, Tracer};
 
 /// Upper bound for one marshalled call argument.
 pub(crate) const MAX_ARG_BYTES: usize = 4 * 1024 * 1024;
@@ -108,6 +109,8 @@ pub struct ContainerConfig {
     pub codec: CodecId,
     /// Container log ring capacity.
     pub log_capacity: usize,
+    /// Flight-recorder switch and ring sizing (DESIGN.md §8).
+    pub trace: TraceConfig,
 }
 
 impl ContainerConfig {
@@ -136,6 +139,7 @@ impl ContainerConfig {
             var_distribution: VarDistribution::Multicast,
             codec: CodecId::COMPACT,
             log_capacity: 1024,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -186,6 +190,7 @@ pub struct ServiceContainer {
     last_announce: Option<Micros>,
     stats: ContainerStats,
     log: VecDeque<(Micros, String)>,
+    tracer: Tracer,
 }
 
 impl ServiceContainer {
@@ -219,6 +224,7 @@ impl ServiceContainer {
             last_announce: None,
             stats: ContainerStats::default(),
             log: VecDeque::new(),
+            tracer: Tracer::new(config.node, config.trace),
             config,
         }
     }
@@ -250,6 +256,7 @@ impl ServiceContainer {
     pub fn set_incarnation(&mut self, incarnation: u64) {
         assert!(!self.running, "incarnation must be set before start");
         self.incarnation = incarnation;
+        self.tracer.set_incarnation(incarnation);
     }
 
     /// Counter snapshot (merges the per-engine mismatch and QoS counters).
@@ -267,7 +274,29 @@ impl ServiceContainer {
             queue_drops: self.events.total_queue_drops(),
             retries: self.rpc.retries,
         };
+        stats.publish_to_deliver = self.tracer.publish_to_deliver;
+        stats.call_rtt = self.tracer.call_rtt;
+        stats.rto_recovery = self.tracer.rto_recovery;
         stats
+    }
+
+    /// The flight-recorder ring of this life (oldest first; see
+    /// [`TraceConfig`] for sizing and the disable switch).
+    pub fn trace_ring(&self) -> &TraceRing {
+        self.tracer.ring()
+    }
+
+    /// Drains the flight recorder, leaving an empty ring behind — the
+    /// harness calls this when it crashes a node so the black box
+    /// survives the container teardown.
+    pub fn take_trace_ring(&mut self) -> TraceRing {
+        self.tracer.take_ring()
+    }
+
+    /// Seeds the ring with events recorded by a previous life of this
+    /// node (harness restart path), preserving ring-capacity bounds.
+    pub fn adopt_trace_ring(&mut self, older: TraceRing) {
+        self.tracer.adopt_ring(older);
     }
 
     /// QoS counters of a subscribed variable (the channel state shared by
@@ -487,6 +516,7 @@ impl ServiceContainer {
         }
         self.running = true;
         self.started_at = now;
+        self.tracer.record(now, TraceKind::NodeStart, TraceId::NONE, None, self.incarnation, None);
         self.transport.join(GroupId::CONTROL.0);
         self.directory.apply_hello(
             self.config.node,
@@ -623,6 +653,14 @@ impl ServiceContainer {
                 self.handle_node_death(src, now);
             }
             Message::Announce { entries, .. } => {
+                self.tracer.record(
+                    now,
+                    TraceKind::DirAnnounce,
+                    TraceId::NONE,
+                    Some(src),
+                    entries.len() as u64,
+                    None,
+                );
                 self.directory.apply_announce(src, &entries, now);
             }
             Message::ServiceStatus { service_seq, state, .. } => {
@@ -656,11 +694,21 @@ impl ServiceContainer {
                     pe.remote_subscribers.remove(&subscriber);
                 }
             }
-            Message::VarSample { name, seq, stamp_us, validity_us, codec, payload } => {
-                self.handle_var_sample(name, seq, stamp_us, validity_us, codec, payload, now);
+            Message::VarSample { name, seq, stamp_us, validity_us, trace, codec, payload } => {
+                self.handle_var_sample(
+                    name,
+                    seq,
+                    stamp_us,
+                    validity_us,
+                    TraceId::from_wire(src, trace),
+                    codec,
+                    payload,
+                    now,
+                );
             }
             Message::RelData { seq, payload, .. } => {
                 let fec = self.fec_cap_for(src);
+                let fresh_link = !self.links.contains_key(&src);
                 let deliverables = {
                     let link = self.links.entry(src).or_insert_with(|| {
                         let mut l = ReliableLink::new(src, self.config.arq);
@@ -669,6 +717,9 @@ impl ServiceContainer {
                     });
                     link.on_data(seq, payload)
                 };
+                if fresh_link {
+                    self.tracer.record(now, TraceKind::LinkUp, TraceId::NONE, Some(src), 0, None);
+                }
                 for inner in deliverables {
                     if let Ok(inner_msg) = Message::decode_tagged(&inner) {
                         self.handle_message(src, inner_msg, now);
@@ -676,10 +727,16 @@ impl ServiceContainer {
                 }
             }
             Message::RelAck { cumulative, sack, loss_permille, .. } => {
-                let out = match self.links.get_mut(&src) {
-                    Some(link) => link.on_ack(cumulative, sack, loss_permille, now),
-                    None => Vec::new(),
+                let (out, recovered) = match self.links.get_mut(&src) {
+                    Some(link) => {
+                        let out = link.on_ack(cumulative, sack, loss_permille, now);
+                        (out, link.take_recoveries())
+                    }
+                    None => (Vec::new(), Vec::new()),
                 };
+                for us in recovered {
+                    self.tracer.record_rto_recovery(us);
+                }
                 self.send_link_messages(src, out);
             }
             Message::FecShard { group, index, k, r, payload, .. } => {
@@ -687,7 +744,8 @@ impl ServiceContainer {
                 // arrives as a shard, so this must create the link exactly
                 // like the `RelData` arm does.
                 let fec = self.fec_cap_for(src);
-                let recovered = {
+                let fresh_link = !self.links.contains_key(&src);
+                let (recovered, repair_delta) = {
                     let link = self.links.entry(src).or_insert_with(|| {
                         let mut l = ReliableLink::new(src, self.config.arq);
                         l.negotiate_fec(fec);
@@ -695,24 +753,51 @@ impl ServiceContainer {
                     });
                     let before = link.fec_rx_stats().recovered;
                     let inners = link.on_fec_shard(group, index, k, r, &payload);
+                    let delta = link.fec_rx_stats().recovered - before;
                     self.stats.fec.shards_in += 1;
-                    self.stats.fec.recovered += link.fec_rx_stats().recovered - before;
-                    inners
+                    self.stats.fec.recovered += delta;
+                    (inners, delta)
                 };
+                if fresh_link {
+                    self.tracer.record(now, TraceKind::LinkUp, TraceId::NONE, Some(src), 0, None);
+                }
+                if repair_delta > 0 {
+                    self.tracer.record(
+                        now,
+                        TraceKind::FecRecover,
+                        TraceId::NONE,
+                        Some(src),
+                        repair_delta,
+                        None,
+                    );
+                }
                 for inner in recovered {
                     if let Ok(inner_msg) = Message::decode_tagged(&inner) {
                         self.handle_message(src, inner_msg, now);
                     }
                 }
             }
-            Message::EventData { name, seq, stamp_us, codec, payload } => {
-                self.handle_event_data(name, seq, stamp_us, codec, payload, now);
+            Message::EventData { name, seq, stamp_us, trace, codec, payload } => {
+                let trace = TraceId::from_wire(src, trace);
+                self.handle_event_data(name, seq, stamp_us, trace, codec, payload, now);
             }
-            Message::CallRequest { request, function, target_seq, codec, payload } => {
-                self.handle_call_request(src, request, function, target_seq, codec, payload, now);
+            Message::CallRequest { request, function, target_seq, trace, codec, payload } => {
+                self.handle_call_request(
+                    src,
+                    request,
+                    function,
+                    target_seq,
+                    TraceId::from_wire(src, trace),
+                    codec,
+                    payload,
+                    now,
+                );
             }
-            Message::CallReply { request, status, codec, payload } => {
-                self.handle_call_reply(request, status, codec, payload, now);
+            Message::CallReply { request, status, trace, codec, payload } => {
+                // A reply's trace was minted by the caller — us — so the
+                // implied origin is this node, not the frame's src.
+                let trace = TraceId::from_wire(self.config.node, trace);
+                self.handle_call_reply(request, status, trace, codec, payload, now);
             }
             Message::FileAnnounce { .. } => {
                 self.handle_file_announce(src, msg, now);
@@ -793,11 +878,23 @@ impl ServiceContainer {
             }
         };
         if let Some((payload, stamp, seq, validity_us)) = initial {
+            // The resend gets a fresh causal id: it is this container
+            // re-publishing the retained sample towards one subscriber.
+            let trace = self.tracer.mint();
+            self.tracer.record(
+                now,
+                TraceKind::VarPublish,
+                trace,
+                Some(subscriber),
+                seq,
+                Some(&name),
+            );
             let msg = Message::VarSample {
                 name,
                 seq,
                 stamp_us: stamp.as_micros(),
                 validity_us,
+                trace: trace.wire(),
                 codec: self.codecs.default_id().0,
                 payload,
             };
@@ -814,20 +911,24 @@ impl ServiceContainer {
         seq: u64,
         stamp_us: u64,
         validity_us: u64,
+        trace: TraceId,
         codec: u8,
         payload: Bytes,
         now: Micros,
     ) {
+        let peer = if trace.is_none() { None } else { Some(trace.origin()) };
         let decoded = {
             let Some(sub) = self.vars.subscribed.get_mut(&name) else { return };
             // Validity QoS: drop samples past their window (paper §4.1).
             if validity_us > 0 && now.saturating_since(Micros(stamp_us)).as_micros() > validity_us {
                 self.stats.stale_samples_dropped += 1;
                 sub.stale_drops += 1;
+                self.tracer.record(now, TraceKind::VarStaleDrop, trace, peer, seq, Some(&name));
                 return;
             }
             if !sub.accept(seq, now) {
                 self.stats.old_samples_dropped += 1;
+                self.tracer.record(now, TraceKind::VarOldDrop, trace, peer, seq, Some(&name));
                 return;
             }
             let value = match (&sub.ty, CodecId(codec)) {
@@ -862,6 +963,7 @@ impl ServiceContainer {
                     value: value.clone(),
                     stamp: Micros(stamp_us),
                     seq,
+                    trace,
                 },
             );
         }
@@ -873,6 +975,7 @@ impl ServiceContainer {
         name: Name,
         seq: u64,
         stamp_us: u64,
+        trace: TraceId,
         codec: u8,
         payload: Bytes,
         now: Micros,
@@ -901,7 +1004,7 @@ impl ServiceContainer {
             self.log_line(now, format!("event `{name}` payload violates announced schema"));
         }
         if any_subscriber {
-            self.push_event_deliveries(&name, value, seq, Micros(stamp_us));
+            self.push_event_deliveries(&name, value, seq, Micros(stamp_us), trace, now);
         }
     }
 
@@ -915,6 +1018,8 @@ impl ServiceContainer {
         value: Option<Value>,
         seq: u64,
         stamp: Micros,
+        trace: TraceId,
+        now: Micros,
     ) {
         enum Admission {
             Push,
@@ -943,8 +1048,12 @@ impl ServiceContainer {
         };
         for (svc, priority, admission) in decisions {
             match admission {
-                Admission::Refuse => continue,
+                Admission::Refuse => {
+                    self.tracer.record(now, TraceKind::EventDrop, trace, None, seq, Some(name));
+                    continue;
+                }
                 Admission::ReplaceOldest => {
+                    self.tracer.record(now, TraceKind::EventDrop, trace, None, seq, Some(name));
                     // Retract this subscription's stalest queued delivery to
                     // admit the fresh one; the inbox depth is unchanged
                     // (one out, one in). If nothing was queued despite the
@@ -962,7 +1071,13 @@ impl ServiceContainer {
             self.push_task(
                 priority,
                 svc,
-                TaskPayload::DeliverEvent { name: name.clone(), value: value.clone(), seq, stamp },
+                TaskPayload::DeliverEvent {
+                    name: name.clone(),
+                    value: value.clone(),
+                    seq,
+                    stamp,
+                    trace,
+                },
             );
         }
     }
@@ -974,6 +1089,7 @@ impl ServiceContainer {
         request: RequestId,
         function: Name,
         target_seq: u32,
+        trace: TraceId,
         codec: u8,
         payload: Bytes,
         now: Micros,
@@ -1013,11 +1129,17 @@ impl ServiceContainer {
                 self.push_task(
                     Priority::CALL,
                     target_seq,
-                    TaskPayload::ExecuteCall { request, caller, function, args },
+                    TaskPayload::ExecuteCall { request, caller, function, args, trace },
                 );
             }
             Outcome::Refuse(status) => {
-                let m = Message::CallReply { request, status, codec, payload: Bytes::new() };
+                let m = Message::CallReply {
+                    request,
+                    status,
+                    trace: trace.wire(),
+                    codec,
+                    payload: Bytes::new(),
+                };
                 self.send_reliable(caller, &m, now);
             }
         }
@@ -1027,11 +1149,15 @@ impl ServiceContainer {
         &mut self,
         request: RequestId,
         status: CallStatus,
+        trace: TraceId,
         codec: u8,
         payload: Bytes,
         now: Micros,
     ) {
         let Some(call) = self.rpc.pending.remove(&request) else { return };
+        // Prefer the wire echo; calls issued before tracing was enabled
+        // fall back to the locally stored id.
+        let trace = if trace.is_none() { call.trace } else { trace };
         let result = match status {
             CallStatus::Ok => match self.codecs.get(CodecId(codec)) {
                 Some(c) => {
@@ -1058,6 +1184,15 @@ impl ServiceContainer {
         if result.is_err() {
             self.stats.call_errors += 1;
         }
+        self.tracer.record_call_rtt(now.saturating_since(call.started_at).as_micros());
+        self.tracer.record(
+            now,
+            TraceKind::CallReply,
+            trace,
+            Some(call.target.node),
+            request.0,
+            Some(&call.function),
+        );
         self.push_task(
             Priority::CALL,
             call.caller_seq,
@@ -1205,7 +1340,10 @@ impl ServiceContainer {
 
     fn handle_node_death(&mut self, node: NodeId, now: Micros) {
         self.log_line(now, format!("node {node} declared dead; purging name cache"));
-        self.links.remove(&node);
+        if self.links.remove(&node).is_some() {
+            self.tracer.record(now, TraceKind::LinkDown, TraceId::NONE, Some(node), 0, None);
+        }
+        self.tracer.record(now, TraceKind::DirExpire, TraceId::NONE, Some(node), 0, None);
         // Variable/event subscriptions bound to the dead node are *not*
         // unbound here: the directory purge makes their resolution fail,
         // and maintain_subscriptions turns that into the unbind + the
@@ -1435,6 +1573,7 @@ impl ServiceContainer {
     fn sweep_variable_deadlines(&mut self, now: Micros) {
         for name in self.vars.sweep_deadlines(now) {
             self.stats.var_timeouts += 1;
+            self.tracer.record(now, TraceKind::VarTimeout, TraceId::NONE, None, 0, Some(&name));
             let services = self.vars.subscribed[&name].services.clone();
             for svc in services {
                 self.push_task(
@@ -1482,6 +1621,14 @@ impl ServiceContainer {
                 call.deadline = now + call.attempt_timeout;
                 self.stats.call_failovers += 1;
                 self.rpc.count_retry(&call.function);
+                self.tracer.record(
+                    now,
+                    TraceKind::CallRetry,
+                    call.trace,
+                    Some(target.node),
+                    id.0,
+                    Some(&call.function),
+                );
                 let codec = self.codecs.default_codec().clone();
                 match encode_args(&call.args, &sig, codec.as_ref()) {
                     Ok(payload) => {
@@ -1532,6 +1679,7 @@ impl ServiceContainer {
                     caller: self.config.node,
                     function: call.function.clone(),
                     args: call.args.clone(),
+                    trace: call.trace,
                 },
             );
         } else {
@@ -1539,6 +1687,7 @@ impl ServiceContainer {
                 request: id,
                 function: call.function.clone(),
                 target_seq: call.target.seq,
+                trace: call.trace.wire(),
                 codec: self.codecs.default_id().0,
                 payload,
             };
@@ -1560,6 +1709,17 @@ impl ServiceContainer {
                 rate_max = tag;
             }
             let (out, failed) = link.poll(now);
+            let retransmits = link.take_retransmits();
+            for seq in retransmits {
+                self.tracer.record(
+                    now,
+                    TraceKind::RelRetransmit,
+                    TraceId::NONE,
+                    Some(peer),
+                    seq,
+                    None,
+                );
+            }
             self.send_link_messages(peer, out);
             if !failed.is_empty() {
                 self.log_line(
@@ -1789,7 +1949,7 @@ impl ServiceContainer {
                     service.on_event(&mut ctx, name, value.as_ref(), *stamp);
                     None
                 }
-                TaskPayload::ExecuteCall { request, caller, function, args } => {
+                TaskPayload::ExecuteCall { request, caller, function, args, .. } => {
                     let result = service.on_call(&mut ctx, function, args);
                     Some((*request, *caller, function.clone(), result))
                 }
@@ -1857,21 +2017,44 @@ impl ServiceContainer {
                 }
             }
             TaskPayload::Stop => self.set_service_state(seq, ServiceState::Stopped, now),
-            TaskPayload::DeliverVariable { .. } => self.stats.var_samples_delivered += 1,
-            TaskPayload::DeliverEvent { stamp, .. } => {
+            TaskPayload::DeliverVariable { name, stamp, seq: sample_seq, trace, .. } => {
+                self.stats.var_samples_delivered += 1;
+                self.tracer.record_var_latency(now.saturating_since(*stamp).as_micros());
+                self.tracer.record(
+                    now,
+                    TraceKind::VarDeliver,
+                    *trace,
+                    None,
+                    *sample_seq,
+                    Some(name),
+                );
+            }
+            TaskPayload::DeliverEvent { name, stamp, seq: event_seq, trace, .. } => {
                 self.stats.events_delivered += 1;
                 let latency = now.saturating_since(*stamp).as_micros();
                 self.stats.event_latency_sum_us += latency;
                 if latency > self.stats.event_latency_max_us {
                     self.stats.event_latency_max_us = latency;
                 }
+                self.tracer.record(
+                    now,
+                    TraceKind::EventDeliver,
+                    *trace,
+                    None,
+                    *event_seq,
+                    Some(name),
+                );
             }
             TaskPayload::ExecuteCall { .. } => self.stats.calls_served += 1,
             TaskPayload::FileBypass { .. } => self.stats.file_bypass_deliveries += 1,
             _ => {}
         }
+        let call_trace = match &payload {
+            TaskPayload::ExecuteCall { trace, .. } => *trace,
+            _ => TraceId::NONE,
+        };
         if let Some((request, caller, function, result)) = call_outcome {
-            self.finish_call(request, caller, &function, result, now);
+            self.finish_call(request, caller, &function, result, call_trace, now);
         }
         self.apply_effects(seq, effects, now);
     }
@@ -1882,6 +2065,7 @@ impl ServiceContainer {
         caller: NodeId,
         function: &Name,
         result: Result<Value, String>,
+        trace: TraceId,
         now: Micros,
     ) {
         if caller == self.config.node {
@@ -1891,6 +2075,15 @@ impl ServiceContainer {
             if result.is_err() {
                 self.stats.call_errors += 1;
             }
+            self.tracer.record_call_rtt(now.saturating_since(call.started_at).as_micros());
+            self.tracer.record(
+                now,
+                TraceKind::CallReply,
+                call.trace,
+                None,
+                request.0,
+                Some(function),
+            );
             self.push_task(
                 Priority::CALL,
                 call.caller_seq,
@@ -1904,6 +2097,7 @@ impl ServiceContainer {
                     Ok(payload) => Message::CallReply {
                         request,
                         status: CallStatus::Ok,
+                        trace: trace.wire(),
                         codec: codec.id().0,
                         payload,
                     },
@@ -1914,6 +2108,7 @@ impl ServiceContainer {
                         Message::CallReply {
                             request,
                             status: CallStatus::AppError,
+                            trace: trace.wire(),
                             codec: codec.id().0,
                             payload: Bytes::from(e.to_string().into_bytes()),
                         }
@@ -1922,6 +2117,7 @@ impl ServiceContainer {
                 Err(e) => Message::CallReply {
                     request,
                     status: CallStatus::AppError,
+                    trace: trace.wire(),
                     codec: codec.id().0,
                     payload: Bytes::from(e.into_bytes()),
                 },
@@ -2017,6 +2213,8 @@ impl ServiceContainer {
         };
         let (payload, sample_seq, validity_us, remote_subscribers) = prepared;
         self.stats.vars_published += 1;
+        let trace = self.tracer.mint();
+        self.tracer.record(now, TraceKind::VarPublish, trace, None, sample_seq, Some(&name));
 
         // Local delivery (Fig. 2 in-container path).
         let local = {
@@ -2042,6 +2240,7 @@ impl ServiceContainer {
                         value: value.clone(),
                         stamp: now,
                         seq: sample_seq,
+                        trace,
                     },
                 );
             }
@@ -2052,6 +2251,7 @@ impl ServiceContainer {
             seq: sample_seq,
             stamp_us: now.as_micros(),
             validity_us,
+            trace: trace.wire(),
             codec: codec.id().0,
             payload,
         };
@@ -2101,14 +2301,17 @@ impl ServiceContainer {
         let (event_seq, remote) =
             (pe.seq, pe.remote_subscribers.iter().copied().collect::<Vec<NodeId>>());
         self.stats.events_published += 1;
+        let trace = self.tracer.mint();
+        self.tracer.record(now, TraceKind::EventEmit, trace, None, event_seq, Some(&name));
 
         // Local delivery, under each subscriber's declared contract.
-        self.push_event_deliveries(&name, value.clone(), event_seq, now);
+        self.push_event_deliveries(&name, value.clone(), event_seq, now, trace, now);
         // Remote delivery over the reliable links.
         let msg = Message::EventData {
             name,
             seq: event_seq,
             stamp_us: now.as_micros(),
+            trace: trace.wire(),
             codec: codec.id().0,
             payload,
         };
@@ -2163,6 +2366,15 @@ impl ServiceContainer {
                 return;
             }
         };
+        let trace = self.tracer.mint();
+        self.tracer.record(
+            now,
+            TraceKind::CallStart,
+            trace,
+            Some(target.node),
+            (handle.0).0,
+            Some(&function),
+        );
         let call = PendingCall {
             caller_seq: seq,
             function,
@@ -2174,6 +2386,8 @@ impl ServiceContainer {
             attempts: 1,
             max_attempts,
             policy,
+            started_at: now,
+            trace,
         };
         self.dispatch_call(handle.0, &call, payload, now);
         self.rpc.pending.insert(handle.0, call);
@@ -2272,6 +2486,7 @@ impl ServiceContainer {
     fn send_reliable(&mut self, peer: NodeId, msg: &Message, now: Micros) {
         let tagged = msg.encode_tagged();
         let fec = self.fec_cap_for(peer);
+        let fresh_link = !self.links.contains_key(&peer);
         let out = {
             let link = self.links.entry(peer).or_insert_with(|| {
                 let mut l = ReliableLink::new(peer, self.config.arq);
@@ -2280,6 +2495,9 @@ impl ServiceContainer {
             });
             link.send(tagged, now)
         };
+        if fresh_link {
+            self.tracer.record(now, TraceKind::LinkUp, TraceId::NONE, Some(peer), 0, None);
+        }
         self.send_link_messages(peer, out);
     }
 

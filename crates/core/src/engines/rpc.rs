@@ -11,6 +11,7 @@ use marea_protocol::{Micros, ProtoDuration, RequestId, ServiceId};
 
 use crate::error::CallError;
 use crate::service::CallPolicy;
+use crate::trace::TraceId;
 
 /// A function a local service exposes.
 #[derive(Debug)]
@@ -46,6 +47,11 @@ pub(crate) struct PendingCall {
     pub max_attempts: u32,
     /// Provider selection policy.
     pub policy: CallPolicy,
+    /// When the first attempt was dispatched (feeds the call-RTT
+    /// histogram when the reply lands).
+    pub started_at: Micros,
+    /// Causal id minted at issue time, echoed by the provider's reply.
+    pub trace: TraceId,
 }
 
 /// A required-function watch (paper §4.3: checked at initialization,
@@ -246,6 +252,8 @@ mod tests {
                 attempts: 1,
                 max_attempts: 3,
                 policy: CallPolicy::Dynamic,
+                started_at: Micros::ZERO,
+                trace: TraceId::NONE,
             },
         );
         e.pending.insert(
@@ -261,6 +269,8 @@ mod tests {
                 attempts: 1,
                 max_attempts: 3,
                 policy: CallPolicy::Dynamic,
+                started_at: Micros::ZERO,
+                trace: TraceId::NONE,
             },
         );
         assert_eq!(e.expired(Micros(200)), vec![RequestId(1)]);

@@ -10,6 +10,7 @@ use marea_transport::SimLanTransport;
 use crate::clock::{Clock, SystemClock};
 use crate::container::{ContainerConfig, ServiceContainer};
 use crate::service::Service;
+use crate::trace::{TraceEvent, TraceId, TraceKind, TraceRing};
 
 /// Recreates a service instance for a restarted container.
 ///
@@ -102,6 +103,9 @@ pub struct SimHarness {
     incarnations: HashMap<NodeId, u64>,
     /// Per-node clock skew (chaos: drifting avionics clocks).
     skews: HashMap<NodeId, Skew>,
+    /// Black boxes of crashed nodes: the flight-recorder ring survives the
+    /// container teardown and is re-adopted on restart.
+    stashed_rings: HashMap<NodeId, TraceRing>,
     tick_us: u64,
     now_us: u64,
 }
@@ -127,6 +131,7 @@ impl SimHarness {
             factories: HashMap::new(),
             incarnations: HashMap::new(),
             skews: HashMap::new(),
+            stashed_rings: HashMap::new(),
             tick_us: 1_000,
             now_us: 0,
         }
@@ -230,6 +235,29 @@ impl SimHarness {
         self.containers.get(&node)
     }
 
+    /// The flight-recorder ring of `node`: the live container's, or the
+    /// stashed black box if the node is currently crashed.
+    pub fn trace_ring(&self, node: NodeId) -> Option<&TraceRing> {
+        match self.containers.get(&node) {
+            Some(c) => Some(c.trace_ring()),
+            None => self.stashed_rings.get(&node),
+        }
+    }
+
+    /// Every known node's flight-recorder ring (live or stashed), in node
+    /// order — the input [`assemble_chain`](crate::trace::assemble_chain)
+    /// expects.
+    pub fn trace_rings(&self) -> Vec<(NodeId, &TraceRing)> {
+        let mut nodes: Vec<NodeId> = self.configs.keys().copied().collect();
+        nodes.sort();
+        nodes.into_iter().filter_map(|n| self.trace_ring(n).map(|r| (n, r))).collect()
+    }
+
+    /// The cross-node causal chain of `trace`, assembled over every ring.
+    pub fn trace_chain(&self, trace: TraceId) -> Vec<(NodeId, TraceEvent)> {
+        crate::trace::assemble_chain(&self.trace_rings(), trace)
+    }
+
     /// Mutable access to a container.
     pub fn container_mut(&mut self, node: NodeId) -> Option<&mut ServiceContainer> {
         self.containers.get_mut(&node)
@@ -241,7 +269,25 @@ impl SimHarness {
     /// restart blueprint survives, so [`restart_node`](Self::restart_node)
     /// can bring the node back later.
     pub fn crash_node(&mut self, node: NodeId) {
-        self.containers.remove(&node);
+        if let Some(mut container) = self.containers.remove(&node) {
+            if self.configs.get(&node).is_some_and(|c| c.trace.enabled) {
+                let incarnation = container.incarnation();
+                let mut ring = container.take_trace_ring();
+                ring.push(TraceEvent {
+                    at: Micros(self.local_time(node)),
+                    incarnation,
+                    kind: TraceKind::NodeCrash,
+                    trace: TraceId::NONE,
+                    peer: None,
+                    seq: 0,
+                    name: None,
+                });
+                if let Some(older) = self.stashed_rings.remove(&node) {
+                    ring.adopt(older);
+                }
+                self.stashed_rings.insert(node, ring);
+            }
+        }
         self.order.retain(|n| *n != node);
         self.net.remove_node(node.0);
     }
@@ -269,14 +315,34 @@ impl SimHarness {
         // Socket rebind: `SimNet::socket` re-registers the removed node
         // with a fresh, empty inbox.
         let transport = SimLanTransport::attach(&self.net, node.0);
+        let tracing = config.trace;
+        let restart_at = Micros(self.local_time(node));
         let mut container = ServiceContainer::new(config, Box::new(transport));
         container.set_incarnation(incarnation);
+        if tracing.enabled {
+            // Black-box continuity: the previous lives' tail (if any) plus
+            // a restart marker precede everything the new life records.
+            let mut older = self
+                .stashed_rings
+                .remove(&node)
+                .unwrap_or_else(|| TraceRing::new(tracing.capacity));
+            older.push(TraceEvent {
+                at: restart_at,
+                incarnation,
+                kind: TraceKind::NodeRestart,
+                trace: TraceId::NONE,
+                peer: None,
+                seq: 0,
+                name: None,
+            });
+            container.adopt_trace_ring(older);
+        }
         if let Some(factories) = self.factories.get(&node) {
             for factory in factories {
                 container.add_service(factory.create()).expect("factory service registration");
             }
         }
-        container.start(Micros(self.local_time(node)));
+        container.start(restart_at);
         self.containers.insert(node, container);
         self.order.push(node);
         true

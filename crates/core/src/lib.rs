@@ -97,6 +97,7 @@ mod scheduler;
 mod service;
 mod stats;
 pub mod sweep;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use container::{ContainerConfig, ServiceContainer, VarDistribution};
@@ -117,6 +118,7 @@ pub use stats::{
     ContainerStats, EventSubscriptionStats, FecStats, QosStats, TypeMismatchStats, VarChannelView,
     VarSubscriptionStats,
 };
+pub use trace::{LatencyHistogram, TraceConfig, TraceEvent, TraceId, TraceKind, TraceRing};
 
 // Re-exports that appear in this crate's public API, for downstream
 // convenience.

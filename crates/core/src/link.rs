@@ -8,7 +8,7 @@
 //! retransmission mechanism in the application layer" avoids per-packet ack
 //! overhead).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -41,6 +41,15 @@ pub struct ReliableLink {
     backlog: VecDeque<Bytes>,
     ack_due: bool,
     fec: LinkFec,
+    /// ARQ seqs retransmitted since the last [`ReliableLink::take_retransmits`]
+    /// drain (flight-recorder observation, not protocol state).
+    retx_log: Vec<u64>,
+    /// First-retransmission time per still-unacked ARQ seq; ordered map so
+    /// the ack sweep below is deterministic.
+    retx_pending: BTreeMap<u64, Micros>,
+    /// Completed first-retransmit→ACK recovery durations (µs) since the
+    /// last [`ReliableLink::take_recoveries`] drain.
+    recovery_log: Vec<u64>,
 }
 
 impl ReliableLink {
@@ -58,6 +67,9 @@ impl ReliableLink {
                 rx: FecReceiver::new(),
                 group_opened_at: None,
             },
+            retx_log: Vec::new(),
+            retx_pending: BTreeMap::new(),
+            recovery_log: Vec::new(),
         }
     }
 
@@ -169,6 +181,14 @@ impl ReliableLink {
     ) -> Vec<Message> {
         self.fec.tx.on_loss_report(loss_permille);
         self.tx.on_ack(cumulative, sack);
+        // Retransmitted seqs the cumulative ack just covered have
+        // recovered: close their first-retransmit→ACK timing.
+        let acked: Vec<u64> = self.retx_pending.range(..cumulative).map(|(s, _)| *s).collect();
+        for seq in acked {
+            if let Some(first) = self.retx_pending.remove(&seq) {
+                self.recovery_log.push(now.saturating_since(first).as_micros());
+            }
+        }
         // Window may have opened.
         let out = self.drain_backlog(now);
         self.code_out(out, now)
@@ -180,6 +200,18 @@ impl ReliableLink {
     /// Returns `(wire_messages, failed_payload_count)`.
     pub fn poll(&mut self, now: Micros) -> (Vec<Message>, Vec<u64>) {
         let (fresh, failed) = self.tx.poll(now);
+        // Everything the ARQ sender re-emits from poll is a retransmission
+        // (first transmissions leave through `send`): log them for the
+        // flight recorder and start the recovery clock on first retransmit.
+        for m in &fresh {
+            if let Message::RelData { seq, .. } = m {
+                self.retx_log.push(*seq);
+                self.retx_pending.entry(*seq).or_insert(now);
+            }
+        }
+        for seq in &failed {
+            self.retx_pending.remove(seq);
+        }
         let mut out = Vec::new();
         out.extend(self.code_out(fresh, now));
         let drained = self.drain_backlog(now);
@@ -215,6 +247,18 @@ impl ReliableLink {
     /// `true` when nothing is queued, in flight, or awaiting ack emission.
     pub fn is_quiescent(&self) -> bool {
         self.backlog.is_empty() && self.tx.inflight_len() == 0 && !self.ack_due
+    }
+
+    /// Drains the ARQ seqs retransmitted since the last call (the
+    /// container turns these into `rel_retransmit` trace events).
+    pub fn take_retransmits(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.retx_log)
+    }
+
+    /// Drains completed first-retransmit→ACK recovery durations in µs
+    /// (the container feeds these to the RTO-recovery histogram).
+    pub fn take_recoveries(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.recovery_log)
     }
 }
 
@@ -358,6 +402,22 @@ mod tests {
         for (i, p) in delivered.iter().enumerate() {
             assert_eq!(p.as_ref(), &[i as u8; 3]);
         }
+    }
+
+    #[test]
+    fn retransmits_are_observed_and_recovery_timed() {
+        let mut l = link(2);
+        l.send(Bytes::from_static(b"x"), Micros::ZERO);
+        assert!(l.take_retransmits().is_empty(), "first transmission is not a retransmit");
+        // Past the 10 ms RTO the frame is retransmitted.
+        let (out, _) = l.poll(Micros(20_000));
+        assert!(out.iter().any(|m| matches!(m, Message::RelData { .. })));
+        assert_eq!(l.take_retransmits(), vec![0]);
+        assert!(l.take_recoveries().is_empty(), "not yet acked");
+        // The ack closes the first-retransmit→ACK recovery timing.
+        l.on_ack(1, 0, 0, Micros(25_000));
+        assert_eq!(l.take_recoveries(), vec![5_000]);
+        assert!(l.take_recoveries().is_empty(), "drained");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! quiescence or arm a recovery deadline) and returns a violation message
 //! when the middleware breaks its contract.
 
-use marea_protocol::{Micros, ProtoDuration};
+use marea_presentation::Name;
+use marea_protocol::{Micros, NodeId, ProtoDuration};
 
 use crate::harness::SimHarness;
 use crate::scenario::schedule::FaultEvent;
@@ -31,7 +32,42 @@ impl InvariantCtx<'_> {
     }
 }
 
-/// One violated invariant occurrence.
+/// What an invariant reports when a check fails: the message plus the
+/// (node, channel) coordinates the runner uses to pull the relevant
+/// flight-recorder evidence and order the report deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breach {
+    /// Human-readable account of the violation.
+    pub detail: String,
+    /// The node the breach was observed on, when one is identifiable.
+    pub node: Option<NodeId>,
+    /// The variable/event channel involved, when one is identifiable.
+    pub channel: Option<Name>,
+}
+
+impl Breach {
+    /// A breach with only a message (no node/channel coordinates).
+    pub fn new(detail: impl Into<String>) -> Self {
+        Breach { detail: detail.into(), node: None, channel: None }
+    }
+
+    /// Pins the breach to the node it was observed on.
+    #[must_use]
+    pub fn at_node(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Pins the breach to the channel it concerns.
+    #[must_use]
+    pub fn on_channel(mut self, channel: Name) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+}
+
+/// One violated invariant occurrence, with the flight-recorder evidence
+/// the runner attached at check time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Virtual time of the failed check.
@@ -40,6 +76,17 @@ pub struct Violation {
     pub invariant: String,
     /// Human-readable account of the violation.
     pub detail: String,
+    /// The node the breach was observed on, when identifiable.
+    pub node: Option<NodeId>,
+    /// The channel involved, when identifiable.
+    pub channel: Option<Name>,
+    /// Last relevant flight-recorder lines of the breaching node
+    /// (rendered with [`render_event`](crate::trace::render_event),
+    /// oldest first; empty when tracing is off or no node is known).
+    pub trace: Vec<String>,
+    /// The assembled cross-node causal chain of the offending sample
+    /// (empty when no traced event is implicated).
+    pub chain: Vec<String>,
 }
 
 /// A property checked on a cadence while a scenario runs.
@@ -54,8 +101,8 @@ pub trait Invariant: Send {
     ///
     /// # Errors
     ///
-    /// The violation message.
-    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), String>;
+    /// The breach: message plus node/channel coordinates when known.
+    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), Breach>;
 }
 
 /// After every topology change settles, all live nodes must agree on who
@@ -81,7 +128,7 @@ impl Invariant for DirectoryConvergence {
         "directory-convergence"
     }
 
-    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), String> {
+    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), Breach> {
         if !ctx.quiescent_for(self.grace) {
             return Ok(());
         }
@@ -97,12 +144,18 @@ impl Invariant for DirectoryConvergence {
             let c = ctx.harness.container(*a).expect("listed");
             for b in &live {
                 if !c.directory().node_alive(*b) {
-                    return Err(format!("node {a} does not see live node {b} after calm period"));
+                    return Err(Breach::new(format!(
+                        "node {a} does not see live node {b} after calm period"
+                    ))
+                    .at_node(*a));
                 }
             }
             for dead in c.directory().nodes() {
                 if !live.contains(&dead) {
-                    return Err(format!("node {a} still believes crashed node {dead} is alive"));
+                    return Err(Breach::new(format!(
+                        "node {a} still believes crashed node {dead} is alive"
+                    ))
+                    .at_node(*a));
                 }
             }
         }
@@ -133,7 +186,7 @@ impl Invariant for NoSilentStaleness {
         "no-silent-staleness"
     }
 
-    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), String> {
+    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), Breach> {
         for node in ctx.harness.nodes() {
             let c = ctx.harness.container(node).expect("listed");
             // last_rx is stamped with the node's (possibly skewed) local
@@ -149,10 +202,12 @@ impl Invariant for NoSilentStaleness {
                 let Some(last_rx) = ch.last_rx else { continue };
                 let age = local_now.saturating_since(last_rx).as_micros();
                 if age > deadline_us.saturating_add(self.slack.as_micros()) && !ch.timed_out {
-                    return Err(format!(
+                    return Err(Breach::new(format!(
                         "node {node} channel `{name}`: last sample {age}µs old \
                          (declared deadline {deadline_us}µs) with no timeout warning"
-                    ));
+                    ))
+                    .at_node(node)
+                    .on_channel(name));
                 }
             }
         }
@@ -179,15 +234,16 @@ impl Invariant for QueueBound {
         "event-queue-bound"
     }
 
-    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), String> {
+    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), Breach> {
         for node in ctx.harness.nodes() {
             let c = ctx.harness.container(node).expect("listed");
             let len = c.scheduler_len();
             if len > self.max {
-                return Err(format!(
+                return Err(Breach::new(format!(
                     "node {node} scheduler queue {len} exceeds bound {}",
                     self.max
-                ));
+                ))
+                .at_node(node));
             }
         }
         Ok(())
@@ -262,7 +318,7 @@ impl Invariant for RtoRecovery {
         }
     }
 
-    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), String> {
+    fn check(&mut self, ctx: &InvariantCtx<'_>) -> Result<(), Breach> {
         let Some(armed) = self.armed_at else { return Ok(()) };
         if (self.recovered)(ctx.harness, armed) {
             let took = ctx.now.saturating_since(armed).as_micros();
@@ -272,10 +328,10 @@ impl Invariant for RtoRecovery {
         }
         if ctx.now.saturating_since(armed) > self.rto {
             self.armed_at = None; // report once per trigger
-            return Err(format!(
+            return Err(Breach::new(format!(
                 "recovery objective {}ms exceeded after fault at {armed:?}",
                 self.rto.as_millis()
-            ));
+            )));
         }
         Ok(())
     }

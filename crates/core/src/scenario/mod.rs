@@ -37,17 +37,49 @@ mod schedule;
 pub mod corpus;
 
 pub use invariant::{
-    DirectoryConvergence, Invariant, InvariantCtx, NoSilentStaleness, QueueBound, RtoRecovery,
-    Violation,
+    Breach, DirectoryConvergence, Invariant, InvariantCtx, NoSilentStaleness, QueueBound,
+    RtoRecovery, Violation,
 };
 pub use schedule::{FaultEvent, FaultSchedule, ScheduledFault};
 
 use std::collections::HashSet;
 
 use marea_netsim::NetStats;
+use marea_presentation::Name;
 use marea_protocol::{Micros, NodeId, ProtoDuration};
 
 use crate::harness::SimHarness;
+use crate::trace::{render_event, TraceId};
+
+/// How many flight-recorder lines of the breaching node a violation
+/// report carries (the tail closest to the failed check).
+const VIOLATION_TRACE_TAIL: usize = 12;
+
+/// Pulls the flight-recorder evidence for a breach: the last
+/// [`VIOLATION_TRACE_TAIL`] relevant records of the breaching node, plus
+/// the assembled cross-node causal chain of the newest traced record
+/// among them (the offending sample's journey).
+fn breach_evidence(
+    harness: &SimHarness,
+    node: Option<NodeId>,
+    channel: Option<&Name>,
+) -> (Vec<String>, Vec<String>) {
+    let Some(node) = node else { return (Vec::new(), Vec::new()) };
+    let Some(ring) = harness.trace_ring(node) else { return (Vec::new(), Vec::new()) };
+    let all: Vec<&crate::trace::TraceEvent> = ring.events().collect();
+    let relevant: Vec<&crate::trace::TraceEvent> = match channel {
+        Some(ch) => all.iter().copied().filter(|e| e.name.as_ref() == Some(ch)).collect(),
+        None => Vec::new(),
+    };
+    let source: &[&crate::trace::TraceEvent] = if relevant.is_empty() { &all } else { &relevant };
+    let skip = source.len().saturating_sub(VIOLATION_TRACE_TAIL);
+    let tail: Vec<String> = source[skip..].iter().map(|e| render_event(node, e)).collect();
+    let offending =
+        source.iter().rev().find(|e| !e.trace.is_none()).map(|e| e.trace).unwrap_or(TraceId::NONE);
+    let chain: Vec<String> =
+        harness.trace_chain(offending).into_iter().map(|(n, ev)| render_event(n, &ev)).collect();
+    (tail, chain)
+}
 
 /// A named chaos scenario: a schedule plus how long to keep running after
 /// it (so recovery can be observed) and how often invariants are checked.
@@ -197,6 +229,10 @@ impl ScenarioRunner {
                                 detail: format!(
                                     "scripted restart of unknown node {node} (no blueprint)"
                                 ),
+                                node: Some(*node),
+                                channel: None,
+                                trace: Vec::new(),
+                                chain: Vec::new(),
                             });
                         }
                     }
@@ -265,11 +301,17 @@ impl ScenarioRunner {
                 };
                 for inv in &mut self.invariants {
                     checks_run += 1;
-                    if let Err(detail) = inv.check(&ctx) {
+                    if let Err(breach) = inv.check(&ctx) {
+                        let (trace, chain) =
+                            breach_evidence(&self.harness, breach.node, breach.channel.as_ref());
                         violations.push(Violation {
                             at: now,
                             invariant: inv.name().to_string(),
-                            detail,
+                            detail: breach.detail,
+                            node: breach.node,
+                            channel: breach.channel,
+                            trace,
+                            chain,
                         });
                     }
                 }
@@ -280,6 +322,18 @@ impl ScenarioRunner {
             }
             self.harness.step();
         }
+
+        // Deterministic report order: (event-time, node, channel,
+        // invariant). Checks already run in registration order, but the
+        // sort pins the contract so readers can rely on it.
+        violations.sort_by(|a, b| {
+            (a.at, &a.node, &a.channel, &a.invariant).cmp(&(
+                b.at,
+                &b.node,
+                &b.channel,
+                &b.invariant,
+            ))
+        });
 
         ScenarioReport {
             name: scenario.name.clone(),

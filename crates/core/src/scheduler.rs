@@ -22,6 +22,7 @@ use marea_protocol::{Micros, NodeId, RequestId};
 
 use crate::error::CallError;
 use crate::service::{FileEvent, ProviderNotice, TimerId};
+use crate::trace::TraceId;
 
 /// Fixed handler priority; lower value runs first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -78,6 +79,8 @@ pub enum TaskPayload {
         stamp: Micros,
         /// Sample sequence number.
         seq: u64,
+        /// Causal id threaded from the publisher (flight recorder).
+        trace: TraceId,
     },
     /// Warn that a variable stopped arriving (validity/deadline QoS).
     VariableTimeout {
@@ -94,6 +97,8 @@ pub enum TaskPayload {
         seq: u64,
         /// Publisher's production stamp.
         stamp: Micros,
+        /// Causal id threaded from the emitter (flight recorder).
+        trace: TraceId,
     },
     /// Execute a remotely invoked function.
     ExecuteCall {
@@ -105,6 +110,8 @@ pub enum TaskPayload {
         function: Name,
         /// Decoded arguments.
         args: Vec<Value>,
+        /// Causal id from the caller's request, echoed in the reply.
+        trace: TraceId,
     },
     /// Deliver a remote invocation outcome to the caller.
     DeliverReply {

@@ -1,5 +1,7 @@
 //! Container counters, read by tests, the ground station and the benches.
 
+use crate::trace::LatencyHistogram;
+
 /// Cumulative counters of one service container.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ContainerStats {
@@ -71,6 +73,15 @@ pub struct ContainerStats {
     /// Counted per event as shards cross the container boundary (links are
     /// dropped when their peer dies, so these outlive individual links).
     pub fec: FecStats,
+    /// Publish→handler latency distribution of delivered variable samples
+    /// (log2-µs buckets; empty when tracing is disabled).
+    pub publish_to_deliver: LatencyHistogram,
+    /// Remote invocation round-trip distribution (issue → reply at the
+    /// caller; empty when tracing is disabled).
+    pub call_rtt: LatencyHistogram,
+    /// First-retransmission→ACK recovery distribution on reliable links
+    /// (empty when tracing is disabled).
+    pub rto_recovery: LatencyHistogram,
 }
 
 /// FEC-layer counters aggregated over every reliable link, alive or dead.

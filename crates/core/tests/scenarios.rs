@@ -173,6 +173,197 @@ fn staleness_invariant_is_clock_domain_correct_under_skew() {
     assert!(chaos.probes.var_samples.load(Ordering::Relaxed) > 50, "stream actually flowed");
 }
 
+/// The flight recorder is part of the determinism fingerprint: two runs
+/// with the same seed must produce byte-identical trace rings (rendered
+/// line by line) and identical latency-histogram snapshots. The restart
+/// scenario exercises the crash/stash/adopt path of the recorder too.
+#[test]
+fn same_seed_reproduces_identical_trace_rings_and_histograms() {
+    use marea_core::trace::render_event;
+
+    for name in ["radio_degradation_ramp", "publisher_failover", "rolling_restart_swarm16"] {
+        let run_once = |seed: u64| {
+            let mut chaos = corpus::build(name, &quick(seed)).expect("known");
+            chaos.run();
+            let h = chaos.runner.into_harness();
+            let rings: Vec<(NodeId, Vec<String>)> = h
+                .trace_rings()
+                .into_iter()
+                .map(|(n, ring)| (n, ring.events().map(|e| render_event(n, e)).collect()))
+                .collect();
+            let hists: Vec<_> = h
+                .nodes()
+                .into_iter()
+                .filter_map(|n| h.container(n).map(|c| (n, c.stats())))
+                .map(|(n, s)| (n, s.publish_to_deliver, s.call_rtt, s.rto_recovery))
+                .collect();
+            (rings, hists)
+        };
+        let (r1, h1) = run_once(42);
+        let (r2, h2) = run_once(42);
+        assert!(
+            r1.iter().any(|(_, lines)| !lines.is_empty()),
+            "`{name}`: the recorder captured nothing"
+        );
+        assert_eq!(r1, r2, "`{name}`: same seed, same trace rings");
+        assert_eq!(h1, h2, "`{name}`: same seed, same histogram snapshots");
+        assert!(
+            h1.iter().any(|(_, p2d, _, _)| p2d.count() > 0),
+            "`{name}`: publish→deliver histogram never recorded"
+        );
+    }
+}
+
+/// Flood helper for the evidence test: a publisher hammering one variable
+/// channel at a subscriber whose per-tick budget cannot keep up.
+struct FloodPublisher {
+    samples: marea_core::VarPort<u32>,
+}
+
+impl marea_core::Service for FloodPublisher {
+    fn descriptor(&self) -> marea_core::ServiceDescriptor {
+        marea_core::ServiceDescriptor::builder("flood")
+            .provides_var(
+                &self.samples,
+                marea_core::VarQos::aperiodic(marea_core::ProtoDuration::from_secs(1)),
+            )
+            .build()
+    }
+    fn on_start(&mut self, ctx: &mut marea_core::ServiceContext<'_>) {
+        ctx.set_timer(
+            marea_core::ProtoDuration::from_millis(2),
+            Some(marea_core::ProtoDuration::from_millis(2)),
+        );
+    }
+    fn on_timer(&mut self, ctx: &mut marea_core::ServiceContext<'_>, _id: marea_core::TimerId) {
+        for i in 0..8u32 {
+            ctx.publish_to(&self.samples, i);
+        }
+    }
+}
+
+struct FloodSink;
+
+impl marea_core::Service for FloodSink {
+    fn descriptor(&self) -> marea_core::ServiceDescriptor {
+        marea_core::ServiceDescriptor::builder("floodsink")
+            .subscribe_variable("chaos/flood", marea_core::VarQos::default())
+            .build()
+    }
+}
+
+/// The acceptance bar for the flight recorder: when an invariant breaks,
+/// the violation carries the breaching node's recorder tail *and* the
+/// assembled cross-node causal chain of the offending sample — the
+/// journey from `var_publish` on the publisher to the subscriber.
+#[test]
+fn queue_bound_violation_carries_trace_evidence_and_causal_chain() {
+    use marea_core::scenario::{FaultSchedule, QueueBound, Scenario, ScenarioRunner};
+    use marea_core::{ContainerConfig, ProtoDuration, SimHarness, VarPort};
+    use marea_netsim::NetConfig;
+
+    let mut h = SimHarness::new(NetConfig::default().with_seed(9));
+    h.add_container(ContainerConfig::new("pub", NodeId(1)));
+    let mut sub = ContainerConfig::new("sub", NodeId(2));
+    sub.tick_budget = 1; // guarantee a persistent backlog
+    h.add_container(sub);
+    h.add_service(NodeId(1), Box::new(FloodPublisher { samples: VarPort::new("chaos/flood") }));
+    h.add_service(NodeId(2), Box::new(FloodSink));
+    h.start_all();
+
+    let mut runner = ScenarioRunner::new(h);
+    runner.add_invariant(Box::new(QueueBound::new(0)));
+    let report =
+        runner.run(&Scenario::new("flood", FaultSchedule::new(), ProtoDuration::from_millis(100)));
+
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.invariant == "event-queue-bound" && !v.chain.is_empty())
+        .expect("the flooded subscriber breached the queue bound with a traced sample in flight");
+    assert_eq!(v.node, Some(NodeId(2)), "breach pinned to the backlogged node");
+    assert!(!v.trace.is_empty(), "flight-recorder tail attached");
+    assert!(v.trace.len() <= 12, "tail is bounded");
+    // The chain reconstructs the offending sample's cross-node journey.
+    assert!(
+        v.chain.iter().any(|l| l.contains(" n1 ") && l.contains("var_publish")),
+        "chain shows the publish on node 1: {:#?}",
+        v.chain
+    );
+    assert!(
+        v.chain.iter().any(|l| l.contains(" n2 ")),
+        "chain shows the sample reaching node 2: {:#?}",
+        v.chain
+    );
+    // Every chain line names the same trace id.
+    let id = v.chain[0].split("trace=").nth(1).map(|s| s.split_whitespace().next().unwrap());
+    assert!(id.is_some_and(|id| id != "-"), "chain lines carry a real trace id");
+    assert!(
+        v.chain.iter().all(|l| l.contains(&format!("trace={}", id.unwrap()))),
+        "chain is a single causal thread: {:#?}",
+        v.chain
+    );
+}
+
+/// Synthetic invariant that breaches every check at fixed coordinates —
+/// used to pin the report's deterministic violation order.
+struct AlwaysBreach {
+    label: &'static str,
+    node: u32,
+}
+
+impl marea_core::scenario::Invariant for AlwaysBreach {
+    fn name(&self) -> &str {
+        self.label
+    }
+    fn check(
+        &mut self,
+        _ctx: &marea_core::scenario::InvariantCtx<'_>,
+    ) -> Result<(), marea_core::scenario::Breach> {
+        Err(marea_core::scenario::Breach::new("synthetic").at_node(NodeId(self.node)))
+    }
+}
+
+/// Violation reports are ordered by (event-time, node, channel,
+/// invariant) regardless of invariant registration order — pinned here so
+/// downstream tooling (marea-trace, CI diffing) can rely on it.
+#[test]
+fn violations_are_ordered_by_time_node_channel_invariant() {
+    use marea_core::scenario::{FaultSchedule, Scenario, ScenarioRunner};
+    use marea_core::{ContainerConfig, ProtoDuration, SimHarness};
+    use marea_netsim::NetConfig;
+
+    let mut h = SimHarness::new(NetConfig::default());
+    h.add_container(ContainerConfig::new("a", NodeId(1)));
+    h.add_container(ContainerConfig::new("b", NodeId(2)));
+    h.start_all();
+
+    let mut runner = ScenarioRunner::new(h);
+    // Registered deliberately out of sorted order.
+    runner.add_invariant(Box::new(AlwaysBreach { label: "z-check", node: 2 }));
+    runner.add_invariant(Box::new(AlwaysBreach { label: "a-check", node: 1 }));
+    let report = runner.run(&Scenario::new(
+        "ordering",
+        FaultSchedule::new(),
+        ProtoDuration::from_millis(25),
+    ));
+
+    assert!(report.violations.len() >= 4, "two invariants over several checks");
+    let keys: Vec<_> = report
+        .violations
+        .iter()
+        .map(|v| (v.at, v.node, v.channel.clone(), v.invariant.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "report is sorted by (at, node, channel, invariant)");
+    // Within one check instant the node-1 breach precedes node-2's.
+    assert_eq!(keys[0].1, Some(NodeId(1)));
+    assert_eq!(keys[0].3, "a-check");
+    assert_eq!(keys[1].1, Some(NodeId(2)));
+    assert_eq!(keys[1].3, "z-check");
+}
+
 /// A scripted restart of a node that was never added is a script error:
 /// it must surface as a `schedule` violation, not arm RTO invariants or
 /// count as an applied fault.

@@ -192,7 +192,7 @@ fn json_str(s: &str) -> String {
 
 // ---- waiver / pragma parsing -------------------------------------------
 
-const VALID_RULES: &[&str] = &["D1", "D2", "Q1", "R1"];
+const VALID_RULES: &[&str] = &["D1", "D2", "Q1", "R1", "O1"];
 
 enum Directive {
     Allow { rules: Vec<String>, reason: String },

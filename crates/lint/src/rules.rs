@@ -1,6 +1,6 @@
 //! The rule set and its token-level matchers.
 //!
-//! Four rules, each scoped to the paths where its property is
+//! Five rules, each scoped to the paths where its property is
 //! load-bearing (fixtures opt in via a `// marea-lint: scope(...)`
 //! pragma so the corpus can live outside the real trees):
 //!
@@ -17,6 +17,11 @@
 //!   compat tests must carry an explicit waiver.
 //! * **R1** — no `unwrap`/`expect`/`panic!` in `crates/protocol` or the
 //!   container hot paths.
+//! * **O1** — no string allocation (`format!`, `.to_string()`,
+//!   `String::from`/`new`, `.to_owned()`) inside `TraceEvent`
+//!   construction or `.record(…)` argument lists. The flight recorder
+//!   runs on every publish/deliver; record time must only move interned
+//!   `Name`s and Copy scalars — rendering happens lazily at query time.
 //!
 //! Matchers run over the scrubbed token stream (comments and literal
 //! contents already removed), so text inside strings or docs can never
@@ -56,6 +61,12 @@ pub const RULES: &[RuleInfo] = &[
         title: "panic path (`unwrap`/`expect`/`panic!`) in protocol/container hot paths",
         hint: "handle the None/Err arm (let-else, match) or return a protocol error; hot \
                paths must stay panic-free",
+    },
+    RuleInfo {
+        id: "O1",
+        title: "string allocation in flight-recorder record-time construction",
+        hint: "TraceEvent fields carry interned `Name`s and Copy scalars only; render \
+               lazily at query time (render_event), never allocate at record time",
     },
 ];
 
@@ -155,6 +166,23 @@ fn r1_in_scope(cx: &FileCx) -> bool {
     p.contains("crates/protocol/src/")
         || p.ends_with("crates/core/src/container.rs")
         || p.contains("crates/core/src/engines/")
+}
+
+/// The flight-recorder record path: the trace module itself plus the two
+/// files that construct [`TraceEvent`]s or call `.record(…)` per message
+/// (the container's engine handlers and the harness crash/restart
+/// markers).
+fn o1_in_scope(cx: &FileCx) -> bool {
+    if cx.has_pragma("o1") {
+        return true;
+    }
+    if cx.is_test_file {
+        return false;
+    }
+    let p = cx.path;
+    p.ends_with("crates/core/src/trace.rs")
+        || p.ends_with("crates/core/src/container.rs")
+        || p.ends_with("crates/core/src/harness.rs")
 }
 
 // ---- file structure -----------------------------------------------------
@@ -311,6 +339,9 @@ pub fn detect(cx: &FileCx, disabled: &BTreeSet<String>) -> Vec<RawFinding> {
     }
     if on("R1") && r1_in_scope(cx) {
         detect_r1(cx, &mut out);
+    }
+    if on("O1") && o1_in_scope(cx) {
+        detect_o1(cx, &mut out);
     }
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -491,6 +522,83 @@ fn detect_q1(cx: &FileCx, out: &mut Vec<RawFinding>) {
                 col: t.col,
                 message: "blanket `allow(deprecated)` outside the compat layer".to_string(),
             });
+        }
+    }
+}
+
+/// Token-index ranges of flight-recorder record-time constructions:
+/// `TraceEvent { … }` literals and `.record( … )` argument lists.
+fn o1_record_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_ident("TraceEvent") && i + 1 < toks.len() && toks[i + 1].is('{') {
+            out.push((i + 1, matching_brace(toks, i + 1)));
+        }
+        if t.is_ident("record")
+            && i >= 1
+            && toks[i - 1].is('.')
+            && i + 1 < toks.len()
+            && toks[i + 1].is('(')
+        {
+            // Matching close paren by depth scan.
+            let mut depth = 0i32;
+            for (j, u) in toks.iter().enumerate().skip(i + 1) {
+                if u.is('(') {
+                    depth += 1;
+                } else if u.is(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        out.push((i + 1, j));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn detect_o1(cx: &FileCx, out: &mut Vec<RawFinding>) {
+    let toks = cx.toks;
+    for (open, close) in o1_record_ranges(toks) {
+        for i in open..close {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || cx.in_test_region(t.line) {
+                continue;
+            }
+            let alloc = match t.text.as_str() {
+                "format" if i + 1 < toks.len() && toks[i + 1].is('!') => {
+                    Some("`format!` allocates".to_string())
+                }
+                "to_string" | "to_owned"
+                    if toks[i - 1].is('.') && i + 1 < toks.len() && toks[i + 1].is('(') =>
+                {
+                    Some(format!("`.{}()` allocates", t.text))
+                }
+                "String" => {
+                    // `String::from(..)` / `String::new()`.
+                    let mut j = i + 1;
+                    while j < toks.len() && toks[j].is(':') {
+                        j += 1;
+                    }
+                    match toks.get(j) {
+                        Some(n) if n.is_ident("from") || n.is_ident("new") => {
+                            Some(format!("`String::{}` allocates", n.text))
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(what) = alloc {
+                out.push(RawFinding {
+                    rule: "O1",
+                    line: t.line,
+                    col: t.col,
+                    message: format!("{what} at flight-recorder record time"),
+                });
+            }
         }
     }
 }

@@ -66,6 +66,21 @@ fn r1_fires_on_exact_lines_and_dies_when_disabled() {
 }
 
 #[test]
+fn o1_fires_on_exact_lines_and_dies_when_disabled() {
+    let on = lint_fixture("violations/o1.rs", &[]);
+    assert_eq!(lines_of(&on, "O1"), vec![12, 14, 15, 16], "findings: {:?}", on.findings);
+    assert_eq!(on.findings.len(), 4, "only O1 should fire: {:?}", on.findings);
+    let off = lint_fixture("violations/o1.rs", &["O1"]);
+    assert!(off.findings.is_empty(), "disabled rule must go silent: {:?}", off.findings);
+}
+
+#[test]
+fn o1_ignores_allocation_outside_the_record_path() {
+    let report = lint_fixture("clean/o1.rs", &[]);
+    assert!(report.findings.is_empty(), "findings: {:?}", report.findings);
+}
+
+#[test]
 fn d1_fires_on_fec_shaped_shard_fanout() {
     // The fec module sits on `crates/protocol/src/` and is therefore
     // inside D1's scope automatically; this fixture proves the rule
@@ -122,6 +137,7 @@ fn every_finding_carries_a_span_and_a_hint() {
         "violations/d2.rs",
         "violations/q1.rs",
         "violations/r1.rs",
+        "violations/o1.rs",
         "violations/fec_d1.rs",
         "violations/fec_r1.rs",
     ] {

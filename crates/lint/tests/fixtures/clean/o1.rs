@@ -1,0 +1,11 @@
+// marea-lint: scope(o1)
+//! Clean fixture: record time only moves interned names and scalars;
+//! allocation outside the record path (reports, query-time rendering)
+//! is none of O1's business.
+
+fn tidy(tracer: &mut Tracer, now: Micros, name: &Name) {
+    let report = format!("rendered later: {}", name);
+    tracer.record(now, TraceKind::VarDeliver, TraceId::NONE, None, 0, Some(name));
+    let ev = TraceEvent { at: now, kind: TraceKind::VarPublish, name: Some(name.clone()), seq: 0 };
+    drop((report, ev));
+}

@@ -1,0 +1,18 @@
+// marea-lint: scope(o1)
+//! O1 fixture: string allocation while recording flight-recorder events.
+
+fn naughty(tracer: &mut Tracer, now: Micros, name: &Name) {
+    let ev = TraceEvent {
+        at: now,
+        incarnation: 1,
+        kind: TraceKind::VarPublish,
+        trace: TraceId::NONE,
+        peer: None,
+        seq: 0,
+        name: Some(format!("chan/{}", 7)),
+    };
+    tracer.record(now, TraceKind::VarDeliver, TraceId::NONE, None, 0, Some(name.to_string()));
+    tracer.record(now, TraceKind::EventEmit, TraceId::NONE, None, 0, Some(String::from("e")));
+    tracer.record(now, TraceKind::CallStart, TraceId::NONE, None, 0, Some(label.to_owned()));
+    drop(ev);
+}

@@ -344,6 +344,11 @@ pub enum Message {
         stamp_us: u64,
         /// Validity window of this sample in µs.
         validity_us: u64,
+        /// Mint counter of the causal trace id stamped by the
+        /// publisher's flight recorder (0 = untraced). Only the counter
+        /// travels — the origin node is the frame's `src`, so traced
+        /// frames stay 1-3 varint bytes heavier instead of 5-6.
+        trace: u64,
         /// Codec id of the payload.
         codec: u8,
         /// Encoded sample.
@@ -357,6 +362,9 @@ pub enum Message {
         seq: u64,
         /// Production timestamp (µs since publisher epoch).
         stamp_us: u64,
+        /// Mint counter of the emitter's causal trace id (0 =
+        /// untraced); the origin node is the frame's `src`.
+        trace: u64,
         /// Codec id of the payload (ignored when `payload` is empty).
         codec: u8,
         /// Encoded associated data; empty for bare events.
@@ -370,6 +378,9 @@ pub enum Message {
         function: Name,
         /// Target service instance sequence on the destination node.
         target_seq: u32,
+        /// Mint counter of the caller's causal trace id (0 =
+        /// untraced); the origin node is the frame's `src`.
+        trace: u64,
         /// Codec id of the argument payload.
         codec: u8,
         /// Encoded argument list.
@@ -381,6 +392,10 @@ pub enum Message {
         request: RequestId,
         /// Outcome.
         status: CallStatus,
+        /// Mint counter echoed from the request, so the caller's chain
+        /// closes without a correlation lookup (0 = untraced); the
+        /// origin is the caller itself, which minted the id.
+        trace: u64,
         /// Codec id of the result payload.
         codec: u8,
         /// Encoded return value, or UTF-8 error text for `AppError`.
@@ -688,31 +703,35 @@ impl Message {
                 w.put_str(name.as_str());
                 w.put_u32_le(subscriber.0);
             }
-            Message::VarSample { name, seq, stamp_us, validity_us, codec, payload } => {
+            Message::VarSample { name, seq, stamp_us, validity_us, trace, codec, payload } => {
                 w.put_str(name.as_str());
                 w.put_varint(*seq);
                 w.put_varint(*stamp_us);
                 w.put_varint(*validity_us);
+                w.put_varint(*trace);
                 w.put_u8(*codec);
                 w.put_len_prefixed(payload);
             }
-            Message::EventData { name, seq, stamp_us, codec, payload } => {
+            Message::EventData { name, seq, stamp_us, trace, codec, payload } => {
                 w.put_str(name.as_str());
                 w.put_varint(*seq);
                 w.put_varint(*stamp_us);
+                w.put_varint(*trace);
                 w.put_u8(*codec);
                 w.put_len_prefixed(payload);
             }
-            Message::CallRequest { request, function, target_seq, codec, payload } => {
+            Message::CallRequest { request, function, target_seq, trace, codec, payload } => {
                 w.put_varint(request.0);
                 w.put_str(function.as_str());
                 w.put_varint(u64::from(*target_seq));
+                w.put_varint(*trace);
                 w.put_u8(*codec);
                 w.put_len_prefixed(payload);
             }
-            Message::CallReply { request, status, codec, payload } => {
+            Message::CallReply { request, status, trace, codec, payload } => {
                 w.put_varint(request.0);
                 w.put_u8(status.wire_tag());
+                w.put_varint(*trace);
                 w.put_u8(*codec);
                 w.put_len_prefixed(payload);
             }
@@ -870,6 +889,7 @@ impl Message {
                 seq: r.get_varint()?,
                 stamp_us: r.get_varint()?,
                 validity_us: r.get_varint()?,
+                trace: r.get_varint()?,
                 codec: r.get_u8()?,
                 payload: read_blob(r)?,
             },
@@ -877,6 +897,7 @@ impl Message {
                 name: read_name(r)?,
                 seq: r.get_varint()?,
                 stamp_us: r.get_varint()?,
+                trace: r.get_varint()?,
                 codec: r.get_u8()?,
                 payload: read_blob(r)?,
             },
@@ -884,6 +905,7 @@ impl Message {
                 request: RequestId(r.get_varint()?),
                 function: read_name(r)?,
                 target_seq: read_u32(r)?,
+                trace: r.get_varint()?,
                 codec: r.get_u8()?,
                 payload: read_blob(r)?,
             },
@@ -891,7 +913,13 @@ impl Message {
                 let request = RequestId(r.get_varint()?);
                 let tag = r.get_u8()?;
                 let status = CallStatus::from_wire_tag(tag).ok_or(DecodeError::InvalidTag(tag))?;
-                Message::CallReply { request, status, codec: r.get_u8()?, payload: read_blob(r)? }
+                Message::CallReply {
+                    request,
+                    status,
+                    trace: r.get_varint()?,
+                    codec: r.get_u8()?,
+                    payload: read_blob(r)?,
+                }
             }
             MessageKind::FileAnnounce => Message::FileAnnounce {
                 transfer: TransferId(r.get_varint()?),
@@ -1071,6 +1099,7 @@ mod tests {
                 seq: 991,
                 stamp_us: 123_456,
                 validity_us: 200_000,
+                trace: 991,
                 codec: 0,
                 payload: Bytes::from_static(&[1, 2, 3]),
             },
@@ -1078,6 +1107,7 @@ mod tests {
                 name: name("mc/photo-now"),
                 seq: 7,
                 stamp_us: 55,
+                trace: 12,
                 codec: 0,
                 payload: Bytes::new(),
             },
@@ -1085,12 +1115,14 @@ mod tests {
                 request: RequestId(42),
                 function: name("camera/prepare"),
                 target_seq: 2,
+                trace: 77,
                 codec: 0,
                 payload: Bytes::from_static(&[9]),
             },
             Message::CallReply {
                 request: RequestId(42),
                 status: CallStatus::Ok,
+                trace: 77,
                 codec: 0,
                 payload: Bytes::from_static(&[1]),
             },
