@@ -5,40 +5,81 @@
 //! or `all` (default). All numbers are virtual-time/deterministic:
 //! identical on every machine.
 //!
-//! `--json <path>` additionally writes the full suite's numbers as a
-//! machine-readable document; `BENCH_experiments.json` at the repo root
-//! is the checked-in copy (regenerate with
-//! `cargo run -p marea-bench --release --bin experiments -- --json BENCH_experiments.json`).
-//! `--json-fec <path>` writes just the C9 FEC loss sweep;
-//! `BENCH_fec_loss.json` is its checked-in copy (regenerate with
-//! `cargo run -p marea-bench --release --bin experiments -- c9 --json-fec BENCH_fec_loss.json`).
-//! `--json-trace <path>` writes just the C10 flight-recorder overhead
-//! comparison; `BENCH_trace_overhead.json` is its checked-in copy
-//! (regenerate with
-//! `cargo run -p marea-bench --release --bin experiments -- c10 --json-trace BENCH_trace_overhead.json`).
+//! `--json <section> <path>` additionally writes one section's numbers
+//! as a machine-readable document, where `<section>` is `suite` (the
+//! full table set), `fec` (the C9 loss sweep) or `trace` (the C10
+//! flight-recorder comparison); `--json all <dir>` writes every section
+//! to its checked-in filename inside `<dir>`. The checked-in copies at
+//! the repo root regenerate with
+//! `cargo run -p marea-bench --release --bin experiments -- --json all .`
+//! (`BENCH_experiments.json`, `BENCH_fec_loss.json`,
+//! `BENCH_trace_overhead.json`). The pre-unification spellings
+//! `--json <path>`, `--json-fec <path>` and `--json-trace <path>` are
+//! kept as deprecated aliases for `--json suite|fec|trace <path>`.
 
 use marea_bench::*;
 use marea_core::SchedulerKind;
 
+/// One `--json` request: which document, written where.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JsonSection {
+    Suite,
+    Fec,
+    Trace,
+    All,
+}
+
+impl JsonSection {
+    fn parse(s: &str) -> Option<JsonSection> {
+        match s {
+            "suite" => Some(JsonSection::Suite),
+            "fec" => Some(JsonSection::Fec),
+            "trace" => Some(JsonSection::Trace),
+            "all" => Some(JsonSection::All),
+            _ => None,
+        }
+    }
+}
+
 fn main() {
-    let mut json_path: Option<String> = None;
-    let mut json_fec_path: Option<String> = None;
-    let mut json_trace_path: Option<String> = None;
+    let mut json_requests: Vec<(JsonSection, String)> = Vec::new();
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
+    let missing = |flag: &str| -> ! {
+        eprintln!("error: {flag} needs an output path");
+        std::process::exit(2);
+    };
     while let Some(a) = raw.next() {
-        if a == "--json" || a == "--json-fec" || a == "--json-trace" {
-            match raw.next() {
-                Some(p) if a == "--json" => json_path = Some(p),
-                Some(p) if a == "--json-fec" => json_fec_path = Some(p),
-                Some(p) => json_trace_path = Some(p),
-                None => {
-                    eprintln!("error: {a} needs an output path");
-                    std::process::exit(2);
+        match a.as_str() {
+            "--json" => match raw.next() {
+                Some(tok) => match JsonSection::parse(&tok) {
+                    Some(section) => match raw.next() {
+                        Some(path) => json_requests.push((section, path)),
+                        None => missing(&format!("--json {tok}")),
+                    },
+                    // Deprecated alias: a bare path means the full suite.
+                    None => {
+                        eprintln!("note: `--json <path>` is deprecated; use `--json suite <path>`");
+                        json_requests.push((JsonSection::Suite, tok));
+                    }
+                },
+                None => missing("--json"),
+            },
+            "--json-fec" => match raw.next() {
+                Some(path) => {
+                    eprintln!("note: `--json-fec` is deprecated; use `--json fec <path>`");
+                    json_requests.push((JsonSection::Fec, path));
                 }
-            }
-        } else {
-            args.push(a);
+                None => missing("--json-fec"),
+            },
+            "--json-trace" => match raw.next() {
+                Some(path) => {
+                    eprintln!("note: `--json-trace` is deprecated; use `--json trace <path>`");
+                    json_requests.push((JsonSection::Trace, path));
+                }
+                None => missing("--json-trace"),
+            },
+            _ => args.push(a),
         }
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -81,32 +122,25 @@ fn main() {
         c10_trace_overhead();
     }
 
-    if let Some(path) = json_path {
-        // The JSON document always covers the full suite so the
-        // checked-in copy never depends on which ids were requested.
-        match std::fs::write(&path, json_document()) {
-            Ok(()) => println!("\nwrote {path}"),
-            Err(e) => {
-                eprintln!("error: writing {path}: {e}");
-                std::process::exit(2);
-            }
+    // Each document always covers its full section regardless of which
+    // ids were requested above, so the checked-in copies never depend
+    // on the table selection.
+    let write_doc = |path: &str, doc: String| match std::fs::write(path, doc) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(2);
         }
-    }
-    if let Some(path) = json_fec_path {
-        match std::fs::write(&path, fec_json_document()) {
-            Ok(()) => println!("\nwrote {path}"),
-            Err(e) => {
-                eprintln!("error: writing {path}: {e}");
-                std::process::exit(2);
-            }
-        }
-    }
-    if let Some(path) = json_trace_path {
-        match std::fs::write(&path, trace_json_document()) {
-            Ok(()) => println!("\nwrote {path}"),
-            Err(e) => {
-                eprintln!("error: writing {path}: {e}");
-                std::process::exit(2);
+    };
+    for (section, path) in json_requests {
+        match section {
+            JsonSection::Suite => write_doc(&path, json_document()),
+            JsonSection::Fec => write_doc(&path, fec_json_document()),
+            JsonSection::Trace => write_doc(&path, trace_json_document()),
+            JsonSection::All => {
+                write_doc(&format!("{path}/BENCH_experiments.json"), json_document());
+                write_doc(&format!("{path}/BENCH_fec_loss.json"), fec_json_document());
+                write_doc(&format!("{path}/BENCH_trace_overhead.json"), trace_json_document());
             }
         }
     }

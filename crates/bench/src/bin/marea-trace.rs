@@ -262,12 +262,17 @@ fn violations(report: &ScenarioReport, json: bool) -> i32 {
 }
 
 fn histo_row(label: &str, h: &LatencyHistogram) -> String {
-    match (h.p50_us(), h.p99_us(), h.p999_us()) {
-        (Some(p50), Some(p99), Some(p999)) => {
-            format!("  {label:<18} count={:<8} p50<={p50}us p99<={p99}us p999<={p999}us", h.count())
-        }
-        _ => format!("  {label:<18} count=0"),
-    }
+    // Empty histograms emit the same field set as populated ones
+    // (`count=0`, `-` bounds) so text-mode output parses uniformly,
+    // mirroring the JSON mode's explicit nulls.
+    let bound = |v: Option<u64>| v.map(|x| format!("{x}us")).unwrap_or_else(|| "-".into());
+    format!(
+        "  {label:<18} count={:<8} p50<={} p99<={} p999<={}",
+        h.count(),
+        bound(h.p50_us()),
+        bound(h.p99_us()),
+        bound(h.p999_us())
+    )
 }
 
 fn histo_json(label: &str, h: &LatencyHistogram) -> String {
@@ -289,9 +294,10 @@ fn histo(h: &SimHarness, json: bool) {
             .filter_map(|n| h.container(*n).map(|c| (n, c.stats())))
             .map(|(n, s)| {
                 format!(
-                    "    {{\"node\": {}, {}, {}, {}}}",
+                    "    {{\"node\": {}, {}, {}, {}, {}}}",
                     n.0,
                     histo_json("publish_to_deliver", &s.publish_to_deliver),
+                    histo_json("event_to_deliver", &s.event_to_deliver),
                     histo_json("call_rtt", &s.call_rtt),
                     histo_json("rto_recovery", &s.rto_recovery),
                 )
@@ -304,6 +310,7 @@ fn histo(h: &SimHarness, json: bool) {
             let s = c.stats();
             println!("n{}:", n.0);
             println!("{}", histo_row("publish_to_deliver", &s.publish_to_deliver));
+            println!("{}", histo_row("event_to_deliver", &s.event_to_deliver));
             println!("{}", histo_row("call_rtt", &s.call_rtt));
             println!("{}", histo_row("rto_recovery", &s.rto_recovery));
         }

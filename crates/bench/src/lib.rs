@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod loadtest;
+
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;

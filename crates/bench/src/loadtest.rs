@@ -1,0 +1,981 @@
+//! Rate-controlled workload engine behind the `marea-loadtest` bin.
+//!
+//! Modeled on the openlink-loadtest shape (ROADMAP open item 2): a
+//! workload enum, N publisher/subscriber pairs, a per-source target
+//! rate, a warmup/settle window followed by fixed measurement windows,
+//! and a reporter quoting achieved rate, goodput and p50/p99/p999
+//! latency per window. Everything runs on the deterministic
+//! [`SimHarness`] with the [`MetricsSampler`] enabled, so the same
+//! `(workload, config, seed)` tuple reproduces the report — and its
+//! JSON rendering — byte for byte. The checked-in
+//! `BENCH_loadtest_<workload>.json` files are exactly these reports;
+//! CI regenerates them and fails on drift (see
+//! [`compare_overall`]).
+//!
+//! [`MetricsSampler`]: marea_core::metrics::MetricsSampler
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+
+use marea_core::metrics::{LatencySummary, MetricsConfig};
+use marea_core::trace::LatencyHistogram;
+use marea_core::{
+    ContainerConfig, EventPort, EventQos, FileEvent, FnPort, NodeId, ProtoDuration, Service,
+    ServiceContext, ServiceDescriptor, SimHarness, TimerId, TraceConfig, VarPort, VarQos,
+};
+use marea_netsim::NetConfig;
+use marea_presentation::{Name, Value};
+
+use super::payload_of;
+
+/// Container tick cadence every loadtest run uses (µs).
+pub const TICK_US: u64 = 500;
+
+/// Default regression threshold: overall p99 may rise at most 25%.
+pub const P99_RISE_PCT: u64 = 25;
+
+/// Default regression threshold: overall goodput may drop at most 10%.
+pub const GOODPUT_DROP_PCT: u64 = 10;
+
+/// The workload shapes `marea-loadtest` can generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// One publisher fanning a periodic variable out to N subscribers.
+    VarFanout,
+    /// N reliable-event pairs, each flooding at the target rate.
+    EventFlood,
+    /// N caller/echo pairs issuing RPCs at the target rate.
+    RpcEcho,
+    /// One file publisher bumping revisions to N subscribers (MFTP).
+    FileMulticast,
+    /// Vars + events + RPC mixed across the pairs (i % 3 picks a role).
+    MixedMission,
+}
+
+impl Workload {
+    /// Every workload, in the canonical order.
+    pub const ALL: [Workload; 5] = [
+        Workload::VarFanout,
+        Workload::EventFlood,
+        Workload::RpcEcho,
+        Workload::FileMulticast,
+        Workload::MixedMission,
+    ];
+
+    /// Stable snake_case name (file names, CLI argument, JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::VarFanout => "var_fanout",
+            Workload::EventFlood => "event_flood",
+            Workload::RpcEcho => "rpc_echo",
+            Workload::FileMulticast => "file_multicast",
+            Workload::MixedMission => "mixed_mission",
+        }
+    }
+
+    /// Parses a CLI name back into a workload.
+    pub fn parse(s: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == s)
+    }
+}
+
+/// One loadtest run's full parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadtestConfig {
+    /// The workload shape.
+    pub workload: Workload,
+    /// Publisher/subscriber pairs (for fan-out shapes: subscribers).
+    pub pairs: u32,
+    /// Per-source target rate in Hz (timer-driven; quantized to the
+    /// tick cadence).
+    pub rate_hz: u64,
+    /// Payload bytes per sample/event/call (file size for
+    /// [`Workload::FileMulticast`]).
+    pub payload_bytes: usize,
+    /// Warmup/settle time before the first measurement window (ms).
+    pub warmup_ms: u64,
+    /// Length of one measurement window (ms).
+    pub window_ms: u64,
+    /// Number of measurement windows.
+    pub windows: u32,
+    /// Metrics-sampler period (ms); 0 disables the sampler (the
+    /// overhead gate's baseline leg).
+    pub sample_period_ms: u64,
+    /// Netsim seed; same seed ⇒ byte-identical report.
+    pub seed: u64,
+}
+
+impl LoadtestConfig {
+    /// The checked-in baseline parameters of `workload` — what
+    /// `BENCH_loadtest_<workload>.json` is generated from.
+    pub fn baseline(workload: Workload) -> LoadtestConfig {
+        let base = LoadtestConfig {
+            workload,
+            pairs: 4,
+            rate_hz: 200,
+            payload_bytes: 64,
+            warmup_ms: 300,
+            window_ms: 500,
+            windows: 3,
+            sample_period_ms: 125,
+            seed: 17,
+        };
+        match workload {
+            Workload::VarFanout => LoadtestConfig { pairs: 8, ..base },
+            Workload::EventFlood => base,
+            Workload::RpcEcho => LoadtestConfig { rate_hz: 100, ..base },
+            Workload::FileMulticast => LoadtestConfig { rate_hz: 20, payload_bytes: 2048, ..base },
+            Workload::MixedMission => LoadtestConfig { pairs: 6, rate_hz: 100, ..base },
+        }
+    }
+
+    fn source_period(&self) -> ProtoDuration {
+        ProtoDuration::from_micros((1_000_000 / self.rate_hz.max(1)).max(TICK_US))
+    }
+}
+
+/// One measurement window's results (index 0 is the all-windows
+/// aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowReport {
+    /// 1-based window index; 0 for the overall aggregate.
+    pub index: u32,
+    /// Window start, virtual µs.
+    pub start_us: u64,
+    /// Window end, virtual µs.
+    pub end_us: u64,
+    /// Samples/events/calls/files the sources offered in the window.
+    pub offered: u64,
+    /// Deliveries completed in the window (fleet-wide).
+    pub delivered: u64,
+    /// Fleet-wide delivery rate: `delivered / window` (Hz).
+    pub achieved_hz: u64,
+    /// Application goodput: `delivered × payload × 8 / window` (bit/s).
+    pub goodput_bps: u64,
+    /// Latency of the deliveries in the window (per-node histograms
+    /// merged, then bucket-diffed against the window start).
+    pub latency: LatencySummary,
+}
+
+/// Everything one loadtest run measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadtestReport {
+    /// The parameters that produced it.
+    pub config: LoadtestConfig,
+    /// Per-window results, first window first.
+    pub windows: Vec<WindowReport>,
+    /// Aggregate over all measurement windows (index 0).
+    pub overall: WindowReport,
+    /// Metrics-sampler activity during the run (0 when disabled).
+    pub metrics_samples: u64,
+    /// Node frames the sampler retained.
+    pub metrics_frames: u64,
+    /// Link frames the sampler retained.
+    pub metrics_links: u64,
+}
+
+/// Merges per-node latency histograms into the fleet-wide distribution
+/// the reporter quotes percentiles from. Count-additive bucket by
+/// bucket (asserted by the property test below).
+pub fn merge_node_histograms<'a, I>(hists: I) -> LatencyHistogram
+where
+    I: IntoIterator<Item = &'a LatencyHistogram>,
+{
+    let mut merged = LatencyHistogram::default();
+    for h in hists {
+        merged.merge(h);
+    }
+    merged
+}
+
+// ---------------------------------------------------------------------------
+// Workload services (rate-controlled, never-ending variants of the
+// bench scenario services)
+// ---------------------------------------------------------------------------
+
+struct LoadVarPub {
+    port: VarPort<Vec<u8>>,
+    payload: usize,
+    period: ProtoDuration,
+}
+
+impl Service for LoadVarPub {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("load-varpub")
+            .provides_var(&self.port, VarQos::periodic(self.period, self.period.saturating_mul(8)))
+            .build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(self.period, Some(self.period));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        ctx.publish_to(&self.port, payload_of(self.payload));
+    }
+}
+
+struct LoadVarSink {
+    channel: String,
+}
+
+impl Service for LoadVarSink {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("load-varsink")
+            .subscribe_variable(&self.channel, VarQos::default())
+            .build()
+    }
+}
+
+struct LoadEventPub {
+    port: EventPort<Vec<u8>>,
+    payload: usize,
+    period: ProtoDuration,
+}
+
+impl Service for LoadEventPub {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("load-evpub").provides_event(&self.port).build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(self.period, Some(self.period));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        ctx.emit_to(&self.port, payload_of(self.payload));
+    }
+}
+
+struct LoadEventSink {
+    channel: String,
+}
+
+impl Service for LoadEventSink {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("load-evsink")
+            .subscribe_event(&self.channel, EventQos::default())
+            .build()
+    }
+}
+
+struct LoadCaller {
+    echo: FnPort<(Vec<u8>,), Vec<u8>>,
+    payload: usize,
+    period: ProtoDuration,
+}
+
+impl Service for LoadCaller {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("load-caller").requires_fn(&self.echo).build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(self.period, Some(self.period));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        // Open loop at the target rate: the RTT histogram is recorded by
+        // the container when the reply lands, so no reply tracking here.
+        let _ = ctx.call_fn(&self.echo, (payload_of(self.payload),));
+    }
+}
+
+struct LoadEcho {
+    port: FnPort<(Vec<u8>,), Vec<u8>>,
+}
+
+impl Service for LoadEcho {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("load-echo").provides_fn(&self.port).build()
+    }
+    fn on_call(
+        &mut self,
+        _ctx: &mut ServiceContext<'_>,
+        _f: &Name,
+        args: &[Value],
+    ) -> Result<Value, String> {
+        let (data,) = self.port.decode_args(args).map_err(|e| e.to_string())?;
+        Ok(self.port.encode_ret(data))
+    }
+}
+
+/// Shared publish-time probe: `published_at[revision - 1]` is the
+/// virtual µs revision `revision` was published at (file revisions are
+/// minted 1-based and sequentially).
+type FileProbe = Arc<Mutex<Vec<u64>>>;
+
+/// Per-node completion-latency histograms recorded by the file sinks.
+type FileLatencies = Arc<Mutex<BTreeMap<u32, LatencyHistogram>>>;
+
+struct LoadFilePub {
+    resource: String,
+    size: usize,
+    period: ProtoDuration,
+    published_at: FileProbe,
+}
+
+impl Service for LoadFilePub {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("load-filepub").file_resource(&self.resource).build()
+    }
+    fn on_start(&mut self, ctx: &mut ServiceContext<'_>) {
+        ctx.set_timer(self.period, Some(self.period));
+    }
+    fn on_timer(&mut self, ctx: &mut ServiceContext<'_>, _id: TimerId) {
+        self.published_at.lock().unwrap().push(ctx.now().as_micros());
+        ctx.publish_file(&self.resource, Bytes::from(payload_of(self.size)));
+    }
+}
+
+struct LoadFileSink {
+    resource: String,
+    published_at: FileProbe,
+    latencies: FileLatencies,
+}
+
+impl Service for LoadFileSink {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor::builder("load-filesink").subscribe_file(&self.resource).build()
+    }
+    fn on_file_event(&mut self, ctx: &mut ServiceContext<'_>, ev: &FileEvent) {
+        if let FileEvent::Received { revision, .. } = ev {
+            let stamp = self.published_at.lock().unwrap().get(*revision as usize - 1).copied();
+            if let Some(at) = stamp {
+                let us = ctx.now().as_micros().saturating_sub(at);
+                self.latencies.lock().unwrap().entry(ctx.local_node().0).or_default().record(us);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet assembly and the measurement loop
+// ---------------------------------------------------------------------------
+
+struct Fleet {
+    h: SimHarness,
+    publishers: Vec<NodeId>,
+    subscribers: Vec<NodeId>,
+    file_latencies: Option<FileLatencies>,
+}
+
+fn load_container(name: &str, node: NodeId) -> ContainerConfig {
+    let mut cfg = ContainerConfig::new(name, node);
+    cfg.trace = TraceConfig::with_capacity(128);
+    cfg
+}
+
+fn build_fleet(cfg: &LoadtestConfig) -> Fleet {
+    let mut h = SimHarness::new(NetConfig::default().with_seed(cfg.seed));
+    h.set_tick_us(TICK_US);
+    let period = cfg.source_period();
+    let mut publishers = Vec::new();
+    let mut subscribers = Vec::new();
+    let mut file_latencies = None;
+    match cfg.workload {
+        Workload::VarFanout => {
+            h.add_container(load_container("load-pub", NodeId(1)));
+            h.add_service(
+                NodeId(1),
+                Box::new(LoadVarPub {
+                    port: VarPort::new("load/var"),
+                    payload: cfg.payload_bytes,
+                    period,
+                }),
+            );
+            publishers.push(NodeId(1));
+            for i in 0..cfg.pairs {
+                let node = NodeId(101 + i);
+                h.add_container(load_container("load-sub", node));
+                h.add_service(node, Box::new(LoadVarSink { channel: "load/var".to_string() }));
+                subscribers.push(node);
+            }
+        }
+        Workload::EventFlood => {
+            for i in 0..cfg.pairs {
+                let (pn, sn) = (NodeId(1 + i), NodeId(101 + i));
+                let channel = format!("load/ev{i}");
+                h.add_container(load_container("load-pub", pn));
+                h.add_service(
+                    pn,
+                    Box::new(LoadEventPub {
+                        port: EventPort::new(&channel),
+                        payload: cfg.payload_bytes,
+                        period,
+                    }),
+                );
+                h.add_container(load_container("load-sub", sn));
+                h.add_service(sn, Box::new(LoadEventSink { channel }));
+                publishers.push(pn);
+                subscribers.push(sn);
+            }
+        }
+        Workload::RpcEcho => {
+            for i in 0..cfg.pairs {
+                let (cn, en) = (NodeId(1 + i), NodeId(101 + i));
+                let function = format!("load/echo{i}");
+                h.add_container(load_container("load-caller", cn));
+                h.add_service(
+                    cn,
+                    Box::new(LoadCaller {
+                        echo: FnPort::new(&function),
+                        payload: cfg.payload_bytes,
+                        period,
+                    }),
+                );
+                h.add_container(load_container("load-echo", en));
+                h.add_service(en, Box::new(LoadEcho { port: FnPort::new(&function) }));
+                publishers.push(cn);
+                subscribers.push(en);
+            }
+        }
+        Workload::FileMulticast => {
+            let published_at: FileProbe = Arc::new(Mutex::new(Vec::new()));
+            let latencies: FileLatencies = Arc::new(Mutex::new(BTreeMap::new()));
+            h.add_container(load_container("load-pub", NodeId(1)));
+            h.add_service(
+                NodeId(1),
+                Box::new(LoadFilePub {
+                    resource: "load/file".to_string(),
+                    size: cfg.payload_bytes,
+                    period,
+                    published_at: published_at.clone(),
+                }),
+            );
+            publishers.push(NodeId(1));
+            for i in 0..cfg.pairs {
+                let node = NodeId(101 + i);
+                h.add_container(load_container("load-sub", node));
+                h.add_service(
+                    node,
+                    Box::new(LoadFileSink {
+                        resource: "load/file".to_string(),
+                        published_at: published_at.clone(),
+                        latencies: latencies.clone(),
+                    }),
+                );
+                subscribers.push(node);
+            }
+            file_latencies = Some(latencies);
+        }
+        Workload::MixedMission => {
+            for i in 0..cfg.pairs {
+                let (pn, sn) = (NodeId(1 + i), NodeId(101 + i));
+                h.add_container(load_container("load-pub", pn));
+                h.add_container(load_container("load-sub", sn));
+                match i % 3 {
+                    0 => {
+                        let channel = format!("load/var{i}");
+                        h.add_service(
+                            pn,
+                            Box::new(LoadVarPub {
+                                port: VarPort::new(&channel),
+                                payload: cfg.payload_bytes,
+                                period,
+                            }),
+                        );
+                        h.add_service(sn, Box::new(LoadVarSink { channel }));
+                    }
+                    1 => {
+                        let channel = format!("load/ev{i}");
+                        h.add_service(
+                            pn,
+                            Box::new(LoadEventPub {
+                                port: EventPort::new(&channel),
+                                payload: cfg.payload_bytes,
+                                period,
+                            }),
+                        );
+                        h.add_service(sn, Box::new(LoadEventSink { channel }));
+                    }
+                    _ => {
+                        let function = format!("load/echo{i}");
+                        h.add_service(
+                            pn,
+                            Box::new(LoadCaller {
+                                echo: FnPort::new(&function),
+                                payload: cfg.payload_bytes,
+                                period,
+                            }),
+                        );
+                        h.add_service(sn, Box::new(LoadEcho { port: FnPort::new(&function) }));
+                    }
+                }
+                publishers.push(pn);
+                subscribers.push(sn);
+            }
+        }
+    }
+    if cfg.sample_period_ms > 0 {
+        h.enable_metrics(MetricsConfig {
+            period: ProtoDuration::from_millis(cfg.sample_period_ms),
+            capacity: 16 * 1024,
+        });
+    }
+    h.start_all();
+    Fleet { h, publishers, subscribers, file_latencies }
+}
+
+/// Cumulative counters at one instant; windows are snapshot deltas.
+#[derive(Clone, Copy, Default)]
+struct Snap {
+    offered: u64,
+    delivered: u64,
+    hist: LatencyHistogram,
+}
+
+fn stats_of(fleet: &Fleet, node: NodeId) -> marea_core::ContainerStats {
+    fleet.h.container(node).map(|c| c.stats()).unwrap_or_default()
+}
+
+fn snap(fleet: &Fleet, workload: Workload) -> Snap {
+    let mut s = Snap::default();
+    match workload {
+        Workload::VarFanout => {
+            for &n in &fleet.publishers {
+                s.offered += stats_of(fleet, n).vars_published;
+            }
+            for &n in &fleet.subscribers {
+                let st = stats_of(fleet, n);
+                s.delivered += st.var_samples_delivered;
+                s.hist.merge(&st.publish_to_deliver);
+            }
+        }
+        Workload::EventFlood => {
+            for &n in &fleet.publishers {
+                s.offered += stats_of(fleet, n).events_published;
+            }
+            for &n in &fleet.subscribers {
+                let st = stats_of(fleet, n);
+                s.delivered += st.events_delivered;
+                s.hist.merge(&st.event_to_deliver);
+            }
+        }
+        Workload::RpcEcho => {
+            for &n in &fleet.publishers {
+                let st = stats_of(fleet, n);
+                s.offered += st.calls_made;
+                s.delivered += st.call_rtt.count();
+                s.hist.merge(&st.call_rtt);
+            }
+        }
+        Workload::FileMulticast => {
+            for &n in &fleet.publishers {
+                s.offered += stats_of(fleet, n).files_published;
+            }
+            for &n in &fleet.subscribers {
+                s.delivered += stats_of(fleet, n).files_received;
+            }
+            if let Some(lat) = &fleet.file_latencies {
+                let map = lat.lock().unwrap();
+                s.hist = merge_node_histograms(map.values());
+            }
+        }
+        Workload::MixedMission => {
+            for &n in fleet.publishers.iter().chain(&fleet.subscribers) {
+                let st = stats_of(fleet, n);
+                s.offered += st.vars_published + st.events_published + st.calls_made;
+                s.delivered += st.var_samples_delivered + st.events_delivered + st.call_rtt.count();
+                s.hist.merge(&st.publish_to_deliver);
+                s.hist.merge(&st.event_to_deliver);
+                s.hist.merge(&st.call_rtt);
+            }
+        }
+    }
+    s
+}
+
+fn window_report(
+    index: u32,
+    start_us: u64,
+    end_us: u64,
+    before: &Snap,
+    after: &Snap,
+    payload_bytes: usize,
+) -> WindowReport {
+    let dur_us = end_us.saturating_sub(start_us).max(1);
+    let offered = after.offered.saturating_sub(before.offered);
+    let delivered = after.delivered.saturating_sub(before.delivered);
+    let hist = after.hist.saturating_diff(&before.hist);
+    let achieved_hz = delivered.saturating_mul(1_000_000) / dur_us;
+    let goodput_bps =
+        (delivered as u128 * payload_bytes as u128 * 8 * 1_000_000 / dur_us as u128) as u64;
+    WindowReport {
+        index,
+        start_us,
+        end_us,
+        offered,
+        delivered,
+        achieved_hz,
+        goodput_bps,
+        latency: LatencySummary::of(&hist),
+    }
+}
+
+/// Runs one loadtest end to end: build the fleet, warm up, measure
+/// `windows` windows, aggregate. Deterministic per config.
+pub fn run_loadtest(cfg: &LoadtestConfig) -> LoadtestReport {
+    let mut fleet = build_fleet(cfg);
+    fleet.h.run_for_millis(cfg.warmup_ms);
+    let mut snaps = vec![snap(&fleet, cfg.workload)];
+    let mut marks = vec![fleet.h.now().as_micros()];
+    for _ in 0..cfg.windows {
+        fleet.h.run_for_millis(cfg.window_ms);
+        snaps.push(snap(&fleet, cfg.workload));
+        marks.push(fleet.h.now().as_micros());
+    }
+    let windows: Vec<WindowReport> = (1..snaps.len())
+        .map(|i| {
+            window_report(
+                i as u32,
+                marks[i - 1],
+                marks[i],
+                &snaps[i - 1],
+                &snaps[i],
+                cfg.payload_bytes,
+            )
+        })
+        .collect();
+    let last = snaps.len() - 1;
+    let overall =
+        window_report(0, marks[0], marks[last], &snaps[0], &snaps[last], cfg.payload_bytes);
+    let (metrics_samples, metrics_frames, metrics_links) = match fleet.h.metrics() {
+        Some(m) => (
+            m.samples(),
+            m.frames().count() as u64 + m.evicted_frames(),
+            m.link_frames().count() as u64 + m.evicted_links(),
+        ),
+        None => (0, 0, 0),
+    };
+    LoadtestReport {
+        config: *cfg,
+        windows,
+        overall,
+        metrics_samples,
+        metrics_frames,
+        metrics_links,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reporting and the regression gate
+// ---------------------------------------------------------------------------
+
+fn opt_json(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            let _ = write!(out, "{x}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+fn window_json(out: &mut String, w: &WindowReport) {
+    let _ = write!(
+        out,
+        "{{\"index\": {}, \"start_us\": {}, \"end_us\": {}, \"offered\": {}, \"delivered\": {}, \
+         \"achieved_hz\": {}, \"goodput_bps\": {}, \"count\": {}, \"p50_us\": ",
+        w.index,
+        w.start_us,
+        w.end_us,
+        w.offered,
+        w.delivered,
+        w.achieved_hz,
+        w.goodput_bps,
+        w.latency.count,
+    );
+    opt_json(out, w.latency.p50_us);
+    out.push_str(", \"p99_us\": ");
+    opt_json(out, w.latency.p99_us);
+    out.push_str(", \"p999_us\": ");
+    opt_json(out, w.latency.p999_us);
+    out.push('}');
+}
+
+/// Renders the report as the byte-deterministic JSON document checked
+/// in as `BENCH_loadtest_<workload>.json`.
+pub fn report_json(r: &LoadtestReport) -> String {
+    let c = &r.config;
+    let mut out = String::with_capacity(2048);
+    let _ = write!(
+        out,
+        "{{\n  \"workload\": \"{}\",\n  \"config\": {{\"pairs\": {}, \"rate_hz\": {}, \
+         \"payload_bytes\": {}, \"warmup_ms\": {}, \"window_ms\": {}, \"windows\": {}, \
+         \"sample_period_ms\": {}, \"seed\": {}, \"tick_us\": {}}},\n  \"windows\": [\n",
+        c.workload.name(),
+        c.pairs,
+        c.rate_hz,
+        c.payload_bytes,
+        c.warmup_ms,
+        c.window_ms,
+        c.windows,
+        c.sample_period_ms,
+        c.seed,
+        TICK_US,
+    );
+    for (i, w) in r.windows.iter().enumerate() {
+        out.push_str("    ");
+        window_json(&mut out, w);
+        if i + 1 < r.windows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"overall\": ");
+    window_json(&mut out, &r.overall);
+    let _ = write!(
+        out,
+        ",\n  \"metrics\": {{\"samples\": {}, \"frames\": {}, \"links\": {}}}\n}}\n",
+        r.metrics_samples, r.metrics_frames, r.metrics_links,
+    );
+    out
+}
+
+/// Extracts the overall section's value of `key` from a report document
+/// (the overall object is the last place the window keys appear, so a
+/// reverse search finds it without a JSON parser). `None` for `null`
+/// or a missing key.
+pub fn overall_metric(doc: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let at = doc.rfind(&tag)?;
+    let rest = &doc[at + tag.len()..];
+    if rest.starts_with("null") {
+        return None;
+    }
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The perf-regression gate: compares a fresh report against the
+/// checked-in baseline and fails on gross drift — overall p99 rising
+/// more than `p99_rise_pct` percent, or overall goodput dropping more
+/// than `goodput_drop_pct` percent. Returns a human-readable summary
+/// on pass, the list of violations on fail.
+pub fn compare_overall(
+    baseline: &str,
+    fresh: &str,
+    p99_rise_pct: u64,
+    goodput_drop_pct: u64,
+) -> Result<String, Vec<String>> {
+    let mut failures = Vec::new();
+    let base_good = overall_metric(baseline, "goodput_bps");
+    let fresh_good = overall_metric(fresh, "goodput_bps");
+    match (base_good, fresh_good) {
+        (Some(b), Some(f)) if b > 0 && f * 100 < b * (100 - goodput_drop_pct.min(100)) => {
+            failures.push(format!(
+                "goodput dropped more than {goodput_drop_pct}%: baseline {b} bps, fresh {f} bps"
+            ));
+        }
+        (Some(b), None) if b > 0 => {
+            failures.push(format!("goodput vanished: baseline {b} bps, fresh report has none"));
+        }
+        _ => {}
+    }
+    let base_p99 = overall_metric(baseline, "p99_us");
+    let fresh_p99 = overall_metric(fresh, "p99_us");
+    match (base_p99, fresh_p99) {
+        (Some(b), Some(f)) if b > 0 && f * 100 > b * (100 + p99_rise_pct) => {
+            failures
+                .push(format!("p99 rose more than {p99_rise_pct}%: baseline {b}µs, fresh {f}µs"));
+        }
+        (Some(b), None) => {
+            failures.push(format!("latency samples vanished: baseline p99 {b}µs, fresh has none"));
+        }
+        _ => {}
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "goodput {} -> {} bps, p99 {} -> {} µs within thresholds (p99 +{p99_rise_pct}%, goodput -{goodput_drop_pct}%)",
+            base_good.unwrap_or(0),
+            fresh_good.unwrap_or(0),
+            base_p99.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            fresh_p99.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+        ))
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(workload: Workload) -> LoadtestConfig {
+        LoadtestConfig {
+            workload,
+            pairs: 2,
+            rate_hz: 200,
+            payload_bytes: 64,
+            warmup_ms: 200,
+            window_ms: 200,
+            windows: 2,
+            sample_period_ms: 50,
+            seed: 23,
+        }
+    }
+
+    #[test]
+    fn loadtest_reports_are_byte_deterministic_per_seed() {
+        for workload in [Workload::EventFlood, Workload::RpcEcho] {
+            let cfg = quick(workload);
+            let a = report_json(&run_loadtest(&cfg));
+            let b = report_json(&run_loadtest(&cfg));
+            assert_eq!(a, b, "{}: same seed must reproduce the report bytes", workload.name());
+            let other = report_json(&run_loadtest(&LoadtestConfig { seed: 24, ..cfg }));
+            assert!(
+                !other.is_empty() && other.contains(workload.name()),
+                "other-seed run still renders"
+            );
+        }
+    }
+
+    #[test]
+    fn loadtest_delivers_and_measures_under_every_workload() {
+        for workload in Workload::ALL {
+            let cfg = LoadtestConfig {
+                // File transfers need a slower source to complete.
+                rate_hz: if workload == Workload::FileMulticast { 20 } else { 200 },
+                payload_bytes: if workload == Workload::FileMulticast { 1024 } else { 64 },
+                warmup_ms: 400,
+                ..quick(workload)
+            };
+            let r = run_loadtest(&cfg);
+            assert_eq!(r.windows.len(), 2, "{}", workload.name());
+            assert!(r.overall.offered > 0, "{}: sources ran: {r:?}", workload.name());
+            assert!(r.overall.delivered > 0, "{}: deliveries measured: {r:?}", workload.name());
+            assert!(
+                r.overall.latency.count > 0,
+                "{}: latency histogram populated: {r:?}",
+                workload.name()
+            );
+            assert!(r.metrics_samples > 0, "{}: sampler ran: {r:?}", workload.name());
+            assert!(r.overall.goodput_bps > 0, "{}: goodput: {r:?}", workload.name());
+        }
+    }
+
+    #[test]
+    fn reporter_merge_preserves_count_additivity_and_quantile_monotonicity() {
+        // Property sweep over deterministic pseudo-random per-node
+        // histograms — the exact merge the loadtest reporter performs.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for round in 0..24 {
+            let nodes = 2 + (round % 7) as usize;
+            let mut per_node = Vec::new();
+            for _ in 0..nodes {
+                let mut h = LatencyHistogram::default();
+                let n = 1 + next() % 400;
+                for _ in 0..n {
+                    let shift = (next() % 40) as u32;
+                    h.record(next() >> shift);
+                }
+                per_node.push(h);
+            }
+            let merged = merge_node_histograms(per_node.iter());
+            // Count additivity, total and bucket by bucket.
+            let total: u64 = per_node.iter().map(LatencyHistogram::count).sum();
+            assert_eq!(merged.count(), total, "round {round}: count additivity");
+            for b in 0..marea_core::trace::HISTOGRAM_BUCKETS {
+                let sum: u64 = per_node.iter().map(|h| h.buckets()[b]).sum();
+                assert_eq!(merged.buckets()[b], sum, "round {round} bucket {b}");
+            }
+            // Quantile monotonicity on the merged distribution …
+            let (p50, p99, p999) =
+                (merged.p50_us().unwrap(), merged.p99_us().unwrap(), merged.p999_us().unwrap());
+            assert!(p50 <= p99 && p99 <= p999, "round {round}: {p50} {p99} {p999}");
+            // … and the merged quantiles bracket the per-node extremes:
+            // no node's p50 floor is above the merged p999, and the
+            // merged p999 never exceeds the largest per-node p999.
+            let max_p999 = per_node.iter().filter_map(LatencyHistogram::p999_us).max().unwrap();
+            assert!(p999 <= max_p999, "round {round}: merged p999 {p999} > max node {max_p999}");
+            let min_p50 = per_node.iter().filter_map(LatencyHistogram::p50_us).min().unwrap();
+            assert!(p50 >= min_p50, "round {round}: merged p50 {p50} < min node {min_p50}");
+        }
+    }
+
+    #[test]
+    fn regression_gate_trips_on_gross_drift_only() {
+        let doc = |goodput: u64, p99: u64| {
+            format!(
+                "{{\n  \"overall\": {{\"goodput_bps\": {goodput}, \"count\": 5, \"p99_us\": {p99}}}\n}}\n"
+            )
+        };
+        // Identical: pass.
+        assert!(compare_overall(&doc(100_000, 2047), &doc(100_000, 2047), 25, 10).is_ok());
+        // 5% goodput dip, p99 flat: pass.
+        assert!(compare_overall(&doc(100_000, 2047), &doc(95_000, 2047), 25, 10).is_ok());
+        // 20% goodput dip: fail.
+        let err = compare_overall(&doc(100_000, 2047), &doc(80_000, 2047), 25, 10).unwrap_err();
+        assert!(err[0].contains("goodput"), "{err:?}");
+        // p99 doubled: fail.
+        let err = compare_overall(&doc(100_000, 2047), &doc(100_000, 4095), 25, 10).unwrap_err();
+        assert!(err[0].contains("p99"), "{err:?}");
+        // Latency vanished: fail.
+        let gone =
+            "{\n  \"overall\": {\"goodput_bps\": 100000, \"count\": 0, \"p99_us\": null}\n}\n";
+        let err = compare_overall(&doc(100_000, 2047), gone, 25, 10).unwrap_err();
+        assert!(err[0].contains("vanished"), "{err:?}");
+        // Null baseline p99: only goodput is gated.
+        assert!(compare_overall(gone, gone, 25, 10).is_ok());
+    }
+
+    #[test]
+    fn overall_metric_reads_the_last_occurrence() {
+        let doc = "{\n  \"windows\": [\n    {\"goodput_bps\": 1, \"p99_us\": 10}\n  ],\n  \
+                   \"overall\": {\"goodput_bps\": 7, \"p99_us\": null}\n}\n";
+        assert_eq!(overall_metric(doc, "goodput_bps"), Some(7));
+        assert_eq!(overall_metric(doc, "p99_us"), None);
+        assert_eq!(overall_metric(doc, "missing"), None);
+    }
+
+    /// Metrics-sampler wall-clock gate, C10-style: sampling at an
+    /// aggressive 2 ms period must cost ≤5% against the sampler-off
+    /// leg of the same flood. Wall-clock, so ignored by default; CI
+    /// runs it in release.
+    #[test]
+    #[ignore = "wall-clock measurement; CI runs it in release"]
+    fn metrics_overhead_stays_within_five_percent() {
+        let run_cfg = |sampled: bool, rep: u64| LoadtestConfig {
+            workload: Workload::EventFlood,
+            pairs: 4,
+            rate_hz: 1000,
+            payload_bytes: 64,
+            warmup_ms: 100,
+            window_ms: 400,
+            windows: 4,
+            sample_period_ms: if sampled { 2 } else { 0 },
+            seed: 900 + rep,
+        };
+        let time_once = |sampled: bool, rep: u64| {
+            // marea-lint: allow(D2): wall-clock gate — measuring the real cost of sampling is the point
+            let t0 = std::time::Instant::now();
+            let _ = run_loadtest(&run_cfg(sampled, rep));
+            t0.elapsed()
+        };
+        // Warm-up, then adjacent off/on pairs; gate on the cleanest
+        // pair (ambient noise only inflates ratios at random, a real
+        // regression inflates every pair).
+        let _ = (time_once(false, 0), time_once(true, 0));
+        let mut pairs = Vec::new();
+        for rep in 1..=8 {
+            let off = time_once(false, rep);
+            let on = time_once(true, rep);
+            pairs.push((on.as_secs_f64() / off.as_secs_f64().max(1e-9), on, off));
+        }
+        let (ratio, on, off) =
+            pairs.iter().cloned().min_by(|a, b| a.0.total_cmp(&b.0)).expect("8 pairs");
+        let overhead = ratio - 1.0;
+        println!(
+            "metrics gate: best-pair sampling overhead {:.2}% (sampled {on:?}, unsampled {off:?})",
+            overhead * 100.0
+        );
+        assert!(
+            overhead <= 0.05,
+            "metrics gate: sampling overhead {:.2}% exceeds 5% in every pair",
+            overhead * 100.0
+        );
+    }
+}

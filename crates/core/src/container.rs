@@ -275,6 +275,7 @@ impl ServiceContainer {
             retries: self.rpc.retries,
         };
         stats.publish_to_deliver = self.tracer.publish_to_deliver;
+        stats.event_to_deliver = self.tracer.event_to_deliver;
         stats.call_rtt = self.tracer.call_rtt;
         stats.rto_recovery = self.tracer.rto_recovery;
         stats
@@ -2036,6 +2037,7 @@ impl ServiceContainer {
                 if latency > self.stats.event_latency_max_us {
                     self.stats.event_latency_max_us = latency;
                 }
+                self.tracer.record_event_latency(latency);
                 self.tracer.record(
                     now,
                     TraceKind::EventDeliver,

@@ -9,6 +9,7 @@ use marea_transport::SimLanTransport;
 
 use crate::clock::{Clock, SystemClock};
 use crate::container::{ContainerConfig, ServiceContainer};
+use crate::metrics::{MetricsConfig, MetricsSampler};
 use crate::service::Service;
 use crate::trace::{TraceEvent, TraceId, TraceKind, TraceRing};
 
@@ -106,6 +107,9 @@ pub struct SimHarness {
     /// Black boxes of crashed nodes: the flight-recorder ring survives the
     /// container teardown and is re-adopted on restart.
     stashed_rings: HashMap<NodeId, TraceRing>,
+    /// Periodic counter sampler ([`enable_metrics`](Self::enable_metrics));
+    /// `None` (the default) costs one branch per step.
+    metrics: Option<MetricsSampler>,
     tick_us: u64,
     now_us: u64,
 }
@@ -132,6 +136,7 @@ impl SimHarness {
             incarnations: HashMap::new(),
             skews: HashMap::new(),
             stashed_rings: HashMap::new(),
+            metrics: None,
             tick_us: 1_000,
             now_us: 0,
         }
@@ -358,9 +363,32 @@ impl SimHarness {
         }
     }
 
+    /// Turns on the periodic metrics sampler: from now on, every time
+    /// `config.period` of virtual time elapses, one [`MetricsFrame`]
+    /// per container and one [`LinkFrame`] per active link are appended
+    /// to the bounded timeline (read back through
+    /// [`metrics`](Self::metrics)). Replaces any earlier sampler.
+    ///
+    /// [`MetricsFrame`]: crate::metrics::MetricsFrame
+    /// [`LinkFrame`]: crate::metrics::LinkFrame
+    pub fn enable_metrics(&mut self, config: MetricsConfig) {
+        self.metrics = Some(MetricsSampler::new(config, Micros(self.now_us)));
+    }
+
+    /// The metrics timeline, if sampling is enabled.
+    pub fn metrics(&self) -> Option<&MetricsSampler> {
+        self.metrics.as_ref()
+    }
+
+    /// Stops sampling and takes the timeline out of the harness.
+    pub fn take_metrics(&mut self) -> Option<MetricsSampler> {
+        self.metrics.take()
+    }
+
     /// Advances virtual time by one tick: delivers due datagrams, then
     /// ticks every container in registration order (each at its own —
-    /// possibly skewed — local clock).
+    /// possibly skewed — local clock), then samples the metrics
+    /// timeline if one is enabled and due.
     pub fn step(&mut self) {
         self.now_us += self.tick_us;
         self.net.advance_to(self.now_us);
@@ -369,6 +397,11 @@ impl SimHarness {
             let now = Micros(self.local_time(node));
             if let Some(c) = self.containers.get_mut(&node) {
                 c.tick(now);
+            }
+        }
+        if let Some(sampler) = self.metrics.as_mut() {
+            if sampler.due(Micros(self.now_us)) {
+                sampler.sample_fleet(Micros(self.now_us), &self.containers, &self.net);
             }
         }
     }

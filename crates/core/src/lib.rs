@@ -90,6 +90,7 @@ mod engines;
 mod error;
 mod harness;
 mod link;
+pub mod metrics;
 mod ports;
 pub mod qos;
 pub mod scenario;
@@ -105,6 +106,7 @@ pub use directory::{Directory, NodeInfo, ProviderInfo};
 pub use error::{CallError, ContainerError};
 pub use harness::{RealtimeDriver, ServiceFactory, SimHarness};
 pub use link::ReliableLink;
+pub use metrics::{LatencySummary, LinkFrame, MetricsConfig, MetricsFrame, MetricsSampler};
 pub use ports::{EventPort, FnPort, TypedCallHandle, VarPort};
 pub use qos::{CallOptions, DropPolicy, EventQos, QosError, VarQos};
 pub use scheduler::{

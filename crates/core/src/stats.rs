@@ -76,6 +76,9 @@ pub struct ContainerStats {
     /// Publish→handler latency distribution of delivered variable samples
     /// (log2-µs buckets; empty when tracing is disabled).
     pub publish_to_deliver: LatencyHistogram,
+    /// Emit→handler latency distribution of delivered reliable events
+    /// (empty when tracing is disabled).
+    pub event_to_deliver: LatencyHistogram,
     /// Remote invocation round-trip distribution (issue → reply at the
     /// caller; empty when tracing is disabled).
     pub call_rtt: LatencyHistogram,

@@ -384,10 +384,22 @@ impl LatencyHistogram {
             *a += b;
         }
     }
+
+    /// Bucket-wise difference against an `earlier` cumulative snapshot
+    /// of the same histogram — the samples recorded in between. Buckets
+    /// saturate at zero, so a counter reset (node restart) yields an
+    /// empty window rather than an underflow.
+    pub fn saturating_diff(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for (i, o) in out.buckets.iter_mut().enumerate() {
+            *o = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out
+    }
 }
 
 /// The per-container flight recorder: the ring, the id mint and the
-/// three latency histograms the paper's QoS story cares about.
+/// four latency histograms the paper's QoS story cares about.
 #[derive(Debug, Clone)]
 pub struct Tracer {
     enabled: bool,
@@ -397,6 +409,8 @@ pub struct Tracer {
     ring: TraceRing,
     /// publish → handler delivery latency of variable samples.
     pub publish_to_deliver: LatencyHistogram,
+    /// emit → handler delivery latency of reliable events.
+    pub event_to_deliver: LatencyHistogram,
     /// Remote invocation round-trip time.
     pub call_rtt: LatencyHistogram,
     /// First-retransmission → ACK recovery time on reliable links.
@@ -413,6 +427,7 @@ impl Tracer {
             next_mint: 0,
             ring: TraceRing::new(if config.enabled { config.capacity } else { 0 }),
             publish_to_deliver: LatencyHistogram::default(),
+            event_to_deliver: LatencyHistogram::default(),
             call_rtt: LatencyHistogram::default(),
             rto_recovery: LatencyHistogram::default(),
         }
@@ -472,6 +487,13 @@ impl Tracer {
     pub fn record_var_latency(&mut self, us: u64) {
         if self.enabled {
             self.publish_to_deliver.record(us);
+        }
+    }
+
+    /// Records an event emit→deliver latency sample (µs).
+    pub fn record_event_latency(&mut self, us: u64) {
+        if self.enabled {
+            self.event_to_deliver.record(us);
         }
     }
 

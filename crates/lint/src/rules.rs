@@ -18,10 +18,13 @@
 //! * **R1** — no `unwrap`/`expect`/`panic!` in `crates/protocol` or the
 //!   container hot paths.
 //! * **O1** — no string allocation (`format!`, `.to_string()`,
-//!   `String::from`/`new`, `.to_owned()`) inside `TraceEvent`
-//!   construction or `.record(…)` argument lists. The flight recorder
-//!   runs on every publish/deliver; record time must only move interned
-//!   `Name`s and Copy scalars — rendering happens lazily at query time.
+//!   `String::from`/`new`, `.to_owned()`) inside `TraceEvent`,
+//!   `MetricsFrame` or `LinkFrame` construction, `.record(…)` argument
+//!   lists, or `fn sample_*` bodies (the metrics sampler's per-period
+//!   path). The flight recorder runs on every publish/deliver and the
+//!   sampler on every period; record/sample time must only move
+//!   interned `Name`s and Copy scalars — rendering happens lazily at
+//!   query time.
 //!
 //! Matchers run over the scrubbed token stream (comments and literal
 //! contents already removed), so text inside strings or docs can never
@@ -64,9 +67,10 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "O1",
-        title: "string allocation in flight-recorder record-time construction",
-        hint: "TraceEvent fields carry interned `Name`s and Copy scalars only; render \
-               lazily at query time (render_event), never allocate at record time",
+        title: "string allocation on a flight-recorder record or metrics sample path",
+        hint: "TraceEvent/MetricsFrame/LinkFrame fields carry interned `Name`s and Copy \
+               scalars only; render lazily at query time (render_event/to_jsonl), never \
+               allocate at record or sample time",
     },
 ];
 
@@ -168,10 +172,11 @@ fn r1_in_scope(cx: &FileCx) -> bool {
         || p.contains("crates/core/src/engines/")
 }
 
-/// The flight-recorder record path: the trace module itself plus the two
-/// files that construct [`TraceEvent`]s or call `.record(…)` per message
-/// (the container's engine handlers and the harness crash/restart
-/// markers).
+/// The flight-recorder record path — the trace module itself plus the
+/// two files that construct [`TraceEvent`]s or call `.record(…)` per
+/// message (the container's engine handlers and the harness
+/// crash/restart markers) — and the metrics sampler, whose `sample_*`
+/// fns run on every sampling period.
 fn o1_in_scope(cx: &FileCx) -> bool {
     if cx.has_pragma("o1") {
         return true;
@@ -183,6 +188,7 @@ fn o1_in_scope(cx: &FileCx) -> bool {
     p.ends_with("crates/core/src/trace.rs")
         || p.ends_with("crates/core/src/container.rs")
         || p.ends_with("crates/core/src/harness.rs")
+        || p.ends_with("crates/core/src/metrics.rs")
 }
 
 // ---- file structure -----------------------------------------------------
@@ -526,14 +532,24 @@ fn detect_q1(cx: &FileCx, out: &mut Vec<RawFinding>) {
     }
 }
 
-/// Token-index ranges of flight-recorder record-time constructions:
-/// `TraceEvent { … }` literals and `.record( … )` argument lists.
+/// Token-index ranges of flight-recorder record-time and metrics
+/// sample-time constructions: `TraceEvent { … }` / `MetricsFrame { … }`
+/// / `LinkFrame { … }` literals, `.record( … )` argument lists, and
+/// `fn sample_*` bodies (the sampler's whole per-period path).
 fn o1_record_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for i in 0..toks.len() {
         let t = &toks[i];
-        if t.is_ident("TraceEvent") && i + 1 < toks.len() && toks[i + 1].is('{') {
+        if (t.is_ident("TraceEvent") || t.is_ident("MetricsFrame") || t.is_ident("LinkFrame"))
+            && i + 1 < toks.len()
+            && toks[i + 1].is('{')
+        {
             out.push((i + 1, matching_brace(toks, i + 1)));
+        }
+        if t.is_ident("fn") && i + 1 < toks.len() && toks[i + 1].text.starts_with("sample_") {
+            if let Some(open) = toks[i..].iter().position(|u| u.is('{')) {
+                out.push((i + open, matching_brace(toks, i + open)));
+            }
         }
         if t.is_ident("record")
             && i >= 1
@@ -561,6 +577,10 @@ fn o1_record_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
 
 fn detect_o1(cx: &FileCx, out: &mut Vec<RawFinding>) {
     let toks = cx.toks;
+    // Ranges can nest (a `MetricsFrame { … }` literal inside a
+    // `fn sample_*` body); dedup by position so each allocation is
+    // reported once.
+    let mut found = Vec::new();
     for (open, close) in o1_record_ranges(toks) {
         for i in open..close {
             let t = &toks[i];
@@ -592,15 +612,18 @@ fn detect_o1(cx: &FileCx, out: &mut Vec<RawFinding>) {
                 _ => None,
             };
             if let Some(what) = alloc {
-                out.push(RawFinding {
+                found.push(RawFinding {
                     rule: "O1",
                     line: t.line,
                     col: t.col,
-                    message: format!("{what} at flight-recorder record time"),
+                    message: format!("{what} at record/sample time"),
                 });
             }
         }
     }
+    found.sort_by_key(|f| (f.line, f.col));
+    found.dedup_by_key(|f| (f.line, f.col));
+    out.append(&mut found);
 }
 
 fn detect_r1(cx: &FileCx, out: &mut Vec<RawFinding>) {

@@ -81,6 +81,23 @@ fn o1_ignores_allocation_outside_the_record_path() {
 }
 
 #[test]
+fn o1_fires_on_metrics_shaped_sample_paths() {
+    // The sampler extension: frame literals and `fn sample_*` bodies
+    // are record-time just like `TraceEvent`/`.record(…)`.
+    let on = lint_fixture("violations/metrics_o1.rs", &[]);
+    assert_eq!(lines_of(&on, "O1"), vec![10, 12, 17, 18], "findings: {:?}", on.findings);
+    assert_eq!(on.findings.len(), 4, "only O1 should fire: {:?}", on.findings);
+    let off = lint_fixture("violations/metrics_o1.rs", &["O1"]);
+    assert!(off.findings.is_empty(), "disabled rule must go silent: {:?}", off.findings);
+}
+
+#[test]
+fn o1_ignores_query_time_rendering_of_the_metrics_timeline() {
+    let report = lint_fixture("clean/metrics_o1.rs", &[]);
+    assert!(report.findings.is_empty(), "findings: {:?}", report.findings);
+}
+
+#[test]
 fn d1_fires_on_fec_shaped_shard_fanout() {
     // The fec module sits on `crates/protocol/src/` and is therefore
     // inside D1's scope automatically; this fixture proves the rule
@@ -138,6 +155,7 @@ fn every_finding_carries_a_span_and_a_hint() {
         "violations/q1.rs",
         "violations/r1.rs",
         "violations/o1.rs",
+        "violations/metrics_o1.rs",
         "violations/fec_d1.rs",
         "violations/fec_r1.rs",
     ] {

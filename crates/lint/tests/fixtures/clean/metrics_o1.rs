@@ -1,0 +1,16 @@
+// marea-lint: scope(o1)
+//! Clean fixture: the sample path only moves Copy scalars; rendering a
+//! timeline to JSON allocates freely because it runs at query time,
+//! outside frame construction and the `sample_*` fns.
+
+fn sample_tidy(frames: &mut Vec<MetricsFrame>, node: NodeId, at: Micros) {
+    frames.push(MetricsFrame { at, sample: 1, node, frames_in: 3, bytes_out: 64 });
+}
+
+fn render_timeline(frames: &[MetricsFrame]) -> String {
+    let mut out = String::new();
+    for f in frames {
+        out.push_str(&format!("{} {}\n", f.sample, f.bytes_out));
+    }
+    out
+}

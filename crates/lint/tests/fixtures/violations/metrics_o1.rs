@@ -1,0 +1,19 @@
+// marea-lint: scope(o1)
+//! O1 fixture: string allocation on the metrics sampler's per-period
+//! path — frame-literal construction and `fn sample_*` bodies.
+
+fn naughty_frames(node: NodeId, at: Micros) {
+    let frame = MetricsFrame {
+        at,
+        sample: 1,
+        node,
+        label: format!("node-{}", node.0),
+    };
+    let link = LinkFrame { at, sample: 1, src: node.0, dst: node.0, tag: "up".to_string() };
+    drop((frame, link));
+}
+
+fn sample_everything(last: &mut BTreeMap<NodeId, String>, node: NodeId) {
+    let key = String::from("stats");
+    last.insert(node, key.to_owned());
+}

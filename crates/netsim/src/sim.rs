@@ -348,6 +348,14 @@ impl SimNet {
         self.inner.lock().stats.clone()
     }
 
+    /// Runs `f` against the live counters without cloning them — the
+    /// metrics sampler's per-period hook ([`stats`](SimNet::stats)
+    /// copies both per-node and per-link maps, which a periodic sample
+    /// path cannot afford).
+    pub fn with_stats<R>(&self, f: impl FnOnce(&NetStats) -> R) -> R {
+        f(&self.inner.lock().stats)
+    }
+
     /// Resets the counters (not the clock or state); benches call this
     /// between phases.
     pub fn reset_stats(&self) {
