@@ -1,19 +1,21 @@
 //! Regenerates every figure/claim table recorded in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run -p marea-bench --release --bin experiments [-- <id>...]`
-//! where `<id>` is one of `f1 f2 f3 f4 c1 c2 c3 c4 c5 c6 c7 c8 c9 c10`
-//! or `all` (default). All numbers are virtual-time/deterministic:
+//! where `<id>` is one of `f1 f2 f3 f4 c1 c2 c3 c4 c5 c6 c7 c8 c9 c10
+//! c11` or `all` (default). All numbers are virtual-time/deterministic:
 //! identical on every machine.
 //!
 //! `--json <section> <path>` additionally writes one section's numbers
 //! as a machine-readable document, where `<section>` is `suite` (the
-//! full table set), `fec` (the C9 loss sweep) or `trace` (the C10
-//! flight-recorder comparison); `--json all <dir>` writes every section
+//! full table set), `fec` (the C9 loss sweep), `trace` (the C10
+//! flight-recorder comparison) or `swarm` (the C11 fleet-size sweep);
+//! `--json all <dir>` writes every section
 //! to its checked-in filename inside `<dir>`. The checked-in copies at
 //! the repo root regenerate with
 //! `cargo run -p marea-bench --release --bin experiments -- --json all .`
 //! (`BENCH_experiments.json`, `BENCH_fec_loss.json`,
-//! `BENCH_trace_overhead.json`). The pre-unification spellings
+//! `BENCH_trace_overhead.json`, `BENCH_swarm_scale.json`). The
+//! pre-unification spellings
 //! `--json <path>`, `--json-fec <path>` and `--json-trace <path>` are
 //! kept as deprecated aliases for `--json suite|fec|trace <path>`.
 
@@ -26,6 +28,7 @@ enum JsonSection {
     Suite,
     Fec,
     Trace,
+    Swarm,
     All,
 }
 
@@ -35,6 +38,7 @@ impl JsonSection {
             "suite" => Some(JsonSection::Suite),
             "fec" => Some(JsonSection::Fec),
             "trace" => Some(JsonSection::Trace),
+            "swarm" => Some(JsonSection::Swarm),
             "all" => Some(JsonSection::All),
             _ => None,
         }
@@ -121,6 +125,9 @@ fn main() {
     if want("c10") {
         c10_trace_overhead();
     }
+    if want("c11") {
+        c11_swarm_scale();
+    }
 
     // Each document always covers its full section regardless of which
     // ids were requested above, so the checked-in copies never depend
@@ -137,10 +144,12 @@ fn main() {
             JsonSection::Suite => write_doc(&path, json_document()),
             JsonSection::Fec => write_doc(&path, fec_json_document()),
             JsonSection::Trace => write_doc(&path, trace_json_document()),
+            JsonSection::Swarm => write_doc(&path, swarm_json_document()),
             JsonSection::All => {
                 write_doc(&format!("{path}/BENCH_experiments.json"), json_document());
                 write_doc(&format!("{path}/BENCH_fec_loss.json"), fec_json_document());
                 write_doc(&format!("{path}/BENCH_trace_overhead.json"), trace_json_document());
+                write_doc(&format!("{path}/BENCH_swarm_scale.json"), swarm_json_document());
             }
         }
     }
@@ -669,6 +678,72 @@ fn trace_json_document() -> String {
     out.push('}');
     out.push('\n');
     out
+}
+
+/// C11 seed shared by the table and the JSON document, so the
+/// checked-in copy regenerates from the same runs the table prints.
+const C11_SEED: u64 = 1_100;
+
+fn c11_rows() -> Vec<marea_bench::SwarmScaleRow> {
+    bench_swarm_scale(C11_SEED)
+}
+
+/// The C11 fleet-size sweep as JSON. Every field is virtual-time or a
+/// deterministic counter, so the document is byte-identical on every
+/// machine; the wall-clock ticks/sec side of the swarm claim is the
+/// ignored release-mode floor test named in `wall_clock_gate`.
+fn swarm_json_document() -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"tick_us\": {SWARM_TICK_US}, \"settle_ms\": {SWARM_SETTLE_MS}, \
+         \"window_ms\": {SWARM_WINDOW_MS}, \"seed\": {C11_SEED}}},\n"
+    ));
+    out.push_str("  \"c11_swarm_scale\": [\n");
+    let body: Vec<String> = c11_rows()
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"nodes\": {}, \"ticks\": {}, \"virtual_ms\": {}, \
+                 \"beacons_delivered\": {}, \"datagrams\": {}, \"wire_bytes\": {}, \
+                 \"full_mesh\": {}}}",
+                r.nodes,
+                r.ticks,
+                r.virtual_ms,
+                r.beacons_delivered,
+                r.datagrams,
+                r.wire_bytes,
+                r.full_mesh,
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str(
+        "  \"wall_clock_gate\": \"swarm_ticks_per_sec_floor_at_256_nodes: \
+         >= 250k container ticks/sec at 256 nodes, release mode\"\n",
+    );
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn c11_swarm_scale() {
+    banner(
+        "C11",
+        "swarm scale: sim-core wire cost vs fleet size",
+        "DESIGN.md §10 — due-date scheduling + digest gossip keep the control plane subquadratic per period",
+    );
+    println!(
+        "   {:<8} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "nodes", "ticks", "beacons", "datagrams", "wire bytes", "full mesh"
+    );
+    for r in c11_rows() {
+        println!(
+            "   {:<8} {:>12} {:>12} {:>12} {:>14} {:>10}",
+            r.nodes, r.ticks, r.beacons_delivered, r.datagrams, r.wire_bytes, r.full_mesh
+        );
+    }
+    println!("   wall-clock gate: tests::swarm_ticks_per_sec_floor_at_256_nodes (release, >=250k)");
 }
 
 fn c10_trace_overhead() {

@@ -747,8 +747,13 @@ pub fn overall_metric(doc: &str, key: &str) -> Option<u64> {
 /// The perf-regression gate: compares a fresh report against the
 /// checked-in baseline and fails on gross drift — overall p99 rising
 /// more than `p99_rise_pct` percent, or overall goodput dropping more
-/// than `goodput_drop_pct` percent. Returns a human-readable summary
-/// on pass, the list of violations on fail.
+/// than `goodput_drop_pct` percent. A metric *presence* mismatch in
+/// either direction (baseline has it, fresh doesn't, or vice versa)
+/// is always a failure: a gate that compares an absent number against
+/// a present one has nothing to gate on, and silently passing is how
+/// regressions hide. Only `(None, None)` — the metric absent on both
+/// sides — is ungated. Returns a human-readable summary on pass, the
+/// list of violations on fail.
 pub fn compare_overall(
     baseline: &str,
     fresh: &str,
@@ -764,8 +769,14 @@ pub fn compare_overall(
                 "goodput dropped more than {goodput_drop_pct}%: baseline {b} bps, fresh {f} bps"
             ));
         }
-        (Some(b), None) if b > 0 => {
+        (Some(b), None) => {
             failures.push(format!("goodput vanished: baseline {b} bps, fresh report has none"));
+        }
+        (None, Some(f)) => {
+            failures.push(format!(
+                "goodput appeared: baseline has none, fresh reports {f} bps — \
+                 baselines must be regenerated, not grown in place"
+            ));
         }
         _ => {}
     }
@@ -778,6 +789,12 @@ pub fn compare_overall(
         }
         (Some(b), None) => {
             failures.push(format!("latency samples vanished: baseline p99 {b}µs, fresh has none"));
+        }
+        (None, Some(f)) => {
+            failures.push(format!(
+                "latency samples appeared: baseline p99 has none, fresh reports {f}µs — \
+                 baselines must be regenerated, not grown in place"
+            ));
         }
         _ => {}
     }
@@ -920,6 +937,43 @@ mod tests {
         assert!(err[0].contains("vanished"), "{err:?}");
         // Null baseline p99: only goodput is gated.
         assert!(compare_overall(gone, gone, 25, 10).is_ok());
+    }
+
+    #[test]
+    fn regression_gate_fails_on_metric_presence_mismatch() {
+        // A report where both metrics exist, one where both are null,
+        // and one where only goodput exists (p99 null).
+        let full =
+            "{\n  \"overall\": {\"goodput_bps\": 100000, \"count\": 5, \"p99_us\": 2047}\n}\n";
+        let empty =
+            "{\n  \"overall\": {\"goodput_bps\": null, \"count\": 0, \"p99_us\": null}\n}\n";
+        let good_only =
+            "{\n  \"overall\": {\"goodput_bps\": 100000, \"count\": 0, \"p99_us\": null}\n}\n";
+        // Baseline has both, fresh has neither: both metrics vanished.
+        let err = compare_overall(full, empty, 25, 10).unwrap_err();
+        assert_eq!(err.len(), 2, "{err:?}");
+        assert!(err[0].contains("goodput vanished"), "{err:?}");
+        assert!(err[1].contains("latency samples vanished"), "{err:?}");
+        // Baseline has neither, fresh has both: both metrics appeared.
+        let err = compare_overall(empty, full, 25, 10).unwrap_err();
+        assert_eq!(err.len(), 2, "{err:?}");
+        assert!(err[0].contains("goodput appeared"), "{err:?}");
+        assert!(err[1].contains("latency samples appeared"), "{err:?}");
+        // One-sided presence in one metric only.
+        let err = compare_overall(good_only, full, 25, 10).unwrap_err();
+        assert_eq!(err.len(), 1, "{err:?}");
+        assert!(err[0].contains("latency samples appeared"), "{err:?}");
+        let err = compare_overall(full, good_only, 25, 10).unwrap_err();
+        assert_eq!(err.len(), 1, "{err:?}");
+        assert!(err[0].contains("latency samples vanished"), "{err:?}");
+        // Zero baseline goodput vanishing is still a presence mismatch.
+        let zero_good =
+            "{\n  \"overall\": {\"goodput_bps\": 0, \"count\": 0, \"p99_us\": null}\n}\n";
+        let err = compare_overall(zero_good, empty, 25, 10).unwrap_err();
+        assert_eq!(err.len(), 1, "{err:?}");
+        assert!(err[0].contains("goodput vanished"), "{err:?}");
+        // Absent on both sides stays ungated.
+        assert!(compare_overall(empty, empty, 25, 10).is_ok());
     }
 
     #[test]

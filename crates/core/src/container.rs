@@ -18,7 +18,7 @@
 //! [`ServiceContext`](crate::ServiceContext).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use bytes::Bytes;
@@ -51,8 +51,12 @@ use crate::service::{
     ServiceDescriptor, TimerId,
 };
 use crate::stats::{ContainerStats, EventSubscriptionStats, QosStats, VarSubscriptionStats};
-use crate::sweep::sorted_keys;
+use crate::sweep::{sorted_keys, sorted_keys_into};
 use crate::trace::{TraceConfig, TraceId, TraceKind, TraceRing, Tracer};
+
+mod gossip;
+mod pump;
+mod subscriptions;
 
 /// Upper bound for one marshalled call argument.
 pub(crate) const MAX_ARG_BYTES: usize = 4 * 1024 * 1024;
@@ -188,6 +192,30 @@ pub struct ServiceContainer {
     started_at: Micros,
     last_heartbeat: Option<Micros>,
     last_announce: Option<Micros>,
+    /// Digest `(hash, entry_count)` of the last full catalogue broadcast.
+    /// While the catalogue is unchanged, the periodic announce slot sends
+    /// a compact `AnnounceDigest` instead of re-flooding the catalogue.
+    last_announce_digest: Option<(u32, u32)>,
+    /// When the last forced (out-of-cadence) full re-announce went out.
+    last_forced_reannounce: Option<Micros>,
+    /// A forced re-announce arrived inside the debounce window and waits
+    /// for the next announce-period boundary.
+    reannounce_pending: bool,
+    /// Directory or subscription state changed since the last maintenance
+    /// sweep. Plain heartbeats do not set this — a liveness refresh
+    /// changes no name resolution — which keeps the sweep off the
+    /// per-tick path at fleet scale.
+    subs_dirty: bool,
+    /// Last file-interest retry sweep (cadence fallback that keeps
+    /// waiting interests re-trying seen announces without a dirty flag).
+    last_interest_retry: Option<Micros>,
+    /// Peers whose reliable link may still produce poll output. Ordered
+    /// so the poll sweep walks peers in node order (determinism).
+    active_links: BTreeSet<NodeId>,
+    /// Scratch for the poll sweep (allocation reuse across ticks).
+    link_scratch: Vec<NodeId>,
+    /// Scratch for sorted map walks in the maintenance and file pumps.
+    sweep_scratch: Vec<Name>,
     stats: ContainerStats,
     log: VecDeque<(Micros, String)>,
     tracer: Tracer,
@@ -222,6 +250,14 @@ impl ServiceContainer {
             started_at: Micros::ZERO,
             last_heartbeat: None,
             last_announce: None,
+            last_announce_digest: None,
+            last_forced_reannounce: None,
+            reannounce_pending: false,
+            subs_dirty: true,
+            last_interest_retry: None,
+            active_links: BTreeSet::new(),
+            link_scratch: Vec::new(),
+            sweep_scratch: Vec::new(),
             stats: ContainerStats::default(),
             log: VecDeque::new(),
             tracer: Tracer::new(config.node, config.trace),
@@ -504,7 +540,10 @@ impl ServiceContainer {
         let id = ServiceId::new(self.config.node, seq);
         if self.running {
             self.push_task(Priority::LIFECYCLE, seq, TaskPayload::Start);
-            self.last_announce = None; // force re-announce
+            // Force the next announce slot: the catalogue changed, so the
+            // digest check in emit_periodics sends the full catalogue.
+            self.last_announce = None;
+            self.subs_dirty = true;
         }
         Ok(id)
     }
@@ -517,6 +556,7 @@ impl ServiceContainer {
         }
         self.running = true;
         self.started_at = now;
+        self.subs_dirty = true;
         self.tracer.record(now, TraceKind::NodeStart, TraceId::NONE, None, self.incarnation, None);
         self.transport.join(GroupId::CONTROL.0);
         self.directory.apply_hello(
@@ -580,7 +620,21 @@ impl ServiceContainer {
 
         self.pump_transport(now);
         self.detect_failures(now);
-        self.maintain_subscriptions(now);
+        // Maintenance only runs when something that feeds name resolution
+        // actually changed (`subs_dirty`), plus a cadence fallback that
+        // keeps waiting file interests re-trying their seen announces.
+        let interests_due = !self.files.interests.is_empty()
+            && self
+                .last_interest_retry
+                .map(|t| now.saturating_since(t) >= self.config.file_query_interval)
+                .unwrap_or(true);
+        if self.subs_dirty || interests_due {
+            self.subs_dirty = false;
+            if interests_due {
+                self.last_interest_retry = Some(now);
+            }
+            self.maintain_subscriptions(now);
+        }
         self.fire_timers(now);
         self.sweep_variable_deadlines(now);
         self.sweep_call_timeouts(now);
@@ -593,1249 +647,6 @@ impl ServiceContainer {
             self.stats.queue_peak = len;
         }
         self.reassembler.expire(now);
-    }
-
-    // ---- frame input -----------------------------------------------------
-
-    fn pump_transport(&mut self, now: Micros) {
-        while let Some((_, frame_bytes)) = self.transport.recv() {
-            self.stats.frames_in += 1;
-            let Ok(frame) = Frame::decode(&frame_bytes) else {
-                continue; // corrupt frames are dropped (CRC)
-            };
-            let src = frame.header().src;
-            if src == self.config.node {
-                continue;
-            }
-            let Ok(msg) = Message::from_frame(&frame) else {
-                continue;
-            };
-            self.handle_message(src, msg, now);
-        }
-    }
-
-    fn handle_message(&mut self, src: NodeId, msg: Message, now: Micros) {
-        match msg {
-            Message::Hello { container, incarnation, fec_cap } => {
-                self.directory.apply_hello(src, container, incarnation, fec_cap, now);
-                // A Hello can upgrade (or downgrade) the code rate of an
-                // already-established link: renegotiate in place.
-                let negotiated = self.fec_cap_for(src);
-                if let Some(link) = self.links.get_mut(&src) {
-                    link.negotiate_fec(negotiated);
-                }
-                self.last_announce = None;
-            }
-            Message::Heartbeat { incarnation, load_permille, fec_cap, .. } => {
-                let known = self.directory.node(src).is_some();
-                self.directory.apply_heartbeat(src, incarnation, load_permille, fec_cap, now);
-                // The refreshed capability may upgrade a link negotiated
-                // before the peer's Hello was seen (late attach, lossy
-                // bring-up): renegotiate in place, exactly as `Hello` does.
-                let negotiated = self.fec_cap_for(src);
-                if let Some(link) = self.links.get_mut(&src) {
-                    link.negotiate_fec(negotiated);
-                }
-                if !known {
-                    // A node we have no catalogue for (its Hello/Announce was
-                    // lost): introduce ourselves unicast, which makes it
-                    // re-broadcast its catalogue, and re-announce ours.
-                    let hello = Message::Hello {
-                        container: self.config.name.clone(),
-                        incarnation: self.incarnation,
-                        fec_cap: self.config.fec.advertised_cap().wire_tag(),
-                    };
-                    self.send_message(TransportDestination::Node(src.0), &hello);
-                    self.last_announce = None;
-                }
-            }
-            Message::Bye => {
-                self.directory.apply_bye(src);
-                self.handle_node_death(src, now);
-            }
-            Message::Announce { entries, .. } => {
-                self.tracer.record(
-                    now,
-                    TraceKind::DirAnnounce,
-                    TraceId::NONE,
-                    Some(src),
-                    entries.len() as u64,
-                    None,
-                );
-                self.directory.apply_announce(src, &entries, now);
-            }
-            Message::ServiceStatus { service_seq, state, .. } => {
-                self.directory.apply_status(src, service_seq, state);
-                if !state.is_available() {
-                    let failed = ServiceId::new(src, service_seq);
-                    let affected: Vec<RequestId> = sorted_keys(&self.rpc.pending)
-                        .into_iter()
-                        .filter(|id| self.rpc.pending[id].target == failed)
-                        .collect();
-                    for id in affected {
-                        self.failover_call(id, now);
-                    }
-                }
-            }
-            Message::SubscribeVar { name, subscriber, need_initial } => {
-                self.handle_subscribe_var(name, subscriber, need_initial, now);
-            }
-            Message::UnsubscribeVar { name, subscriber } => {
-                if let Some(pv) = self.vars.published.get_mut(&name) {
-                    pv.remote_subscribers.remove(&subscriber);
-                }
-            }
-            Message::SubscribeEvent { name, subscriber } => {
-                if let Some(pe) = self.events.published.get_mut(&name) {
-                    pe.remote_subscribers.insert(subscriber);
-                }
-            }
-            Message::UnsubscribeEvent { name, subscriber } => {
-                if let Some(pe) = self.events.published.get_mut(&name) {
-                    pe.remote_subscribers.remove(&subscriber);
-                }
-            }
-            Message::VarSample { name, seq, stamp_us, validity_us, trace, codec, payload } => {
-                self.handle_var_sample(
-                    name,
-                    seq,
-                    stamp_us,
-                    validity_us,
-                    TraceId::from_wire(src, trace),
-                    codec,
-                    payload,
-                    now,
-                );
-            }
-            Message::RelData { seq, payload, .. } => {
-                let fec = self.fec_cap_for(src);
-                let fresh_link = !self.links.contains_key(&src);
-                let deliverables = {
-                    let link = self.links.entry(src).or_insert_with(|| {
-                        let mut l = ReliableLink::new(src, self.config.arq);
-                        l.negotiate_fec(fec);
-                        l
-                    });
-                    link.on_data(seq, payload)
-                };
-                if fresh_link {
-                    self.tracer.record(now, TraceKind::LinkUp, TraceId::NONE, Some(src), 0, None);
-                }
-                for inner in deliverables {
-                    if let Ok(inner_msg) = Message::decode_tagged(&inner) {
-                        self.handle_message(src, inner_msg, now);
-                    }
-                }
-            }
-            Message::RelAck { cumulative, sack, loss_permille, .. } => {
-                let (out, recovered) = match self.links.get_mut(&src) {
-                    Some(link) => {
-                        let out = link.on_ack(cumulative, sack, loss_permille, now);
-                        (out, link.take_recoveries())
-                    }
-                    None => (Vec::new(), Vec::new()),
-                };
-                for us in recovered {
-                    self.tracer.record_rto_recovery(us);
-                }
-                self.send_link_messages(src, out);
-            }
-            Message::FecShard { group, index, k, r, payload, .. } => {
-                // With FEC on, the first message of a reliable conversation
-                // arrives as a shard, so this must create the link exactly
-                // like the `RelData` arm does.
-                let fec = self.fec_cap_for(src);
-                let fresh_link = !self.links.contains_key(&src);
-                let (recovered, repair_delta) = {
-                    let link = self.links.entry(src).or_insert_with(|| {
-                        let mut l = ReliableLink::new(src, self.config.arq);
-                        l.negotiate_fec(fec);
-                        l
-                    });
-                    let before = link.fec_rx_stats().recovered;
-                    let inners = link.on_fec_shard(group, index, k, r, &payload);
-                    let delta = link.fec_rx_stats().recovered - before;
-                    self.stats.fec.shards_in += 1;
-                    self.stats.fec.recovered += delta;
-                    (inners, delta)
-                };
-                if fresh_link {
-                    self.tracer.record(now, TraceKind::LinkUp, TraceId::NONE, Some(src), 0, None);
-                }
-                if repair_delta > 0 {
-                    self.tracer.record(
-                        now,
-                        TraceKind::FecRecover,
-                        TraceId::NONE,
-                        Some(src),
-                        repair_delta,
-                        None,
-                    );
-                }
-                for inner in recovered {
-                    if let Ok(inner_msg) = Message::decode_tagged(&inner) {
-                        self.handle_message(src, inner_msg, now);
-                    }
-                }
-            }
-            Message::EventData { name, seq, stamp_us, trace, codec, payload } => {
-                let trace = TraceId::from_wire(src, trace);
-                self.handle_event_data(name, seq, stamp_us, trace, codec, payload, now);
-            }
-            Message::CallRequest { request, function, target_seq, trace, codec, payload } => {
-                self.handle_call_request(
-                    src,
-                    request,
-                    function,
-                    target_seq,
-                    TraceId::from_wire(src, trace),
-                    codec,
-                    payload,
-                    now,
-                );
-            }
-            Message::CallReply { request, status, trace, codec, payload } => {
-                // A reply's trace was minted by the caller — us — so the
-                // implied origin is this node, not the frame's src.
-                let trace = TraceId::from_wire(self.config.node, trace);
-                self.handle_call_reply(request, status, trace, codec, payload, now);
-            }
-            Message::FileAnnounce { .. } => {
-                self.handle_file_announce(src, msg, now);
-            }
-            Message::FileSubscribe { transfer, subscriber } => {
-                if let Some(name) = self.files.resource_of(transfer).cloned() {
-                    if let Some(out) = self.files.outgoing.get_mut(&name) {
-                        out.sender.on_subscribe(subscriber);
-                        out.complete_notified = false;
-                    }
-                }
-            }
-            Message::FileChunk { transfer, revision, index, payload } => {
-                self.handle_file_chunk(transfer, revision, index, payload, now);
-            }
-            Message::FileQuery { transfer, revision } => {
-                let response = self
-                    .files
-                    .resource_of(transfer)
-                    .and_then(|name| self.files.interests.get(name))
-                    .and_then(|interest| interest.receiver.as_ref())
-                    .and_then(|rx| rx.on_query(revision));
-                if let Some(response) = response {
-                    self.send_reliable(src, &response, now);
-                }
-            }
-            Message::FileAck { transfer, revision, subscriber } => {
-                if let Some(name) = self.files.resource_of(transfer).cloned() {
-                    if let Some(out) = self.files.outgoing.get_mut(&name) {
-                        out.sender.on_ack(subscriber, revision);
-                    }
-                    self.notify_distribution_complete(&name);
-                }
-            }
-            Message::FileNack { transfer, revision, subscriber, runs } => {
-                if let Some(name) = self.files.resource_of(transfer).cloned() {
-                    if let Some(out) = self.files.outgoing.get_mut(&name) {
-                        let _ = out.sender.on_nack(subscriber, revision, &runs);
-                        out.complete_notified = false;
-                    }
-                }
-            }
-            Message::FileCancel { transfer } => {
-                if let Some(name) = self.files.resource_of(transfer).cloned() {
-                    if let Some(interest) = self.files.interests.get_mut(&name) {
-                        interest.receiver = None;
-                        interest.publisher = None;
-                    }
-                }
-            }
-            Message::Fragment { msg_id, index, count, payload } => {
-                if let Ok(Some(full)) =
-                    self.reassembler.offer(src, msg_id, index, count, payload, now)
-                {
-                    if let Ok(inner) = Message::decode_tagged(&full) {
-                        self.handle_message(src, inner, now);
-                    }
-                }
-            }
-        }
-    }
-
-    fn handle_subscribe_var(
-        &mut self,
-        name: Name,
-        subscriber: NodeId,
-        need_initial: bool,
-        now: Micros,
-    ) {
-        let initial = {
-            let Some(pv) = self.vars.published.get_mut(&name) else { return };
-            pv.remote_subscribers.insert(subscriber);
-            match pv.last.clone() {
-                Some((payload, stamp)) if need_initial && pv.last_is_valid(now) => {
-                    Some((payload, stamp, pv.seq, pv.validity_us))
-                }
-                _ => None,
-            }
-        };
-        if let Some((payload, stamp, seq, validity_us)) = initial {
-            // The resend gets a fresh causal id: it is this container
-            // re-publishing the retained sample towards one subscriber.
-            let trace = self.tracer.mint();
-            self.tracer.record(
-                now,
-                TraceKind::VarPublish,
-                trace,
-                Some(subscriber),
-                seq,
-                Some(&name),
-            );
-            let msg = Message::VarSample {
-                name,
-                seq,
-                stamp_us: stamp.as_micros(),
-                validity_us,
-                trace: trace.wire(),
-                codec: self.codecs.default_id().0,
-                payload,
-            };
-            // The initial exact value is *guaranteed* (§4.1), so unlike the
-            // periodic samples it travels on the reliable channel.
-            self.send_reliable(subscriber, &msg, now);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn handle_var_sample(
-        &mut self,
-        name: Name,
-        seq: u64,
-        stamp_us: u64,
-        validity_us: u64,
-        trace: TraceId,
-        codec: u8,
-        payload: Bytes,
-        now: Micros,
-    ) {
-        let peer = if trace.is_none() { None } else { Some(trace.origin()) };
-        let decoded = {
-            let Some(sub) = self.vars.subscribed.get_mut(&name) else { return };
-            // Validity QoS: drop samples past their window (paper §4.1).
-            if validity_us > 0 && now.saturating_since(Micros(stamp_us)).as_micros() > validity_us {
-                self.stats.stale_samples_dropped += 1;
-                sub.stale_drops += 1;
-                self.tracer.record(now, TraceKind::VarStaleDrop, trace, peer, seq, Some(&name));
-                return;
-            }
-            if !sub.accept(seq, now) {
-                self.stats.old_samples_dropped += 1;
-                self.tracer.record(now, TraceKind::VarOldDrop, trace, peer, seq, Some(&name));
-                return;
-            }
-            let value = match (&sub.ty, CodecId(codec)) {
-                (Some(ty), id) => match self.codecs.get(id) {
-                    Some(c) => c.decode(&payload, ty).ok(),
-                    None => None,
-                },
-                (None, CodecId(1)) => {
-                    SelfDescribingCodec::decode_any(&payload).ok().map(|(_, v)| v)
-                }
-                _ => None,
-            };
-            value.map(|v| {
-                sub.record(Micros(stamp_us), v.clone());
-                (v, sub.services.clone())
-            })
-        };
-        let Some((value, services)) = decoded else {
-            // The sample passed filtering but its payload does not decode
-            // against the announced schema: a publisher/subscriber
-            // contract violation, not a transport problem.
-            self.vars.type_mismatches += 1;
-            self.log_line(now, format!("sample of `{name}` violates announced schema; dropped"));
-            return;
-        };
-        for svc in services {
-            self.push_task(
-                Priority::VARIABLE,
-                svc,
-                TaskPayload::DeliverVariable {
-                    name: name.clone(),
-                    value: value.clone(),
-                    stamp: Micros(stamp_us),
-                    seq,
-                    trace,
-                },
-            );
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn handle_event_data(
-        &mut self,
-        name: Name,
-        seq: u64,
-        stamp_us: u64,
-        trace: TraceId,
-        codec: u8,
-        payload: Bytes,
-        now: Micros,
-    ) {
-        let decoded = {
-            let Some(sub) = self.events.subscribed.get(&name) else { return };
-            let value = if payload.is_empty() {
-                None
-            } else {
-                match (&sub.ty, CodecId(codec)) {
-                    (Some(ty), id) => self.codecs.get(id).and_then(|c| c.decode(&payload, ty).ok()),
-                    (None, CodecId(1)) => {
-                        SelfDescribingCodec::decode_any(&payload).ok().map(|(_, v)| v)
-                    }
-                    _ => None,
-                }
-            };
-            (value, !sub.subscribers.is_empty())
-        };
-        let (value, any_subscriber) = decoded;
-        if value.is_none() && !payload.is_empty() {
-            // A payload arrived but does not decode against the announced
-            // schema; the event is still delivered bare so subscribers see
-            // the occurrence, and the disagreement is counted.
-            self.events.type_mismatches += 1;
-            self.log_line(now, format!("event `{name}` payload violates announced schema"));
-        }
-        if any_subscriber {
-            self.push_event_deliveries(&name, value, seq, Micros(stamp_us), trace, now);
-        }
-    }
-
-    /// Fans one event out to the local subscribers under their declared
-    /// [`EventQos`](crate::EventQos) contracts: each subscription's
-    /// deliveries ride its own priority lane, and bounded inboxes apply
-    /// their drop policy when full.
-    fn push_event_deliveries(
-        &mut self,
-        name: &Name,
-        value: Option<Value>,
-        seq: u64,
-        stamp: Micros,
-        trace: TraceId,
-        now: Micros,
-    ) {
-        enum Admission {
-            Push,
-            ReplaceOldest,
-            Refuse,
-        }
-        let decisions: Vec<(u32, Priority, Admission)> = {
-            let Some(sub) = self.events.subscribed.get_mut(name) else { return };
-            sub.subscribers
-                .iter_mut()
-                .map(|entry| {
-                    let admission = if entry.inbox >= entry.qos.queue_bound {
-                        entry.drops += 1;
-                        match entry.qos.drop_policy {
-                            DropPolicy::DropOldest => Admission::ReplaceOldest,
-                            DropPolicy::DropNewest => Admission::Refuse,
-                        }
-                    } else {
-                        entry.inbox += 1;
-                        entry.inbox_peak = entry.inbox_peak.max(entry.inbox);
-                        Admission::Push
-                    };
-                    (entry.seq, entry.qos.priority, admission)
-                })
-                .collect()
-        };
-        for (svc, priority, admission) in decisions {
-            match admission {
-                Admission::Refuse => {
-                    self.tracer.record(now, TraceKind::EventDrop, trace, None, seq, Some(name));
-                    continue;
-                }
-                Admission::ReplaceOldest => {
-                    self.tracer.record(now, TraceKind::EventDrop, trace, None, seq, Some(name));
-                    // Retract this subscription's stalest queued delivery to
-                    // admit the fresh one; the inbox depth is unchanged
-                    // (one out, one in). If nothing was queued despite the
-                    // accounting (cannot happen: inboxes are decremented
-                    // exactly when deliveries leave the queue), the push
-                    // below still keeps the depth within one of the bound.
-                    let _ = self.scheduler.remove_matching(&mut |t| {
-                        t.service_seq == svc
-                            && matches!(&t.payload,
-                                TaskPayload::DeliverEvent { name: n, .. } if n == name)
-                    });
-                }
-                Admission::Push => {}
-            }
-            self.push_task(
-                priority,
-                svc,
-                TaskPayload::DeliverEvent {
-                    name: name.clone(),
-                    value: value.clone(),
-                    seq,
-                    stamp,
-                    trace,
-                },
-            );
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn handle_call_request(
-        &mut self,
-        caller: NodeId,
-        request: RequestId,
-        function: Name,
-        target_seq: u32,
-        trace: TraceId,
-        codec: u8,
-        payload: Bytes,
-        now: Micros,
-    ) {
-        enum Outcome {
-            Execute(Vec<Value>),
-            Refuse(CallStatus),
-        }
-        let outcome = {
-            match self.rpc.functions.get(&function) {
-                None => Outcome::Refuse(CallStatus::NoSuchFunction),
-                Some(func) => {
-                    let available = self
-                        .slots
-                        .get((target_seq as usize).wrapping_sub(1))
-                        .map(|s| s.state.is_available() || s.state == ServiceState::Starting)
-                        .unwrap_or(false);
-                    if func.owner_seq != target_seq || !available {
-                        Outcome::Refuse(CallStatus::ServiceUnavailable)
-                    } else {
-                        match self.codecs.get(CodecId(codec)) {
-                            Some(c) => match decode_args(&payload, &func.sig, c.as_ref()) {
-                                Ok(args) => Outcome::Execute(args),
-                                Err(_) => {
-                                    self.rpc.type_mismatches += 1;
-                                    Outcome::Refuse(CallStatus::AppError)
-                                }
-                            },
-                            None => Outcome::Refuse(CallStatus::AppError),
-                        }
-                    }
-                }
-            }
-        };
-        match outcome {
-            Outcome::Execute(args) => {
-                self.push_task(
-                    Priority::CALL,
-                    target_seq,
-                    TaskPayload::ExecuteCall { request, caller, function, args, trace },
-                );
-            }
-            Outcome::Refuse(status) => {
-                let m = Message::CallReply {
-                    request,
-                    status,
-                    trace: trace.wire(),
-                    codec,
-                    payload: Bytes::new(),
-                };
-                self.send_reliable(caller, &m, now);
-            }
-        }
-    }
-
-    fn handle_call_reply(
-        &mut self,
-        request: RequestId,
-        status: CallStatus,
-        trace: TraceId,
-        codec: u8,
-        payload: Bytes,
-        now: Micros,
-    ) {
-        let Some(call) = self.rpc.pending.remove(&request) else { return };
-        // Prefer the wire echo; calls issued before tracing was enabled
-        // fall back to the locally stored id.
-        let trace = if trace.is_none() { call.trace } else { trace };
-        let result = match status {
-            CallStatus::Ok => match self.codecs.get(CodecId(codec)) {
-                Some(c) => {
-                    let decoded = decode_result(&payload, &call.returns, c.as_ref());
-                    if decoded.is_err() {
-                        self.rpc.type_mismatches += 1;
-                    }
-                    decoded
-                }
-                None => Err(CallError::BadArguments("unknown codec".into())),
-            },
-            CallStatus::AppError => {
-                Err(CallError::App(String::from_utf8_lossy(&payload).into_owned()))
-            }
-            CallStatus::NoSuchFunction => Err(CallError::NoSuchFunction),
-            CallStatus::ServiceUnavailable | CallStatus::Timeout => {
-                // Provider-side refusal: try another provider before giving
-                // up (degraded-mode continuation, §4.3).
-                self.rpc.pending.insert(request, call);
-                self.failover_call(request, now);
-                return;
-            }
-        };
-        if result.is_err() {
-            self.stats.call_errors += 1;
-        }
-        self.tracer.record_call_rtt(now.saturating_since(call.started_at).as_micros());
-        self.tracer.record(
-            now,
-            TraceKind::CallReply,
-            trace,
-            Some(call.target.node),
-            request.0,
-            Some(&call.function),
-        );
-        self.push_task(
-            Priority::CALL,
-            call.caller_seq,
-            TaskPayload::DeliverReply { request, result },
-        );
-    }
-
-    fn handle_file_announce(&mut self, src: NodeId, msg: Message, now: Micros) {
-        let Message::FileAnnounce { transfer, ref resource, revision, size, .. } = msg else {
-            return;
-        };
-        if self.files.outgoing.contains_key(resource) {
-            // A remote publisher announced a resource this node already
-            // publishes: two writers behind one name violates the resource
-            // contract, the same class of disagreement the other engines
-            // count as type mismatches.
-            self.files.type_mismatches += 1;
-            self.log_line(
-                now,
-                format!("remote announce for locally published resource `{resource}` ignored"),
-            );
-            return;
-        }
-        self.files.transfer_index.insert(transfer, resource.clone());
-        self.files.seen_announces.insert(resource.clone(), (src, msg.clone()));
-
-        enum Wire {
-            Fresh,
-            Resubscribe,
-            Nothing,
-        }
-        let (wire, services) = {
-            let Some(interest) = self.files.interests.get_mut(resource) else { return };
-            if interest.services.is_empty() || interest.completed_revision == Some(revision) {
-                return;
-            }
-            match &mut interest.receiver {
-                Some(rx) => match rx.on_announce(&msg) {
-                    Ok(AnnounceOutcome::Restarted) => {
-                        interest.publisher = Some(src);
-                        (Wire::Resubscribe, interest.services.clone())
-                    }
-                    _ => (Wire::Nothing, Vec::new()),
-                },
-                None => {
-                    match FileReceiver::from_announce(
-                        &msg,
-                        self.config.node,
-                        RevisionPolicy::Restart,
-                    ) {
-                        Ok((rx, _sub)) => {
-                            interest.receiver = Some(rx);
-                            interest.publisher = Some(src);
-                            (Wire::Fresh, interest.services.clone())
-                        }
-                        Err(_) => (Wire::Nothing, Vec::new()),
-                    }
-                }
-            }
-        };
-        match wire {
-            Wire::Fresh => {
-                self.transport.join(file_group(resource).0);
-                let sub = Message::FileSubscribe { transfer, subscriber: self.config.node };
-                self.send_reliable(src, &sub, now);
-            }
-            Wire::Resubscribe => {
-                let sub = Message::FileSubscribe { transfer, subscriber: self.config.node };
-                self.send_reliable(src, &sub, now);
-            }
-            Wire::Nothing => {}
-        }
-        let resource = resource.clone();
-        for svc in services {
-            self.push_task(
-                Priority::FILE,
-                svc,
-                TaskPayload::File(FileEvent::Announced {
-                    resource: resource.clone(),
-                    revision,
-                    size,
-                }),
-            );
-        }
-    }
-
-    fn handle_file_chunk(
-        &mut self,
-        transfer: TransferId,
-        revision: u32,
-        index: u32,
-        payload: Bytes,
-        now: Micros,
-    ) {
-        let completion = {
-            let Some(name) = self.files.resource_of(transfer).cloned() else { return };
-            let Some(interest) = self.files.interests.get_mut(&name) else { return };
-            let Some(mut rx) = interest.receiver.take() else { return };
-            if rx.on_chunk(revision, index, &payload) {
-                let data = rx.into_data();
-                interest.completed_revision = Some(revision);
-                Some((name, data, interest.services.clone(), interest.publisher))
-            } else {
-                interest.receiver = Some(rx);
-                None
-            }
-        };
-        let Some((name, data, services, publisher)) = completion else { return };
-        self.stats.files_received += 1;
-        for svc in services {
-            self.push_task(
-                Priority::FILE,
-                svc,
-                TaskPayload::File(FileEvent::Received {
-                    resource: name.clone(),
-                    revision,
-                    data: data.clone(),
-                }),
-            );
-        }
-        if let Some(publisher) = publisher {
-            let ack = Message::FileAck { transfer, revision, subscriber: self.config.node };
-            self.send_reliable(publisher, &ack, now);
-        }
-    }
-
-    // ---- failure detection & maintenance ----------------------------------
-
-    fn detect_failures(&mut self, now: Micros) {
-        let dead = self.directory.expire(now, self.config.node_timeout);
-        for node in dead {
-            if node == self.config.node {
-                self.directory.apply_heartbeat(
-                    self.config.node,
-                    self.incarnation,
-                    self.load_permille(),
-                    self.config.fec.advertised_cap().wire_tag(),
-                    now,
-                );
-                continue;
-            }
-            self.handle_node_death(node, now);
-        }
-    }
-
-    fn handle_node_death(&mut self, node: NodeId, now: Micros) {
-        self.log_line(now, format!("node {node} declared dead; purging name cache"));
-        if self.links.remove(&node).is_some() {
-            self.tracer.record(now, TraceKind::LinkDown, TraceId::NONE, Some(node), 0, None);
-        }
-        self.tracer.record(now, TraceKind::DirExpire, TraceId::NONE, Some(node), 0, None);
-        // Variable/event subscriptions bound to the dead node are *not*
-        // unbound here: the directory purge makes their resolution fail,
-        // and maintain_subscriptions turns that into the unbind + the
-        // "provider lost" notice (one transition, one notification).
-        for id in self.rpc.targeting_node(node) {
-            self.failover_call(id, now);
-        }
-        // marea-lint: allow(D1): order-independent in-place reset of receive wiring; nothing sends here
-        for interest in self.files.interests.values_mut() {
-            if interest.publisher == Some(node) {
-                interest.receiver = None;
-                interest.publisher = None;
-            }
-        }
-        self.files.seen_announces.retain(|_, (src, _)| *src != node);
-    }
-
-    fn maintain_subscriptions(&mut self, now: Micros) {
-        // Every sweep below walks a HashMap but may send subscription
-        // wiring or enqueue notices, so each walk goes through
-        // `sweep::sorted_keys` to keep runs seed-reproducible (lint D1).
-        // Variables.
-        for name in sorted_keys(&self.vars.subscribed) {
-            let resolution = self.directory.resolve_variable(name.as_str()).map(|p| {
-                let (period, validity, ty) = match &p.provision {
-                    Provision::Variable { period_us, validity_us, ty, .. } => {
-                        (*period_us, *validity_us, ty.clone())
-                    }
-                    _ => unreachable!("resolve_variable filters kind"),
-                };
-                (p.service, period, validity, ty)
-            });
-            enum Act {
-                Bind { provider: ServiceId, need_initial: bool, services: Vec<u32>, fresh: bool },
-                Lost { services: Vec<u32> },
-                None,
-            }
-            let Some(sub) = self.vars.subscribed.get_mut(&name) else { continue };
-            let act = match resolution {
-                Some((provider, period, validity, ty)) => {
-                    if sub.provider != Some(provider) || !sub.subscribe_sent {
-                        let fresh = sub.provider.is_none();
-                        sub.bind(provider, period, validity, ty, now);
-                        sub.subscribe_sent = true;
-                        Act::Bind {
-                            provider,
-                            need_initial: sub.need_initial,
-                            services: sub.services.clone(),
-                            fresh,
-                        }
-                    } else {
-                        Act::None
-                    }
-                }
-                None => {
-                    if sub.subscribe_sent || sub.provider.is_some() {
-                        sub.unbind();
-                        sub.subscribe_sent = false;
-                        // Only notify on the transition away from bound.
-                        Act::Lost { services: sub.services.clone() }
-                    } else {
-                        Act::None
-                    }
-                }
-            };
-            match act {
-                Act::Bind { provider, need_initial, services, fresh } => {
-                    if provider.node != self.config.node {
-                        if self.config.var_distribution == VarDistribution::Multicast {
-                            self.transport.join(var_group(&name).0);
-                        }
-                        // Subscription wiring is control-plane critical:
-                        // it rides the reliable channel so a lost datagram
-                        // cannot silently orphan the subscription.
-                        let msg = Message::SubscribeVar {
-                            name: name.clone(),
-                            subscriber: self.config.node,
-                            need_initial,
-                        };
-                        self.send_reliable(provider.node, &msg, now);
-                    }
-                    if fresh {
-                        for svc in services {
-                            self.push_task(
-                                Priority::CALL,
-                                svc,
-                                TaskPayload::Provider(ProviderNotice::VariableAvailable(
-                                    name.clone(),
-                                )),
-                            );
-                        }
-                    }
-                }
-                Act::Lost { services } => {
-                    for svc in services {
-                        self.push_task(
-                            Priority::CALL,
-                            svc,
-                            TaskPayload::Provider(ProviderNotice::VariableUnavailable(
-                                name.clone(),
-                            )),
-                        );
-                    }
-                }
-                Act::None => {}
-            }
-        }
-        // Events.
-        for name in sorted_keys(&self.events.subscribed) {
-            let resolution = self.directory.resolve_event(name.as_str()).map(|p| {
-                let ty = match &p.provision {
-                    Provision::Event { ty, .. } => ty.clone(),
-                    _ => unreachable!("resolve_event filters kind"),
-                };
-                (p.service, ty)
-            });
-            enum Act {
-                Bind { provider: ServiceId, services: Vec<u32>, fresh: bool },
-                Lost { services: Vec<u32> },
-                None,
-            }
-            let Some(sub) = self.events.subscribed.get_mut(&name) else { continue };
-            let act = match resolution {
-                Some((provider, ty)) => {
-                    if sub.provider != Some(provider) || !sub.subscribe_sent {
-                        let fresh = sub.provider.is_none();
-                        sub.provider = Some(provider);
-                        sub.ty = ty;
-                        sub.subscribe_sent = true;
-                        Act::Bind { provider, services: sub.service_seqs(), fresh }
-                    } else {
-                        Act::None
-                    }
-                }
-                None => {
-                    if sub.subscribe_sent || sub.provider.is_some() {
-                        sub.unbind();
-                        Act::Lost { services: sub.service_seqs() }
-                    } else {
-                        Act::None
-                    }
-                }
-            };
-            match act {
-                Act::Bind { provider, services, fresh } => {
-                    if provider.node != self.config.node {
-                        let msg = Message::SubscribeEvent {
-                            name: name.clone(),
-                            subscriber: self.config.node,
-                        };
-                        self.send_reliable(provider.node, &msg, now);
-                    }
-                    if fresh {
-                        for svc in services {
-                            self.push_task(
-                                Priority::CALL,
-                                svc,
-                                TaskPayload::Provider(ProviderNotice::EventAvailable(name.clone())),
-                            );
-                        }
-                    }
-                }
-                Act::Lost { services } => {
-                    for svc in services {
-                        self.push_task(
-                            Priority::CALL,
-                            svc,
-                            TaskPayload::Provider(ProviderNotice::EventUnavailable(name.clone())),
-                        );
-                    }
-                }
-                Act::None => {}
-            }
-        }
-        // Required functions ("during middleware initialization, the
-        // services check that all the functions they need ... are
-        // provided", §4.3).
-        for name in sorted_keys(&self.rpc.required) {
-            let available =
-                self.directory.resolve_function(name.as_str(), CallPolicy::Dynamic, None).is_some();
-            let Some(req) = self.rpc.required.get_mut(&name) else { continue };
-            let action = {
-                let first_check = !req.checked;
-                req.checked = true;
-                if available != req.available || (first_check && !available) {
-                    req.available = available;
-                    Some(req.services.clone())
-                } else {
-                    None
-                }
-            };
-            if let Some(services) = action {
-                let notice = if available {
-                    ProviderNotice::FunctionAvailable(name.clone())
-                } else {
-                    ProviderNotice::FunctionUnavailable(name.clone())
-                };
-                if !available {
-                    self.log_line(now, format!("required function `{name}` has no provider"));
-                }
-                for svc in services {
-                    self.push_task(Priority::CALL, svc, TaskPayload::Provider(notice.clone()));
-                }
-            }
-        }
-        // File interests that heard an announce before subscribing.
-        for resource in sorted_keys(&self.files.interests) {
-            let waiting = self
-                .files
-                .interests
-                .get(&resource)
-                .is_some_and(|i| i.receiver.is_none() && !i.services.is_empty());
-            if !waiting {
-                continue;
-            }
-            if self.files.outgoing.contains_key(&resource) {
-                continue; // local publisher: bypass path handles delivery
-            }
-            if let Some((src, announce)) = self.files.seen_announces.get(&resource).cloned() {
-                if self.directory.node_alive(src) {
-                    self.handle_file_announce(src, announce, now);
-                }
-            }
-        }
-    }
-
-    fn sweep_variable_deadlines(&mut self, now: Micros) {
-        for name in self.vars.sweep_deadlines(now) {
-            self.stats.var_timeouts += 1;
-            self.tracer.record(now, TraceKind::VarTimeout, TraceId::NONE, None, 0, Some(&name));
-            let services = self.vars.subscribed[&name].services.clone();
-            for svc in services {
-                self.push_task(
-                    Priority::VARIABLE,
-                    svc,
-                    TaskPayload::VariableTimeout { name: name.clone() },
-                );
-            }
-        }
-    }
-
-    fn sweep_call_timeouts(&mut self, now: Micros) {
-        for id in self.rpc.expired(now) {
-            self.failover_call(id, now);
-        }
-    }
-
-    /// Re-resolves a pending call to a redundant provider, or fails it.
-    ///
-    /// Paper §4.3: "Upon service failure, if another service is
-    /// implementing the same functionality, the middleware will detect the
-    /// situation and redirect requests to the redundant service."
-    fn failover_call(&mut self, id: RequestId, now: Micros) {
-        let Some(mut call) = self.rpc.pending.remove(&id) else { return };
-        if call.attempts >= call.max_attempts {
-            // The caller's retry budget is exhausted (CallOptions
-            // contract; container default when unspecified).
-            self.stats.call_errors += 1;
-            self.push_task(
-                Priority::CALL,
-                call.caller_seq,
-                TaskPayload::DeliverReply { request: id, result: Err(CallError::Timeout) },
-            );
-            return;
-        }
-        let next = self
-            .directory
-            .resolve_function(call.function.as_str(), call.policy, Some(call.target))
-            .map(|p| (p.service, p.provision.clone()));
-        match next {
-            Some((target, Provision::Function { sig, .. })) => {
-                call.attempts += 1;
-                call.target = target;
-                call.returns = sig.returns.clone();
-                call.deadline = now + call.attempt_timeout;
-                self.stats.call_failovers += 1;
-                self.rpc.count_retry(&call.function);
-                self.tracer.record(
-                    now,
-                    TraceKind::CallRetry,
-                    call.trace,
-                    Some(target.node),
-                    id.0,
-                    Some(&call.function),
-                );
-                let codec = self.codecs.default_codec().clone();
-                match encode_args(&call.args, &sig, codec.as_ref()) {
-                    Ok(payload) => {
-                        self.log_line(
-                            now,
-                            format!("call {id} redirected to redundant provider {target}"),
-                        );
-                        self.dispatch_call(id, &call, payload, now);
-                        self.rpc.pending.insert(id, call);
-                    }
-                    Err(e) => {
-                        self.rpc.type_mismatches += 1;
-                        self.stats.call_errors += 1;
-                        self.push_task(
-                            Priority::CALL,
-                            call.caller_seq,
-                            TaskPayload::DeliverReply { request: id, result: Err(e) },
-                        );
-                    }
-                }
-            }
-            _ => {
-                // "If no service provides the requested function the
-                // middleware will warn the system."
-                self.stats.call_errors += 1;
-                self.log_line(now, format!("call {id} failed: no remaining provider"));
-                self.push_task(
-                    Priority::CALL,
-                    call.caller_seq,
-                    TaskPayload::DeliverReply {
-                        request: id,
-                        result: Err(CallError::ServiceUnavailable),
-                    },
-                );
-            }
-        }
-    }
-
-    fn dispatch_call(&mut self, id: RequestId, call: &PendingCall, payload: Bytes, now: Micros) {
-        if call.target.node == self.config.node {
-            // In-container invocation: no network, straight to the
-            // scheduler (Fig. 2 local path).
-            self.push_task(
-                Priority::CALL,
-                call.target.seq,
-                TaskPayload::ExecuteCall {
-                    request: id,
-                    caller: self.config.node,
-                    function: call.function.clone(),
-                    args: call.args.clone(),
-                    trace: call.trace,
-                },
-            );
-        } else {
-            let msg = Message::CallRequest {
-                request: id,
-                function: call.function.clone(),
-                target_seq: call.target.seq,
-                trace: call.trace.wire(),
-                codec: self.codecs.default_id().0,
-                payload,
-            };
-            self.send_reliable(call.target.node, &msg, now);
-        }
-    }
-
-    // ---- periodic output ---------------------------------------------------
-
-    fn poll_links(&mut self, now: Micros) {
-        // Sorted sweep: the per-peer send order decides how the simulated
-        // network's RNG stream maps onto datagrams, so it must not depend
-        // on HashMap iteration order (same seed ⇒ same trace).
-        let mut rate_max = 0u8;
-        for peer in sorted_keys(&self.links) {
-            let Some(link) = self.links.get_mut(&peer) else { continue };
-            let tag = link.fec_rate().wire_tag();
-            if tag > rate_max {
-                rate_max = tag;
-            }
-            let (out, failed) = link.poll(now);
-            let retransmits = link.take_retransmits();
-            for seq in retransmits {
-                self.tracer.record(
-                    now,
-                    TraceKind::RelRetransmit,
-                    TraceId::NONE,
-                    Some(peer),
-                    seq,
-                    None,
-                );
-            }
-            self.send_link_messages(peer, out);
-            if !failed.is_empty() {
-                self.log_line(
-                    now,
-                    format!("reliable delivery to {peer} abandoned for {} messages", failed.len()),
-                );
-            }
-        }
-        // Links die with their peers, so the max is re-derived each sweep
-        // rather than tracked incrementally.
-        self.stats.fec.negotiated_rate_max = rate_max;
-    }
-
-    fn pump_files(&mut self, now: Micros) {
-        // Stable send order (determinism).
-        for resource in sorted_keys(&self.files.outgoing) {
-            let group = file_group(&resource);
-            let mut to_control: Vec<Message> = Vec::new();
-            let mut to_group: Vec<Message> = Vec::new();
-            {
-                let Some(out) = self.files.outgoing.get_mut(&resource) else { continue };
-                if out.sender.is_complete() {
-                    continue;
-                }
-                if out.sender.has_pending_chunks() {
-                    to_group = out.sender.next_chunks(self.config.file_burst);
-                } else {
-                    let due = out
-                        .last_query_at
-                        .map(|t| now.saturating_since(t) >= self.config.file_query_interval)
-                        .unwrap_or(true);
-                    if due {
-                        out.last_query_at = Some(now);
-                        // Re-announce with each query round so late joiners
-                        // can subscribe mid-transfer (§4.4 phase overlap).
-                        to_control.push(out.sender.announce());
-                        to_group.push(out.sender.query());
-                    }
-                }
-            }
-            for m in to_control {
-                self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &m);
-            }
-            for m in to_group {
-                self.send_message(TransportDestination::Group(group.0), &m);
-            }
-            self.notify_distribution_complete(&resource);
-        }
-    }
-
-    fn notify_distribution_complete(&mut self, resource: &Name) {
-        let pending = {
-            let Some(out) = self.files.outgoing.get_mut(resource) else { return };
-            if out.sender.is_complete() && !out.complete_notified {
-                out.complete_notified = true;
-                Some((out.owner_seq, out.sender.revision(), out.sender.stats().completed))
-            } else {
-                None
-            }
-        };
-        if let Some((owner, revision, subscribers)) = pending {
-            self.push_task(
-                Priority::FILE,
-                owner,
-                TaskPayload::File(FileEvent::DistributionComplete {
-                    resource: resource.clone(),
-                    revision,
-                    subscribers,
-                }),
-            );
-        }
-    }
-
-    fn emit_periodics(&mut self, now: Micros) {
-        let hb_due = self
-            .last_heartbeat
-            .map(|t| now.saturating_since(t) >= self.config.heartbeat_period)
-            .unwrap_or(true);
-        if hb_due {
-            self.last_heartbeat = Some(now);
-            let msg = Message::Heartbeat {
-                incarnation: self.incarnation,
-                uptime_us: now.saturating_since(self.started_at).as_micros(),
-                load_permille: self.load_permille(),
-                fec_cap: self.config.fec.advertised_cap().wire_tag(),
-            };
-            self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &msg);
-        }
-        let ann_due = self
-            .last_announce
-            .map(|t| now.saturating_since(t) >= self.config.announce_period)
-            .unwrap_or(true);
-        if ann_due {
-            self.broadcast_announce(now);
-        }
-    }
-
-    fn broadcast_announce(&mut self, now: Micros) {
-        self.last_announce = Some(now);
-        let entries = self.announce_entries();
-        self.directory.apply_announce(self.config.node, &entries, now);
-        let msg = Message::Announce { incarnation: self.incarnation, entries };
-        self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &msg);
-    }
-
-    fn announce_entries(&self) -> Vec<AnnounceEntry> {
-        self.slots
-            .iter()
-            .map(|s| AnnounceEntry {
-                service_seq: s.seq,
-                name: s.descriptor.name().clone(),
-                state: s.state,
-                provides: s.descriptor.provides().to_vec(),
-            })
-            .collect()
     }
 
     fn load_permille(&self) -> u16 {
@@ -2138,6 +949,7 @@ impl ServiceContainer {
             slot.descriptor.name().clone()
         };
         self.directory.apply_status(self.config.node, seq, state);
+        self.subs_dirty = true;
         let msg = Message::ServiceStatus { service_seq: seq, name, state };
         self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &msg);
         let _ = now;
@@ -2161,6 +973,7 @@ impl ServiceContainer {
                     if !interest.services.contains(&seq) {
                         interest.services.push(seq);
                     }
+                    self.subs_dirty = true;
                     self.try_local_file_bypass(&resource);
                 }
                 Effect::SetTimer { id, after, period } => {
@@ -2233,6 +1046,7 @@ impl ServiceContainer {
             }
         };
         if let Some(services) = local {
+            self.vars.arm_deadline(&name);
             for svc in services {
                 self.push_task(
                     Priority::VARIABLE,
@@ -2392,7 +1206,7 @@ impl ServiceContainer {
             trace,
         };
         self.dispatch_call(handle.0, &call, payload, now);
-        self.rpc.pending.insert(handle.0, call);
+        self.rpc.track(handle.0, call);
     }
 
     fn effect_publish_file(&mut self, seq: u32, resource: Name, data: Bytes, now: Micros) {
@@ -2500,6 +1314,7 @@ impl ServiceContainer {
         if fresh_link {
             self.tracer.record(now, TraceKind::LinkUp, TraceId::NONE, Some(peer), 0, None);
         }
+        self.active_links.insert(peer);
         self.send_link_messages(peer, out);
     }
 

@@ -1,0 +1,106 @@
+//! Periodic control-plane output: heartbeats and the catalogue gossip
+//! (full `Announce` broadcasts, compact `AnnounceDigest` summaries, and
+//! the debounced forced re-announce path).
+
+use marea_protocol::messages::announce_hash;
+
+use super::*;
+
+impl ServiceContainer {
+    pub(super) fn emit_periodics(&mut self, now: Micros) {
+        let hb_due = self
+            .last_heartbeat
+            .map(|t| now.saturating_since(t) >= self.config.heartbeat_period)
+            .unwrap_or(true);
+        if hb_due {
+            self.last_heartbeat = Some(now);
+            let msg = Message::Heartbeat {
+                incarnation: self.incarnation,
+                uptime_us: now.saturating_since(self.started_at).as_micros(),
+                load_permille: self.load_permille(),
+                fec_cap: self.config.fec.advertised_cap().wire_tag(),
+            };
+            self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &msg);
+        }
+        let flush_forced = self.reannounce_pending
+            && self
+                .last_forced_reannounce
+                .map(|t| now.saturating_since(t) >= self.config.announce_period)
+                .unwrap_or(true);
+        let ann_due = self
+            .last_announce
+            .map(|t| now.saturating_since(t) >= self.config.announce_period)
+            .unwrap_or(true);
+        if flush_forced {
+            self.reannounce_pending = false;
+            self.last_forced_reannounce = Some(now);
+            self.broadcast_announce(now);
+        } else if ann_due {
+            self.emit_catalogue_periodic(now);
+        }
+    }
+
+    /// A peer signalled it lacks our catalogue (its `Hello`, typically).
+    /// The first trigger re-broadcasts the full catalogue immediately so
+    /// discovery converges fast; repeats inside one announce period
+    /// collapse into a single pending re-announce that `emit_periodics`
+    /// flushes at the next period boundary — a burst of `Hello`s can no
+    /// longer flood the control group with full-catalogue broadcasts.
+    pub(super) fn request_reannounce(&mut self, now: Micros) {
+        let allowed = self
+            .last_forced_reannounce
+            .map(|t| now.saturating_since(t) >= self.config.announce_period)
+            .unwrap_or(true);
+        if allowed {
+            self.last_forced_reannounce = Some(now);
+            self.reannounce_pending = false;
+            self.broadcast_announce(now);
+        } else {
+            self.reannounce_pending = true;
+        }
+    }
+
+    /// The periodic announce slot: the full catalogue when it changed
+    /// since the last broadcast, otherwise the compact `AnnounceDigest`
+    /// summary. Receivers whose stored digest disagrees pull the full
+    /// catalogue unicast with `AnnounceRequest` (delta-on-mismatch), so
+    /// the steady-state control plane carries digests, not catalogues.
+    fn emit_catalogue_periodic(&mut self, now: Micros) {
+        let entries = self.announce_entries();
+        let digest = (announce_hash(self.incarnation, &entries), entries.len() as u32);
+        if self.last_announce_digest == Some(digest) {
+            self.last_announce = Some(now);
+            let msg = Message::AnnounceDigest {
+                incarnation: self.incarnation,
+                entry_count: digest.1,
+                catalogue_hash: digest.0,
+            };
+            self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &msg);
+        } else {
+            self.broadcast_announce(now);
+        }
+    }
+
+    pub(super) fn broadcast_announce(&mut self, now: Micros) {
+        self.last_announce = Some(now);
+        let entries = self.announce_entries();
+        self.directory.apply_announce(self.config.node, &entries, now);
+        let digest = (announce_hash(self.incarnation, &entries), entries.len() as u32);
+        self.directory.set_catalogue_digest(self.config.node, digest.0, digest.1);
+        self.last_announce_digest = Some(digest);
+        let msg = Message::Announce { incarnation: self.incarnation, entries };
+        self.send_message(TransportDestination::Group(GroupId::CONTROL.0), &msg);
+    }
+
+    pub(super) fn announce_entries(&self) -> Vec<AnnounceEntry> {
+        self.slots
+            .iter()
+            .map(|s| AnnounceEntry {
+                service_seq: s.seq,
+                name: s.descriptor.name().clone(),
+                state: s.state,
+                provides: s.descriptor.provides().to_vec(),
+            })
+            .collect()
+    }
+}

@@ -15,7 +15,8 @@
 //! everything learned from that node — the cache invalidation the paper
 //! describes.
 
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use marea_presentation::Name;
 use marea_protocol::messages::{AnnounceEntry, Provision, ServiceState};
@@ -50,6 +51,11 @@ pub struct NodeInfo {
     pub load_permille: u16,
     /// FEC capability wire tag advertised in `Hello` (0 = FEC off).
     pub fec_cap: u8,
+    /// Digest of the node's last applied full catalogue announce:
+    /// `(announce_hash, entry_count)`. `None` until an announce is seen —
+    /// a digest received in that state always mismatches, which is the
+    /// unknown-node recovery trigger.
+    pub catalogue_digest: Option<(u32, u32)>,
 }
 
 /// The per-container name directory / proxy cache.
@@ -57,6 +63,17 @@ pub struct NodeInfo {
 pub struct Directory {
     providers: BTreeMap<Name, Vec<ProviderInfo>>,
     nodes: HashMap<NodeId, NodeInfo>,
+    /// Provision names each node currently offers — the purge index that
+    /// keeps announce application O(own catalogue) instead of a walk over
+    /// every name known fleet-wide.
+    node_provides: HashMap<NodeId, Vec<Name>>,
+    /// Lazy expiry heap over `(last_seen, node)`. At most one live entry
+    /// per node (`expiry_scheduled` tracks membership): a popped entry
+    /// whose node has been refreshed since re-arms itself at the fresher
+    /// `last_seen`, so the per-tick failure-detection sweep peeks one heap
+    /// entry instead of sorting every known node.
+    expiry: BinaryHeap<Reverse<(Micros, NodeId)>>,
+    expiry_scheduled: HashSet<NodeId>,
 }
 
 impl Directory {
@@ -81,10 +98,25 @@ impl Directory {
         if stale {
             self.purge_node(node);
         }
+        // A re-Hello at the same incarnation keeps the catalogue (and its
+        // digest); a new life starts with no catalogue known.
+        let catalogue_digest = self
+            .nodes
+            .get(&node)
+            .filter(|n| n.incarnation == incarnation)
+            .and_then(|n| n.catalogue_digest);
         self.nodes.insert(
             node,
-            NodeInfo { container, incarnation, last_seen: now, load_permille: 0, fec_cap },
+            NodeInfo {
+                container,
+                incarnation,
+                last_seen: now,
+                load_permille: 0,
+                fec_cap,
+                catalogue_digest,
+            },
         );
+        self.schedule_expiry(node, now);
     }
 
     /// Records a heartbeat. Heartbeats refresh the FEC capability too
@@ -111,10 +143,17 @@ impl Directory {
                 self.purge_node(node);
                 self.nodes.insert(
                     node,
-                    NodeInfo { container, incarnation, last_seen: now, load_permille, fec_cap },
+                    NodeInfo {
+                        container,
+                        incarnation,
+                        last_seen: now,
+                        load_permille,
+                        fec_cap,
+                        catalogue_digest: None,
+                    },
                 );
             }
-            Some(_) => {} // stale heartbeat from an old incarnation
+            Some(_) => return, // stale heartbeat from an old incarnation
             None => {
                 // Heartbeat before Hello (lost datagram): create a minimal
                 // record so liveness tracking works; Announce will fill it.
@@ -126,31 +165,48 @@ impl Directory {
                         last_seen: now,
                         load_permille,
                         fec_cap,
+                        catalogue_digest: None,
                     },
                 );
             }
         }
+        self.schedule_expiry(node, now);
     }
 
     /// Replaces everything known about `node`'s services with an announce.
     pub fn apply_announce(&mut self, node: NodeId, entries: &[AnnounceEntry], now: Micros) {
         self.purge_node_providers(node);
-        if let Some(info) = self.nodes.get_mut(&node) {
-            info.last_seen = now;
+        if self.nodes.contains_key(&node) {
+            if let Some(info) = self.nodes.get_mut(&node) {
+                info.last_seen = now;
+            }
+            self.schedule_expiry(node, now);
         }
+        let mut names: Vec<Name> = Vec::new();
         for entry in entries {
             for provision in &entry.provides {
-                self.providers.entry(provision.name().clone()).or_default().push(ProviderInfo {
+                let name = provision.name().clone();
+                self.providers.entry(name.clone()).or_default().push(ProviderInfo {
                     service: ServiceId::new(node, entry.service_seq),
                     service_name: entry.name.clone(),
                     state: entry.state,
                     provision: provision.clone(),
                 });
+                names.push(name);
             }
         }
-        // Deterministic resolution order.
-        for list in self.providers.values_mut() {
-            list.sort_by_key(|p| (p.service.node, p.service.seq));
+        // Deterministic resolution order — only the touched lists re-sort.
+        for name in &names {
+            if let Some(list) = self.providers.get_mut(name) {
+                list.sort_by_key(|p| (p.service.node, p.service.seq));
+            }
+        }
+        names.sort_unstable();
+        names.dedup();
+        if names.is_empty() {
+            self.node_provides.remove(&node);
+        } else {
+            self.node_provides.insert(node, names);
         }
     }
 
@@ -177,15 +233,31 @@ impl Directory {
     /// provisions were purged ("the containers are able to clear and update
     /// their caches").
     pub fn expire(&mut self, now: Micros, timeout: ProtoDuration) -> Vec<NodeId> {
-        // Stable order: callers react to each death with sends/failovers,
-        // which must not depend on HashMap iteration order.
-        let dead: Vec<NodeId> = sorted_keys(&self.nodes)
-            .into_iter()
-            .filter(|id| now.saturating_since(self.nodes[id].last_seen) >= timeout)
-            .collect();
-        for node in &dead {
-            self.purge_node(*node);
+        let mut dead: Vec<NodeId> = Vec::new();
+        while let Some(&Reverse((seen, node))) = self.expiry.peek() {
+            if now.saturating_since(seen) < timeout {
+                break;
+            }
+            self.expiry.pop();
+            match self.nodes.get(&node) {
+                Some(info) if info.last_seen > seen => {
+                    // Refreshed since queued: re-arm at the fresher deadline.
+                    self.expiry.push(Reverse((info.last_seen, node)));
+                }
+                Some(_) => {
+                    self.expiry_scheduled.remove(&node);
+                    dead.push(node);
+                    self.purge_node(node);
+                }
+                None => {
+                    // Left via `Bye` while still queued: drop the entry.
+                    self.expiry_scheduled.remove(&node);
+                }
+            }
         }
+        // Stable order: callers react to each death with sends/failovers,
+        // which must not depend on heap pop order among equal deadlines.
+        dead.sort_unstable();
         dead
     }
 
@@ -195,10 +267,56 @@ impl Directory {
     }
 
     fn purge_node_providers(&mut self, node: NodeId) {
-        for list in self.providers.values_mut() {
-            list.retain(|p| p.service.node != node);
+        let Some(names) = self.node_provides.remove(&node) else { return };
+        for name in names {
+            if let Some(list) = self.providers.get_mut(&name) {
+                list.retain(|p| p.service.node != node);
+                if list.is_empty() {
+                    self.providers.remove(&name);
+                }
+            }
         }
-        self.providers.retain(|_, list| !list.is_empty());
+    }
+
+    /// Queues `node` on the expiry heap if it is not already there. The
+    /// heap holds at most one entry per node; refreshes are absorbed by
+    /// the re-arm-on-pop in [`Directory::expire`].
+    fn schedule_expiry(&mut self, node: NodeId, last_seen: Micros) {
+        if self.expiry_scheduled.insert(node) {
+            self.expiry.push(Reverse((last_seen, node)));
+        }
+    }
+
+    /// Refreshes `node`'s liveness without touching its catalogue — a
+    /// digest receipt counts as proof of life just like a full announce.
+    pub fn touch(&mut self, node: NodeId, now: Micros) {
+        if let Some(info) = self.nodes.get_mut(&node) {
+            info.last_seen = now;
+            self.schedule_expiry(node, now);
+        }
+    }
+
+    /// Records the digest of the catalogue just applied from `node`.
+    pub fn set_catalogue_digest(&mut self, node: NodeId, hash: u32, entry_count: u32) {
+        if let Some(info) = self.nodes.get_mut(&node) {
+            info.catalogue_digest = Some((hash, entry_count));
+        }
+    }
+
+    /// `true` when a received digest matches the catalogue last applied
+    /// from `node` — same incarnation, same entry count, same hash. Any
+    /// unknown node (or a known node with no announce applied yet) is a
+    /// mismatch, which is what triggers catalogue recovery.
+    pub fn catalogue_matches(
+        &self,
+        node: NodeId,
+        incarnation: u64,
+        entry_count: u32,
+        hash: u32,
+    ) -> bool {
+        self.nodes.get(&node).is_some_and(|info| {
+            info.incarnation == incarnation && info.catalogue_digest == Some((hash, entry_count))
+        })
     }
 
     /// `true` while the node is considered alive.
@@ -417,6 +535,54 @@ mod tests {
         d.apply_announce(NodeId(2), &[announce_storage(1)], Micros(0));
         d.apply_announce(NodeId(2), &[announce_storage(1)], Micros(1));
         assert_eq!(d.providers("storage/store").len(), 1);
+    }
+
+    #[test]
+    fn expire_rearms_refreshed_nodes_and_catches_them_later() {
+        let mut d = dir_with_two_storages();
+        // Both nodes refresh; their original heap entries are stale.
+        d.apply_heartbeat(NodeId(2), 1, 0, 4, Micros::from_millis(1500));
+        d.apply_heartbeat(NodeId(3), 1, 0, 4, Micros::from_millis(1800));
+        // At 2.1s with a 2s timeout the t=0 entries pop but re-arm.
+        assert!(d.expire(Micros::from_millis(2100), ProtoDuration::from_secs(2)).is_empty());
+        assert!(d.node_alive(NodeId(2)) && d.node_alive(NodeId(3)));
+        // Node 2 goes silent after 1.5s; the re-armed entry catches it.
+        d.apply_heartbeat(NodeId(3), 1, 0, 4, Micros::from_millis(3000));
+        let dead = d.expire(Micros::from_millis(3600), ProtoDuration::from_secs(2));
+        assert_eq!(dead, vec![NodeId(2)]);
+        assert!(d.providers("storage/store").len() == 1);
+    }
+
+    #[test]
+    fn rejoin_after_bye_is_tracked_again() {
+        let mut d = dir_with_two_storages();
+        d.apply_bye(NodeId(3));
+        d.apply_hello(NodeId(3), name("n3"), 2, 4, Micros::from_millis(100));
+        // Silent after the rejoin: must still expire.
+        d.apply_heartbeat(NodeId(2), 1, 0, 4, Micros::from_millis(2200));
+        let dead = d.expire(Micros::from_millis(2300), ProtoDuration::from_secs(2));
+        assert_eq!(dead, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn catalogue_digest_matches_only_applied_catalogue() {
+        let mut d = Directory::new();
+        assert!(!d.catalogue_matches(NodeId(2), 1, 1, 0xAB), "unknown node mismatches");
+        d.apply_hello(NodeId(2), name("n2"), 1, 4, Micros(0));
+        assert!(!d.catalogue_matches(NodeId(2), 1, 1, 0xAB), "no announce applied yet");
+        d.apply_announce(NodeId(2), &[announce_storage(1)], Micros(0));
+        d.set_catalogue_digest(NodeId(2), 0xAB, 1);
+        assert!(d.catalogue_matches(NodeId(2), 1, 1, 0xAB));
+        assert!(!d.catalogue_matches(NodeId(2), 1, 1, 0xAC), "hash mismatch");
+        assert!(!d.catalogue_matches(NodeId(2), 2, 1, 0xAB), "incarnation mismatch");
+        // A reboot wipes the digest along with the catalogue.
+        d.apply_hello(NodeId(2), name("n2"), 2, 4, Micros(50));
+        assert!(!d.catalogue_matches(NodeId(2), 2, 1, 0xAB));
+        // A re-Hello at the same incarnation keeps it.
+        d.apply_announce(NodeId(2), &[announce_storage(1)], Micros(60));
+        d.set_catalogue_digest(NodeId(2), 0xCD, 1);
+        d.apply_hello(NodeId(2), name("n2"), 2, 4, Micros(70));
+        assert!(d.catalogue_matches(NodeId(2), 2, 1, 0xCD));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Remote invocation bookkeeping and argument marshalling (paper §4.3).
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use bytes::{Bytes, BytesMut};
 
@@ -81,6 +82,11 @@ pub(crate) struct RpcEngine {
     /// Re-dispatches per function name (the per-subscription breakdown
     /// behind [`ServiceContainer::fn_retries`](crate::ServiceContainer::fn_retries)).
     pub retry_counts: HashMap<Name, u64>,
+    /// Due-date heap over `(deadline, request)`: the per-tick timeout
+    /// sweep peeks the earliest entry instead of walking every pending
+    /// call. Entries go stale when a failover re-arms the call with a
+    /// later deadline; the sweep re-checks against `pending` on pop.
+    deadline_heap: BinaryHeap<Reverse<(Micros, RequestId)>>,
 }
 
 impl RpcEngine {
@@ -90,12 +96,34 @@ impl RpcEngine {
         *self.retry_counts.entry(function.clone()).or_default() += 1;
     }
 
+    /// Registers (or, after a failover, re-registers) a pending call and
+    /// queues its reply deadline on the due-date heap.
+    pub fn track(&mut self, id: RequestId, call: PendingCall) {
+        self.deadline_heap.push(Reverse((call.deadline, id)));
+        self.pending.insert(id, call);
+    }
+
     /// Pending calls whose deadline has passed at `now`.
-    pub fn expired(&self, now: Micros) -> Vec<RequestId> {
-        let mut v: Vec<RequestId> =
-            self.pending.iter().filter(|(_, c)| c.deadline <= now).map(|(id, _)| *id).collect();
-        v.sort();
-        v
+    pub fn expired(&mut self, now: Micros) -> Vec<RequestId> {
+        let mut out: Vec<RequestId> = Vec::new();
+        while let Some(&Reverse((deadline, id))) = self.deadline_heap.peek() {
+            if deadline > now {
+                break;
+            }
+            self.deadline_heap.pop();
+            match self.pending.get(&id) {
+                Some(call) if call.deadline > now => {
+                    // Re-dispatched since this entry was queued: re-arm at
+                    // the fresher deadline.
+                    self.deadline_heap.push(Reverse((call.deadline, id)));
+                }
+                Some(_) => out.push(id),
+                None => {} // reply landed (or call failed) while queued
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
     }
 
     /// Pending calls currently targeting `node` (for immediate failover on
@@ -239,7 +267,7 @@ mod tests {
     #[test]
     fn engine_expiry_and_targeting() {
         let mut e = RpcEngine::default();
-        e.pending.insert(
+        e.track(
             RequestId(1),
             PendingCall {
                 caller_seq: 0,
@@ -256,7 +284,7 @@ mod tests {
                 trace: TraceId::NONE,
             },
         );
-        e.pending.insert(
+        e.track(
             RequestId(2),
             PendingCall {
                 caller_seq: 0,
@@ -275,5 +303,12 @@ mod tests {
         );
         assert_eq!(e.expired(Micros(200)), vec![RequestId(1)]);
         assert_eq!(e.targeting_node(NodeId(3)), vec![RequestId(2)]);
+        // A failover re-tracks the call with a later deadline: the stale
+        // heap entry must not expire it early.
+        let mut call = e.pending.remove(&RequestId(2)).unwrap();
+        call.deadline = Micros(900);
+        e.track(RequestId(2), call);
+        assert!(e.expired(Micros(600)).is_empty(), "stale entry re-arms, no early expiry");
+        assert_eq!(e.expired(Micros(1000)), vec![RequestId(2)]);
     }
 }

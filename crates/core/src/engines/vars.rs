@@ -1,6 +1,7 @@
 //! Variable primitive bookkeeping (paper §4.1).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -78,6 +79,8 @@ pub(crate) struct SubscribedVar {
     pub timed_out: bool,
     /// SubscribeVar was sent to the current provider.
     pub subscribe_sent: bool,
+    /// This channel has a live entry on the engine's deadline heap.
+    pub deadline_armed: bool,
 }
 
 impl SubscribedVar {
@@ -99,6 +102,7 @@ impl SubscribedVar {
             last_seq: None,
             timed_out: false,
             subscribe_sent: false,
+            deadline_armed: false,
         }
     }
 
@@ -120,6 +124,23 @@ impl SubscribedVar {
         } else {
             Some(self.period_us.saturating_mul(u64::from(self.deadline_periods)))
         }
+    }
+
+    /// The earliest instant at which [`SubscribedVar::deadline_missed`]
+    /// can turn true (the comparison there is strict, hence the +1µs), or
+    /// `None` while no deadline applies — unbound, already warned, or
+    /// aperiodic.
+    pub fn deadline_due(&self) -> Option<Micros> {
+        if self.timed_out || self.provider.is_none() {
+            return None;
+        }
+        let deadline = self.deadline_us()?;
+        let anchor = match (self.last_rx, self.since) {
+            (Some(rx), _) => rx,
+            (None, Some(s)) => s,
+            (None, None) => return None,
+        };
+        Some(Micros(anchor.as_micros().saturating_add(deadline).saturating_add(1)))
     }
 
     /// Checks whether the deadline has been missed at `now`.
@@ -201,18 +222,49 @@ pub(crate) struct VarEngine {
     /// Samples whose value disagreed with the declared schema (see
     /// [`TypeMismatchStats::vars`](crate::stats::TypeMismatchStats)).
     pub type_mismatches: u64,
+    /// Due-date heap over `(deadline_due, name)`: the per-tick deadline
+    /// sweep peeks the earliest entry instead of walking every channel.
+    /// At most one live entry per channel ([`SubscribedVar::deadline_armed`]);
+    /// a popped entry whose channel got a sample since re-arms at the
+    /// pushed-back deadline.
+    deadline_heap: BinaryHeap<Reverse<(Micros, Name)>>,
 }
 
 impl VarEngine {
+    /// Ensures `name`'s loss deadline is queued on the due-date heap.
+    /// Call after any event that (re)starts the deadline clock: a bind or
+    /// an accepted sample. Idempotent while already armed.
+    pub fn arm_deadline(&mut self, name: &Name) {
+        let Some(sub) = self.subscribed.get_mut(name) else { return };
+        if sub.deadline_armed {
+            return;
+        }
+        if let Some(due) = sub.deadline_due() {
+            sub.deadline_armed = true;
+            self.deadline_heap.push(Reverse((due, name.clone())));
+        }
+    }
+
     /// Variables whose deadline has been missed at `now` (marks them
     /// warned and counts the miss against the subscription's contract).
     pub fn sweep_deadlines(&mut self, now: Micros) -> Vec<Name> {
         let mut out = Vec::new();
-        for (name, sub) in self.subscribed.iter_mut() {
+        while let Some(Reverse((due, _))) = self.deadline_heap.peek() {
+            if *due > now {
+                break;
+            }
+            let Some(Reverse((_, name))) = self.deadline_heap.pop() else { break };
+            let Some(sub) = self.subscribed.get_mut(&name) else { continue };
+            sub.deadline_armed = false;
             if sub.deadline_missed(now) {
                 sub.timed_out = true;
                 sub.deadline_misses += 1;
-                out.push(name.clone());
+                out.push(name);
+            } else if let Some(due) = sub.deadline_due() {
+                // A sample (or rebind) moved the anchor since this entry
+                // was queued: re-arm at the pushed-back deadline.
+                sub.deadline_armed = true;
+                self.deadline_heap.push(Reverse((due, name)));
             }
         }
         out.sort();
@@ -333,10 +385,31 @@ mod tests {
         b.since = Some(Micros::ZERO);
         e.subscribed.insert(Name::new("zvar").unwrap(), a);
         e.subscribed.insert(Name::new("avar").unwrap(), b);
+        e.arm_deadline(&Name::new("zvar").unwrap());
+        e.arm_deadline(&Name::new("avar").unwrap());
         let warned = e.sweep_deadlines(Micros::from_secs(1));
         assert_eq!(warned.len(), 2);
         assert!(warned[0] < warned[1]);
         assert!(e.sweep_deadlines(Micros::from_secs(2)).is_empty(), "warn once");
         assert_eq!(e.total_deadline_misses(), 2, "misses counted per subscription");
+    }
+
+    #[test]
+    fn deadline_heap_rearms_refreshed_channels() {
+        let mut e = VarEngine::default();
+        let mut a = sub();
+        a.since = Some(Micros::ZERO);
+        let n = Name::new("v").unwrap();
+        e.subscribed.insert(n.clone(), a);
+        e.arm_deadline(&n);
+        assert!(e.subscribed[&n].deadline_armed);
+        // A sample at 90ms makes the t=0 heap entry (due ~150ms: 3 nominal
+        // periods of 50ms) stale.
+        e.subscribed.get_mut(&n).unwrap().accept(1, Micros(90_000));
+        assert!(e.sweep_deadlines(Micros(160_000)).is_empty(), "refreshed: no miss");
+        assert!(e.subscribed[&n].deadline_armed, "stale entry re-armed itself");
+        // Silent since 90ms: the re-armed entry fires (deadline 240ms).
+        assert_eq!(e.sweep_deadlines(Micros(250_000)), vec![n.clone()]);
+        assert!(!e.subscribed[&n].deadline_armed, "warned channels leave the heap");
     }
 }

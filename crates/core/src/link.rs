@@ -249,6 +249,16 @@ impl ReliableLink {
         self.backlog.is_empty() && self.tx.inflight_len() == 0 && !self.ack_due
     }
 
+    /// `true` while [`ReliableLink::poll`] could still produce output:
+    /// traffic queued, in flight, or awaiting ack emission — or a partial
+    /// FEC group whose age-triggered parity flush is pending. A link that
+    /// does not need polling can be left out of the per-tick poll sweep
+    /// entirely; every input that re-activates it (send, data, ack)
+    /// re-registers it with the container's active set.
+    pub fn needs_poll(&self) -> bool {
+        !self.is_quiescent() || self.fec.group_opened_at.is_some()
+    }
+
     /// Drains the ARQ seqs retransmitted since the last call (the
     /// container turns these into `rel_retransmit` trace events).
     pub fn take_retransmits(&mut self) -> Vec<u64> {
@@ -313,6 +323,20 @@ mod tests {
         assert!(!l.is_quiescent());
         l.on_ack(1, 0, 0, Micros(1));
         assert!(l.is_quiescent());
+    }
+
+    #[test]
+    fn needs_poll_tracks_open_fec_group() {
+        let mut l = link(2);
+        assert!(!l.needs_poll(), "fresh link: nothing to poll");
+        l.negotiate_fec(FecRate::Medium);
+        l.send(Bytes::from_static(b"solo"), Micros::ZERO);
+        l.on_ack(1, 0, 0, Micros(1));
+        assert!(l.is_quiescent(), "nothing queued or in flight");
+        assert!(l.needs_poll(), "open partial FEC group still needs the age flush");
+        let (out, _) = l.poll(Micros(10_000));
+        assert!(out.iter().any(|m| matches!(m, Message::FecShard { .. })));
+        assert!(!l.needs_poll(), "flushed: the link may leave the poll sweep");
     }
 
     #[test]

@@ -36,13 +36,14 @@ use crate::service::{
 };
 
 /// Every corpus scenario name, in a stable order.
-pub const NAMES: [&str; 6] = [
+pub const NAMES: [&str; 7] = [
     "ground_link_flap",
     "split_brain_heal",
     "rolling_restart_swarm16",
     "radio_degradation_ramp",
     "publisher_failover",
     "bulk_flood_under_partition",
+    "swarm_1024",
 ];
 
 /// Seed + timing profile for a corpus run.
@@ -508,6 +509,49 @@ pub fn build(name: &str, cfg: &ScenarioConfig) -> Option<ChaosRun> {
             let mut runner = ScenarioRunner::new(h);
             standard_invariants(&mut runner, cfg);
             (schedule, duration, runner)
+        }
+        "swarm_1024" => {
+            // A 1024-node swarm: one beacon, eight telemetry sinks, the
+            // rest bare fleet members. A mid-fleet node crashes and
+            // rejoins; every directory must re-converge on 1024 peers.
+            // Control-plane periods are stretched to swarm scale — the
+            // O(n²) heartbeat fan-out dominates, and the digest gossip
+            // keeps the steady-state announce traffic to one compact
+            // summary per node per period. The profile's quick timings
+            // would melt a 1024-node control group, so this entry pins
+            // its own (the seed still comes from the profile).
+            let mut swarm = *cfg;
+            swarm.heartbeat = ProtoDuration::from_millis(1_000);
+            swarm.announce = ProtoDuration::from_secs(2);
+            swarm.node_timeout = ProtoDuration::from_secs(3);
+            swarm.grace = ProtoDuration::from_secs(4);
+            h.set_tick_us(2_000);
+            for i in 1..=1024u32 {
+                h.add_container(swarm.container("swarm", NodeId(i)));
+            }
+            h.add_service_factory(NodeId(1), || Box::new(Beacon::new()) as Box<dyn Service>);
+            for i in 2..=9u32 {
+                let p = probes.clone();
+                h.add_service_factory(NodeId(i), move || {
+                    Box::new(Sink::new(p.clone(), false)) as Box<dyn Service>
+                });
+            }
+            h.start_all();
+            // The crash→restart gap must exceed node_timeout so the fleet
+            // actually declares the node dead before it rejoins.
+            let schedule = FaultSchedule::new()
+                .crash(ProtoDuration::from_millis(500), NodeId(512))
+                .restart(ProtoDuration::from_millis(4_500), NodeId(512));
+            let duration = ProtoDuration::from_millis(9_000);
+            let mut runner = ScenarioRunner::new(h);
+            runner.add_invariant(Box::new(DirectoryConvergence::new(swarm.grace)));
+            runner.add_invariant(Box::new(QueueBound::new(4096)));
+            let mut scenario = Scenario::new(name, schedule, duration);
+            // Checking invariants every 10 ms across 1024 directories is
+            // pure overhead; 250 ms still lands several convergence
+            // checks inside the post-restart calm window.
+            scenario.check_period = ProtoDuration::from_millis(250);
+            return Some(ChaosRun { runner, scenario, probes });
         }
         _ => return None,
     };

@@ -134,7 +134,7 @@ impl Invariant for DirectoryConvergence {
         }
         // Only *running* containers count as live: a gracefully stopped
         // node said `Bye`, so peers are right to have purged it.
-        let live: Vec<_> = ctx
+        let live: std::collections::BTreeSet<_> = ctx
             .harness
             .nodes()
             .into_iter()

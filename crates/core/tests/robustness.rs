@@ -488,3 +488,63 @@ fn service_added_and_stopped_at_runtime() {
     h.run_for_millis(100);
     assert!(!h.container(NodeId(2)).unwrap().directory().node_alive(NodeId(1)));
 }
+
+#[test]
+fn hello_bursts_are_debounced_to_one_pending_reannounce() {
+    // Regression: frames from a rediscovered node used to reset the
+    // announce clock unconditionally, so a burst of Hellos (flapping
+    // radio, partition heal) forced one full-catalogue broadcast *per
+    // frame*. The forced re-announce is now debounced to at most one
+    // immediate broadcast plus one pending flush per announce period, and
+    // the steady-state periodic slot carries a digest, not the catalogue.
+    use marea_core::ServiceContainer;
+    use marea_presentation::Name;
+    use marea_protocol::messages::Message;
+    use marea_protocol::{Frame, GroupId, Micros, NodeId};
+    use marea_transport::{InProcHub, Transport, TransportDestination};
+
+    let hub = InProcHub::new();
+    let transport = hub.attach(1);
+    let mut probe = hub.attach(2);
+    probe.join(GroupId::CONTROL.0);
+
+    let mut cfg = ContainerConfig::new("uav", NodeId(1));
+    cfg.announce_period = ProtoDuration::from_millis(200);
+    let mut c = ServiceContainer::new(cfg, Box::new(transport));
+    c.start(Micros(0));
+    c.tick(Micros(0));
+    while probe.recv().is_some() {} // drop startup traffic
+
+    // Burst: five Hellos from the same peer inside one announce period.
+    for i in 0..5u64 {
+        let hello =
+            Message::Hello { container: Name::new("peer").unwrap(), incarnation: 1, fec_cap: 0 };
+        probe.send(TransportDestination::Node(1), hello.into_frame(NodeId(2)).encode()).unwrap();
+        c.tick(Micros(1_000 * (i + 1)));
+    }
+    let mut in_burst = 0usize;
+    while let Some((_, bytes)) = probe.recv() {
+        let frame = Frame::decode(&bytes).unwrap();
+        if matches!(Message::from_frame(&frame), Ok(Message::Announce { .. })) {
+            in_burst += 1;
+        }
+    }
+    assert_eq!(in_burst, 1, "only the first Hello forces an immediate re-announce");
+
+    // The collapsed repeats flush as exactly one more full announce once
+    // the period elapses; afterwards the periodic slot is digest-only.
+    for ms in (10..=600).step_by(10) {
+        c.tick(Micros(ms * 1_000));
+    }
+    let (mut full, mut digests) = (0usize, 0usize);
+    while let Some((_, bytes)) = probe.recv() {
+        let frame = Frame::decode(&bytes).unwrap();
+        match Message::from_frame(&frame) {
+            Ok(Message::Announce { .. }) => full += 1,
+            Ok(Message::AnnounceDigest { .. }) => digests += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(full, 1, "repeats collapse into one pending flush");
+    assert!(digests >= 1, "steady-state announce slot is digest gossip");
+}

@@ -137,6 +137,7 @@ fn d1_in_scope(cx: &FileCx) -> bool {
     }
     let p = cx.path;
     p.ends_with("crates/core/src/container.rs")
+        || p.contains("crates/core/src/container/")
         || p.ends_with("crates/core/src/directory.rs")
         || p.contains("crates/netsim/src/")
         || p.contains("crates/protocol/src/")
@@ -169,6 +170,7 @@ fn r1_in_scope(cx: &FileCx) -> bool {
     let p = cx.path;
     p.contains("crates/protocol/src/")
         || p.ends_with("crates/core/src/container.rs")
+        || p.contains("crates/core/src/container/")
         || p.contains("crates/core/src/engines/")
 }
 
@@ -187,6 +189,7 @@ fn o1_in_scope(cx: &FileCx) -> bool {
     let p = cx.path;
     p.ends_with("crates/core/src/trace.rs")
         || p.ends_with("crates/core/src/container.rs")
+        || p.contains("crates/core/src/container/")
         || p.ends_with("crates/core/src/harness.rs")
         || p.ends_with("crates/core/src/metrics.rs")
 }

@@ -97,6 +97,12 @@ message_kinds! {
     UnsubscribeEvent = 22,
     /// FEC shard: a coded slice of the reliable channel (below ARQ).
     FecShard = 23,
+    /// Periodic catalogue summary (control group): replaces the full
+    /// `Announce` flood while the catalogue is unchanged.
+    AnnounceDigest = 24,
+    /// Unicast request for a full catalogue `Announce` (digest mismatch
+    /// or unknown-node recovery).
+    AnnounceRequest = 25,
 }
 
 /// Lifecycle state of a service instance as broadcast to other containers.
@@ -538,6 +544,23 @@ pub enum Message {
         /// Tagged inner message (data) or XOR lane payload (parity).
         payload: Bytes,
     },
+    /// Periodic catalogue summary: the digest-gossip stand-in for a full
+    /// [`Message::Announce`]. Receivers that hold a matching digest do
+    /// nothing; a mismatch (or an unknown sender) triggers a unicast
+    /// [`Message::AnnounceRequest`], so steady-state control traffic is
+    /// O(nodes) instead of O(nodes × catalogue).
+    AnnounceDigest {
+        /// Restart counter matching the last `Hello`/`Announce`.
+        incarnation: u64,
+        /// Number of catalogue entries the digest summarizes.
+        entry_count: u32,
+        /// [`announce_hash`] over the full announce body.
+        catalogue_hash: u32,
+    },
+    /// Unicast request that the receiver re-send its full catalogue
+    /// (sent on digest mismatch or when a digest arrives from a node we
+    /// have no catalogue for).
+    AnnounceRequest,
 }
 
 impl Message {
@@ -568,6 +591,8 @@ impl Message {
             Message::SubscribeEvent { .. } => MessageKind::SubscribeEvent,
             Message::UnsubscribeEvent { .. } => MessageKind::UnsubscribeEvent,
             Message::FecShard { .. } => MessageKind::FecShard,
+            Message::AnnounceDigest { .. } => MessageKind::AnnounceDigest,
+            Message::AnnounceRequest => MessageKind::AnnounceRequest,
         }
     }
 
@@ -648,46 +673,7 @@ impl Message {
             }
             Message::Bye => {}
             Message::Announce { incarnation, entries } => {
-                w.put_varint(*incarnation);
-                w.put_varint(entries.len() as u64);
-                for e in entries {
-                    w.put_varint(u64::from(e.service_seq));
-                    w.put_str(e.name.as_str());
-                    w.put_u8(e.state.wire_tag());
-                    w.put_varint(e.provides.len() as u64);
-                    for p in &e.provides {
-                        w.put_u8(p.wire_tag());
-                        w.put_str(p.name().as_str());
-                        match p {
-                            Provision::Variable { ty, period_us, validity_us, .. } => {
-                                write_typedesc(w, ty);
-                                w.put_varint(*period_us);
-                                w.put_varint(*validity_us);
-                            }
-                            Provision::Event { ty, .. } => match ty {
-                                Some(t) => {
-                                    w.put_u8(1);
-                                    write_typedesc(w, t);
-                                }
-                                None => w.put_u8(0),
-                            },
-                            Provision::Function { sig, .. } => {
-                                w.put_varint(sig.params.len() as u64);
-                                for pty in &sig.params {
-                                    write_typedesc(w, pty);
-                                }
-                                match &sig.returns {
-                                    Some(rty) => {
-                                        w.put_u8(1);
-                                        write_typedesc(w, rty);
-                                    }
-                                    None => w.put_u8(0),
-                                }
-                            }
-                            Provision::FileResource { .. } => {}
-                        }
-                    }
-                }
+                write_announce_body(w, *incarnation, entries);
             }
             Message::ServiceStatus { service_seq, name, state } => {
                 w.put_varint(u64::from(*service_seq));
@@ -805,6 +791,12 @@ impl Message {
                 w.put_u8(*r);
                 w.put_len_prefixed(payload);
             }
+            Message::AnnounceDigest { incarnation, entry_count, catalogue_hash } => {
+                w.put_varint(*incarnation);
+                w.put_varint(u64::from(*entry_count));
+                w.put_u32_le(*catalogue_hash);
+            }
+            Message::AnnounceRequest => {}
         }
     }
 
@@ -993,8 +985,77 @@ impl Message {
                 r: r.get_u8()?,
                 payload: read_blob(r)?,
             },
+            MessageKind::AnnounceDigest => Message::AnnounceDigest {
+                incarnation: r.get_varint()?,
+                entry_count: read_u32(r)?,
+                catalogue_hash: r.get_u32_le()?,
+            },
+            MessageKind::AnnounceRequest => Message::AnnounceRequest,
         })
     }
+}
+
+fn write_announce_body(w: &mut WireWriter<'_>, incarnation: u64, entries: &[AnnounceEntry]) {
+    w.put_varint(incarnation);
+    w.put_varint(entries.len() as u64);
+    for e in entries {
+        w.put_varint(u64::from(e.service_seq));
+        w.put_str(e.name.as_str());
+        w.put_u8(e.state.wire_tag());
+        w.put_varint(e.provides.len() as u64);
+        for p in &e.provides {
+            w.put_u8(p.wire_tag());
+            w.put_str(p.name().as_str());
+            match p {
+                Provision::Variable { ty, period_us, validity_us, .. } => {
+                    write_typedesc(w, ty);
+                    w.put_varint(*period_us);
+                    w.put_varint(*validity_us);
+                }
+                Provision::Event { ty, .. } => match ty {
+                    Some(t) => {
+                        w.put_u8(1);
+                        write_typedesc(w, t);
+                    }
+                    None => w.put_u8(0),
+                },
+                Provision::Function { sig, .. } => {
+                    w.put_varint(sig.params.len() as u64);
+                    for pty in &sig.params {
+                        write_typedesc(w, pty);
+                    }
+                    match &sig.returns {
+                        Some(rty) => {
+                            w.put_u8(1);
+                            write_typedesc(w, rty);
+                        }
+                        None => w.put_u8(0),
+                    }
+                }
+                Provision::FileResource { .. } => {}
+            }
+        }
+    }
+}
+
+/// Canonical digest of a full catalogue announce: FNV-1a over the exact
+/// `Announce` body encoding of `(incarnation, entries)`.
+///
+/// Both ends of the digest-gossip protocol hash through this function —
+/// the announcer before broadcasting (stored alongside `last_announce`
+/// state), the receiver over the decoded entries it applied — so equal
+/// catalogues always hash equal regardless of which side computed it
+/// (the wire encoding is canonical).
+pub fn announce_hash(incarnation: u64, entries: &[AnnounceEntry]) -> u32 {
+    let mut buf = BytesMut::new();
+    let mut w = WireWriter::new(&mut buf);
+    write_announce_body(&mut w, incarnation, entries);
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in buf.iter() {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
 }
 
 fn write_typedesc(w: &mut WireWriter<'_>, ty: &DataType) {
@@ -1168,6 +1229,8 @@ mod tests {
                 r: 1,
                 payload: Bytes::from_static(b"xor-lane"),
             },
+            Message::AnnounceDigest { incarnation: 3, entry_count: 1, catalogue_hash: 0xDEAD_BEEF },
+            Message::AnnounceRequest,
         ]
     }
 
@@ -1277,6 +1340,28 @@ mod tests {
             Message::decode_payload(MessageKind::Hello, &buf),
             Err(DecodeError::InvalidName)
         );
+    }
+
+    #[test]
+    fn announce_hash_is_canonical_across_a_roundtrip() {
+        let Some(Message::Announce { incarnation, entries }) =
+            sample_messages().into_iter().find(|m| matches!(m, Message::Announce { .. }))
+        else {
+            panic!("fixture has an Announce");
+        };
+        let sender_side = announce_hash(incarnation, &entries);
+        // The receiver hashes the entries it *decoded*; equal catalogues
+        // must digest equal.
+        let wire = Message::Announce { incarnation, entries: entries.clone() }.encode_payload();
+        let Ok(Message::Announce { incarnation: inc2, entries: decoded }) =
+            Message::decode_payload(MessageKind::Announce, &wire)
+        else {
+            panic!("announce roundtrips");
+        };
+        assert_eq!(announce_hash(inc2, &decoded), sender_side);
+        // Any catalogue change — or a new incarnation — changes the digest.
+        assert_ne!(announce_hash(incarnation + 1, &entries), sender_side);
+        assert_ne!(announce_hash(incarnation, &entries[..0]), sender_side);
     }
 
     #[test]
